@@ -1,0 +1,299 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablation studies. One benchmark per artifact; each reports a headline
+// metric from the regenerated table so `go test -bench=.` doubles as a
+// results summary.
+//
+// The expensive shared state (telemetry collection, model training,
+// evaluation sweeps) is built once per process in a shared experiment
+// context; the per-iteration cost is the artifact generation itself.
+package gpudvfs_test
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"gpudvfs/internal/experiments"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+)
+
+func sharedCtx() *experiments.Context {
+	benchCtxOnce.Do(func() {
+		benchCtx = experiments.NewContext(experiments.Config{Seed: 42, Runs: 3})
+	})
+	return benchCtx
+}
+
+// benchTable runs one artifact generator under the benchmark loop and
+// reports a metric extracted from the final table.
+func benchTable(b *testing.B, gen func(*experiments.Context) (*experiments.Table, error), metric func(*experiments.Table) (string, float64)) {
+	b.Helper()
+	benchTableWarm(b, gen, metric, true)
+}
+
+// benchTableWarm lets expensive generators (the ablations, which retrain
+// models on every call) skip the untimed warm-up generation.
+func benchTableWarm(b *testing.B, gen func(*experiments.Context) (*experiments.Table, error), metric func(*experiments.Table) (string, float64), warm bool) {
+	b.Helper()
+	ctx := sharedCtx()
+	var t *experiments.Table
+	var err error
+	if warm {
+		// Warm the caches outside the timed region.
+		if t, err = gen(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t, err = gen(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if metric != nil {
+		name, v := metric(t)
+		b.ReportMetric(v, name)
+	}
+}
+
+// cell parses table cell (r, c) as a float; zero on failure.
+func cell(t *experiments.Table, r, c int) float64 {
+	if r >= len(t.Rows) || c >= len(t.Rows[r]) {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(t.Rows[r][c], 64)
+	return v
+}
+
+// colMean averages a numeric column over all rows.
+func colMean(t *experiments.Table, c int) float64 {
+	var s float64
+	n := 0
+	for r := range t.Rows {
+		s += cell(t, r, c)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// BenchmarkFigure1 regenerates the §2 motivation study (power, time,
+// energy, FLOPS/bandwidth vs frequency for DGEMM and STREAM) and reports
+// DGEMM's power at the maximum clock as a fraction of TDP.
+func BenchmarkFigure1(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure1, func(t *experiments.Table) (string, float64) {
+		last := len(t.Rows) - 1
+		return "dgemm_maxclock_tdp_frac", cell(t, last, 1) / 500
+	})
+}
+
+// BenchmarkFigure3 regenerates the mutual-information feature ranking.
+func BenchmarkFigure3(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure3, func(t *experiments.Table) (string, float64) {
+		// Rank of dram_active in the power ranking (1-based).
+		for i, row := range t.Rows {
+			if row[0] == "dram_active" {
+				return "dram_power_rank", float64(i + 1)
+			}
+		}
+		return "dram_power_rank", -1
+	})
+}
+
+// BenchmarkFigure4 regenerates the DVFS-invariance study of the selected
+// features and reports the relative spread of DGEMM's fp_active across
+// the design space.
+func BenchmarkFigure4(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure4, func(t *experiments.Table) (string, float64) {
+		lo, hi := 2.0, -1.0
+		for r := range t.Rows {
+			v := cell(t, r, 1)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return "dgemm_fp_spread_pct", (hi - lo) / hi * 100
+	})
+}
+
+// BenchmarkFigure5 regenerates the input-size-invariance study.
+func BenchmarkFigure5(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure5, func(t *experiments.Table) (string, float64) {
+		lo, hi := 2.0, -1.0
+		for r := range t.Rows {
+			v := cell(t, r, 1)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return "dgemm_fp_sizespread_pct", (hi - lo) / hi * 100
+	})
+}
+
+// BenchmarkFigure6 regenerates the training-loss curves and reports the
+// power model's final validation MSE.
+func BenchmarkFigure6(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure6, func(t *experiments.Table) (string, float64) {
+		// Last row with a power_val entry.
+		return "power_final_val_mse", cell(t, len(t.Rows)-1, 2)
+	})
+}
+
+// BenchmarkFigure7 regenerates predicted-vs-measured power for the real
+// applications.
+func BenchmarkFigure7(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure7, nil)
+}
+
+// BenchmarkFigure8 regenerates normalized predicted-vs-measured execution
+// time for the real applications.
+func BenchmarkFigure8(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure8, nil)
+}
+
+// BenchmarkFigure9 regenerates the optimal-configuration selections.
+func BenchmarkFigure9(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure9, func(t *experiments.Table) (string, float64) {
+		// Mean M-ED2P optimal frequency across apps.
+		return "mean_m_ed2p_mhz", colMean(t, 1)
+	})
+}
+
+// BenchmarkFigure10 regenerates the energy/time change study at the ED²P
+// optima and reports the measured mean energy saving.
+func BenchmarkFigure10(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure10, func(t *experiments.Table) (string, float64) {
+		return "mean_m_ed2p_energy_pct", colMean(t, 1)
+	})
+}
+
+// BenchmarkFigure11 regenerates the multi-learner comparison and reports
+// the DNN's margin over the best baseline (average accuracy).
+func BenchmarkFigure11(b *testing.B) {
+	benchTable(b, (*experiments.Context).Figure11, func(t *experiments.Table) (string, float64) {
+		avg := t.Rows[len(t.Rows)-1] // AVERAGE row
+		dnn, _ := strconv.ParseFloat(avg[1], 64)
+		best := 0.0
+		for c := 2; c < len(avg); c++ {
+			if v, _ := strconv.ParseFloat(avg[c], 64); v > best {
+				best = v
+			}
+		}
+		return "dnn_margin_pct", dnn - best
+	})
+}
+
+// BenchmarkTable1 regenerates the GPU specification table.
+func BenchmarkTable1(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table1, nil)
+}
+
+// BenchmarkTable2 regenerates the application list.
+func BenchmarkTable2(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table2, nil)
+}
+
+// BenchmarkTable3 regenerates the model-accuracy table and reports the
+// mean power accuracy across both architectures.
+func BenchmarkTable3(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table3, func(t *experiments.Table) (string, float64) {
+		return "mean_power_acc_pct", colMean(t, 2)
+	})
+}
+
+// BenchmarkTable4 regenerates the optimal-frequency table.
+func BenchmarkTable4(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table4, func(t *experiments.Table) (string, float64) {
+		return "mean_p_ed2p_mhz", colMean(t, 2)
+	})
+}
+
+// BenchmarkTable5 regenerates the trade-off table and reports the average
+// M-ED²P energy saving (the paper's headline ~27-28%).
+func BenchmarkTable5(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table5, func(t *experiments.Table) (string, float64) {
+		avg := t.Rows[len(t.Rows)-1]
+		v, _ := strconv.ParseFloat(avg[1], 64)
+		return "avg_m_ed2p_energy_pct", v
+	})
+}
+
+// BenchmarkTable6 regenerates the threshold study.
+func BenchmarkTable6(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table6, nil)
+}
+
+// BenchmarkTable7 regenerates the qualitative SOTA comparison.
+func BenchmarkTable7(b *testing.B) {
+	benchTable(b, (*experiments.Context).Table7, nil)
+}
+
+// BenchmarkFutureVoltage regenerates the §8 future-work voltage-design-
+// space exploration and reports DGEMM's −50 mV saving at the max clock.
+func BenchmarkFutureVoltage(b *testing.B) {
+	benchTable(b, (*experiments.Context).FutureVoltageTable, func(t *experiments.Table) (string, float64) {
+		return "dgemm_50mv_saving_pct", cell(t, 0, 4)
+	})
+}
+
+// BenchmarkAblationActivations sweeps the hidden activation function.
+func BenchmarkAblationActivations(b *testing.B) {
+	benchTableWarm(b, (*experiments.Context).AblationActivationsTable, func(t *experiments.Table) (string, float64) {
+		// SELU's power accuracy (row 0 per AblationActivations order).
+		return "selu_power_acc_pct", cell(t, 0, 1)
+	}, false)
+}
+
+// BenchmarkAblationOptimizers sweeps the optimizer.
+func BenchmarkAblationOptimizers(b *testing.B) {
+	benchTableWarm(b, (*experiments.Context).AblationOptimizersTable, func(t *experiments.Table) (string, float64) {
+		return "rmsprop_power_acc_pct", cell(t, 0, 1)
+	}, false)
+}
+
+// BenchmarkAblationFeatures sweeps the feature set (MI top-3 vs all vs
+// bottom-3).
+func BenchmarkAblationFeatures(b *testing.B) {
+	benchTableWarm(b, (*experiments.Context).AblationFeaturesTable, func(t *experiments.Table) (string, float64) {
+		top3 := cell(t, 0, 1)
+		bottom3 := cell(t, 2, 1)
+		return "top3_vs_bottom3_pct", top3 - bottom3
+	}, false)
+}
+
+// BenchmarkAblationSharedModel contrasts one shared two-output network
+// against the paper's two separate models.
+func BenchmarkAblationSharedModel(b *testing.B) {
+	benchTableWarm(b, (*experiments.Context).AblationSharedModelTable, func(t *experiments.Table) (string, float64) {
+		avg := t.Rows[len(t.Rows)-1]
+		shared, _ := strconv.ParseFloat(avg[1], 64)
+		separate, _ := strconv.ParseFloat(avg[2], 64)
+		return "separate_minus_shared_power_pct", separate - shared
+	}, false)
+}
+
+// BenchmarkAblationEpochs sweeps the training epoch budgets.
+func BenchmarkAblationEpochs(b *testing.B) {
+	benchTableWarm(b, (*experiments.Context).AblationEpochsTable, func(t *experiments.Table) (string, float64) {
+		// Accuracy at the paper's (100, 25) budget.
+		for r, row := range t.Rows {
+			if row[0] == "100" && row[1] == "25" {
+				return "paper_budget_power_acc_pct", cell(t, r, 2)
+			}
+		}
+		return "paper_budget_power_acc_pct", -1
+	}, false)
+}

@@ -1,0 +1,113 @@
+// Command dvfs-collect is the launch module of the data-collection
+// framework (§4.1): it sweeps workloads across DVFS configurations on a
+// simulated GPU, sampling the 12 utilization metrics at a fixed interval,
+// and writes the telemetry as CSV.
+//
+// Examples:
+//
+//	dvfs-collect -arch GA100 -workloads training -out train.csv
+//	dvfs-collect -arch GV100 -workloads LAMMPS,NAMD -runs 5 -out sweep.csv
+//	dvfs-collect -arch GA100 -workloads DGEMM -max-only -out profile.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+func main() {
+	var (
+		archName   = flag.String("arch", "GA100", "GPU architecture: GA100 or GV100")
+		list       = flag.String("workloads", "training", `comma-separated workload names, or "training", "real", "all"`)
+		runs       = flag.Int("runs", 3, "runs per DVFS configuration")
+		interval   = flag.Duration("interval", dcgm.DefaultSampleInterval, "metric sampling interval")
+		inputScale = flag.Float64("input-scale", 1, "problem-size factor relative to each workload's reference size")
+		maxOnly    = flag.Bool("max-only", false, "profile at the maximum clock only (online-phase acquisition)")
+		seed       = flag.Int64("seed", 42, "simulation noise seed")
+		out        = flag.String("out", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	if err := run(*archName, *list, *runs, *interval, *inputScale, *maxOnly, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-collect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archName, list string, runs int, interval time.Duration, inputScale float64, maxOnly bool, seed int64, out string) error {
+	arch, err := gpusim.ArchByName(archName)
+	if err != nil {
+		return err
+	}
+	ws, err := resolveWorkloads(list)
+	if err != nil {
+		return err
+	}
+
+	dev := gpusim.NewDevice(arch, seed)
+	cfg := dcgm.Config{
+		Runs:           runs,
+		SampleInterval: interval,
+		InputScale:     inputScale,
+		Seed:           seed + 1,
+	}
+	coll := dcgm.NewCollector(dev, cfg)
+
+	var collected []dcgm.Run
+	for _, w := range ws {
+		if maxOnly {
+			r, err := coll.ProfileAtMax(w)
+			if err != nil {
+				return err
+			}
+			collected = append(collected, r)
+			continue
+		}
+		rs, err := coll.CollectWorkload(w)
+		if err != nil {
+			return err
+		}
+		collected = append(collected, rs...)
+	}
+
+	if out == "" {
+		return dcgm.WriteRuns(os.Stdout, collected)
+	}
+	if err := dcgm.WriteRunsFile(out, collected); err != nil {
+		return err
+	}
+	samples := 0
+	for _, r := range collected {
+		samples += len(r.Samples)
+	}
+	fmt.Printf("wrote %d runs (%d samples) across %d workloads to %s\n",
+		len(collected), samples, len(ws), out)
+	return nil
+}
+
+func resolveWorkloads(list string) ([]gpusim.KernelProfile, error) {
+	switch list {
+	case "training":
+		return workloads.TrainingSet(), nil
+	case "real":
+		return workloads.RealApps(), nil
+	case "all":
+		return workloads.All(), nil
+	}
+	var out []gpusim.KernelProfile
+	for _, name := range strings.Split(list, ",") {
+		w, err := workloads.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gpudvfs/internal/dcgm"
+)
+
+func TestResolveWorkloadsGroups(t *testing.T) {
+	cases := []struct {
+		list string
+		want int
+	}{
+		{"training", 21},
+		{"real", 6},
+		{"all", 27},
+		{"DGEMM,STREAM", 2},
+		{" LAMMPS , NAMD ", 2},
+	}
+	for _, c := range cases {
+		ws, err := resolveWorkloads(c.list)
+		if err != nil {
+			t.Fatalf("%q: %v", c.list, err)
+		}
+		if len(ws) != c.want {
+			t.Fatalf("%q: %d workloads, want %d", c.list, len(ws), c.want)
+		}
+	}
+	if _, err := resolveWorkloads("NOPE"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "runs.csv")
+	err := run("GA100", "DGEMM", 1, 20*time.Millisecond, 1, true /*maxOnly*/, 1, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := dcgm.ReadRunsFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].FreqMHz != 1410 {
+		t.Fatalf("max-only profile: %d runs at %v MHz", len(runs), runs[0].FreqMHz)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.csv")
+	if err := run("GV100", "STREAM", 2, 20*time.Millisecond, 1, false, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := dcgm.ReadRunsFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 117*2 {
+		t.Fatalf("GV100 sweep: %d runs, want %d", len(runs), 117*2)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("H100", "DGEMM", 1, time.Millisecond, 1, true, 1, ""); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if err := run("GA100", "NOPE", 1, time.Millisecond, 1, true, 1, ""); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

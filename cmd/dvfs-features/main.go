@@ -1,0 +1,134 @@
+// Command dvfs-features runs the paper's §4.2.1 feature-characterization
+// study over collected telemetry: it estimates the mutual information of
+// every candidate utilization feature against power and execution time
+// (Kraskov k-NN estimator) and prints the normalized ranking — the
+// Figure 3 analysis as a reusable tool for any dvfs-collect CSV.
+//
+// Examples:
+//
+//	dvfs-collect -arch GA100 -workloads DGEMM,STREAM -out micro.csv
+//	dvfs-features -in micro.csv -arch GA100
+//	dvfs-features -in micro.csv -arch GA100 -top 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/mi"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "telemetry CSV from dvfs-collect")
+		archName = flag.String("arch", "GA100", "architecture the telemetry came from (for clock normalization)")
+		top      = flag.Int("top", 0, "also print the top-N combined ranking")
+		seed     = flag.Int64("seed", 1, "estimator jitter seed")
+	)
+	flag.Parse()
+
+	if err := run(*in, *archName, *top, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-features:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, archName string, top int, seed int64, w *os.File) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	arch, err := gpusim.ArchByName(archName)
+	if err != nil {
+		return err
+	}
+	runs, err := dcgm.ReadRunsFile(in)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		return fmt.Errorf("%s contains no runs", in)
+	}
+
+	cols, power, execTime := featureColumns(runs, arch)
+	opts := mi.Options{Seed: seed}
+	pRank, err := mi.RankFeatures(cols, power, opts)
+	if err != nil {
+		return err
+	}
+	tRank, err := mi.RankFeatures(cols, execTime, opts)
+	if err != nil {
+		return err
+	}
+	pRank = mi.NormalizeScores(pRank)
+	tRank = mi.NormalizeScores(tRank)
+	tScore := map[string]float64{}
+	for _, fs := range tRank {
+		tScore[fs.Feature] = fs.Score
+	}
+
+	fmt.Fprintf(w, "%d runs from %s\n", len(runs), in)
+	fmt.Fprintf(w, "%-18s %9s %9s\n", "feature", "mi_power", "mi_time")
+	for _, fs := range pRank {
+		fmt.Fprintf(w, "%-18s %9.3f %9.3f\n", fs.Feature, fs.Score, tScore[fs.Feature])
+	}
+
+	if top > 0 {
+		combined := map[string]float64{}
+		for _, fs := range pRank {
+			combined[fs.Feature] = fs.Score + tScore[fs.Feature]
+		}
+		ranking := make([]mi.FeatureScore, 0, len(combined))
+		for name, s := range combined {
+			ranking = append(ranking, mi.FeatureScore{Feature: name, Score: s})
+		}
+		ranking = mi.NormalizeScores(sortScores(ranking))
+		fmt.Fprintf(w, "\ntop %d combined:", top)
+		for _, name := range mi.TopK(ranking, top) {
+			fmt.Fprintf(w, " %s", name)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// featureColumns extracts the 10 candidate feature columns plus the two
+// predictands from per-run mean samples.
+func featureColumns(runs []dcgm.Run, arch gpusim.Arch) (cols map[string][]float64, power, execTime []float64) {
+	cols = map[string][]float64{}
+	for _, r := range runs {
+		m := r.MeanSample()
+		cols["fp_active"] = append(cols["fp_active"], m.FPActive())
+		cols["fp64_active"] = append(cols["fp64_active"], m.FP64Active)
+		cols["sm_app_clock"] = append(cols["sm_app_clock"], m.SMAppClockMHz/arch.MaxFreqMHz)
+		cols["dram_active"] = append(cols["dram_active"], m.DRAMActive)
+		cols["gr_engine_active"] = append(cols["gr_engine_active"], m.GrEngineActive)
+		cols["gpu_utilization"] = append(cols["gpu_utilization"], m.GPUUtilization)
+		cols["sm_active"] = append(cols["sm_active"], m.SMActive)
+		cols["sm_occupancy"] = append(cols["sm_occupancy"], m.SMOccupancy)
+		cols["pcie_tx_mbps"] = append(cols["pcie_tx_mbps"], m.PCIeTxMBps)
+		cols["pcie_rx_mbps"] = append(cols["pcie_rx_mbps"], m.PCIeRxMBps)
+		power = append(power, r.AvgPowerWatts)
+		execTime = append(execTime, r.ExecTimeSec)
+	}
+	return cols, power, execTime
+}
+
+// sortScores orders scores descending (ties by name), mirroring
+// mi.RankFeatures' convention for already-computed scores.
+func sortScores(scores []mi.FeatureScore) []mi.FeatureScore {
+	out := append([]mi.FeatureScore(nil), scores...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score > a.Score || (b.Score == a.Score && b.Feature < a.Feature) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

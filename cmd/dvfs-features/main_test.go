@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/mi"
+	"gpudvfs/internal/workloads"
+)
+
+func collectCSV(t *testing.T) string {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 81)
+	coll := dcgm.NewCollector(dev, dcgm.Config{Runs: 2, MaxSamplesPerRun: 4, Seed: 82})
+	runs, err := coll.CollectAll(workloads.MicroBenchmarks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "micro.csv")
+	if err := dcgm.WriteRunsFile(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRanksFeatures(t *testing.T) {
+	path := collectCSV(t)
+	if err := run(path, "GA100", 3, 1, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "GA100", 0, 1, os.Stdout); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run("nope.csv", "GA100", 0, 1, os.Stdout); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := collectCSV(t)
+	if err := run(path, "H100", 0, 1, os.Stdout); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestFeatureColumnsShape(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 83)
+	coll := dcgm.NewCollector(dev, dcgm.Config{Freqs: []float64{900, 1410}, Runs: 1, MaxSamplesPerRun: 3, Seed: 84})
+	runs, err := coll.CollectWorkload(workloads.DGEMM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, power, execTime := featureColumns(runs, gpusim.GA100())
+	if len(cols) != 10 {
+		t.Fatalf("%d feature columns, want 10", len(cols))
+	}
+	for name, col := range cols {
+		if len(col) != len(runs) {
+			t.Fatalf("column %s has %d entries, want %d", name, len(col), len(runs))
+		}
+	}
+	if len(power) != len(runs) || len(execTime) != len(runs) {
+		t.Fatal("predictand lengths wrong")
+	}
+}
+
+func TestSortScores(t *testing.T) {
+	in := []mi.FeatureScore{{Feature: "b", Score: 1}, {Feature: "a", Score: 3}, {Feature: "c", Score: 1}}
+	out := sortScores(in)
+	if out[0].Feature != "a" || out[1].Feature != "b" || out[2].Feature != "c" {
+		t.Fatalf("sorted = %v", out)
+	}
+	if in[0].Feature != "b" {
+		t.Fatal("sortScores mutated input")
+	}
+}

@@ -1,0 +1,133 @@
+// Command dvfs-plan computes a fleet-level frequency plan under a power
+// budget: the paper's per-application selection lifted to the HPC-center
+// scale its introduction motivates. Jobs are profiled once each (the
+// online phase), then a greedy marginal analysis caps frequencies until
+// the fleet's predicted power fits the budget, respecting each job's
+// performance threshold.
+//
+// The job list is JSON:
+//
+//	[
+//	  {"name": "md",   "app": "LAMMPS", "gpus": 4, "max_slowdown": 0.05},
+//	  {"name": "ml",   "app": "BERT",   "gpus": 2, "max_slowdown": 0.10}
+//	]
+//
+// Examples:
+//
+//	dvfs-plan -models models/ -jobs fleet.json -budget 2000
+//	dvfs-plan -models models/ -jobs fleet.json -budget 1500 -arch GV100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/sched"
+	"gpudvfs/internal/workloads"
+)
+
+// jobSpec is the JSON wire form of one job.
+type jobSpec struct {
+	Name        string  `json:"name"`
+	App         string  `json:"app"`
+	GPUs        int     `json:"gpus"`
+	MaxSlowdown float64 `json:"max_slowdown"`
+}
+
+func main() {
+	var (
+		modelsDir = flag.String("models", "models", "directory with models saved by dvfs-train")
+		jobsPath  = flag.String("jobs", "", "JSON job list (see command doc)")
+		budget    = flag.Float64("budget", 0, "fleet power budget in watts")
+		archName  = flag.String("arch", "GA100", "target GPU architecture")
+		seed      = flag.Int64("seed", 11, "profiling noise seed")
+	)
+	flag.Parse()
+
+	if err := run(*modelsDir, *jobsPath, *budget, *archName, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-plan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelsDir, jobsPath string, budget float64, archName string, seed int64, w *os.File) error {
+	if jobsPath == "" {
+		return fmt.Errorf("-jobs is required")
+	}
+	if budget <= 0 {
+		return fmt.Errorf("-budget must be positive")
+	}
+	arch, err := gpusim.ArchByName(archName)
+	if err != nil {
+		return err
+	}
+	models, err := core.LoadModels(modelsDir)
+	if err != nil {
+		return err
+	}
+	jobs, err := loadJobs(jobsPath)
+	if err != nil {
+		return err
+	}
+
+	planner, err := sched.NewPlanner(arch, models, seed)
+	if err != nil {
+		return err
+	}
+	if err := planner.Profile(jobs); err != nil {
+		return err
+	}
+	minBudget, err := planner.MinFeasibleBudget()
+	if err != nil {
+		return err
+	}
+	plan, err := planner.Plan(budget)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-12s %5s %10s %12s %12s %12s\n", "job", "gpus", "freq_mhz", "power_w/gpu", "slowdown", "energy_chg")
+	for _, a := range plan.Assignments {
+		fmt.Fprintf(w, "%-12s %5d %10.0f %12.1f %+11.1f%% %+11.1f%%\n",
+			a.Job, a.GPUs, a.FreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+	}
+	fmt.Fprintf(w, "\nfleet power: %.0f W of %.0f W budget", plan.TotalPowerWatts, plan.BudgetWatts)
+	if plan.FitsBudget {
+		fmt.Fprintln(w, " (fits)")
+	} else {
+		fmt.Fprintf(w, " (DOES NOT FIT; thresholds floor the fleet at %.0f W)\n", minBudget)
+	}
+	return nil
+}
+
+func loadJobs(path string) ([]sched.Job, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var specs []jobSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%s contains no jobs", path)
+	}
+	jobs := make([]sched.Job, 0, len(specs))
+	for _, s := range specs {
+		app, err := workloads.ByName(s.App)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", s.Name, err)
+		}
+		jobs = append(jobs, sched.Job{
+			Name:        s.Name,
+			App:         app,
+			GPUs:        s.GPUs,
+			MaxSlowdown: s.MaxSlowdown,
+		})
+	}
+	return jobs, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+func trainSmallModels(t *testing.T) string {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 71)
+	coll := dcgm.NewCollector(dev, dcgm.Config{
+		Freqs:            gpusim.GA100().DesignClocks(),
+		Runs:             1,
+		MaxSamplesPerRun: 3,
+		Seed:             72,
+	})
+	nw, err := workloads.ByName("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.TrainSplit(sds, ds, core.TrainOptions{PowerEpochs: 25, TimeEpochs: 10, Hidden: []int{16, 16}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func writeJobs(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const fleetJSON = `[
+  {"name": "md", "app": "LAMMPS", "gpus": 2, "max_slowdown": 0.15},
+  {"name": "ml", "app": "BERT", "gpus": 1, "max_slowdown": 0.20}
+]`
+
+func TestLoadJobs(t *testing.T) {
+	jobs, err := loadJobs(writeJobs(t, fleetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Name != "md" || jobs[0].App.Name != "LAMMPS" || jobs[0].GPUs != 2 {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+func TestLoadJobsErrors(t *testing.T) {
+	if _, err := loadJobs(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadJobs(writeJobs(t, "not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := loadJobs(writeJobs(t, "[]")); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := loadJobs(writeJobs(t, `[{"name":"x","app":"NOPE"}]`)); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunPlans(t *testing.T) {
+	models := trainSmallModels(t)
+	jobs := writeJobs(t, fleetJSON)
+	if err := run(models, jobs, 5000, "GA100", 1, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny budget still plans (reporting infeasibility), it must not error.
+	if err := run(models, jobs, 10, "GA100", 1, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	models := trainSmallModels(t)
+	jobs := writeJobs(t, fleetJSON)
+	if err := run(models, "", 1000, "GA100", 1, os.Stdout); err == nil {
+		t.Fatal("missing jobs accepted")
+	}
+	if err := run(models, jobs, 0, "GA100", 1, os.Stdout); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if err := run(models, jobs, 1000, "H100", 1, os.Stdout); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, "GA100", 1, os.Stdout); err == nil {
+		t.Fatal("missing models accepted")
+	}
+}

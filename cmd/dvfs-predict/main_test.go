@@ -1,0 +1,79 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// trainSmallModels produces a quick model directory for the predict tests.
+func trainSmallModels(t *testing.T) string {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	coll := dcgm.NewCollector(dev, dcgm.Config{
+		Freqs:            []float64{510, 750, 1050, 1410},
+		Runs:             2,
+		MaxSamplesPerRun: 4,
+		Seed:             8,
+	})
+	nw, err := workloads.ByName("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.TrainSplit(sds, ds, core.TrainOptions{PowerEpochs: 15, TimeEpochs: 8, Hidden: []int{16}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunPredicts(t *testing.T) {
+	dir := trainSmallModels(t)
+	if err := run(dir, "GA100", "LAMMPS", "ED2P", -1, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-architecture prediction with the same models.
+	if err := run(dir, "GV100", "LAMMPS", "EDP", 0.05, 9, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := trainSmallModels(t)
+	if err := run(dir, "GA100", "", "EDP", -1, 1, false); err == nil {
+		t.Fatal("missing app accepted")
+	}
+	if err := run(dir, "H100", "LAMMPS", "EDP", -1, 1, false); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if err := run(dir, "GA100", "NOPE", "EDP", -1, 1, false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if err := run(dir, "GA100", "LAMMPS", "EDDP", -1, 1, false); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope"), "GA100", "LAMMPS", "EDP", -1, 1, false); err == nil {
+		t.Fatal("missing models dir accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command dvfs-report regenerates the full evaluation and renders one
+// markdown document: a shape-check verdict table (the qualitative claims a
+// faithful reproduction must satisfy), every table and figure, and
+// optionally the paper-vs-ours comparisons.
+//
+// Examples:
+//
+//	dvfs-report -out report.md
+//	dvfs-report -out report.md -compare
+//	dvfs-report -checks-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpudvfs/internal/experiments"
+	"gpudvfs/internal/report"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "output markdown path (default stdout)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		runs       = flag.Int("runs", 3, "runs per DVFS configuration")
+		compare    = flag.Bool("compare", false, "include paper-vs-ours comparison tables")
+		checksOnly = flag.Bool("checks-only", false, "run the shape checks and print verdicts, nothing else")
+	)
+	flag.Parse()
+
+	if err := run(*out, *seed, *runs, *compare, *checksOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, runs int, compare, checksOnly bool) error {
+	ctx := experiments.NewContext(experiments.Config{Seed: seed, Runs: runs})
+
+	if checksOnly {
+		results, err := report.RunChecks(ctx)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for _, r := range results {
+			verdict := "PASS"
+			if !r.Pass {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-4s %-55s %s\n", verdict, r.Name, r.Detail)
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d shape checks failed", failed, len(results))
+		}
+		fmt.Printf("all %d shape checks passed\n", len(results))
+		return nil
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	err := report.WriteMarkdown(w, ctx, report.Options{
+		Timestamp:          time.Now(),
+		IncludeComparisons: compare,
+	})
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command dvfs-train is the offline phase (§4.3): it builds the training
+// dataset from collected telemetry (a CSV written by dvfs-collect, or an
+// inline collection run) and trains the DNN power and performance models,
+// saving them as JSON for dvfs-predict.
+//
+// Examples:
+//
+//	dvfs-train -in train.csv -arch GA100 -out models/
+//	dvfs-train -collect -arch GA100 -out models/   # collect + train in one go
+//	dvfs-train -collect -activation relu -optimizer adam -out models/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "input telemetry CSV from dvfs-collect")
+		collect     = flag.Bool("collect", false, "collect training telemetry inline instead of reading -in")
+		archName    = flag.String("arch", "GA100", "GPU architecture the telemetry came from")
+		out         = flag.String("out", "models", "output directory for power.json, time.json, manifest.json")
+		powerEpochs = flag.Int("power-epochs", core.PaperPowerEpochs, "power model training epochs")
+		timeEpochs  = flag.Int("time-epochs", core.PaperTimeEpochs, "performance model training epochs")
+		activation  = flag.String("activation", "selu", "hidden activation function")
+		optimizer   = flag.String("optimizer", "rmsprop", "training optimizer")
+		seed        = flag.Int64("seed", 1, "weight initialization and shuffling seed")
+		runs        = flag.Int("runs", 3, "runs per DVFS configuration when collecting inline")
+	)
+	flag.Parse()
+
+	if err := run(*in, *collect, *archName, *out, *powerEpochs, *timeEpochs, *activation, *optimizer, *seed, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs int, activation, optimizer string, seed int64, runsPer int) error {
+	arch, err := gpusim.ArchByName(archName)
+	if err != nil {
+		return err
+	}
+
+	var runs []dcgm.Run
+	switch {
+	case collect:
+		dev := gpusim.NewDevice(arch, seed+41)
+		coll := dcgm.NewCollector(dev, dcgm.Config{
+			Runs:             runsPer,
+			Seed:             seed + 42,
+			MaxSamplesPerRun: core.OfflineTrainSamplesPerRun,
+		})
+		if runs, err = coll.CollectAll(workloads.TrainingSet()); err != nil {
+			return err
+		}
+		fmt.Printf("collected %d runs for %d training workloads on %s\n",
+			len(runs), len(workloads.TrainingSet()), arch.Name)
+	case in != "":
+		if runs, err = dcgm.ReadRunsFile(in); err != nil {
+			return err
+		}
+		fmt.Printf("read %d runs from %s\n", len(runs), in)
+	default:
+		return fmt.Errorf("either -in or -collect is required")
+	}
+
+	ds, err := dataset.Build(arch, runs, dataset.Options{})
+	if err != nil {
+		return err
+	}
+	sds, err := dataset.Build(arch, runs, dataset.Options{PerSample: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d per-run points, %d per-sample points, features %v\n",
+		len(ds.Points), len(sds.Points), ds.FeatureNames)
+
+	models, err := core.TrainSplit(sds, ds, core.TrainOptions{
+		PowerEpochs: powerEpochs,
+		TimeEpochs:  timeEpochs,
+		Activation:  activation,
+		Optimizer:   optimizer,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("power model:  %d epochs, final train MSE %.5f, val MSE %.5f\n",
+		len(models.PowerHist.TrainLoss),
+		last(models.PowerHist.TrainLoss), last(models.PowerHist.ValLoss))
+	fmt.Printf("time model:   %d epochs, final train MSE %.5f, val MSE %.5f\n",
+		len(models.TimeHist.TrainLoss),
+		last(models.TimeHist.TrainLoss), last(models.TimeHist.ValLoss))
+
+	if err := models.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("saved models to %s\n", out)
+	return nil
+}
+
+func last(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// writeSmallCampaign collects a reduced sweep of a few workloads and
+// writes it as a dvfs-collect-style CSV.
+func writeSmallCampaign(t *testing.T) string {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	coll := dcgm.NewCollector(dev, dcgm.Config{
+		Freqs:            []float64{510, 900, 1410},
+		Runs:             2,
+		MaxSamplesPerRun: 4,
+		Seed:             6,
+	})
+	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.csv")
+	if err := dcgm.WriteRunsFile(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrainsFromCSV(t *testing.T) {
+	in := writeSmallCampaign(t)
+	out := filepath.Join(t.TempDir(), "models")
+	if err := run(in, false, "GA100", out, 3, 2, "selu", "rmsprop", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.LoadModels(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainedOn != "GA100" || m.Power == nil || m.Time == nil {
+		t.Fatalf("loaded models incomplete: %+v", m)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", false, "GA100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestRunRejectsBadArch(t *testing.T) {
+	if err := run("x.csv", false, "H100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestRunRejectsBadActivation(t *testing.T) {
+	in := writeSmallCampaign(t)
+	if err := run(in, false, "GA100", t.TempDir(), 1, 1, "bogus", "rmsprop", 1, 1); err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+}
+
+func TestLast(t *testing.T) {
+	if last(nil) != 0 {
+		t.Fatal("last(nil)")
+	}
+	if last([]float64{1, 2, 3}) != 3 {
+		t.Fatal("last value")
+	}
+}

@@ -1,0 +1,24 @@
+// Package gpudvfs is a from-scratch Go reproduction of "Performance-Aware
+// Energy-Efficient GPU Frequency Selection using DNN-based Models"
+// (Ali, Side, Bhalachandra, Wright, Chen — ICPP 2023).
+//
+// The system predicts a GPU application's power draw and execution time
+// across the entire DVFS design space from a single profiling run at the
+// maximum clock, using feed-forward neural networks over three mutual-
+// information-selected utilization features (fp_active, dram_active,
+// sm_app_clock), and then selects a performance-aware energy-optimal
+// frequency with EDP/ED²P multi-objective functions.
+//
+// Because the paper's substrate is real hardware (A100/V100 nodes, DCGM,
+// CUDA workloads), this repository ships a full simulated substrate: an
+// analytical GPU device model with DVFS (internal/gpusim), synthetic
+// workload profiles for all 27 applications in the paper (internal/
+// workloads), a DCGM-style telemetry framework (internal/dcgm), a neural-
+// network library (internal/nn), a KSG mutual-information estimator
+// (internal/mi), and the multi-learner baselines of the paper's comparison
+// (internal/mlbase). The paper's pipeline itself lives in internal/core,
+// and internal/experiments regenerates every table and figure.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+package gpudvfs

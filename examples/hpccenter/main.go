@@ -1,0 +1,93 @@
+// HPC-center scenario: the situation that motivates the paper's intro.
+//
+// A center runs a mixed scientific/ML fleet on A100 nodes under a rack
+// power budget. The sched.Planner profiles each job once (the paper's
+// online phase), then assigns per-job frequencies by greedy marginal
+// analysis — stepping down whichever job buys the most watts per unit of
+// predicted slowdown — until the fleet fits the budget, while respecting
+// each job's performance threshold. The example compares an unconstrained
+// fleet against a capped one and accounts the daily energy both ways.
+//
+// Run with: go run ./examples/hpccenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/sched"
+	"gpudvfs/internal/workloads"
+)
+
+func main() {
+	arch := gpusim.GA100()
+
+	fmt.Println("training power/performance models on the benchmark suite...")
+	offline, err := core.OfflineTrain(gpusim.NewDevice(arch, 42), workloads.TrainingSet(),
+		dcgm.Config{Seed: 1}, core.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	jobs := []sched.Job{
+		{Name: "md-lammps", App: workloads.LAMMPS(), GPUs: 4, MaxSlowdown: 0.05},
+		{Name: "md-namd", App: workloads.NAMD(), GPUs: 2, MaxSlowdown: 0.05},
+		{Name: "chem-gromacs", App: workloads.GROMACS(), GPUs: 2, MaxSlowdown: 0.05},
+		{Name: "ml-lstm", App: workloads.LSTM(), GPUs: 1, MaxSlowdown: 0.15},
+		{Name: "ml-bert", App: workloads.BERT(), GPUs: 2, MaxSlowdown: 0.10},
+		{Name: "ml-resnet", App: workloads.ResNet50(), GPUs: 1, MaxSlowdown: 0.15},
+	}
+
+	planner, err := sched.NewPlanner(arch, offline.Models, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiling %d jobs once each at the maximum clock...\n\n", len(jobs))
+	if err := planner.Profile(jobs); err != nil {
+		log.Fatal(err)
+	}
+
+	unconstrained, err := planner.Plan(1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	minBudget, err := planner.MinFeasibleBudget()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cap the rack at 80% of the unconstrained draw.
+	budget := 0.8 * unconstrained.TotalPowerWatts
+	capped, err := planner.Plan(budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("unconstrained fleet: %.0f W (per-job thresholds floor it at %.0f W)\n",
+		unconstrained.TotalPowerWatts, minBudget)
+	fmt.Printf("capping at %.0f W (80%%):\n\n", budget)
+	fmt.Printf("%-14s %5s %10s %13s %11s %11s\n", "job", "gpus", "freq_mhz", "power_w/gpu", "slowdown", "energy_chg")
+	for _, a := range capped.Assignments {
+		fmt.Printf("%-14s %5d %10.0f %13.1f %+10.1f%% %+10.1f%%\n",
+			a.Job, a.GPUs, a.FreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+	}
+	fmt.Printf("\ncapped fleet power: %.0f W (fits: %v)\n", capped.TotalPowerWatts, capped.FitsBudget)
+
+	// Daily energy accounting: each job's power scales its GPU hours by
+	// its slowdown (work-conserving jobs run longer at lower clocks).
+	const gpuHoursPerJob = 200.0
+	account := func(p sched.Plan) float64 {
+		var kWh float64
+		for _, a := range p.Assignments {
+			slow := 1 + a.SlowdownPct/100
+			kWh += a.PowerWatts * float64(a.GPUs) * gpuHoursPerJob * slow / 1000
+		}
+		return kWh
+	}
+	base, plan := account(unconstrained), account(capped)
+	fmt.Printf("\ndaily energy at default clocks: %8.1f kWh\n", base)
+	fmt.Printf("daily energy under the cap:     %8.1f kWh\n", plan)
+	fmt.Printf("saving:                         %8.1f kWh (%.1f%%)\n", base-plan, (base-plan)/base*100)
+}

@@ -1,0 +1,3 @@
+module gpudvfs
+
+go 1.22

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+func cvRuns(t *testing.T) []dcgm.Run {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 91)
+	coll := dcgm.NewCollector(dev, dcgm.Config{
+		Freqs:            []float64{510, 750, 990, 1200, 1410},
+		Runs:             2,
+		MaxSamplesPerRun: 4,
+		Seed:             92,
+	})
+	// A spectrum-covering campaign: each fold still retains compute-bound,
+	// memory-bound, mixed, and host-heavy training coverage.
+	var ks []gpusim.KernelProfile
+	ks = append(ks, workloads.DGEMM(), workloads.STREAM())
+	for _, name := range []string{"MRIQ", "LBM", "HOTSPOT", "GE", "NW", "BPLUSTREE"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, w)
+	}
+	runs, err := coll.CollectAll(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestCrossValidate(t *testing.T) {
+	runs := cvRuns(t)
+	accs, order, err := CrossValidate(gpusim.GA100(), runs,
+		TrainOptions{PowerEpochs: 150, TimeEpochs: 250, Hidden: []int{24, 24}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 8 || len(order) != 8 {
+		t.Fatalf("%d folds", len(accs))
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("order not sorted: %v", order)
+		}
+	}
+	var sumP, sumT float64
+	for w, acc := range accs {
+		if acc.Power < 0 || acc.Power > 100 || acc.Time < 0 || acc.Time > 100 {
+			t.Errorf("%s: degenerate accuracy %+v", w, acc)
+		}
+		sumP += acc.Power
+		sumT += acc.Time
+	}
+	// Held-out generalization at a quick training budget is noisy per
+	// fold; the campaign-level averages must still be informative.
+	if avg := sumP / 8; avg < 55 {
+		t.Errorf("average held-out power accuracy %v too low", avg)
+	}
+	if avg := sumT / 8; avg < 55 {
+		t.Errorf("average held-out time accuracy %v too low", avg)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	if _, _, err := CrossValidate(gpusim.GA100(), nil, quickOpts()); err == nil {
+		t.Fatal("no runs accepted")
+	}
+	runs := cvRuns(t)
+	var single []dcgm.Run
+	for _, r := range runs {
+		if r.Workload == "DGEMM" {
+			single = append(single, r)
+		}
+	}
+	if _, _, err := CrossValidate(gpusim.GA100(), single, quickOpts()); err == nil {
+		t.Fatal("single-workload campaign accepted")
+	}
+}
+
+func TestMaxClockRunMissing(t *testing.T) {
+	runs := []dcgm.Run{{FreqMHz: 900}}
+	if _, err := maxClockRun(gpusim.GA100(), runs); err == nil {
+		t.Fatal("missing max-clock run accepted")
+	}
+}
+
+func TestMeasuredFreqsSorted(t *testing.T) {
+	runs := []dcgm.Run{{FreqMHz: 1410}, {FreqMHz: 510}, {FreqMHz: 900}, {FreqMHz: 510}}
+	fs := measuredFreqs(runs)
+	if len(fs) != 3 || fs[0] != 510 || fs[2] != 1410 {
+		t.Fatalf("freqs = %v", fs)
+	}
+}

@@ -1,0 +1,276 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+)
+
+func sampleAt(freq, fp, dram float64) dcgm.Sample {
+	return dcgm.Sample{
+		FP64Active:    fp * 0.6,
+		FP32Active:    fp * 0.4,
+		SMAppClockMHz: freq,
+		DRAMActive:    dram,
+		PowerUsage:    250,
+		SMActive:      0.9,
+	}
+}
+
+func makeRuns() []dcgm.Run {
+	// Two workloads, two frequencies, two runs each at max.
+	mk := func(w string, f, execT, power float64) dcgm.Run {
+		return dcgm.Run{
+			Workload:      w,
+			Arch:          "GA100",
+			FreqMHz:       f,
+			ExecTimeSec:   execT,
+			AvgPowerWatts: power,
+			EnergyJoules:  execT * power,
+			Samples:       []dcgm.Sample{sampleAt(f, 0.8, 0.3), sampleAt(f, 0.82, 0.28)},
+		}
+	}
+	return []dcgm.Run{
+		mk("A", 1410, 2.0, 400),
+		mk("A", 1410, 2.2, 410), // second max-clock run: reference is the mean 2.1
+		mk("A", 705, 4.2, 200),
+		mk("B", 1410, 1.0, 250),
+		mk("B", 705, 1.1, 150),
+	}
+}
+
+func TestBuildPerRun(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Points) != 5 {
+		t.Fatalf("points = %d, want 5 (one per run)", len(ds.Points))
+	}
+	if ds.Arch != "GA100" || ds.TDPWatts != 500 || ds.MaxFreqMHz != 1410 {
+		t.Fatalf("metadata %+v", ds)
+	}
+	if len(ds.FeatureNames) != 3 {
+		t.Fatalf("default features = %v", ds.FeatureNames)
+	}
+}
+
+func TestBuildPerSample(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{PerSample: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Points) != 10 {
+		t.Fatalf("points = %d, want 10 (one per sample)", len(ds.Points))
+	}
+}
+
+func TestSlowdownReference(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workload A reference = mean(2.0, 2.2) = 2.1; run at 705 took 4.2.
+	var got float64
+	for _, p := range ds.Points {
+		if p.Workload == "A" && p.FreqMHz == 705 {
+			got = p.Slowdown
+		}
+	}
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("slowdown = %v, want 2.0", got)
+	}
+}
+
+func TestPowerNormalizedByTDP(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Points {
+		if p.Workload == "A" && p.FreqMHz == 705 {
+			if math.Abs(p.Power-200.0/500.0) > 1e-12 {
+				t.Fatalf("power = %v, want 0.4", p.Power)
+			}
+		}
+	}
+}
+
+func TestClockFeatureNormalized(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := -1
+	for i, n := range ds.FeatureNames {
+		if n == "sm_app_clock" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("sm_app_clock not in default features")
+	}
+	for _, p := range ds.Points {
+		want := p.FreqMHz / 1410
+		if math.Abs(p.Features[idx]-want) > 1e-9 {
+			t.Fatalf("clock feature %v, want %v", p.Features[idx], want)
+		}
+	}
+}
+
+func TestBuildMissingMaxClockReference(t *testing.T) {
+	runs := makeRuns()[2:3] // only the 705 MHz run of A
+	if _, err := Build(gpusim.GA100(), runs, Options{}); err == nil {
+		t.Fatal("missing max-clock reference accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(gpusim.GA100(), nil, Options{}); err == nil {
+		t.Fatal("no runs accepted")
+	}
+	if _, err := Build(gpusim.GA100(), makeRuns(), Options{Features: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+	empty := makeRuns()
+	empty[0].Samples = nil
+	if _, err := Build(gpusim.GA100(), empty, Options{}); err == nil {
+		t.Fatal("run without samples accepted")
+	}
+}
+
+func TestCustomFeatures(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{Features: []string{"sm_active", "fp64_active"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.FeatureNames) != 2 || ds.FeatureNames[0] != "sm_active" {
+		t.Fatalf("features = %v", ds.FeatureNames)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.X()) != len(ds.Points) || len(ds.YPower()) != len(ds.Points) || len(ds.YSlowdown()) != len(ds.Points) {
+		t.Fatal("accessor lengths disagree")
+	}
+	ws := ds.Workloads()
+	if len(ws) != 2 || ws[0] != "A" || ws[1] != "B" {
+		t.Fatalf("workloads = %v", ws)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	ds, _ := Build(gpusim.GA100(), makeRuns(), Options{})
+	onlyA := ds.Filter(func(p Point) bool { return p.Workload == "A" })
+	if len(onlyA.Points) != 3 {
+		t.Fatalf("filtered points = %d, want 3", len(onlyA.Points))
+	}
+	if onlyA.TDPWatts != ds.TDPWatts {
+		t.Fatal("filter lost metadata")
+	}
+}
+
+func TestColumn(t *testing.T) {
+	ds, _ := Build(gpusim.GA100(), makeRuns(), Options{})
+	col, err := ds.Column("fp_active")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != len(ds.Points) {
+		t.Fatal("column length mismatch")
+	}
+	if _, err := ds.Column("bogus"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestFeatureVectorClockSwap(t *testing.T) {
+	s := sampleAt(1410, 0.8, 0.3)
+	row, err := FeatureVector(PaperFeatures, s, 705, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fp_active and dram_active from the sample; clock swapped to 705/1410.
+	if math.Abs(row[0]-0.8) > 1e-9 {
+		t.Fatalf("fp = %v", row[0])
+	}
+	if math.Abs(row[1]-0.3) > 1e-9 {
+		t.Fatalf("dram = %v", row[1])
+	}
+	if math.Abs(row[2]-0.5) > 1e-9 {
+		t.Fatalf("clock = %v, want 0.5", row[2])
+	}
+	if _, err := FeatureVector([]string{"bogus"}, s, 705, 1410); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}
+
+func TestFeatureNamesComplete(t *testing.T) {
+	names := FeatureNames()
+	if len(names) != 11 {
+		t.Fatalf("%d extractable features: %v", len(names), names)
+	}
+	for _, f := range CandidateFeatures {
+		found := false
+		for _, n := range names {
+			if n == f {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("candidate feature %q not extractable", f)
+		}
+	}
+}
+
+// TestBuildPerSampleCountProperty: per-sample builds always produce
+// exactly one point per telemetry sample, for random run shapes.
+func TestBuildPerSampleCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRuns := 2 + rng.Intn(8)
+		var runs []dcgm.Run
+		total := 0
+		for i := 0; i < nRuns; i++ {
+			freq := 1410.0
+			if i > 0 {
+				freq = 510 + float64(rng.Intn(60))*15
+			}
+			nSamples := 1 + rng.Intn(6)
+			total += nSamples
+			r := dcgm.Run{
+				Workload:      "W",
+				FreqMHz:       freq,
+				ExecTimeSec:   0.5 + rng.Float64(),
+				AvgPowerWatts: 50 + rng.Float64()*400,
+			}
+			for s := 0; s < nSamples; s++ {
+				r.Samples = append(r.Samples, sampleAt(freq, rng.Float64(), rng.Float64()))
+			}
+			runs = append(runs, r)
+		}
+		ds, err := Build(gpusim.GA100(), runs, Options{PerSample: true})
+		if err != nil {
+			return false
+		}
+		if len(ds.Points) != total {
+			return false
+		}
+		perRun, err := Build(gpusim.GA100(), runs, Options{})
+		if err != nil {
+			return false
+		}
+		return len(perRun.Points) == nRuns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package dcgm
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+)
+
+func collectSome(t *testing.T) []Run {
+	t.Helper()
+	dev := gpusim.NewDevice(gpusim.GA100(), 21)
+	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 2, MaxSamplesPerRun: 5, Seed: 22})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	runs := collectSome(t)
+	var buf bytes.Buffer
+	if err := WriteRuns(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRuns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(runs) {
+		t.Fatalf("round trip: %d runs, want %d", len(back), len(runs))
+	}
+	for i, r := range runs {
+		b := back[i]
+		if b.Workload != r.Workload || b.Arch != r.Arch || b.FreqMHz != r.FreqMHz || b.RunIndex != r.RunIndex {
+			t.Fatalf("run %d identity mismatch: %+v vs %+v", i, b, r)
+		}
+		if b.ExecTimeSec != r.ExecTimeSec {
+			t.Fatalf("run %d exec time %v vs %v", i, b.ExecTimeSec, r.ExecTimeSec)
+		}
+		if len(b.Samples) != len(r.Samples) {
+			t.Fatalf("run %d has %d samples, want %d", i, len(b.Samples), len(r.Samples))
+		}
+		for j := range r.Samples {
+			if b.Samples[j] != r.Samples[j] {
+				t.Fatalf("run %d sample %d mismatch", i, j)
+			}
+		}
+		// Power/energy are reconstructed from samples; they should be
+		// close to (though not bit-identical with) the run-level values.
+		if math.Abs(b.AvgPowerWatts-r.AvgPowerWatts)/r.AvgPowerWatts > 0.1 {
+			t.Fatalf("run %d reconstructed power %v vs %v", i, b.AvgPowerWatts, r.AvgPowerWatts)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	runs := collectSome(t)
+	path := filepath.Join(t.TempDir(), "runs.csv")
+	if err := WriteRunsFile(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRunsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(runs) {
+		t.Fatalf("file round trip lost runs: %d vs %d", len(back), len(runs))
+	}
+}
+
+func TestReadRunsRejectsBadHeader(t *testing.T) {
+	if _, err := ReadRuns(strings.NewReader("a,b,c\n")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	wrong := strings.Repeat("x,", 16) + "y\n"
+	if _, err := ReadRuns(strings.NewReader(wrong)); err == nil {
+		t.Fatal("wrong header names accepted")
+	}
+}
+
+func TestReadRunsRejectsBadValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuns(&buf, collectSome(t)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Corrupt the frequency column of the first data row.
+	fields := strings.Split(lines[1], ",")
+	fields[2] = "not-a-number"
+	lines[1] = strings.Join(fields, ",")
+	if _, err := ReadRuns(strings.NewReader(strings.Join(lines, "\n"))); err == nil {
+		t.Fatal("bad float accepted")
+	}
+
+	// Corrupt the run-index column.
+	if err := func() error {
+		var buf2 bytes.Buffer
+		if err := WriteRuns(&buf2, collectSome(t)); err != nil {
+			return err
+		}
+		l := strings.Split(buf2.String(), "\n")
+		f := strings.Split(l[1], ",")
+		f[3] = "x"
+		l[1] = strings.Join(f, ",")
+		_, err := ReadRuns(strings.NewReader(strings.Join(l, "\n")))
+		return err
+	}(); err == nil {
+		t.Fatal("bad run index accepted")
+	}
+}
+
+func TestReadRunsEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRuns(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := ReadRuns(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("empty CSV produced %d runs", len(runs))
+	}
+}
+
+func TestCSVGroupsContiguousRuns(t *testing.T) {
+	runs := collectSome(t)
+	var buf bytes.Buffer
+	if err := WriteRuns(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	// Row count = header + total samples.
+	total := 0
+	for _, r := range runs {
+		total += len(r.Samples)
+	}
+	gotLines := strings.Count(strings.TrimRight(buf.String(), "\n"), "\n") + 1
+	if gotLines != total+1 {
+		t.Fatalf("CSV has %d lines, want %d", gotLines, total+1)
+	}
+}

@@ -1,0 +1,55 @@
+package dcgm
+
+import (
+	"io"
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// BenchmarkCollectWorkloadSweep measures one workload's full design-space
+// collection campaign (61 clocks × 3 runs with telemetry sampling).
+func BenchmarkCollectWorkloadSweep(b *testing.B) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	c := NewCollector(dev, Config{Seed: 2})
+	k := workloads.DGEMM()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CollectWorkload(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectAllParallel measures the parallel campaign over the full
+// 21-workload training suite.
+func BenchmarkCollectAllParallel(b *testing.B) {
+	cfg := Config{Seed: 3, MaxSamplesPerRun: 6}
+	ks := workloads.TrainingSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectAllParallel(gpusim.GA100(), ks, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteRunsCSV measures CSV serialization of a collected sweep.
+func BenchmarkWriteRunsCSV(b *testing.B) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 4)
+	c := NewCollector(dev, Config{Seed: 5, MaxSamplesPerRun: 10})
+	runs, err := c.CollectWorkload(workloads.STREAM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteRuns(io.Discard, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

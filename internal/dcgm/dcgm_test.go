@@ -1,0 +1,303 @@
+package dcgm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpudvfs/internal/gpusim"
+)
+
+func testKernel() gpusim.KernelProfile {
+	return gpusim.KernelProfile{
+		Name:         "test",
+		ComputeSec:   0.8,
+		MemorySec:    0.4,
+		HostSec:      0.05,
+		FPIntensity:  0.9,
+		MemIntensity: 0.85,
+		Overlap:      0.9,
+		FP64Fraction: 0.7,
+		SMActive:     0.95,
+		SMOccupancy:  0.6,
+		PCIeTxMBps:   300,
+		PCIeRxMBps:   150,
+	}
+}
+
+func TestCollectWorkloadSweep(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	freqs := []float64{510, 900, 1410}
+	c := NewCollector(dev, Config{Freqs: freqs, Runs: 2, Seed: 2})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(freqs)*2 {
+		t.Fatalf("got %d runs, want %d", len(runs), len(freqs)*2)
+	}
+	seen := map[float64]int{}
+	for _, r := range runs {
+		seen[r.FreqMHz]++
+		if r.Workload != "test" || r.Arch != "GA100" {
+			t.Fatalf("run identity %q/%q", r.Workload, r.Arch)
+		}
+		if len(r.Samples) == 0 {
+			t.Fatal("run has no samples")
+		}
+		if r.ExecTimeSec <= 0 || r.AvgPowerWatts <= 0 || r.EnergyJoules <= 0 {
+			t.Fatalf("degenerate run outcomes: %+v", r)
+		}
+	}
+	for _, f := range freqs {
+		if seen[f] != 2 {
+			t.Fatalf("frequency %v has %d runs", f, seen[f])
+		}
+	}
+	// Device clock restored afterwards.
+	if dev.Clock() != 1410 {
+		t.Fatalf("clock not restored: %v", dev.Clock())
+	}
+}
+
+func TestCollectDefaultsToDesignSpace(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	c := NewCollector(dev, Config{Runs: 1, Seed: 3})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 61 {
+		t.Fatalf("default sweep produced %d runs, want 61", len(runs))
+	}
+}
+
+func TestSampleCap(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: 10, Seed: 4})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs[0].Samples) > 10 {
+		t.Fatalf("cap ignored: %d samples", len(runs[0].Samples))
+	}
+}
+
+func TestUnlimitedSamples(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 4})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1.2s at 20ms → ~60 samples.
+	if n := len(runs[0].Samples); n < 40 {
+		t.Fatalf("unlimited sampling produced only %d samples", n)
+	}
+}
+
+func TestProfileAtMax(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	c := NewCollector(dev, Config{Seed: 6})
+	run, err := c.ProfileAtMax(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FreqMHz != 1410 {
+		t.Fatalf("profiled at %v MHz, want 1410", run.FreqMHz)
+	}
+	if dev.Clock() != 1410 {
+		t.Fatal("clock not restored")
+	}
+}
+
+func TestSamplesTrackSteadyTruth(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 3, Seed: 8})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := gpusim.Evaluate(gpusim.GA100(), testKernel(), 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		m := r.MeanSample()
+		if math.Abs(m.FPActive()-st.FPActive)/st.FPActive > 0.1 {
+			t.Fatalf("mean fp %v far from truth %v", m.FPActive(), st.FPActive)
+		}
+		if math.Abs(m.PowerUsage-st.PowerWatts)/st.PowerWatts > 0.1 {
+			t.Fatalf("mean power %v far from truth %v", m.PowerUsage, st.PowerWatts)
+		}
+		if math.Abs(m.SMAppClockMHz-900)/900 > 0.02 {
+			t.Fatalf("sampled clock %v far from 900", m.SMAppClockMHz)
+		}
+	}
+}
+
+func TestActivitySamplesClamped(t *testing.T) {
+	// A kernel with activities at 1.0 must still sample within [0,1].
+	k := testKernel()
+	k.FPIntensity, k.MemIntensity, k.SMActive, k.SMOccupancy = 1, 1, 1, 1
+	k.HostSec = 0
+	k.Overlap = 1
+	dev := gpusim.NewDevice(gpusim.GA100(), 9)
+	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 5, Seed: 10})
+	runs, err := c.CollectWorkload(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		for _, s := range r.Samples {
+			for name, v := range map[string]float64{
+				"fp64": s.FP64Active, "fp32": s.FP32Active, "dram": s.DRAMActive,
+				"gr": s.GrEngineActive, "util": s.GPUUtilization,
+				"sm": s.SMActive, "occ": s.SMOccupancy,
+			} {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s sample %v out of [0,1]", name, v)
+				}
+			}
+		}
+	}
+}
+
+func TestInputScalePropagates(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 11)
+	small := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, InputScale: 1, Seed: 12})
+	big := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, InputScale: 4, Seed: 12})
+	rs, err := small.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := big.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb[0].ExecTimeSec < 3*rs[0].ExecTimeSec {
+		t.Fatalf("4x input only scaled time %vx", rb[0].ExecTimeSec/rs[0].ExecTimeSec)
+	}
+}
+
+func TestCollectorDeterministicSeed(t *testing.T) {
+	collect := func() []Run {
+		dev := gpusim.NewDevice(gpusim.GA100(), 13)
+		c := NewCollector(dev, Config{Freqs: []float64{900, 1410}, Runs: 2, Seed: 14})
+		runs, err := c.CollectWorkload(testKernel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i].ExecTimeSec != b[i].ExecTimeSec || a[i].AvgPowerWatts != b[i].AvgPowerWatts {
+			t.Fatal("collection not deterministic")
+		}
+		if a[i].Samples[0].PowerUsage != b[i].Samples[0].PowerUsage {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestControllerApplyRestore(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 15)
+	ctrl := NewController(dev)
+	if err := ctrl.Apply(765); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Clock() != 765 {
+		t.Fatalf("clock = %v", dev.Clock())
+	}
+	if err := ctrl.Apply(907); err == nil {
+		t.Fatal("bad clock accepted")
+	}
+	ctrl.Restore()
+	if dev.Clock() != 1410 {
+		t.Fatalf("restore failed: %v", dev.Clock())
+	}
+}
+
+func TestMeanSamplePanicsWithoutSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run{}.MeanSample()
+}
+
+func TestFPActiveSum(t *testing.T) {
+	s := Sample{FP64Active: 0.3, FP32Active: 0.45}
+	if s.FPActive() != 0.75 {
+		t.Fatalf("FPActive = %v", s.FPActive())
+	}
+}
+
+func TestCustomSampleInterval(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 16)
+	coarse := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, SampleInterval: 200 * time.Millisecond, MaxSamplesPerRun: -1, Seed: 17})
+	fine := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, SampleInterval: 20 * time.Millisecond, MaxSamplesPerRun: -1, Seed: 17})
+	rc, err := coarse.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fine.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rf[0].Samples) <= len(rc[0].Samples) {
+		t.Fatalf("finer interval should produce more samples: %d vs %d",
+			len(rf[0].Samples), len(rc[0].Samples))
+	}
+}
+
+func TestFieldIDs(t *testing.T) {
+	fields := AllFields()
+	if len(fields) != 11 {
+		t.Fatalf("%d fields, want 11", len(fields))
+	}
+	seen := map[string]bool{}
+	for _, f := range fields {
+		name := f.String()
+		if seen[name] {
+			t.Fatalf("duplicate field name %q", name)
+		}
+		seen[name] = true
+	}
+	if FieldDRAMActive.String() != "dram_active" {
+		t.Fatalf("DRAM field name %q", FieldDRAMActive)
+	}
+	if FieldID(99999).String() != "field(99999)" {
+		t.Fatalf("unknown field string %q", FieldID(99999))
+	}
+}
+
+func TestSampleValueByField(t *testing.T) {
+	s := Sample{
+		FP64Active: 0.4, FP32Active: 0.2, SMAppClockMHz: 900,
+		DRAMActive: 0.3, GrEngineActive: 0.9, GPUUtilization: 0.95,
+		PowerUsage: 250, SMActive: 0.85, SMOccupancy: 0.6,
+		PCIeTxMBps: 100, PCIeRxMBps: 50,
+	}
+	cases := map[FieldID]float64{
+		FieldFP64Active: 0.4, FieldFP32Active: 0.2, FieldSMAppClock: 900,
+		FieldDRAMActive: 0.3, FieldGrEngineActive: 0.9, FieldGPUUtilization: 0.95,
+		FieldPowerUsage: 250, FieldSMActive: 0.85, FieldSMOccupancy: 0.6,
+		FieldPCIeTxBytes: 100e6, FieldPCIeRxBytes: 50e6,
+	}
+	for f, want := range cases {
+		got, err := s.Value(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if got != want {
+			t.Fatalf("%s = %v, want %v", f, got, want)
+		}
+	}
+	if _, err := s.Value(FieldID(7)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

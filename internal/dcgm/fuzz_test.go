@@ -1,0 +1,45 @@
+package dcgm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+)
+
+// FuzzReadRuns hardens the CSV parser: arbitrary input must either parse
+// into runs that re-serialize cleanly or return an error — never panic.
+func FuzzReadRuns(f *testing.F) {
+	// Seed with a valid file, a truncation, and assorted malformed inputs.
+	dev := gpusim.NewDevice(gpusim.GA100(), 41)
+	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 1, MaxSamplesPerRun: 3, Seed: 42})
+	runs, err := c.CollectWorkload(testKernel())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRuns(&buf, runs); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add("")
+	f.Add("workload,arch\n")
+	f.Add(strings.Replace(valid, "510", "NaN", 1))
+	f.Add(strings.Replace(valid, ",", ";", -1))
+	f.Add(valid + "extra,row,that,is,short\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ReadRuns(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must serialize back without error.
+		var out bytes.Buffer
+		if err := WriteRuns(&out, parsed); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+	})
+}

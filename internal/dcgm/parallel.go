@@ -1,0 +1,80 @@
+package dcgm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpudvfs/internal/gpusim"
+)
+
+// CollectAllParallel sweeps each workload on its own simulated device,
+// fanning the campaign out over a worker pool. Each workload's noise
+// stream is seeded from cfg.Seed and a stable hash of the workload name,
+// so the result is bit-identical for any worker count (and independent of
+// which other workloads are in the campaign) — unlike CollectAll, whose
+// single sequential noise stream couples every run.
+//
+// workers ≤ 0 selects GOMAXPROCS. Runs are returned grouped by workload
+// in input order.
+func CollectAllParallel(arch gpusim.Arch, ks []gpusim.KernelProfile, cfg Config, workers int) ([]Run, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ks) {
+		workers = len(ks)
+	}
+	if len(ks) == 0 {
+		return nil, nil
+	}
+
+	type result struct {
+		idx  int
+		runs []Run
+		err  error
+	}
+	jobs := make(chan int)
+	results := make([]result, len(ks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				k := ks[i]
+				seed := cfg.Seed + workloadSeed(k.Name)
+				dev := gpusim.NewDevice(arch, seed)
+				sub := cfg
+				sub.Seed = seed + 1
+				coll := NewCollector(dev, sub)
+				runs, err := coll.CollectWorkload(k)
+				results[i] = result{idx: i, runs: runs, err: err}
+			}
+		}()
+	}
+	for i := range ks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []Run
+	for i, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("dcgm: collecting %s: %w", ks[i].Name, r.err)
+		}
+		out = append(out, r.runs...)
+	}
+	return out, nil
+}
+
+// workloadSeed maps a workload name to a stable positive seed offset.
+func workloadSeed(name string) int64 {
+	var h int64 = 2166136261
+	for _, b := range []byte(name) {
+		h ^= int64(b)
+		h *= 16777619
+		h &= (1 << 31) - 1
+	}
+	return h
+}

@@ -1,0 +1,123 @@
+package dcgm
+
+import (
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+func smallParallelConfig() Config {
+	return Config{
+		Freqs:            []float64{510, 900, 1410},
+		Runs:             2,
+		MaxSamplesPerRun: 4,
+		Seed:             9,
+	}
+}
+
+// TestParallelDeterministicAcrossWorkerCounts is the property that makes
+// parallel collection safe to adopt: the result is bit-identical whatever
+// the worker count.
+func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	arch := gpusim.GA100()
+	ks := workloads.MicroBenchmarks()
+	ks = append(ks, workloads.SPECACCEL()[:4]...)
+
+	collect := func(workers int) []Run {
+		runs, err := CollectAllParallel(arch, ks, smallParallelConfig(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runs
+	}
+	one := collect(1)
+	four := collect(4)
+	many := collect(64)
+	if len(one) != len(four) || len(one) != len(many) {
+		t.Fatalf("lengths differ: %d / %d / %d", len(one), len(four), len(many))
+	}
+	for i := range one {
+		if one[i].Workload != four[i].Workload || one[i].ExecTimeSec != four[i].ExecTimeSec {
+			t.Fatalf("run %d differs between 1 and 4 workers", i)
+		}
+		if one[i].ExecTimeSec != many[i].ExecTimeSec || one[i].AvgPowerWatts != many[i].AvgPowerWatts {
+			t.Fatalf("run %d differs between 1 and 64 workers", i)
+		}
+		for j := range one[i].Samples {
+			if one[i].Samples[j] != four[i].Samples[j] {
+				t.Fatalf("run %d sample %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelIndependentOfCampaignComposition pins the per-workload
+// seeding: a workload's runs are the same whether it is collected alone or
+// as part of a larger campaign.
+func TestParallelIndependentOfCampaignComposition(t *testing.T) {
+	arch := gpusim.GA100()
+	solo, err := CollectAllParallel(arch, []gpusim.KernelProfile{workloads.DGEMM()}, smallParallelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := CollectAllParallel(arch, workloads.MicroBenchmarks(), smallParallelConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dgemmRuns []Run
+	for _, r := range mixed {
+		if r.Workload == "DGEMM" {
+			dgemmRuns = append(dgemmRuns, r)
+		}
+	}
+	if len(solo) != len(dgemmRuns) {
+		t.Fatalf("%d solo vs %d mixed runs", len(solo), len(dgemmRuns))
+	}
+	for i := range solo {
+		if solo[i].ExecTimeSec != dgemmRuns[i].ExecTimeSec {
+			t.Fatalf("run %d differs between solo and mixed campaigns", i)
+		}
+	}
+}
+
+func TestParallelOrderGroupedByWorkload(t *testing.T) {
+	arch := gpusim.GA100()
+	ks := []gpusim.KernelProfile{workloads.STREAM(), workloads.DGEMM()}
+	runs, err := CollectAllParallel(arch, ks, smallParallelConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWorkload := len(smallParallelConfig().Freqs) * smallParallelConfig().Runs
+	for i, r := range runs {
+		want := ks[i/perWorkload].Name
+		if r.Workload != want {
+			t.Fatalf("run %d is %s, want %s", i, r.Workload, want)
+		}
+	}
+}
+
+func TestParallelEmptyAndErrors(t *testing.T) {
+	arch := gpusim.GA100()
+	runs, err := CollectAllParallel(arch, nil, smallParallelConfig(), 4)
+	if err != nil || runs != nil {
+		t.Fatalf("empty campaign: %v, %v", runs, err)
+	}
+	bad := workloads.DGEMM()
+	bad.FPIntensity = 2 // invalid
+	if _, err := CollectAllParallel(arch, []gpusim.KernelProfile{bad}, smallParallelConfig(), 2); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestWorkloadSeedStable(t *testing.T) {
+	if workloadSeed("DGEMM") != workloadSeed("DGEMM") {
+		t.Fatal("seed not stable")
+	}
+	if workloadSeed("DGEMM") == workloadSeed("STREAM") {
+		t.Fatal("seed collision")
+	}
+	if workloadSeed("anything") < 0 {
+		t.Fatal("seed must be non-negative")
+	}
+}

@@ -1,0 +1,134 @@
+package dcgm
+
+import (
+	"math"
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+)
+
+// hostHeavyKernel spends most of its wall time on the host, so its runs
+// mix GPU-busy and idle telemetry samples.
+func hostHeavyKernel() gpusim.KernelProfile {
+	k := testKernel()
+	k.Name = "hosty"
+	k.HostSec = 3
+	return k
+}
+
+// TestPhaseResolvedSampleMix pins that the share of GPU-busy samples in a
+// run matches the run's busy fraction (Bresenham interleaving, not random
+// draws).
+func TestPhaseResolvedSampleMix(t *testing.T) {
+	k := hostHeavyKernel()
+	dev := gpusim.NewDevice(gpusim.GA100(), 31)
+	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 1, MaxSamplesPerRun: -1, Seed: 32})
+	runs, err := c.CollectWorkload(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := gpusim.Evaluate(gpusim.GA100(), k, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for _, s := range runs[0].Samples {
+		// Active samples carry real engine activity; idle ones sit at the
+		// noise floor.
+		if s.GrEngineActive > 0.5 {
+			active++
+		}
+	}
+	got := float64(active) / float64(len(runs[0].Samples))
+	if math.Abs(got-st.GPUBusyFrac) > 0.05 {
+		t.Fatalf("active sample share %v, busy frac %v", got, st.GPUBusyFrac)
+	}
+}
+
+// TestMeanSampleReconstructsRunAverages pins that averaging the
+// phase-resolved samples reproduces the whole-run utilization and power —
+// the property the online feature acquisition relies on.
+func TestMeanSampleReconstructsRunAverages(t *testing.T) {
+	k := hostHeavyKernel()
+	dev := gpusim.NewDevice(gpusim.GA100(), 33)
+	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 3, MaxSamplesPerRun: -1, Seed: 34})
+	runs, err := c.CollectWorkload(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := gpusim.Evaluate(gpusim.GA100(), k, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		m := r.MeanSample()
+		if rel := math.Abs(m.FPActive()-st.FPActive) / st.FPActive; rel > 0.12 {
+			t.Fatalf("mean fp %v vs whole-run %v (%.0f%%)", m.FPActive(), st.FPActive, rel*100)
+		}
+		if rel := math.Abs(m.DRAMActive-st.DRAMActive) / st.DRAMActive; rel > 0.12 {
+			t.Fatalf("mean dram %v vs whole-run %v", m.DRAMActive, st.DRAMActive)
+		}
+		if rel := math.Abs(m.PowerUsage-st.PowerWatts) / st.PowerWatts; rel > 0.12 {
+			t.Fatalf("mean power %v vs whole-run %v", m.PowerUsage, st.PowerWatts)
+		}
+	}
+}
+
+// TestIdleSamplesAnchorPowerFloor pins the training property that fixed
+// the low-activity corner: idle samples report near-zero activity and
+// near-idle power at every clock.
+func TestIdleSamplesAnchorPowerFloor(t *testing.T) {
+	k := hostHeavyKernel()
+	arch := gpusim.GA100()
+	dev := gpusim.NewDevice(arch, 35)
+	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 36})
+	runs, err := c.CollectWorkload(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleSeen := 0
+	for _, r := range runs {
+		for _, s := range r.Samples {
+			if s.GrEngineActive >= 0.5 {
+				continue
+			}
+			idleSeen++
+			if s.FPActive() > 0.1 {
+				t.Fatalf("idle sample with fp %v", s.FPActive())
+			}
+			if s.PowerUsage > arch.IdleWatts*1.3 || s.PowerUsage < arch.IdleWatts*0.7 {
+				t.Fatalf("idle sample power %v, want near %v", s.PowerUsage, arch.IdleWatts)
+			}
+		}
+	}
+	if idleSeen == 0 {
+		t.Fatal("host-heavy workload produced no idle samples")
+	}
+}
+
+// TestActiveSamplesUndiluted pins that GPU-busy samples report the
+// per-phase (undiluted) activities rather than run averages.
+func TestActiveSamplesUndiluted(t *testing.T) {
+	k := hostHeavyKernel()
+	dev := gpusim.NewDevice(gpusim.GA100(), 37)
+	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 38})
+	runs, err := c.CollectWorkload(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := gpusim.Evaluate(gpusim.GA100(), k, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range runs[0].Samples {
+		if s.GrEngineActive < 0.5 {
+			continue
+		}
+		if rel := math.Abs(s.FPActive()-st.ActiveFPActive) / st.ActiveFPActive; rel > 0.25 {
+			t.Fatalf("active sample fp %v vs per-phase %v", s.FPActive(), st.ActiveFPActive)
+		}
+		if s.PowerUsage < st.IdlePowerWatts {
+			t.Fatalf("active sample power %v below idle", s.PowerUsage)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/gpusim"
+)
+
+// AblationActivations are the §4.3 candidate activation functions.
+var AblationActivations = []string{"selu", "relu", "elu", "leaky_relu", "sigmoid", "tanh", "softplus", "softsign"}
+
+// AblationOptimizers are the §4.3 candidate optimizers.
+var AblationOptimizers = []string{"rmsprop", "adam", "adamax", "nadam", "adadelta", "sgd"}
+
+// variantAccuracy retrains models with the given options (and optionally a
+// non-default feature set) on the cached offline telemetry, then scores
+// mean power/time accuracy over the real applications on GA100. The cached
+// online profiling runs are reused, so only training repeats.
+func (c *Context) variantAccuracy(opts core.TrainOptions, features []string) (power, timeAcc float64, err error) {
+	off, err := c.Offline()
+	if err != nil {
+		return 0, 0, err
+	}
+	powerDS, timeDS := off.SampleDataset, off.Dataset
+	if features != nil {
+		if timeDS, err = buildDataset(off.Runs, features, false); err != nil {
+			return 0, 0, err
+		}
+		if powerDS, err = buildDataset(off.Runs, features, true); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Ablations retrain once per variant; a deterministic stride over the
+	// per-sample power dataset keeps each retrain tractable while
+	// preserving phase diversity (the stride cuts within runs, not across
+	// workloads). The headline tables use the full dataset.
+	powerDS = subsample(powerDS, 6000)
+	models, err := core.TrainSplit(powerDS, timeDS, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	arch := gpusim.GA100()
+	apps := RealAppNames()
+	for _, app := range apps {
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return 0, 0, err
+		}
+		on, err := c.Online("GA100", app)
+		if err != nil {
+			return 0, 0, err
+		}
+		predicted, err := models.PredictProfile(arch, on.ProfileRun, arch.DesignClocks())
+		if err != nil {
+			return 0, 0, err
+		}
+		acc, err := core.EvaluateAccuracy(predicted, measured)
+		if err != nil {
+			return 0, 0, err
+		}
+		power += acc.Power
+		timeAcc += acc.Time
+	}
+	n := float64(len(apps))
+	return power / n, timeAcc / n, nil
+}
+
+// subsample returns a dataset with at most maxPoints points, taken at a
+// deterministic stride (shallow copy; the original is untouched).
+func subsample(ds *dataset.Dataset, maxPoints int) *dataset.Dataset {
+	if len(ds.Points) <= maxPoints {
+		return ds
+	}
+	stride := (len(ds.Points) + maxPoints - 1) / maxPoints
+	out := &dataset.Dataset{
+		Arch:         ds.Arch,
+		TDPWatts:     ds.TDPWatts,
+		MaxFreqMHz:   ds.MaxFreqMHz,
+		FeatureNames: ds.FeatureNames,
+	}
+	for i := 0; i < len(ds.Points); i += stride {
+		out.Points = append(out.Points, ds.Points[i])
+	}
+	return out
+}
+
+// AblationActivationsTable sweeps the hidden activation function (paper
+// §4.3: SELU was selected after testing these candidates) and reports mean
+// real-application accuracy for both models.
+func (c *Context) AblationActivationsTable() (*Table, error) {
+	t := &Table{
+		ID:      "abl-act",
+		Title:   "Activation-function ablation: mean real-app accuracy (%) on GA100 (reduced 6k-sample training budget)",
+		Columns: []string{"activation", "power_acc", "time_acc"},
+	}
+	for _, act := range AblationActivations {
+		p, ti, err := c.variantAccuracy(core.TrainOptions{Activation: act, Seed: 1}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: activation %s: %w", act, err)
+		}
+		t.AddRow(act, f1(p), f1(ti))
+	}
+	return t, nil
+}
+
+// AblationOptimizersTable sweeps the optimizer (paper §4.3: RMSprop was
+// selected after testing these candidates).
+func (c *Context) AblationOptimizersTable() (*Table, error) {
+	t := &Table{
+		ID:      "abl-opt",
+		Title:   "Optimizer ablation: mean real-app accuracy (%) on GA100 (reduced 6k-sample training budget)",
+		Columns: []string{"optimizer", "power_acc", "time_acc"},
+	}
+	for _, opt := range AblationOptimizers {
+		p, ti, err := c.variantAccuracy(core.TrainOptions{Optimizer: opt, Seed: 1}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: optimizer %s: %w", opt, err)
+		}
+		t.AddRow(opt, f1(p), f1(ti))
+	}
+	return t, nil
+}
+
+// AblationFeatureSets are the feature-set variants: the paper's MI top-3,
+// the full candidate set, and the bottom-3 by MI (a sanity check that the
+// MI ranking matters).
+var AblationFeatureSets = map[string][]string{
+	"top3-mi": dataset.PaperFeatures,
+	"all10":   dataset.CandidateFeatures,
+	"bottom3": {"sm_occupancy", "pcie_tx_mbps", "pcie_rx_mbps"},
+}
+
+// AblationFeaturesTable sweeps the feature set fed to both models.
+func (c *Context) AblationFeaturesTable() (*Table, error) {
+	t := &Table{
+		ID:      "abl-feat",
+		Title:   "Feature-set ablation: mean real-app accuracy (%) on GA100 (reduced 6k-sample training budget)",
+		Columns: []string{"features", "power_acc", "time_acc"},
+	}
+	for _, name := range []string{"top3-mi", "all10", "bottom3"} {
+		p, ti, err := c.variantAccuracy(core.TrainOptions{Seed: 1}, AblationFeatureSets[name])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: feature set %s: %w", name, err)
+		}
+		t.AddRow(name, f1(p), f1(ti))
+	}
+	return t, nil
+}
+
+// AblationEpochBudgets are the epoch budgets swept by AblationEpochsTable,
+// as (power, time) pairs around the paper's (100, 25).
+var AblationEpochBudgets = [][2]int{{10, 5}, {25, 10}, {50, 25}, {100, 25}, {200, 50}}
+
+// AblationEpochsTable sweeps the training epoch budgets around the paper's
+// choice of 100 (power) / 25 (time).
+func (c *Context) AblationEpochsTable() (*Table, error) {
+	t := &Table{
+		ID:      "abl-epochs",
+		Title:   "Epoch-budget ablation: mean real-app accuracy (%) on GA100 (reduced 6k-sample training budget)",
+		Columns: []string{"power_epochs", "time_epochs", "power_acc", "time_acc"},
+	}
+	for _, b := range AblationEpochBudgets {
+		p, ti, err := c.variantAccuracy(core.TrainOptions{PowerEpochs: b[0], TimeEpochs: b[1], Seed: 1}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: epochs %v: %w", b, err)
+		}
+		t.AddRow(fmt.Sprintf("%d", b[0]), fmt.Sprintf("%d", b[1]), f1(p), f1(ti))
+	}
+	return t, nil
+}
+
+// Ablations generates every ablation table.
+func (c *Context) Ablations() ([]*Table, error) {
+	gens := []func() (*Table, error){
+		c.AblationActivationsTable,
+		c.AblationOptimizersTable,
+		c.AblationFeaturesTable,
+		c.AblationEpochsTable,
+		c.AblationSharedModelTable,
+	}
+	out := make([]*Table, 0, len(gens))
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

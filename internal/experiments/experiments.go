@@ -1,0 +1,278 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (plus the motivation study of §2 and the multi-learner
+// comparison of §7) from the simulated substrate. Each generator returns a
+// Table — a named grid of formatted values — that cmd/dvfs-bench prints
+// and bench_test.go exercises.
+//
+// A Context carries the expensive shared artifacts (collected telemetry,
+// trained models, measured evaluation sweeps) and builds each lazily,
+// exactly once, so generators compose cheaply.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/workloads"
+)
+
+// Table is one regenerated artifact: an identifier tying it back to the
+// paper ("fig7", "tab3", ...), a title, and a formatted grid.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint writes the table in aligned plain text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Fmarkdown writes the table as a GitHub-flavored markdown table with a
+// heading, for inclusion in reports like EXPERIMENTS.md.
+func (t *Table) Fmarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Config parameterizes a Context.
+type Config struct {
+	Seed int64 // master seed; 0 means 42
+	Runs int   // runs per DVFS configuration; 0 means the paper's 3
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	return c
+}
+
+// Context lazily builds and caches the artifacts the generators share:
+// training telemetry and models on GA100, and measured evaluation sweeps
+// plus online profiling runs per (architecture, application).
+type Context struct {
+	cfg Config
+
+	mu       sync.Mutex
+	offline  *core.OfflineResult
+	measured map[string][]dcgm.Run         // arch/app -> sweep runs
+	online   map[string]*core.OnlineResult // arch/app -> online result
+}
+
+// NewContext returns a Context with the given configuration.
+func NewContext(cfg Config) *Context {
+	return &Context{
+		cfg:      cfg.withDefaults(),
+		measured: map[string][]dcgm.Run{},
+		online:   map[string]*core.OnlineResult{},
+	}
+}
+
+// Offline returns the GA100 offline-phase result (collected training
+// telemetry, dataset, trained models), building it on first use.
+func (c *Context) Offline() (*core.OfflineResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offlineLocked()
+}
+
+func (c *Context) offlineLocked() (*core.OfflineResult, error) {
+	if c.offline != nil {
+		return c.offline, nil
+	}
+	dev := gpusim.NewDevice(gpusim.GA100(), c.cfg.Seed)
+	res, err := core.OfflineTrain(dev, workloads.TrainingSet(),
+		dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + 1}, core.TrainOptions{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	c.offline = res
+	return res, nil
+}
+
+// Models returns the GA100-trained power and time models.
+func (c *Context) Models() (*core.Models, error) {
+	off, err := c.Offline()
+	if err != nil {
+		return nil, err
+	}
+	return off.Models, nil
+}
+
+func archFor(name string) (gpusim.Arch, error) { return gpusim.ArchByName(name) }
+
+// MeasuredRuns returns the measured DVFS sweep (design space × Runs) for
+// one application on one architecture, collecting it on first use.
+func (c *Context) MeasuredRuns(archName, app string) ([]dcgm.Run, error) {
+	key := archName + "/" + app
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if runs, ok := c.measured[key]; ok {
+		return runs, nil
+	}
+	arch, err := archFor(archName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workloads.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key))
+	coll := dcgm.NewCollector(dev, dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + hashString(key) + 1})
+	runs, err := coll.CollectWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+	c.measured[key] = runs
+	return runs, nil
+}
+
+// MeasuredProfiles returns the per-frequency averaged measured profiles
+// for one application on one architecture.
+func (c *Context) MeasuredProfiles(archName, app string) ([]objective.Profile, error) {
+	runs, err := c.MeasuredRuns(archName, app)
+	if err != nil {
+		return nil, err
+	}
+	return core.MeasuredProfiles(runs), nil
+}
+
+// Online returns the online-phase result (single max-clock profile and
+// model predictions across the design space) for one application on one
+// architecture, running it on first use.
+func (c *Context) Online(archName, app string) (*core.OnlineResult, error) {
+	key := archName + "/" + app
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res, ok := c.online[key]; ok {
+		return res, nil
+	}
+	off, err := c.offlineLocked()
+	if err != nil {
+		return nil, err
+	}
+	arch, err := archFor(archName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := workloads.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key)+2)
+	res, err := core.OnlinePredict(dev, off.Models, w, dcgm.Config{Seed: c.cfg.Seed + hashString(key) + 3})
+	if err != nil {
+		return nil, err
+	}
+	c.online[key] = res
+	return res, nil
+}
+
+// EvaluateOnMeasured looks up the measured profile at freq and reports its
+// trade-off against the measured maximum-clock reference — how the paper
+// scores a predicted selection (the frequency is chosen from predictions,
+// but its cost is what actually happens on hardware).
+func EvaluateOnMeasured(measured []objective.Profile, freq float64) (objective.TradeOff, error) {
+	for _, m := range measured {
+		if m.FreqMHz == freq {
+			return objective.Evaluate(measured, m)
+		}
+	}
+	return objective.TradeOff{}, fmt.Errorf("experiments: no measured profile at %v MHz", freq)
+}
+
+// RealAppNames lists the six evaluation applications in the paper's order.
+func RealAppNames() []string {
+	apps := workloads.RealApps()
+	names := make([]string, len(apps))
+	for i, a := range apps {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// hashString gives a small deterministic per-key seed offset.
+func hashString(s string) int64 {
+	var h int64 = 1469598103
+	for _, b := range []byte(s) {
+		h ^= int64(b)
+		h *= 16777619
+		h &= (1 << 30) - 1
+	}
+	return h
+}
+
+// buildDataset is a shared helper for generators that need a dataset with
+// non-default features built from arbitrary runs on GA100.
+func buildDataset(runs []dcgm.Run, features []string, perSample bool) (*dataset.Dataset, error) {
+	return dataset.Build(gpusim.GA100(), runs, dataset.Options{Features: features, PerSample: perSample})
+}

@@ -1,0 +1,642 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The integration tests share one context (collection + training happen
+// once per test process) and are skipped under -short.
+var (
+	testCtxOnce sync.Once
+	testCtx     *Context
+)
+
+func sharedTestCtx(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiments integration (use without -short)")
+	}
+	testCtxOnce.Do(func() {
+		testCtx = NewContext(Config{Seed: 42, Runs: 3})
+	})
+	return testCtx
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{ID: "x", Title: "Demo", Columns: []string{"a", "long_column"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## x — Demo") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + columns + 2 rows (+ trailing blank trimmed)
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Alignment: the second column starts at the same offset everywhere.
+	off := strings.Index(lines[1], "long_column")
+	if strings.Index(lines[2], "2") != off || strings.Index(lines[3], "4") != off {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 42 || c.Runs != 3 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestRealAppNamesOrder(t *testing.T) {
+	want := []string{"LAMMPS", "NAMD", "GROMACS", "LSTM", "BERT", "ResNet50"}
+	got := RealAppNames()
+	if len(got) != len(want) {
+		t.Fatalf("%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if hashString("GA100/LAMMPS") != hashString("GA100/LAMMPS") {
+		t.Fatal("hash not stable")
+	}
+	if hashString("GA100/LAMMPS") == hashString("GV100/LAMMPS") {
+		t.Fatal("hash collision for distinct keys")
+	}
+	if h := hashString("anything"); h < 0 {
+		t.Fatal("hash must be non-negative (used as seed offset)")
+	}
+}
+
+func TestContextCachesArtifacts(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	a, err := ctx.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Offline not cached")
+	}
+	r1, err := ctx.MeasuredRuns("GA100", "LAMMPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ctx.MeasuredRuns("GA100", "LAMMPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1[0] != &r2[0] {
+		t.Fatal("MeasuredRuns not cached")
+	}
+	o1, err := ctx.Online("GA100", "LAMMPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := ctx.Online("GA100", "LAMMPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatal("Online not cached")
+	}
+}
+
+func TestContextRejectsUnknownInputs(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	if _, err := ctx.MeasuredRuns("H100", "LAMMPS"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if _, err := ctx.MeasuredRuns("GA100", "NOPE"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := ctx.Online("GA100", "NOPE"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func cellF(t *testing.T, tab *Table, r, c int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[r][c], 64)
+	if err != nil {
+		t.Fatalf("%s cell (%d,%d) %q: %v", tab.ID, r, c, tab.Rows[r][c], err)
+	}
+	return v
+}
+
+// TestFigure1Shapes pins the §2 motivation claims on the regenerated data.
+func TestFigure1Shapes(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 61 {
+		t.Fatalf("fig1 has %d rows, want 61", len(tab.Rows))
+	}
+	last := len(tab.Rows) - 1
+
+	// DGEMM at max clock near TDP; STREAM near half.
+	if frac := cellF(t, tab, last, 1) / 500; frac < 0.85 || frac > 1.05 {
+		t.Errorf("DGEMM max-clock power %.0f%% of TDP", frac*100)
+	}
+	if frac := cellF(t, tab, last, 5) / 500; frac < 0.35 || frac > 0.6 {
+		t.Errorf("STREAM max-clock power %.0f%% of TDP", frac*100)
+	}
+	// Time decreases with clock (ends of the sweep).
+	if cellF(t, tab, 0, 2) <= cellF(t, tab, last, 2) {
+		t.Error("DGEMM time did not fall with clock")
+	}
+	// DGEMM energy optimum interior.
+	bestR, bestE := -1, 1e18
+	for r := range tab.Rows {
+		if e := cellF(t, tab, r, 3); e < bestE {
+			bestE, bestR = e, r
+		}
+	}
+	if bestR == 0 || bestR == last {
+		t.Errorf("DGEMM energy optimum at boundary row %d", bestR)
+	}
+	// DGEMM FLOPS grows with clock.
+	if cellF(t, tab, last, 4) <= cellF(t, tab, 0, 4) {
+		t.Error("DGEMM FLOPS did not grow with clock")
+	}
+	// STREAM bandwidth saturates: top-of-range gain is small.
+	bw1050 := cellF(t, tab, 36, 8) // 510 + 36·15 = 1050 MHz
+	bwMax := cellF(t, tab, last, 8)
+	if gain := (bwMax - bw1050) / bw1050; gain > 0.05 {
+		t.Errorf("STREAM bandwidth still gaining %.1f%% above 1050 MHz", gain*100)
+	}
+}
+
+// TestFigure3SelectsPaperFeatures pins §4.2.1: the paper's three features
+// rank at the top of the MI study.
+func TestFigure3SelectsPaperFeatures(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("fig3 has %d candidate features, want 10", len(tab.Rows))
+	}
+	rank := map[string]int{}
+	for i, row := range tab.Rows {
+		rank[row[0]] = i
+	}
+	// sm_app_clock and fp_active must be within the top 4 of the power
+	// ranking; dram_active within the top 5 (it carries less power info
+	// than time info, as in the paper's Figure 3).
+	if rank["sm_app_clock"] > 3 {
+		t.Errorf("sm_app_clock ranked %d", rank["sm_app_clock"]+1)
+	}
+	if rank["fp_active"] > 3 {
+		t.Errorf("fp_active ranked %d", rank["fp_active"]+1)
+	}
+	if rank["dram_active"] > 4 {
+		t.Errorf("dram_active ranked %d", rank["dram_active"]+1)
+	}
+	// Scores normalized to 1.
+	if top := cellF(t, tab, 0, 1); top != 1 {
+		t.Errorf("top power score %v, want 1", top)
+	}
+}
+
+// TestFigure4FeatureInvariance pins §4.2.2: fp_active moves little across
+// the DVFS space.
+func TestFigure4FeatureInvariance(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 2.0, -1.0
+	for r := range tab.Rows {
+		v := cellF(t, tab, r, 1) // DGEMM fp
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if rel := (hi - lo) / hi; rel > 0.15 {
+		t.Errorf("DGEMM fp_active varies %.0f%% across DVFS", rel*100)
+	}
+}
+
+// TestFigure5SizeInvariance pins §4.2.3: fp_active is input-size
+// invariant; DGEMM dram_active drifts but stays bounded.
+func TestFigure5SizeInvariance(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Figure5Scales) {
+		t.Fatalf("fig5 rows = %d", len(tab.Rows))
+	}
+	var loD, hiD, loS, hiS = 2.0, -1.0, 2.0, -1.0
+	for r := range tab.Rows {
+		d := cellF(t, tab, r, 1) // DGEMM fp
+		s := cellF(t, tab, r, 3) // STREAM fp
+		if d < loD {
+			loD = d
+		}
+		if d > hiD {
+			hiD = d
+		}
+		if s < loS {
+			loS = s
+		}
+		if s > hiS {
+			hiS = s
+		}
+	}
+	if rel := (hiD - loD) / hiD; rel > 0.15 {
+		t.Errorf("DGEMM fp_active varies %.0f%% across sizes", rel*100)
+	}
+	if rel := (hiS - loS) / hiS; rel > 0.2 {
+		t.Errorf("STREAM fp_active varies %.0f%% across sizes", rel*100)
+	}
+}
+
+// TestFigure6LossesConverge pins §4.3: training reduces both losses.
+func TestFigure6LossesConverge(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 100 {
+		t.Fatalf("fig6 rows = %d, want 100 (power epochs)", len(tab.Rows))
+	}
+	first, last := cellF(t, tab, 0, 2), cellF(t, tab, 99, 2)
+	if last >= first {
+		t.Errorf("power val loss did not fall: %v → %v", first, last)
+	}
+	// Time model stops at epoch 25: its columns are empty afterwards.
+	if tab.Rows[25][3] != "" || tab.Rows[24][3] == "" {
+		t.Errorf("time model loss columns wrong around epoch 25")
+	}
+	tFirst, tLast := cellF(t, tab, 0, 4), cellF(t, tab, 24, 4)
+	if tLast >= tFirst {
+		t.Errorf("time val loss did not fall: %v → %v", tFirst, tLast)
+	}
+}
+
+// TestTable3AccuracyBands pins the paper's headline accuracy claim: all
+// per-app accuracies within/near the 89–98% band on both architectures.
+func TestTable3AccuracyBands(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("tab3 rows = %d, want 12", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		p, _ := strconv.ParseFloat(row[2], 64)
+		ti, _ := strconv.ParseFloat(row[3], 64)
+		if p < 84 || ti < 84 {
+			t.Errorf("%s/%s accuracy out of band: power %.1f time %.1f", row[0], row[1], p, ti)
+		}
+		if p > 100 || ti > 100 {
+			t.Errorf("%s/%s accuracy > 100", row[0], row[1])
+		}
+	}
+}
+
+// TestTable4FrequenciesValid pins that every selected frequency is a
+// supported design-space configuration below or at the maximum clock.
+func TestTable4FrequenciesValid(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		for c := 1; c <= 4; c++ {
+			f, _ := strconv.ParseFloat(row[c], 64)
+			if f < 510 || f > 1410 {
+				t.Errorf("%s %s = %v MHz outside design space", row[0], tab.Columns[c], f)
+			}
+		}
+	}
+}
+
+// TestTable5TradeOffShapes pins §5.3: measured ED²P saves tens of percent
+// energy at single-digit average performance loss, and ED²P is gentler on
+// time than EDP.
+func TestTable5TradeOffShapes(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := tab.Rows[len(tab.Rows)-1]
+	if avg[0] != "Average" {
+		t.Fatalf("last row %v", avg)
+	}
+	mED2Pe, _ := strconv.ParseFloat(avg[1], 64)
+	mEDPe, _ := strconv.ParseFloat(avg[3], 64)
+	mED2Pt, _ := strconv.ParseFloat(avg[5], 64)
+	mEDPt, _ := strconv.ParseFloat(avg[7], 64)
+	if mED2Pe < 10 || mED2Pe > 45 {
+		t.Errorf("average M-ED2P energy saving %.1f%%, want tens of percent", mED2Pe)
+	}
+	if mED2Pt < -15 {
+		t.Errorf("average M-ED2P time change %.1f%%, want mild", mED2Pt)
+	}
+	// ED²P must cost less time than EDP (the paper's §7 takeaway).
+	if mED2Pt < mEDPt {
+		t.Errorf("ED2P time %.1f%% worse than EDP %.1f%%", mED2Pt, mEDPt)
+	}
+	_ = mEDPe
+}
+
+// TestTable6ThresholdsBoundLoss pins Table 6: tightening the threshold
+// monotonically reduces the worst-case measured time loss.
+func TestTable6ThresholdsBoundLoss(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 2 apps × 3 thresholds
+		t.Fatalf("tab6 rows = %d", len(tab.Rows))
+	}
+	for app := 0; app < 2; app++ {
+		nilLoss := cellF(t, tab, app*3+0, 3)
+		fiveLoss := cellF(t, tab, app*3+1, 3)
+		oneLoss := cellF(t, tab, app*3+2, 3)
+		if fiveLoss < nilLoss-1e-9 || oneLoss < fiveLoss-1e-9 {
+			t.Errorf("%s: losses not improving with tighter thresholds: %v, %v, %v",
+				tab.Rows[app*3][0], nilLoss, fiveLoss, oneLoss)
+		}
+		if oneLoss < -4 {
+			t.Errorf("%s: 1%% threshold still loses %.1f%%", tab.Rows[app*3][0], oneLoss)
+		}
+	}
+}
+
+// TestFigure11DNNCompetitive pins §7: the DNN's average power accuracy
+// beats the linear baseline soundly and is at least competitive with the
+// strongest multi-learner.
+func TestFigure11DNNCompetitive(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := tab.Rows[len(tab.Rows)-1]
+	if avg[0] != "AVERAGE" {
+		t.Fatalf("missing average row: %v", avg)
+	}
+	get := func(name string) float64 {
+		for c, col := range tab.Columns {
+			if col == name {
+				v, _ := strconv.ParseFloat(avg[c], 64)
+				return v
+			}
+		}
+		t.Fatalf("no column %q", name)
+		return 0
+	}
+	dnn := get("dnn")
+	if dnn < 85 {
+		t.Errorf("DNN average power accuracy %.1f", dnn)
+	}
+	if mlr := get("mlr"); dnn <= mlr {
+		t.Errorf("DNN (%.1f) did not beat MLR (%.1f)", dnn, mlr)
+	}
+	for _, other := range []string{"rfr", "xgbr", "svr"} {
+		if v := get(other); dnn < v-3 {
+			t.Errorf("DNN (%.1f) clearly behind %s (%.1f)", dnn, other, v)
+		}
+	}
+}
+
+// TestTablesWellFormed sanity-checks the remaining static tables.
+func TestTablesWellFormed(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	t1, err := ctx.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 7 {
+		t.Fatalf("tab1 rows = %d", len(t1.Rows))
+	}
+	found := false
+	for _, row := range t1.Rows {
+		if row[0] == "Used DVFS Configurations" {
+			found = true
+			if row[1] != "61 out of 81" || row[2] != "117 out of 167" {
+				t.Fatalf("DVFS configurations row = %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tab1 missing DVFS configurations row")
+	}
+
+	t2, err := ctx.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 27 {
+		t.Fatalf("tab2 rows = %d, want 27", len(t2.Rows))
+	}
+
+	t7, err := ctx.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t7.Rows) != 5 {
+		t.Fatalf("tab7 rows = %d", len(t7.Rows))
+	}
+	last := t7.Rows[4]
+	if last[0] != "This work" || last[2] != "yes" || last[3] != "yes" || last[4] != "yes" {
+		t.Fatalf("this-work row = %v", last)
+	}
+}
+
+// TestFigures7And8Parallel pins that the prediction-vs-measurement series
+// exist for every app at every design frequency.
+func TestFigures7And8Complete(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	for _, gen := range []func() (*Table, error){ctx.Figure7, ctx.Figure8} {
+		tab, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) != 61 {
+			t.Fatalf("%s rows = %d", tab.ID, len(tab.Rows))
+		}
+		if len(tab.Columns) != 1+2*6 {
+			t.Fatalf("%s cols = %d", tab.ID, len(tab.Columns))
+		}
+		for r, row := range tab.Rows {
+			for c := 1; c < len(row); c++ {
+				if v := cellF(t, tab, r, c); v <= 0 {
+					t.Fatalf("%s cell (%d,%d) = %v", tab.ID, r, c, v)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure9MatchesTable4 pins that the two views of the selections agree.
+func TestFigure9MatchesTable4(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	f9, err := ctx.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := ctx.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range f9.Rows {
+		for c := range f9.Rows[r] {
+			if f9.Rows[r][c] != t4.Rows[r][c] {
+				t.Fatalf("fig9/tab4 disagree at (%d,%d): %v vs %v", r, c, f9.Rows[r][c], t4.Rows[r][c])
+			}
+		}
+	}
+}
+
+// TestComparisonTablesAgreeWithPaperShapes checks the paper-vs-ours
+// comparison tables are structurally complete and that reproduced
+// accuracies track the paper's within a loose band.
+func TestComparisonTables(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	cmp3, err := ctx.CompareTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp3.Rows) != 12 {
+		t.Fatalf("cmp-tab3 rows = %d", len(cmp3.Rows))
+	}
+	for _, row := range cmp3.Rows {
+		paperP, oursP := parseCell(row[2]), parseCell(row[3])
+		if diff := paperP - oursP; diff > 12 {
+			t.Errorf("%s/%s: power accuracy %v more than 12 points below paper's %v", row[0], row[1], oursP, paperP)
+		}
+	}
+	cmp4, err := ctx.CompareTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp4.Rows) != 6 {
+		t.Fatalf("cmp-tab4 rows = %d", len(cmp4.Rows))
+	}
+	cmp5, err := ctx.CompareTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp5.Rows) != 7 { // 6 apps + average
+		t.Fatalf("cmp-tab5 rows = %d", len(cmp5.Rows))
+	}
+}
+
+// TestFutureVoltageTable checks the §8 future-work exploration: real
+// undervolting savings, larger for compute-bound workloads and larger at
+// the maximum clock than near the voltage floor.
+func TestFutureVoltageTable(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.FutureVoltageTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // DGEMM, STREAM + 6 real apps
+		t.Fatalf("fut-volt rows = %d", len(tab.Rows))
+	}
+	var dgemm, stream []string
+	for _, row := range tab.Rows {
+		if row[0] == "DGEMM" {
+			dgemm = row
+		}
+		if row[0] == "STREAM" {
+			stream = row
+		}
+		// Savings positive at max clock for every workload.
+		if v := parseCell(row[2]); v <= 0 {
+			t.Errorf("%s: no undervolt saving at max clock (%v)", row[0], v)
+		}
+	}
+	if parseCell(dgemm[2]) <= parseCell(stream[2]) {
+		t.Errorf("DGEMM saving %v should exceed STREAM's %v (core dynamic power dominates)",
+			parseCell(dgemm[2]), parseCell(stream[2]))
+	}
+	// −50 mV saves more than −25 mV at the max clock.
+	if parseCell(dgemm[4]) <= parseCell(dgemm[2]) {
+		t.Errorf("deeper undervolt should save more: %v vs %v", parseCell(dgemm[4]), parseCell(dgemm[2]))
+	}
+}
+
+// TestSubsamplePreservesShape checks the ablation subsampler.
+func TestSubsample(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	off, err := ctx.Offline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := subsample(off.SampleDataset, 1000)
+	if len(small.Points) > 1001 {
+		t.Fatalf("subsample kept %d points", len(small.Points))
+	}
+	if small.TDPWatts != off.SampleDataset.TDPWatts || len(small.FeatureNames) != len(off.SampleDataset.FeatureNames) {
+		t.Fatal("subsample lost metadata")
+	}
+	// Small datasets pass through untouched.
+	if got := subsample(off.Dataset, 1<<30); got != off.Dataset {
+		t.Fatal("subsample copied a small dataset")
+	}
+}
+
+// TestTable3CI pins that the bootstrap intervals bracket their point
+// estimates and stay reasonably tight over 61-point series.
+func TestTable3CI(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.Table3CI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, pair := range [][2]string{{row[2], row[3]}, {row[4], row[5]}} {
+			point := parseCell(pair[0])
+			var lo, hi float64
+			if _, err := fmt.Sscanf(pair[1], "[%f, %f]", &lo, &hi); err != nil {
+				t.Fatalf("%s/%s: unparseable CI %q", row[0], row[1], pair[1])
+			}
+			if lo > point || point > hi {
+				t.Errorf("%s/%s: CI %q does not bracket %v", row[0], row[1], pair[1], point)
+			}
+			if hi-lo > 20 {
+				t.Errorf("%s/%s: CI %q suspiciously wide", row[0], row[1], pair[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/mi"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/workloads"
+)
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Figure1 reproduces the motivation study (§2): power, execution time,
+// energy, and FLOPS/bandwidth across the GA100 DVFS design space for DGEMM
+// and STREAM.
+func (c *Context) Figure1() (*Table, error) {
+	t := &Table{
+		ID:    "fig1",
+		Title: "Power, time, energy, FLOPS (DGEMM) and bandwidth (STREAM) vs core frequency on GA100",
+		Columns: []string{"freq_mhz",
+			"dgemm_power_w", "dgemm_time_s", "dgemm_energy_j", "dgemm_gflops",
+			"stream_power_w", "stream_time_s", "stream_energy_j", "stream_gbps"},
+	}
+	arch := gpusim.GA100()
+	type series struct {
+		prof map[float64]objective.Profile
+		work float64 // total GFLOP (DGEMM) or GB (STREAM), frequency-invariant
+	}
+	mk := func(name string) (series, error) {
+		profs, err := c.MeasuredProfiles("GA100", name)
+		if err != nil {
+			return series{}, err
+		}
+		s := series{prof: map[float64]objective.Profile{}}
+		for _, p := range profs {
+			s.prof[p.FreqMHz] = p
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return series{}, err
+		}
+		st, err := gpusim.Evaluate(arch, w, arch.MaxFreqMHz)
+		if err != nil {
+			return series{}, err
+		}
+		if name == "DGEMM" {
+			s.work = st.AchievedGFLOPS * st.TimeSec
+		} else {
+			s.work = st.AchievedGBps * st.TimeSec
+		}
+		return s, nil
+	}
+	dg, err := mk("DGEMM")
+	if err != nil {
+		return nil, err
+	}
+	st, err := mk("STREAM")
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range arch.DesignClocks() {
+		d, s := dg.prof[f], st.prof[f]
+		t.AddRow(f0(f),
+			f1(d.PowerWatts), f3(d.TimeSec), f1(d.Energy()), f0(dg.work/d.TimeSec),
+			f1(s.PowerWatts), f3(s.TimeSec), f1(s.Energy()), f0(st.work/s.TimeSec))
+	}
+	return t, nil
+}
+
+// Figure3 reproduces the feature-dependency study (§4.2.1): mutual
+// information of each candidate utilization feature with power and with
+// execution time, over the DGEMM+STREAM dataset, normalized to the top
+// score. The paper selects the top three: fp_active, sm_app_clock,
+// dram_active.
+func (c *Context) Figure3() (*Table, error) {
+	off, err := c.Offline()
+	if err != nil {
+		return nil, err
+	}
+	// DGEMM+STREAM runs only, per the paper.
+	var runs []dcgm.Run
+	for _, r := range off.Runs {
+		if r.Workload == "DGEMM" || r.Workload == "STREAM" {
+			runs = append(runs, r)
+		}
+	}
+	cols := map[string][]float64{}
+	var power, execTime []float64
+	arch := gpusim.GA100()
+	for _, r := range runs {
+		m := r.MeanSample()
+		cols["fp_active"] = append(cols["fp_active"], m.FPActive())
+		cols["fp64_active"] = append(cols["fp64_active"], m.FP64Active)
+		cols["sm_app_clock"] = append(cols["sm_app_clock"], m.SMAppClockMHz/arch.MaxFreqMHz)
+		cols["dram_active"] = append(cols["dram_active"], m.DRAMActive)
+		cols["gr_engine_active"] = append(cols["gr_engine_active"], m.GrEngineActive)
+		cols["gpu_utilization"] = append(cols["gpu_utilization"], m.GPUUtilization)
+		cols["sm_active"] = append(cols["sm_active"], m.SMActive)
+		cols["sm_occupancy"] = append(cols["sm_occupancy"], m.SMOccupancy)
+		cols["pcie_tx_mbps"] = append(cols["pcie_tx_mbps"], m.PCIeTxMBps)
+		cols["pcie_rx_mbps"] = append(cols["pcie_rx_mbps"], m.PCIeRxMBps)
+		power = append(power, r.AvgPowerWatts)
+		execTime = append(execTime, r.ExecTimeSec)
+	}
+	opts := mi.Options{Seed: c.cfg.Seed}
+	pRank, err := mi.RankFeatures(cols, power, opts)
+	if err != nil {
+		return nil, err
+	}
+	tRank, err := mi.RankFeatures(cols, execTime, opts)
+	if err != nil {
+		return nil, err
+	}
+	pRank = mi.NormalizeScores(pRank)
+	tRank = mi.NormalizeScores(tRank)
+	tScore := map[string]float64{}
+	for _, fs := range tRank {
+		tScore[fs.Feature] = fs.Score
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Mutual information of candidate features with power and execution time (normalized)",
+		Columns: []string{"feature", "mi_power", "mi_time"},
+	}
+	for _, fs := range pRank {
+		t.AddRow(fs.Feature, f3(fs.Score), f3(tScore[fs.Feature]))
+	}
+	return t, nil
+}
+
+// Figure4 reproduces §4.2.2: the impact of DVFS configuration on
+// fp_active and dram_active for DGEMM and STREAM at full input size.
+func (c *Context) Figure4() (*Table, error) {
+	t := &Table{
+		ID:      "fig4",
+		Title:   "fp_active and dram_active vs core frequency (DGEMM, STREAM) on GA100",
+		Columns: []string{"freq_mhz", "dgemm_fp", "dgemm_dram", "stream_fp", "stream_dram"},
+	}
+	type feats struct{ fp, dram float64 }
+	mk := func(name string) (map[float64]feats, error) {
+		runs, err := c.MeasuredRuns("GA100", name)
+		if err != nil {
+			return nil, err
+		}
+		agg := map[float64][]dcgm.Sample{}
+		for _, r := range runs {
+			agg[r.FreqMHz] = append(agg[r.FreqMHz], r.MeanSample())
+		}
+		out := map[float64]feats{}
+		for f, ss := range agg {
+			var fp, dram float64
+			for _, s := range ss {
+				fp += s.FPActive()
+				dram += s.DRAMActive
+			}
+			out[f] = feats{fp / float64(len(ss)), dram / float64(len(ss))}
+		}
+		return out, nil
+	}
+	dg, err := mk("DGEMM")
+	if err != nil {
+		return nil, err
+	}
+	st, err := mk("STREAM")
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range gpusim.GA100().DesignClocks() {
+		t.AddRow(f0(f), f3(dg[f].fp), f3(dg[f].dram), f3(st[f].fp), f3(st[f].dram))
+	}
+	return t, nil
+}
+
+// Figure5Scales is the input-size sweep of §4.2.3, as multiples of each
+// micro-benchmark's reference problem size. The sweep stays at sizes where
+// DGEMM remains compute-bound (at very small matrices its n³-compute /
+// n²-memory balance flips), matching the paper's choice of large inputs.
+var Figure5Scales = []float64{0.5, 0.75, 1, 2, 4}
+
+// Figure5 reproduces §4.2.3: the impact of input size on fp_active and
+// dram_active at the maximum clock.
+func (c *Context) Figure5() (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "fp_active and dram_active vs input-size scale at 1410 MHz (DGEMM, STREAM) on GA100",
+		Columns: []string{"input_scale", "dgemm_fp", "dgemm_dram", "stream_fp", "stream_dram"},
+	}
+	arch := gpusim.GA100()
+	for _, scale := range Figure5Scales {
+		row := []string{f2(scale)}
+		for _, name := range []string{"DGEMM", "STREAM"} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			dev := gpusim.NewDevice(arch, c.cfg.Seed+int64(scale*100))
+			coll := dcgm.NewCollector(dev, dcgm.Config{
+				InputScale: scale,
+				Seed:       c.cfg.Seed + int64(scale*100) + 1,
+			})
+			run, err := coll.ProfileAtMax(w)
+			if err != nil {
+				return nil, err
+			}
+			m := run.MeanSample()
+			row = append(row, f3(m.FPActive()), f3(m.DRAMActive))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure6 reproduces the training curves of §4.3: per-epoch training and
+// validation MSE for the power model (100 epochs) and the performance
+// model (25 epochs).
+func (c *Context) Figure6() (*Table, error) {
+	m, err := c.Models()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Training and validation loss per epoch (power and performance models)",
+		Columns: []string{"epoch", "power_train", "power_val", "time_train", "time_val"},
+	}
+	n := len(m.PowerHist.TrainLoss)
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%.5f", m.PowerHist.TrainLoss[i]),
+			fmt.Sprintf("%.5f", m.PowerHist.ValLoss[i]),
+			"", ""}
+		if i < len(m.TimeHist.TrainLoss) {
+			row[3] = fmt.Sprintf("%.5f", m.TimeHist.TrainLoss[i])
+			row[4] = fmt.Sprintf("%.5f", m.TimeHist.ValLoss[i])
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure7 reproduces the power-model evaluation: measured vs predicted
+// power for every real application across the GA100 design space.
+func (c *Context) Figure7() (*Table, error) {
+	return c.predVsMeas("fig7", "Predicted and measured power (W) for real applications on GA100",
+		func(p objective.Profile) float64 { return p.PowerWatts }, false)
+}
+
+// Figure8 reproduces the performance-model evaluation: measured vs
+// predicted execution time for every real application, normalized to the
+// value at the maximum clock as in the paper's plot.
+func (c *Context) Figure8() (*Table, error) {
+	return c.predVsMeas("fig8", "Normalized predicted and measured execution time for real applications on GA100",
+		func(p objective.Profile) float64 { return p.TimeSec }, true)
+}
+
+func (c *Context) predVsMeas(id, title string, metric func(objective.Profile) float64, normalize bool) (*Table, error) {
+	apps := RealAppNames()
+	cols := []string{"freq_mhz"}
+	for _, a := range apps {
+		cols = append(cols, a+"_meas", a+"_pred")
+	}
+	t := &Table{ID: id, Title: title, Columns: cols}
+	arch := gpusim.GA100()
+	freqs := arch.DesignClocks()
+	series := map[string]map[float64][2]float64{}
+	for _, app := range apps {
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		on, err := c.Online("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		byFreq := map[float64][2]float64{}
+		pred := map[float64]objective.Profile{}
+		for _, p := range on.Predicted {
+			pred[p.FreqMHz] = p
+		}
+		var refM, refP float64 = 1, 1
+		if normalize {
+			for _, m := range measured {
+				if m.FreqMHz == arch.MaxFreqMHz {
+					refM = metric(m)
+				}
+			}
+			if p, ok := pred[arch.MaxFreqMHz]; ok {
+				refP = metric(p)
+			}
+		}
+		for _, m := range measured {
+			p, ok := pred[m.FreqMHz]
+			if !ok {
+				continue
+			}
+			byFreq[m.FreqMHz] = [2]float64{metric(m) / refM, metric(p) / refP}
+		}
+		series[app] = byFreq
+	}
+	for _, f := range freqs {
+		row := []string{f0(f)}
+		for _, app := range apps {
+			v := series[app][f]
+			if normalize {
+				row = append(row, f3(v[0]), f3(v[1]))
+			} else {
+				row = append(row, f1(v[0]), f1(v[1]))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure9 reproduces the optimal-configuration study: for each real
+// application, the frequencies selected by M-EDP, P-EDP, M-ED²P, and
+// P-ED²P on GA100.
+func (c *Context) Figure9() (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Optimal DVFS configurations (MHz) selected by measured/predicted EDP and ED²P on GA100",
+		Columns: []string{"application", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP"},
+	}
+	for _, app := range RealAppNames() {
+		sel, err := c.selections(app)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app, f0(sel["M-ED2P"]), f0(sel["P-ED2P"]), f0(sel["M-EDP"]), f0(sel["P-EDP"]))
+	}
+	return t, nil
+}
+
+// selections computes the four paper selections for one app on GA100.
+func (c *Context) selections(app string) (map[string]float64, error) {
+	measured, err := c.MeasuredProfiles("GA100", app)
+	if err != nil {
+		return nil, err
+	}
+	on, err := c.Online("GA100", app)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, spec := range []struct {
+		name     string
+		profiles []objective.Profile
+		obj      objective.Objective
+	}{
+		{"M-ED2P", measured, objective.ED2P{}},
+		{"P-ED2P", on.Predicted, objective.ED2P{}},
+		{"M-EDP", measured, objective.EDP{}},
+		{"P-EDP", on.Predicted, objective.EDP{}},
+	} {
+		p, err := objective.SelectOptimal(spec.profiles, spec.obj)
+		if err != nil {
+			return nil, err
+		}
+		out[spec.name] = p.FreqMHz
+	}
+	return out, nil
+}
+
+// Figure10 reproduces the energy/performance change study: percentage
+// change in energy and execution time at the M-ED²P and P-ED²P optimal
+// frequencies, both evaluated on measured data, per real application.
+func (c *Context) Figure10() (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Percent change in energy and execution time at ED²P optima on GA100 (positive energy = saving, negative time = loss)",
+		Columns: []string{"application", "M-ED2P_energy", "P-ED2P_energy", "M-ED2P_time", "P-ED2P_time"},
+	}
+	for _, app := range RealAppNames() {
+		sel, err := c.selections(app)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		toM, err := EvaluateOnMeasured(measured, sel["M-ED2P"])
+		if err != nil {
+			return nil, err
+		}
+		toP, err := EvaluateOnMeasured(measured, sel["P-ED2P"])
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app, f1(toM.EnergyPct), f1(toP.EnergyPct), f1(toM.TimePct), f1(toP.TimePct))
+	}
+	return t, nil
+}
+
+// Figure11Learners are the multi-learner baselines of the §7 comparison,
+// plus the DNN itself.
+var Figure11Learners = []string{"dnn", "rfr", "xgbr", "svr", "mlr"}
+
+// Figure11 reproduces the §7 multi-learner comparison: power prediction
+// accuracy per real application for the DNN versus RFR, XGBR, SVR, and
+// MLR, all trained on the same benchmark dataset.
+func (c *Context) Figure11() (*Table, error) {
+	accs, err := c.LearnerAccuracies()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Power prediction accuracy (%) per learner on GA100 real applications",
+		Columns: append([]string{"application"}, Figure11Learners...),
+	}
+	for _, app := range RealAppNames() {
+		row := []string{app}
+		for _, l := range Figure11Learners {
+			row = append(row, f1(accs[l][app]))
+		}
+		t.AddRow(row...)
+	}
+	// Per-learner averages, the paper's headline comparison.
+	avg := []string{"AVERAGE"}
+	for _, l := range Figure11Learners {
+		var s float64
+		for _, app := range RealAppNames() {
+			s += accs[l][app]
+		}
+		avg = append(avg, f1(s/float64(len(RealAppNames()))))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}

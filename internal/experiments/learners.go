@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/mlbase"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/stats"
+)
+
+// LearnerAccuracies trains each Figure 11 baseline on the same benchmark
+// dataset as the DNN and evaluates power-prediction accuracy per real
+// application on GA100, returning learner → application → accuracy (%).
+//
+// All learners (including the DNN) see standardized features and predict
+// TDP fractions, and all use the paper's online trick: features measured
+// once at the maximum clock, with only the clock feature swapped per
+// candidate frequency.
+func (c *Context) LearnerAccuracies() (map[string]map[string]float64, error) {
+	off, err := c.Offline()
+	if err != nil {
+		return nil, err
+	}
+	models := off.Models
+	// Baselines train on the same phase-resolved per-sample distribution
+	// as the DNN, subsampled to a size every learner can handle (the SVR's
+	// kernel matrix is quadratic in the training size).
+	trainDS := subsample(off.SampleDataset, 6000)
+	x, err := models.Scaler.Transform(trainDS.X())
+	if err != nil {
+		return nil, err
+	}
+	yPower := trainDS.YPower()
+
+	fitted := map[string]mlbase.Regressor{}
+	for _, name := range Figure11Learners {
+		if name == "dnn" {
+			continue
+		}
+		reg, err := mlbase.NewByName(name, c.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := reg.Fit(x, yPower); err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s: %w", name, err)
+		}
+		fitted[name] = reg
+	}
+
+	arch := gpusim.GA100()
+	out := map[string]map[string]float64{}
+	for _, l := range Figure11Learners {
+		out[l] = map[string]float64{}
+	}
+	for _, app := range RealAppNames() {
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		on, err := c.Online("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+
+		// DNN accuracy straight from the core pipeline.
+		acc, err := core.EvaluateAccuracy(on.Predicted, measured)
+		if err != nil {
+			return nil, err
+		}
+		out["dnn"][app] = acc.Power
+
+		// Baselines: same feature rows as the DNN's online phase.
+		mean := on.ProfileRun.MeanSample()
+		var rows [][]float64
+		var measPower []float64
+		for _, m := range measured {
+			row, err := dataset.FeatureVector(models.Features, mean, m.FreqMHz, arch.MaxFreqMHz)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			measPower = append(measPower, m.PowerWatts)
+		}
+		scaled, err := models.Scaler.Transform(rows)
+		if err != nil {
+			return nil, err
+		}
+		for name, reg := range fitted {
+			pred, err := reg.Predict(scaled)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: predicting with %s: %w", name, err)
+			}
+			watts := make([]float64, len(pred))
+			for i, v := range pred {
+				watts[i] = v * arch.TDPWatts
+			}
+			a, err := stats.Accuracy(measPower, watts)
+			if err != nil {
+				return nil, err
+			}
+			out[name][app] = a
+		}
+	}
+	return out, nil
+}
+
+// profilesFromPredictions is shared by ablation studies: it converts raw
+// model outputs at each frequency into objective profiles.
+func profilesFromPredictions(freqs []float64, powerFrac, slowdown []float64, tdp, refTime float64) []objective.Profile {
+	out := make([]objective.Profile, len(freqs))
+	for i, f := range freqs {
+		out[i] = objective.Profile{
+			FreqMHz:    f,
+			PowerWatts: powerFrac[i] * tdp,
+			TimeSec:    slowdown[i] * refTime,
+		}
+	}
+	return out
+}

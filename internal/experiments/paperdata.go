@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// The paper's reported numbers, used by the comparison tables and
+// EXPERIMENTS.md. Sources: Table 3 (model accuracy), Table 4 (optimal
+// frequencies on GA100), Table 5 (energy/time changes on GA100).
+
+// PaperTable3 holds the paper's accuracy values: gpu → app → {power, time}.
+var PaperTable3 = map[string]map[string][2]float64{
+	"GA100": {
+		"LAMMPS":   {96.5, 96.2},
+		"NAMD":     {96.8, 98.1},
+		"GROMACS":  {97.5, 88.7},
+		"BERT":     {95.7, 95.9},
+		"ResNet50": {98.5, 88.4},
+		"LSTM":     {98.2, 95.4},
+	},
+	"GV100": {
+		"LAMMPS":   {94.9, 93.4},
+		"NAMD":     {96.5, 96.5},
+		"GROMACS":  {95.1, 93.5},
+		"BERT":     {94.5, 95.9},
+		"ResNet50": {95.7, 97.1},
+		"LSTM":     {98.6, 90.7},
+	},
+}
+
+// PaperTable4 holds the paper's optimal frequencies (MHz) on GA100:
+// app → {M-ED2P, P-ED2P, M-EDP, P-EDP}.
+var PaperTable4 = map[string][4]float64{
+	"LAMMPS":   {1215, 1065, 1110, 1050},
+	"NAMD":     {1215, 1410, 1155, 1050},
+	"GROMACS":  {1110, 1140, 1110, 930},
+	"LSTM":     {810, 1065, 810, 1065},
+	"BERT":     {1155, 1410, 1125, 1410},
+	"ResNet50": {1410, 1020, 795, 975},
+}
+
+// PaperTable5 holds the paper's energy/time changes (%) on GA100:
+// app → {energy M-ED2P, P-ED2P, M-EDP, P-EDP, time M-ED2P, P-ED2P, M-EDP, P-EDP}.
+var PaperTable5 = map[string][8]float64{
+	"LAMMPS":   {28.3, 33.4, 34.3, 32.76, -4.1, -14.4, -9.2, -16.4},
+	"NAMD":     {23.4, 0.0, 27.3, 28.0, -6.5, 0.0, -11.1, -19.6},
+	"GROMACS":  {30.0, 27.1, 30.0, 28.9, 2.8, 1.8, 2.8, -0.7},
+	"LSTM":     {31.2, 27.7, 31.2, 27.7, 5.3, 5.3, 5.3, 5.3},
+	"BERT":     {25.5, 0.0, 27.03, 0.0, -8.1, 0.0, -9.8, 0.0},
+	"ResNet50": {0.0, 16.9, 25.6, 15.3, 0.0, -34.0, -32.9, -39.0},
+	"Average":  {28.2, 17.5, 29.2, 22.1, -1.8, -6.9, -9.1, -11.7},
+}
+
+// CompareTable3 regenerates Table 3 and lays it side by side with the
+// paper's reported accuracies.
+func (c *Context) CompareTable3() (*Table, error) {
+	ours, err := c.Table3()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "cmp-tab3",
+		Title:   "Model accuracy (%): paper-reported vs this reproduction",
+		Columns: []string{"gpu", "application", "paper_power", "ours_power", "paper_time", "ours_time"},
+	}
+	for _, row := range ours.Rows {
+		gpu, app := row[0], row[1]
+		paper, ok := PaperTable3[gpu][app]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no paper value for %s/%s", gpu, app)
+		}
+		t.AddRow(gpu, app, f1(paper[0]), row[2], f1(paper[1]), row[3])
+	}
+	return t, nil
+}
+
+// CompareTable4 regenerates Table 4 and lays it side by side with the
+// paper's reported optimal frequencies.
+func (c *Context) CompareTable4() (*Table, error) {
+	ours, err := c.Table4()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "cmp-tab4",
+		Title: "Optimal frequencies (MHz): paper-reported vs this reproduction",
+		Columns: []string{"application",
+			"M-ED2P_paper", "M-ED2P_ours", "P-ED2P_paper", "P-ED2P_ours",
+			"M-EDP_paper", "M-EDP_ours", "P-EDP_paper", "P-EDP_ours"},
+	}
+	for _, row := range ours.Rows {
+		app := row[0]
+		paper, ok := PaperTable4[app]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no paper value for %s", app)
+		}
+		t.AddRow(app,
+			f0(paper[0]), row[1], f0(paper[1]), row[2],
+			f0(paper[2]), row[3], f0(paper[3]), row[4])
+	}
+	return t, nil
+}
+
+// CompareTable5 regenerates Table 5's M-ED²P/P-ED²P columns and lays them
+// side by side with the paper's values.
+func (c *Context) CompareTable5() (*Table, error) {
+	ours, err := c.Table5()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "cmp-tab5",
+		Title: "Energy/time change at ED²P optima (%): paper-reported vs this reproduction",
+		Columns: []string{"application",
+			"energy_M_paper", "energy_M_ours", "energy_P_paper", "energy_P_ours",
+			"time_M_paper", "time_M_ours", "time_P_paper", "time_P_ours"},
+	}
+	for _, row := range ours.Rows {
+		app := row[0]
+		paper, ok := PaperTable5[app]
+		if !ok {
+			return nil, fmt.Errorf("experiments: no paper value for %s", app)
+		}
+		// ours columns: app, energy M-ED2P, P-ED2P, M-EDP, P-EDP, time ...
+		t.AddRow(app,
+			f1(paper[0]), row[1], f1(paper[1]), row[2],
+			f1(paper[4]), row[5], f1(paper[5]), row[6])
+	}
+	return t, nil
+}
+
+// Comparisons generates every paper-vs-reproduction table.
+func (c *Context) Comparisons() ([]*Table, error) {
+	gens := []func() (*Table, error){c.CompareTable3, c.CompareTable4, c.CompareTable5}
+	out := make([]*Table, 0, len(gens))
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// parseCell is a helper for tests inspecting comparison tables.
+func parseCell(s string) float64 {
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}

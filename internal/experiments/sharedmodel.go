@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/stats"
+)
+
+// AblationSharedModelTable contrasts the paper's design choice of two
+// separate single-output networks against one shared two-output network
+// (features → [power fraction, slowdown]) trained on the same per-run
+// data. The normalized targets share a scale, so a joint MSE is
+// meaningful. Both variants train at the paper's architecture and the
+// power model's 100-epoch budget.
+func (c *Context) AblationSharedModelTable() (*Table, error) {
+	off, err := c.Offline()
+	if err != nil {
+		return nil, err
+	}
+	ds := off.Dataset
+
+	scaler := &stats.StandardScaler{}
+	if err := scaler.Fit(ds.X()); err != nil {
+		return nil, err
+	}
+	x, err := scaler.Transform(ds.X())
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared two-output network.
+	shared, err := nn.NewNetwork(nn.Arch{
+		Inputs: len(ds.FeatureNames), Hidden: []int{64, 64, 64}, Outputs: 2,
+		HiddenAct: "selu", OutputAct: "linear",
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+	ys := make([][]float64, len(ds.Points))
+	for i, p := range ds.Points {
+		ys[i] = []float64{p.Power, p.Slowdown}
+	}
+	cfg := nn.PaperTrainConfig(core.PaperPowerEpochs)
+	cfg.Optimizer = nn.OptimizerConfig{Name: "rmsprop", LearningRate: 0.002}
+	cfg.WeightDecay = 1e-4
+	if _, err := shared.FitMulti(x, ys, cfg); err != nil {
+		return nil, fmt.Errorf("experiments: training shared model: %w", err)
+	}
+
+	// Separate baseline: two single-output nets on the identical data.
+	separate, err := core.Train(ds, core.TrainOptions{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	arch := gpusim.GA100()
+	t := &Table{
+		ID:      "abl-shared",
+		Title:   "Shared two-output model vs the paper's separate models (per-run training data)",
+		Columns: []string{"application", "shared_power", "separate_power", "shared_time", "separate_time"},
+	}
+	var sums [4]float64
+	for _, app := range RealAppNames() {
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		on, err := c.Online("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+
+		// Shared-model prediction across the design space.
+		mean := on.ProfileRun.MeanSample()
+		rows := make([][]float64, 0, len(arch.DesignClocks()))
+		freqs := arch.DesignClocks()
+		for _, f := range freqs {
+			row, err := dataset.FeatureVector(ds.FeatureNames, mean, f, arch.MaxFreqMHz)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		scaled, err := scaler.Transform(rows)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := shared.Predict(scaled)
+		if err != nil {
+			return nil, err
+		}
+		sharedProfiles := make([]objective.Profile, len(freqs))
+		for i, f := range freqs {
+			power := pred[i][0] * arch.TDPWatts
+			if power < 1 {
+				power = 1
+			}
+			slow := pred[i][1]
+			if slow < 1e-6 {
+				slow = 1e-6
+			}
+			sharedProfiles[i] = objective.Profile{
+				FreqMHz:    f,
+				PowerWatts: power,
+				TimeSec:    on.ProfileRun.ExecTimeSec * slow,
+			}
+		}
+		sharedAcc, err := core.EvaluateAccuracy(sharedProfiles, measured)
+		if err != nil {
+			return nil, err
+		}
+
+		sepProfiles, err := separate.PredictProfile(arch, on.ProfileRun, freqs)
+		if err != nil {
+			return nil, err
+		}
+		sepAcc, err := core.EvaluateAccuracy(sepProfiles, measured)
+		if err != nil {
+			return nil, err
+		}
+
+		t.AddRow(app, f1(sharedAcc.Power), f1(sepAcc.Power), f1(sharedAcc.Time), f1(sepAcc.Time))
+		sums[0] += sharedAcc.Power
+		sums[1] += sepAcc.Power
+		sums[2] += sharedAcc.Time
+		sums[3] += sepAcc.Time
+	}
+	n := float64(len(RealAppNames()))
+	t.AddRow("AVERAGE", f1(sums[0]/n), f1(sums[1]/n), f1(sums[2]/n), f1(sums[3]/n))
+	return t, nil
+}

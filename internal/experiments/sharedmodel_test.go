@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestSharedModelAblation(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	tab, err := ctx.AblationSharedModelTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	avg := tab.Rows[len(tab.Rows)-1]
+	if avg[0] != "AVERAGE" {
+		t.Fatalf("last row %v", avg)
+	}
+	for c := 1; c <= 4; c++ {
+		if v := parseCell(avg[c]); v < 60 || v > 100 {
+			t.Errorf("average column %d = %v out of sane range", c, v)
+		}
+	}
+}

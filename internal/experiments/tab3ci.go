@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/stats"
+)
+
+// Table3CI is Table 3 with 95% bootstrap confidence intervals on each
+// accuracy: the per-frequency prediction errors are resampled with
+// replacement (1000 resamples) and the percentile interval reported. The
+// paper gives point estimates only; the intervals show how much of the
+// paper-vs-ours gap is within resampling noise.
+func (c *Context) Table3CI() (*Table, error) {
+	t := &Table{
+		ID:      "tab3ci",
+		Title:   "Model accuracy (%) with 95% bootstrap confidence intervals",
+		Columns: []string{"gpu", "application", "power", "power_ci", "performance", "performance_ci"},
+	}
+	for _, archName := range []string{"GA100", "GV100"} {
+		for _, app := range RealAppNames() {
+			measured, err := c.MeasuredProfiles(archName, app)
+			if err != nil {
+				return nil, err
+			}
+			on, err := c.Online(archName, app)
+			if err != nil {
+				return nil, err
+			}
+			predByFreq := map[float64]objective.Profile{}
+			for _, p := range on.Predicted {
+				predByFreq[p.FreqMHz] = p
+			}
+			var mp, pp, mt, pt []float64
+			for _, m := range measured {
+				p, ok := predByFreq[m.FreqMHz]
+				if !ok {
+					continue
+				}
+				mp = append(mp, m.PowerWatts)
+				pp = append(pp, p.PowerWatts)
+				mt = append(mt, m.TimeSec)
+				pt = append(pt, p.TimeSec)
+			}
+			powerCI, err := stats.AccuracyCI(mp, pp, c.cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			timeCI, err := stats.AccuracyCI(mt, pt, c.cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(archName, app,
+				f1(powerCI.Point), "["+f1(powerCI.Lo)+", "+f1(powerCI.Hi)+"]",
+				f1(timeCI.Point), "["+f1(timeCI.Lo)+", "+f1(timeCI.Hi)+"]")
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/workloads"
+)
+
+// Table1 reproduces the GPU specification table.
+func (c *Context) Table1() (*Table, error) {
+	ga, gv := gpusim.GA100(), gpusim.GV100()
+	t := &Table{
+		ID:      "tab1",
+		Title:   "Specifications of the GPUs used in this study",
+		Columns: []string{"spec", ga.Name, gv.Name},
+	}
+	t.AddRow("Core Frequency Range (MHz)",
+		fmt.Sprintf("[%v:%v]", ga.MinFreqMHz, ga.MaxFreqMHz),
+		fmt.Sprintf("[%v:%v]", gv.MinFreqMHz, gv.MaxFreqMHz))
+	t.AddRow("Default Core Frequency (MHz)", f0(ga.MaxFreqMHz), f0(gv.MaxFreqMHz))
+	t.AddRow("Used DVFS Configurations",
+		fmt.Sprintf("%d out of %d", len(ga.DesignClocks()), len(ga.SupportedClocks())),
+		fmt.Sprintf("%d out of %d", len(gv.DesignClocks()), len(gv.SupportedClocks())))
+	t.AddRow("Memory Frequency (MHz)", f0(ga.MemFreqMHz), f0(gv.MemFreqMHz))
+	t.AddRow("GPU Memory (HBM2e) (GB)", fmt.Sprintf("%d", ga.MemoryGB), fmt.Sprintf("%d", gv.MemoryGB))
+	t.AddRow("Peak Memory Bandwidth (GB/s)", f0(ga.PeakBandwidthGBps), f0(gv.PeakBandwidthGBps))
+	t.AddRow("TDP (W)", f0(ga.TDPWatts), f0(gv.TDPWatts))
+	return t, nil
+}
+
+// Table2 reproduces the application list.
+func (c *Context) Table2() (*Table, error) {
+	t := &Table{
+		ID:      "tab2",
+		Title:   "List of applications used in this study",
+		Columns: []string{"category", "application"},
+	}
+	for _, w := range workloads.SPECACCEL() {
+		t.AddRow("SPEC ACCEL [Training]", w.Name)
+	}
+	for _, w := range workloads.MicroBenchmarks() {
+		t.AddRow("Micro-Benchmarks [Training]", w.Name)
+	}
+	for _, w := range workloads.RealApps() {
+		t.AddRow("Real-world [Evaluation]", w.Name)
+	}
+	return t, nil
+}
+
+// Table3 reproduces the model-accuracy table: power and performance
+// prediction accuracy for each real application on GA100 and GV100. The
+// GV100 rows exercise the portability claim — the models were trained only
+// on GA100 data.
+func (c *Context) Table3() (*Table, error) {
+	t := &Table{
+		ID:      "tab3",
+		Title:   "Accuracy (%) of power and performance models per real application",
+		Columns: []string{"gpu", "application", "power", "performance"},
+	}
+	for _, archName := range []string{"GA100", "GV100"} {
+		for _, app := range RealAppNames() {
+			acc, err := c.AccuracyFor(archName, app)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(archName, app, f1(acc.Power), f1(acc.Time))
+		}
+	}
+	return t, nil
+}
+
+// AccuracyFor computes Table 3's accuracy pair for one application on one
+// architecture.
+func (c *Context) AccuracyFor(archName, app string) (core.Accuracy, error) {
+	measured, err := c.MeasuredProfiles(archName, app)
+	if err != nil {
+		return core.Accuracy{}, err
+	}
+	on, err := c.Online(archName, app)
+	if err != nil {
+		return core.Accuracy{}, err
+	}
+	return core.EvaluateAccuracy(on.Predicted, measured)
+}
+
+// Table4 reproduces the optimal-frequency table on GA100.
+func (c *Context) Table4() (*Table, error) {
+	t := &Table{
+		ID:      "tab4",
+		Title:   "Optimal frequencies (MHz) per application via M-ED2P, P-ED2P, M-EDP, P-EDP on GA100",
+		Columns: []string{"application", "M-ED2P", "P-ED2P", "M-EDP", "P-EDP"},
+	}
+	for _, app := range RealAppNames() {
+		sel, err := c.selections(app)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(app, f0(sel["M-ED2P"]), f0(sel["P-ED2P"]), f0(sel["M-EDP"]), f0(sel["P-EDP"]))
+	}
+	return t, nil
+}
+
+// Table5Methods is the column order of Table 5.
+var Table5Methods = []string{"M-ED2P", "P-ED2P", "M-EDP", "P-EDP"}
+
+// Table5 reproduces the energy/time trade-off table: percent change in
+// energy and execution time per application and method on GA100, with the
+// per-method averages. All selections — measured or predicted — are scored
+// on measured data, as in the paper.
+func (c *Context) Table5() (*Table, error) {
+	cols := []string{"application"}
+	for _, m := range Table5Methods {
+		cols = append(cols, "energy_"+m)
+	}
+	for _, m := range Table5Methods {
+		cols = append(cols, "time_"+m)
+	}
+	t := &Table{
+		ID:      "tab5",
+		Title:   "Change in energy and execution time (%) per application on GA100 (negative time = performance loss)",
+		Columns: cols,
+	}
+	sums := map[string][2]float64{}
+	for _, app := range RealAppNames() {
+		sel, err := c.selections(app)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{app}
+		tos := map[string]objective.TradeOff{}
+		for _, m := range Table5Methods {
+			to, err := EvaluateOnMeasured(measured, sel[m])
+			if err != nil {
+				return nil, err
+			}
+			tos[m] = to
+			s := sums[m]
+			s[0] += to.EnergyPct
+			s[1] += to.TimePct
+			sums[m] = s
+		}
+		for _, m := range Table5Methods {
+			row = append(row, f1(tos[m].EnergyPct))
+		}
+		for _, m := range Table5Methods {
+			row = append(row, f1(tos[m].TimePct))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(RealAppNames()))
+	avg := []string{"Average"}
+	for _, m := range Table5Methods {
+		avg = append(avg, f1(sums[m][0]/n))
+	}
+	for _, m := range Table5Methods {
+		avg = append(avg, f1(sums[m][1]/n))
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// Table6Thresholds are the performance-degradation thresholds of Table 6:
+// unconstrained, 5%, and 1%.
+var Table6Thresholds = []float64{-1, 0.05, 0.01}
+
+// Table6 reproduces the threshold study for the two applications with the
+// largest performance penalties (LAMMPS and ResNet50): frequencies are
+// selected from *predicted* EDP profiles, optionally constrained by a
+// performance threshold, and scored on measured data.
+func (c *Context) Table6() (*Table, error) {
+	t := &Table{
+		ID:      "tab6",
+		Title:   "Change in execution time and energy (%) on GA100 under performance thresholds (P-EDP selection)",
+		Columns: []string{"application", "threshold", "freq_mhz", "time_pct", "energy_pct"},
+	}
+	for _, app := range []string{"LAMMPS", "ResNet50"} {
+		on, err := c.Online("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := c.MeasuredProfiles("GA100", app)
+		if err != nil {
+			return nil, err
+		}
+		for _, th := range Table6Thresholds {
+			freq, err := thresholdedFrequency(on.Predicted, measured, objective.EDP{}, th)
+			if err != nil {
+				return nil, err
+			}
+			to, err := EvaluateOnMeasured(measured, freq)
+			if err != nil {
+				return nil, err
+			}
+			label := "Nil"
+			if th >= 0 {
+				label = fmt.Sprintf("%.0f%%", th*100)
+			}
+			t.AddRow(app, label, f0(freq), f1(to.TimePct), f1(to.EnergyPct))
+		}
+	}
+	return t, nil
+}
+
+// thresholdedFrequency is Table 6's Algorithm 1 variant: the starting
+// point is the P-EDP optimal frequency (chosen from predictions, as in the
+// online deployment), but the performance-degradation walk is bounded
+// against measured data — the guarantee an operator actually wants. A
+// negative threshold returns the predicted optimum unchanged.
+func thresholdedFrequency(predicted, measured []objective.Profile, obj objective.Objective, th float64) (float64, error) {
+	opt, err := objective.SelectOptimal(predicted, obj)
+	if err != nil {
+		return 0, err
+	}
+	if th < 0 {
+		return opt.FreqMHz, nil
+	}
+	sorted := append([]objective.Profile(nil), measured...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqMHz < sorted[j].FreqMHz })
+	start := sort.Search(len(sorted), func(i int) bool { return sorted[i].FreqMHz >= opt.FreqMHz })
+	for i := start; i < len(sorted); i++ {
+		if objective.PerfDegradation(sorted, sorted[i]) < th {
+			return sorted[i].FreqMHz, nil
+		}
+	}
+	// Fall back to the best-performing measured profile (zero degradation).
+	best := sorted[0]
+	for _, p := range sorted[1:] {
+		if p.TimeSec < best.TimeSec {
+			best = p
+		}
+	}
+	return best.FreqMHz, nil
+}
+
+// Table7 reproduces the qualitative comparison with the state of the art.
+func (c *Context) Table7() (*Table, error) {
+	t := &Table{
+		ID:      "tab7",
+		Title:   "Comparison with state-of-the-art",
+		Columns: []string{"study", "static", "machine_learning", "real_apps", "multi_objective"},
+	}
+	t.AddRow("Guerreiro et al. [11]", "yes", "yes", "no", "no")
+	t.AddRow("Fan et al. [8]", "yes", "yes", "no", "no")
+	t.AddRow("Wu et al. [43]", "no", "yes", "no", "no")
+	t.AddRow("Ali et al. [2,3]", "no", "no", "yes", "yes")
+	t.AddRow("This work", "no", "yes", "yes", "yes")
+	return t, nil
+}
+
+// All generates every table and figure in paper order.
+func (c *Context) All() ([]*Table, error) {
+	gens := []func() (*Table, error){
+		c.Figure1, c.Table1, c.Table2, c.Figure3, c.Figure4, c.Figure5,
+		c.Figure6, c.Figure7, c.Figure8, c.Table3, c.Figure9, c.Table4,
+		c.Figure10, c.Table5, c.Table6, c.Table7, c.Figure11,
+	}
+	out := make([]*Table, 0, len(gens))
+	for _, g := range gens {
+		t, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

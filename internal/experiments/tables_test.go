@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+
+	"gpudvfs/internal/objective"
+)
+
+// These unit tests exercise the Table 6 threshold walk on synthetic
+// curves; they need no context and run under -short.
+
+func syntheticCurve(times, powers []float64) []objective.Profile {
+	out := make([]objective.Profile, len(times))
+	for i := range times {
+		out[i] = objective.Profile{
+			FreqMHz:    510 + float64(i)*300,
+			TimeSec:    times[i],
+			PowerWatts: powers[i],
+		}
+	}
+	return out
+}
+
+func TestThresholdedFrequencyUnconstrained(t *testing.T) {
+	pred := syntheticCurve([]float64{4, 2.5, 2.2, 2.0}, []float64{120, 180, 220, 460})
+	meas := pred
+	f, err := thresholdedFrequency(pred, meas, objective.EDP{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := objective.SelectOptimal(pred, objective.EDP{})
+	if f != opt.FreqMHz {
+		t.Fatalf("unconstrained %v, want predicted optimum %v", f, opt.FreqMHz)
+	}
+}
+
+func TestThresholdedFrequencyWalksMeasured(t *testing.T) {
+	// Predictions think every frequency is fast (flat time), so P-EDP
+	// picks the lowest. Measurements disagree: only the top clock meets a
+	// 1% degradation bound.
+	pred := syntheticCurve([]float64{2.0, 2.0, 2.0, 2.0}, []float64{100, 150, 200, 400})
+	meas := syntheticCurve([]float64{4.0, 3.0, 2.5, 2.0}, []float64{100, 150, 200, 400})
+	f, err := thresholdedFrequency(pred, meas, objective.EDP{}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != meas[3].FreqMHz {
+		t.Fatalf("1%% threshold chose %v, want the top clock %v", f, meas[3].FreqMHz)
+	}
+	// A loose 60% bound keeps the predicted optimum.
+	f, err = thresholdedFrequency(pred, meas, objective.EDP{}, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != meas[0].FreqMHz {
+		t.Fatalf("loose threshold chose %v, want %v", f, meas[0].FreqMHz)
+	}
+}
+
+func TestThresholdedFrequencyEmpty(t *testing.T) {
+	if _, err := thresholdedFrequency(nil, nil, objective.EDP{}, 0.05); err == nil {
+		t.Fatal("empty curves accepted")
+	}
+}
+
+func TestEvaluateOnMeasuredMissingFreq(t *testing.T) {
+	meas := syntheticCurve([]float64{2, 1}, []float64{100, 200})
+	if _, err := EvaluateOnMeasured(meas, 777); err == nil {
+		t.Fatal("missing frequency accepted")
+	}
+	to, err := EvaluateOnMeasured(meas, meas[0].FreqMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.FreqMHz != meas[0].FreqMHz {
+		t.Fatalf("trade-off freq %v", to.FreqMHz)
+	}
+}
+
+func TestPaperDataComplete(t *testing.T) {
+	for _, gpu := range []string{"GA100", "GV100"} {
+		for _, app := range RealAppNames() {
+			if _, ok := PaperTable3[gpu][app]; !ok {
+				t.Errorf("PaperTable3 missing %s/%s", gpu, app)
+			}
+		}
+	}
+	for _, app := range RealAppNames() {
+		if _, ok := PaperTable4[app]; !ok {
+			t.Errorf("PaperTable4 missing %s", app)
+		}
+		if _, ok := PaperTable5[app]; !ok {
+			t.Errorf("PaperTable5 missing %s", app)
+		}
+	}
+	if _, ok := PaperTable5["Average"]; !ok {
+		t.Error("PaperTable5 missing the Average row")
+	}
+	// The paper's headline: 28.2% average M-ED2P energy saving at −1.8% time.
+	avg := PaperTable5["Average"]
+	if avg[0] != 28.2 || avg[4] != -1.8 {
+		t.Errorf("paper averages transcribed wrong: %v", avg)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// VoltageOffsets is the undervolt sweep explored by FutureVoltageTable,
+// in volts.
+var VoltageOffsets = []float64{-0.025, -0.05}
+
+// FutureVoltageTable explores the voltage design space the paper's §8
+// names as future work: for each workload, the additional energy saving
+// available from undervolting the GA100's V(f) curve at the maximum clock
+// and at the workload's measured-ED²P optimal clock. Because dynamic power
+// scales with V², even tens of millivolts are material — and the saving is
+// larger at high clocks, where the voltage curve sits above its floor.
+func (c *Context) FutureVoltageTable() (*Table, error) {
+	arch := gpusim.GA100()
+	cols := []string{"workload", "ed2p_freq_mhz"}
+	for _, dv := range VoltageOffsets {
+		cols = append(cols,
+			fmt.Sprintf("save_%-.0fmV_at_max", -dv*1000),
+			fmt.Sprintf("save_%-.0fmV_at_ed2p", -dv*1000))
+	}
+	t := &Table{
+		ID:      "fut-volt",
+		Title:   "Future work: undervolting savings (%) on GA100, at the maximum clock and at each workload's M-ED²P optimum",
+		Columns: cols,
+	}
+	apps := []string{"DGEMM", "STREAM"}
+	apps = append(apps, RealAppNames()...)
+	for _, name := range apps {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sel, err := c.measuredED2P(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{name, f0(sel)}
+		for _, dv := range VoltageOffsets {
+			atMax, err := gpusim.UndervoltSavings(arch, w, arch.MaxFreqMHz, dv)
+			if err != nil {
+				return nil, err
+			}
+			atOpt, err := gpusim.UndervoltSavings(arch, w, sel, dv)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(atMax*100), f1(atOpt*100))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// measuredED2P returns the M-ED²P optimal frequency for a workload on
+// GA100 (computing the measured sweep if necessary).
+func (c *Context) measuredED2P(app string) (float64, error) {
+	measured, err := c.MeasuredProfiles("GA100", app)
+	if err != nil {
+		return 0, err
+	}
+	best := measured[0]
+	bestScore := best.Energy() * best.TimeSec * best.TimeSec
+	for _, p := range measured[1:] {
+		if s := p.Energy() * p.TimeSec * p.TimeSec; s < bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best.FreqMHz, nil
+}

@@ -1,0 +1,218 @@
+// Package governor adds the runtime piece the paper's methodology stops
+// short of: a controller that applies a model-selected frequency to a
+// device and keeps watching telemetry for workload drift.
+//
+// The paper's online phase is one-shot — profile once at the maximum
+// clock, pick a frequency, done. That is sound while the workload keeps
+// the same computational character: the selected features (fp_active,
+// dram_active) are input-size- and DVFS-invariant, so neither a bigger
+// problem size nor the applied clock invalidates the choice. What does
+// invalidate it is a change of character — a simulation entering a
+// different phase, a training job switching models. The governor detects
+// that as feature drift against the profiling baseline and re-runs the
+// online phase.
+package governor
+
+import (
+	"errors"
+	"fmt"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/objective"
+)
+
+// Config controls governing behaviour. The zero value is not usable; use
+// DefaultConfig or fill Objective.
+type Config struct {
+	// Objective ranks candidate frequencies (required).
+	Objective objective.Objective
+	// Threshold is the performance-degradation bound for Algorithm 1; a
+	// negative value selects the unconstrained optimum.
+	Threshold float64
+	// DriftTolerance is the relative feature change versus the profiling
+	// baseline that counts as drift. Default 0.25: well above the
+	// features' natural DVFS/input-size wobble (§4.2), well below a
+	// change of computational character.
+	DriftTolerance float64
+	// ReprofileAfter is how many consecutive drifted observations trigger
+	// re-tuning (hysteresis against transients). Default 3.
+	ReprofileAfter int
+	// ProfileSeed seeds the profiling runs' telemetry noise.
+	ProfileSeed int64
+}
+
+// DefaultConfig returns a governor configuration with the paper's ED²P
+// objective, unconstrained selection, and default drift hysteresis.
+func DefaultConfig() Config {
+	return Config{Objective: objective.ED2P{}, Threshold: -1}
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Objective == nil {
+		return c, errors.New("governor: Config.Objective is required")
+	}
+	if c.DriftTolerance == 0 {
+		c.DriftTolerance = 0.25
+	}
+	if c.DriftTolerance < 0 || c.DriftTolerance >= 1 {
+		return c, fmt.Errorf("governor: drift tolerance %v out of (0,1)", c.DriftTolerance)
+	}
+	if c.ReprofileAfter == 0 {
+		c.ReprofileAfter = 3
+	}
+	if c.ReprofileAfter < 0 {
+		return c, fmt.Errorf("governor: negative reprofile hysteresis %d", c.ReprofileAfter)
+	}
+	return c, nil
+}
+
+// Stats counts governor activity.
+type Stats struct {
+	Tunes        int // online phases run (initial + re-tunes)
+	Runs         int // workload executions observed
+	DriftedRuns  int // observations flagged as drifted
+	Retunes      int // re-tunes triggered by drift
+	EnergyJoules float64
+	TimeSeconds  float64
+}
+
+// Governor applies model-selected frequencies and re-tunes on drift.
+type Governor struct {
+	dev    *gpusim.Device
+	models *core.Models
+	cfg    Config
+
+	tuned     bool
+	selection core.Selection
+	baseline  dcgm.Sample // mean profiling sample that justified selection
+	drifted   int
+	stats     Stats
+}
+
+// New returns a governor over dev using the given trained models.
+func New(dev *gpusim.Device, models *core.Models, cfg Config) (*Governor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if dev == nil || models == nil {
+		return nil, errors.New("governor: device and models are required")
+	}
+	return &Governor{dev: dev, models: models, cfg: cfg}, nil
+}
+
+// Selection returns the currently applied selection; valid after Tune.
+func (g *Governor) Selection() core.Selection { return g.selection }
+
+// Stats returns a snapshot of the governor's counters.
+func (g *Governor) Stats() Stats { return g.stats }
+
+// Tune runs the paper's online phase for app (one profiling run at the
+// maximum clock), selects the optimal frequency under the configured
+// objective, and pins the device clock to it.
+func (g *Governor) Tune(app gpusim.KernelProfile) (core.Selection, error) {
+	on, err := core.OnlinePredict(g.dev, g.models, app, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
+	if err != nil {
+		return core.Selection{}, err
+	}
+	sel, err := core.SelectFrequency(on.Predicted, g.cfg.Objective, g.cfg.Threshold)
+	if err != nil {
+		return core.Selection{}, err
+	}
+	if err := g.dev.SetClock(sel.FreqMHz); err != nil {
+		return core.Selection{}, err
+	}
+	g.selection = sel
+	g.baseline = on.ProfileRun.MeanSample()
+	g.tuned = true
+	g.drifted = 0
+	g.stats.Tunes++
+	return sel, nil
+}
+
+// Drifted reports whether sample s departs from the profiling baseline by
+// more than the configured tolerance in fp_active or dram_active — the
+// two features whose invariance justifies keeping the current frequency.
+func (g *Governor) Drifted(s dcgm.Sample) bool {
+	return relDiff(s.FPActive(), g.baseline.FPActive()) > g.cfg.DriftTolerance ||
+		relDiff(s.DRAMActive, g.baseline.DRAMActive) > g.cfg.DriftTolerance
+}
+
+func relDiff(a, b float64) float64 {
+	// Below this level activities are compared on an absolute scale: a
+	// 0.06→0.09 move is normal clock-induced wobble for a near-idle pipe
+	// (§4.2's invariance is absolute for small activities), not a change
+	// of workload character.
+	const eps = 0.15
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	den := b
+	if den < eps {
+		den = eps
+	}
+	return d / den
+}
+
+// RunOutcome is one governed execution of the application.
+type RunOutcome struct {
+	FreqMHz      float64
+	TimeSec      float64
+	EnergyJoules float64
+	Drifted      bool
+	Retuned      bool
+}
+
+// ProcessRun executes app once at the governed clock, observes its
+// telemetry for drift, and re-tunes (re-profiles and re-selects) when
+// drift has persisted for ReprofileAfter consecutive runs. The app passed
+// here may differ from the one last tuned for — that is exactly the
+// situation the governor exists to notice.
+func (g *Governor) ProcessRun(app gpusim.KernelProfile) (RunOutcome, error) {
+	if !g.tuned {
+		if _, err := g.Tune(app); err != nil {
+			return RunOutcome{}, err
+		}
+	}
+	coll := dcgm.NewCollector(g.dev, dcgm.Config{
+		Freqs: []float64{g.selection.FreqMHz},
+		Runs:  1,
+		Seed:  g.cfg.ProfileSeed + 1000 + int64(g.stats.Runs),
+	})
+	runs, err := coll.CollectWorkload(app)
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	// CollectWorkload restores the default clock; re-pin the governed one.
+	if err := g.dev.SetClock(g.selection.FreqMHz); err != nil {
+		return RunOutcome{}, err
+	}
+	run := runs[0]
+	out := RunOutcome{
+		FreqMHz:      run.FreqMHz,
+		TimeSec:      run.ExecTimeSec,
+		EnergyJoules: run.EnergyJoules,
+	}
+	g.stats.Runs++
+	g.stats.EnergyJoules += run.EnergyJoules
+	g.stats.TimeSeconds += run.ExecTimeSec
+
+	if g.Drifted(run.MeanSample()) {
+		out.Drifted = true
+		g.stats.DriftedRuns++
+		g.drifted++
+	} else {
+		g.drifted = 0
+	}
+	if g.drifted >= g.cfg.ReprofileAfter {
+		if _, err := g.Tune(app); err != nil {
+			return RunOutcome{}, err
+		}
+		out.Retuned = true
+		g.stats.Retunes++
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+package governor
+
+import (
+	"sync"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/trace"
+	"gpudvfs/internal/workloads"
+)
+
+// Shared quick models for the governor tests (training once per process).
+var (
+	modelsOnce sync.Once
+	testModels *core.Models
+	modelsErr  error
+)
+
+func quickModels(t *testing.T) *core.Models {
+	t.Helper()
+	modelsOnce.Do(func() {
+		dev := gpusim.NewDevice(gpusim.GA100(), 51)
+		coll := dcgm.NewCollector(dev, dcgm.Config{
+			Freqs:            []float64{510, 705, 900, 1095, 1290, 1410},
+			Runs:             2,
+			MaxSamplesPerRun: 6,
+			Seed:             52,
+		})
+		nw, err := workloads.ByName("NW")
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		testModels, modelsErr = core.TrainSplit(sds, ds, core.TrainOptions{
+			PowerEpochs: 30, TimeEpochs: 15, Hidden: []int{24, 24}, Seed: 1,
+		})
+	})
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return testModels
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	m := quickModels(t)
+	if _, err := New(nil, m, DefaultConfig()); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := New(dev, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil models accepted")
+	}
+	if _, err := New(dev, m, Config{}); err == nil {
+		t.Fatal("missing objective accepted")
+	}
+	if _, err := New(dev, m, Config{Objective: objective.EDP{}, DriftTolerance: 1.5}); err == nil {
+		t.Fatal("tolerance > 1 accepted")
+	}
+	if _, err := New(dev, m, Config{Objective: objective.EDP{}, ReprofileAfter: -1}); err == nil {
+		t.Fatal("negative hysteresis accepted")
+	}
+}
+
+func TestTuneAppliesClock(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 2)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := g.Tune(workloads.LAMMPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Clock() != sel.FreqMHz {
+		t.Fatalf("device at %v MHz, selection %v", dev.Clock(), sel.FreqMHz)
+	}
+	if !gpusim.GA100().IsSupported(sel.FreqMHz) {
+		t.Fatalf("selected unsupported clock %v", sel.FreqMHz)
+	}
+	if g.Stats().Tunes != 1 {
+		t.Fatalf("tunes = %d", g.Stats().Tunes)
+	}
+}
+
+func TestStableWorkloadDoesNotRetune(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 3)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workloads.LAMMPS()
+	if _, err := g.Tune(app); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		out, err := g.ProcessRun(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Retuned {
+			t.Fatalf("run %d retuned on a stable workload", i)
+		}
+	}
+	if g.Stats().Retunes != 0 {
+		t.Fatalf("retunes = %d", g.Stats().Retunes)
+	}
+}
+
+// TestInputSizeChangeDoesNotRetune pins the paper's size-invariance claim
+// at the governor level: a 4× larger input is not drift.
+func TestInputSizeChangeDoesNotRetune(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 4)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workloads.STREAM()
+	if _, err := g.Tune(app); err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := app.WithInputScale(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		out, err := g.ProcessRun(bigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Retuned {
+			t.Fatalf("run %d retuned on an input-size change", i)
+		}
+	}
+}
+
+// TestCharacterChangeRetunes pins the governor's purpose: swapping a
+// compute-bound phase for a memory-bound one is drift and triggers a
+// re-tune after the hysteresis window.
+func TestCharacterChangeRetunes(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	cfg := DefaultConfig()
+	cfg.ReprofileAfter = 2
+	g, err := New(dev, quickModels(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Tune(workloads.DGEMM()); err != nil {
+		t.Fatal(err)
+	}
+	retunedAt := -1
+	for i := 0; i < 5; i++ {
+		out, err := g.ProcessRun(workloads.STREAM())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Drifted && retunedAt < 0 {
+			t.Fatalf("run %d: memory-bound phase not flagged as drift", i)
+		}
+		if out.Retuned {
+			retunedAt = i
+			break
+		}
+	}
+	if retunedAt != 1 { // hysteresis 2 → second drifted run retunes
+		t.Fatalf("retuned at run %d, want 1", retunedAt)
+	}
+	if g.Stats().Retunes != 1 || g.Stats().Tunes != 2 {
+		t.Fatalf("stats = %+v", g.Stats())
+	}
+}
+
+func TestProcessRunAutoTunes(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 6)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.ProcessRun(workloads.NAMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Tunes != 1 {
+		t.Fatal("ProcessRun did not auto-tune")
+	}
+	if out.TimeSec <= 0 || out.EnergyJoules <= 0 {
+		t.Fatalf("degenerate outcome %+v", out)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workloads.BERT()
+	var energy float64
+	for i := 0; i < 3; i++ {
+		out, err := g.ProcessRun(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		energy += out.EnergyJoules
+	}
+	s := g.Stats()
+	if s.Runs != 3 {
+		t.Fatalf("runs = %d", s.Runs)
+	}
+	if s.EnergyJoules != energy {
+		t.Fatalf("energy %v != %v", s.EnergyJoules, energy)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if relDiff(1, 1) != 0 {
+		t.Fatal("equal values")
+	}
+	if got := relDiff(1.2, 1.0); got < 0.19 || got > 0.21 {
+		t.Fatalf("relDiff(1.2,1) = %v", got)
+	}
+	// Absolute floor avoids divide-by-near-zero blowups.
+	if got := relDiff(0.01, 0.001); got > 0.5 {
+		t.Fatalf("near-zero diff exaggerated: %v", got)
+	}
+}
+
+func TestTunePhased(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 8)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.TunePhased(workloads.LAMMPS(), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gpusim.GA100().IsSupported(res.Selection.FreqMHz) {
+		t.Fatalf("unsupported clock %v", res.Selection.FreqMHz)
+	}
+	if len(res.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	if res.DominantShare <= 0 || res.DominantShare > 1 {
+		t.Fatalf("dominant share %v", res.DominantShare)
+	}
+	if dev.Clock() != res.Selection.FreqMHz {
+		t.Fatal("clock not applied")
+	}
+	if g.Stats().Tunes != 1 {
+		t.Fatalf("tunes = %d", g.Stats().Tunes)
+	}
+}
+
+// TestTunePhasedHostHeavy pins the point of phase-aware tuning: for a
+// host-heavy application the profiling stream splits into GPU-busy and
+// idle phases, and the dominant-phase share reflects the mix.
+func TestTunePhasedHostHeavy(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 9)
+	g, err := New(dev, quickModels(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.TunePhased(workloads.GROMACS(), trace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) < 2 {
+		t.Skipf("phase detector merged the stream (share %v)", res.DominantShare)
+	}
+	if res.DominantShare >= 1 {
+		t.Fatalf("host-heavy app should not be single-phase: %v", res.DominantShare)
+	}
+}

@@ -1,0 +1,72 @@
+package governor
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/trace"
+)
+
+// PhasedTune is the result of TunePhased: the applied selection plus what
+// the phase analysis saw in the profiling stream.
+type PhasedTune struct {
+	Selection core.Selection
+	// Segments is the phase decomposition of the profiling telemetry.
+	Segments []trace.Segment
+	// DominantShare is the dominant phase's share of the profiling
+	// samples; a low value warns that no single frequency fits the whole
+	// application well.
+	DominantShare float64
+}
+
+// TunePhased runs the online phase like Tune, but segments the profiling
+// telemetry into phases first (trace.Detect) and derives the prediction
+// features from the *dominant* phase rather than the whole-stream mean.
+// For applications that interleave GPU-busy and host-bound stretches, the
+// whole-stream mean mixes phases into a feature point no real phase
+// occupies; the dominant-phase features describe the behaviour the
+// selected frequency will actually govern most of the time.
+func (g *Governor) TunePhased(app gpusim.KernelProfile, opts trace.Options) (PhasedTune, error) {
+	on, err := core.OnlinePredict(g.dev, g.models, app, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
+	if err != nil {
+		return PhasedTune{}, err
+	}
+	segs, err := trace.Detect(on.ProfileRun.Samples, opts)
+	if err != nil {
+		return PhasedTune{}, err
+	}
+	dom := segs[0]
+	for _, s := range segs[1:] {
+		if s.Len() > dom.Len() {
+			dom = s
+		}
+	}
+
+	// Re-predict from the dominant phase's samples only.
+	run := on.ProfileRun
+	run.Samples = append([]dcgm.Sample(nil), on.ProfileRun.Samples[dom.Start:dom.End]...)
+	predicted, err := g.models.PredictProfile(g.dev.Arch(), run, g.dev.Arch().DesignClocks())
+	if err != nil {
+		return PhasedTune{}, fmt.Errorf("governor: phased prediction: %w", err)
+	}
+	sel, err := core.SelectFrequency(predicted, g.cfg.Objective, g.cfg.Threshold)
+	if err != nil {
+		return PhasedTune{}, err
+	}
+	if err := g.dev.SetClock(sel.FreqMHz); err != nil {
+		return PhasedTune{}, err
+	}
+	g.selection = sel
+	g.baseline = run.MeanSample()
+	g.tuned = true
+	g.drifted = 0
+	g.stats.Tunes++
+
+	return PhasedTune{
+		Selection:     sel,
+		Segments:      segs,
+		DominantShare: float64(dom.Len()) / float64(len(on.ProfileRun.Samples)),
+	}, nil
+}

@@ -1,0 +1,226 @@
+// Package gpusim is the hardware substrate of this reproduction: an
+// analytical model of an NVIDIA datacenter GPU with DVFS control, standing
+// in for the real GA100 (A100) and GV100 (V100) nodes used by the paper.
+//
+// The model combines
+//
+//   - a DVFS voltage curve with a voltage floor (below a knee frequency the
+//     chip runs at its minimum voltage, so dynamic power scales only with f;
+//     above it, V rises towards Vmax and power scales like V²·f),
+//   - a roofline execution-time model (a compute phase whose throughput is
+//     proportional to core frequency, and a memory phase whose bandwidth
+//     saturates near a knee frequency, ~900 MHz on GA100), and
+//   - activity-weighted dynamic power (FP pipe activity dominates core
+//     power; DRAM power follows achieved bandwidth).
+//
+// These three ingredients reproduce the empirical shapes in the paper's
+// Figure 1: nonlinear P(f) reaching ~100% TDP for DGEMM and ~50% for
+// STREAM at maximum clock and roughly one fifth to one quarter of TDP at
+// 510 MHz; inverse-nonlinear T(f) with memory-bound flattening above
+// ~900 MHz; U-shaped energy with interior optima (~1080 MHz for DGEMM,
+// ~900–1005 MHz for STREAM); FLOPS linear in f; bandwidth saturating.
+//
+// Nothing downstream of this package sees the analytical form: the data
+// collection framework samples noisy telemetry from simulated runs exactly
+// as DCGM would from hardware, and the DNN learns from those samples.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arch describes one GPU architecture. The public spec fields mirror the
+// paper's Table 1; the calibration fields parameterize the analytical
+// power/performance model.
+type Arch struct {
+	Name string
+
+	// Table 1 specifications.
+	MinFreqMHz        float64 // lowest supported core clock
+	MaxFreqMHz        float64 // highest supported core clock (default clock)
+	StepMHz           float64 // DVFS step
+	DesignMinFreqMHz  float64 // lowest clock in the paper's design space (510 MHz: below this, heavy degradation)
+	MemFreqMHz        float64
+	MemoryGB          int
+	PeakBandwidthGBps float64
+	TDPWatts          float64
+
+	// Calibration of the analytical model.
+	IdleWatts     float64 // static + fan + HBM standby power
+	CoreDynWatts  float64 // core dynamic power at full activity, Vmax, fmax
+	MemDynWatts   float64 // DRAM dynamic power at full achieved bandwidth
+	VMin, VMax    float64 // operating voltage range
+	VRef          float64 // calibration voltage for CoreDynWatts; 0 means VMax (stock)
+	VKneeMHz      float64 // below this clock the chip sits at VMin
+	VGamma        float64 // curvature of V(f) above the knee
+	BWKneeMHz     float64 // memory bandwidth saturates near this core clock
+	BWScale       float64 // memory-P-state bandwidth cap as a fraction of stock peak; 0 means 1
+	PeakFP64GFLOP float64 // peak FP64 throughput at fmax, GFLOP/s
+}
+
+// GA100 returns the NVIDIA A100 80GB (Ampere) model used for training and
+// primary evaluation. Spec values follow the paper's Table 1.
+func GA100() Arch {
+	return Arch{
+		Name:              "GA100",
+		MinFreqMHz:        210,
+		MaxFreqMHz:        1410,
+		StepMHz:           15,
+		DesignMinFreqMHz:  510,
+		MemFreqMHz:        1597,
+		MemoryGB:          80,
+		PeakBandwidthGBps: 2039,
+		TDPWatts:          500,
+
+		IdleWatts:     40,
+		CoreDynWatts:  440,
+		MemDynWatts:   120,
+		VMin:          0.78,
+		VMax:          1.08,
+		VKneeMHz:      1080,
+		VGamma:        1.2,
+		BWKneeMHz:     900,
+		PeakFP64GFLOP: 19500, // FP64 tensor-core peak
+	}
+}
+
+// GV100 returns the NVIDIA V100 40GB (Volta) model used for the
+// portability evaluation. Spec values follow the paper's Table 1.
+func GV100() Arch {
+	return Arch{
+		Name:              "GV100",
+		MinFreqMHz:        135,
+		MaxFreqMHz:        1380,
+		StepMHz:           7.5,
+		DesignMinFreqMHz:  510,
+		MemFreqMHz:        877,
+		MemoryGB:          40,
+		PeakBandwidthGBps: 900,
+		TDPWatts:          250,
+
+		IdleWatts:     20,
+		CoreDynWatts:  215,
+		MemDynWatts:   60,
+		VMin:          0.76,
+		VMax:          1.05,
+		VKneeMHz:      1005,
+		VGamma:        1.15,
+		BWKneeMHz:     810,
+		PeakFP64GFLOP: 7800,
+	}
+}
+
+// ArchByName returns the named architecture model.
+func ArchByName(name string) (Arch, error) {
+	switch name {
+	case "GA100", "ga100", "A100", "a100":
+		return GA100(), nil
+	case "GV100", "gv100", "V100", "v100":
+		return GV100(), nil
+	}
+	return Arch{}, fmt.Errorf("gpusim: unknown architecture %q (have GA100, GV100)", name)
+}
+
+// SupportedClocks returns every DVFS configuration the hardware exposes,
+// ascending, from MinFreqMHz to MaxFreqMHz inclusive. On GA100 this yields
+// 81 configurations; on GV100, 167.
+func (a Arch) SupportedClocks() []float64 {
+	return clockRange(a.MinFreqMHz, a.MaxFreqMHz, a.StepMHz)
+}
+
+// DesignClocks returns the paper's DVFS design space: the supported clocks
+// at or above DesignMinFreqMHz. On GA100 this yields the 61 configurations
+// in [510, 1410]; on GV100, the 117 configurations in [510, 1380].
+func (a Arch) DesignClocks() []float64 {
+	return clockRange(a.DesignMinFreqMHz, a.MaxFreqMHz, a.StepMHz)
+}
+
+func clockRange(lo, hi, step float64) []float64 {
+	var out []float64
+	for f := lo; f <= hi+1e-9; f += step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// IsSupported reports whether f is one of the architecture's DVFS
+// configurations (within floating-point tolerance of a step).
+func (a Arch) IsSupported(f float64) bool {
+	if f < a.MinFreqMHz-1e-9 || f > a.MaxFreqMHz+1e-9 {
+		return false
+	}
+	steps := (f - a.MinFreqMHz) / a.StepMHz
+	return math.Abs(steps-math.Round(steps)) < 1e-6
+}
+
+// NearestSupported snaps f to the closest supported clock.
+func (a Arch) NearestSupported(f float64) float64 {
+	if f <= a.MinFreqMHz {
+		return a.MinFreqMHz
+	}
+	if f >= a.MaxFreqMHz {
+		return a.MaxFreqMHz
+	}
+	steps := math.Round((f - a.MinFreqMHz) / a.StepMHz)
+	return a.MinFreqMHz + steps*a.StepMHz
+}
+
+// Voltage returns the modeled core operating voltage at clock f (MHz): the
+// voltage floor VMin below VKneeMHz, rising as a power curve to VMax at the
+// maximum clock.
+func (a Arch) Voltage(f float64) float64 {
+	if f <= a.VKneeMHz {
+		return a.VMin
+	}
+	span := a.MaxFreqMHz - a.VKneeMHz
+	x := (f - a.VKneeMHz) / span
+	if x > 1 {
+		x = 1
+	}
+	return a.VMin + (a.VMax-a.VMin)*math.Pow(x, a.VGamma)
+}
+
+// BandwidthFactor returns the fraction of the stock peak DRAM bandwidth
+// achievable at core clock f: linear in f at low clocks (the cores cannot
+// issue requests fast enough to saturate DRAM), saturating near BWKneeMHz
+// with a C¹ smooth corner, and capped by the memory P-state's BWScale
+// (slower HBM clocks lower the ceiling, not the issue rate).
+func (a Arch) BandwidthFactor(f float64) float64 {
+	cap := a.BWScale
+	if cap == 0 {
+		cap = 1
+	}
+	if v := a.rawBandwidthFactor(f); v < cap {
+		return v
+	}
+	return cap
+}
+
+func (a Arch) rawBandwidthFactor(f float64) float64 {
+	const w = 0.15 // half-width of the smooth corner, in knee units
+	x := f / a.BWKneeMHz
+	switch {
+	case x <= 1-w:
+		return x
+	case x >= 1+w:
+		return 1
+	default:
+		// Quadratic blend: continuous value and slope at both ends.
+		d := x - (1 - w)
+		return x - d*d/(4*w)
+	}
+}
+
+// CoreScale returns the dynamic-power scale factor (V(f)/Vref)²·(f/fmax)
+// relative to operation at maximum clock and the calibration voltage. The
+// reference stays at the stock VMax even for voltage-shifted variants
+// (WithVoltageOffset), so undervolting genuinely reduces dynamic power.
+func (a Arch) CoreScale(f float64) float64 {
+	ref := a.VRef
+	if ref == 0 {
+		ref = a.VMax
+	}
+	v := a.Voltage(f) / ref
+	return v * v * f / a.MaxFreqMHz
+}

@@ -1,0 +1,279 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockCounts(t *testing.T) {
+	ga, gv := GA100(), GV100()
+	// Paper Table 1: GA100 uses 61 configurations; GV100 uses 117.
+	if got := len(ga.DesignClocks()); got != 61 {
+		t.Fatalf("GA100 design clocks = %d, want 61", got)
+	}
+	if got := len(ga.SupportedClocks()); got != 81 {
+		t.Fatalf("GA100 supported clocks = %d, want 81", got)
+	}
+	if got := len(gv.DesignClocks()); got != 117 {
+		t.Fatalf("GV100 design clocks = %d, want 117", got)
+	}
+	if got := len(gv.SupportedClocks()); got != 167 {
+		t.Fatalf("GV100 supported clocks = %d, want 167", got)
+	}
+}
+
+func TestClockRangeEndpoints(t *testing.T) {
+	ga := GA100()
+	cl := ga.DesignClocks()
+	if cl[0] != 510 || cl[len(cl)-1] != 1410 {
+		t.Fatalf("design range [%v, %v]", cl[0], cl[len(cl)-1])
+	}
+	all := ga.SupportedClocks()
+	if all[0] != 210 || all[len(all)-1] != 1410 {
+		t.Fatalf("supported range [%v, %v]", all[0], all[len(all)-1])
+	}
+}
+
+func TestArchByName(t *testing.T) {
+	for _, alias := range []string{"GA100", "ga100", "A100", "a100"} {
+		a, err := ArchByName(alias)
+		if err != nil || a.Name != "GA100" {
+			t.Fatalf("ArchByName(%q) = %v, %v", alias, a.Name, err)
+		}
+	}
+	for _, alias := range []string{"GV100", "v100"} {
+		a, err := ArchByName(alias)
+		if err != nil || a.Name != "GV100" {
+			t.Fatalf("ArchByName(%q) = %v, %v", alias, a.Name, err)
+		}
+	}
+	if _, err := ArchByName("H100"); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+}
+
+func TestIsSupported(t *testing.T) {
+	ga := GA100()
+	for _, f := range ga.SupportedClocks() {
+		if !ga.IsSupported(f) {
+			t.Fatalf("%v MHz should be supported", f)
+		}
+	}
+	for _, f := range []float64{200, 1420, 517, 1407.5} {
+		if ga.IsSupported(f) {
+			t.Fatalf("%v MHz should not be supported", f)
+		}
+	}
+}
+
+func TestNearestSupportedProperty(t *testing.T) {
+	ga := GA100()
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		// Clamp the quick-generated value into a plausible span.
+		v := math.Mod(math.Abs(raw), 2000)
+		got := ga.NearestSupported(v)
+		if !ga.IsSupported(got) {
+			return false
+		}
+		// Within half a step of the clamped input.
+		clamped := math.Max(ga.MinFreqMHz, math.Min(ga.MaxFreqMHz, v))
+		return math.Abs(got-clamped) <= ga.StepMHz/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoltageCurve(t *testing.T) {
+	ga := GA100()
+	if v := ga.Voltage(510); v != ga.VMin {
+		t.Fatalf("voltage below knee = %v, want floor %v", v, ga.VMin)
+	}
+	if v := ga.Voltage(ga.VKneeMHz); v != ga.VMin {
+		t.Fatalf("voltage at knee = %v, want floor", v)
+	}
+	if v := ga.Voltage(ga.MaxFreqMHz); math.Abs(v-ga.VMax) > 1e-12 {
+		t.Fatalf("voltage at max = %v, want %v", v, ga.VMax)
+	}
+	// Monotone non-decreasing across the whole range.
+	prev := -1.0
+	for _, f := range ga.SupportedClocks() {
+		v := ga.Voltage(f)
+		if v < prev {
+			t.Fatalf("voltage decreased at %v MHz", f)
+		}
+		prev = v
+	}
+}
+
+func TestBandwidthFactor(t *testing.T) {
+	ga := GA100()
+	// Linear region.
+	if got := ga.BandwidthFactor(450); math.Abs(got-450/ga.BWKneeMHz) > 1e-12 {
+		t.Fatalf("linear region = %v", got)
+	}
+	// Saturated region.
+	if got := ga.BandwidthFactor(1410); got != 1 {
+		t.Fatalf("saturated = %v", got)
+	}
+	// Monotone, bounded, continuous (no jumps bigger than the step slope).
+	prev := ga.BandwidthFactor(95)
+	for f := 100.0; f <= 1500; f += 5 {
+		v := ga.BandwidthFactor(f)
+		if v < prev-1e-12 {
+			t.Fatalf("bandwidth factor decreased at %v", f)
+		}
+		if v > 1 || v < 0 {
+			t.Fatalf("bandwidth factor %v out of range at %v", v, f)
+		}
+		if v-prev > 5/ga.BWKneeMHz+1e-9 {
+			t.Fatalf("bandwidth factor jump at %v MHz: %v → %v", f, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestCoreScaleMonotone(t *testing.T) {
+	ga := GA100()
+	prev := 0.0
+	for _, f := range ga.SupportedClocks() {
+		v := ga.CoreScale(f)
+		if v <= prev {
+			t.Fatalf("core scale not increasing at %v MHz", f)
+		}
+		prev = v
+	}
+	if math.Abs(ga.CoreScale(ga.MaxFreqMHz)-1) > 1e-12 {
+		t.Fatalf("core scale at max = %v, want 1", ga.CoreScale(ga.MaxFreqMHz))
+	}
+}
+
+func TestDeviceClockControl(t *testing.T) {
+	d := NewDevice(GA100(), 1)
+	if d.Clock() != 1410 {
+		t.Fatalf("default clock = %v", d.Clock())
+	}
+	if err := d.SetClock(900); err != nil {
+		t.Fatal(err)
+	}
+	if d.Clock() != 900 {
+		t.Fatalf("clock after set = %v", d.Clock())
+	}
+	if err := d.SetClock(907); err == nil {
+		t.Fatal("unsupported clock accepted")
+	}
+	d.ResetClock()
+	if d.Clock() != 1410 {
+		t.Fatalf("clock after reset = %v", d.Clock())
+	}
+}
+
+func TestDeviceExecuteDeterministicSeed(t *testing.T) {
+	k := testKernel()
+	run := func() (float64, float64) {
+		d := NewDevice(GA100(), 77)
+		e, err := d.Execute(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.TimeSec, e.AvgPowerWatts
+	}
+	t1, p1 := run()
+	t2, p2 := run()
+	if t1 != t2 || p1 != p2 {
+		t.Fatal("same seed gave different executions")
+	}
+}
+
+func TestDeviceExecuteNoiseIsSmallAndCentered(t *testing.T) {
+	k := testKernel()
+	d := NewDevice(GA100(), 5)
+	st, err := Evaluate(GA100(), k, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	n := 200
+	for i := 0; i < n; i++ {
+		e, err := d.Execute(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := e.TimeSec / st.TimeSec
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Fatalf("run %d: time ratio %v out of ±10%%", i, ratio)
+		}
+		sum += ratio
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.01 {
+		t.Fatalf("mean time ratio %v, want ~1", mean)
+	}
+}
+
+func TestDeviceConcurrentUse(t *testing.T) {
+	d := NewDevice(GA100(), 3)
+	k := testKernel()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				if g%2 == 0 {
+					if _, err := d.Execute(k); err != nil {
+						done <- err
+						return
+					}
+				} else {
+					clocks := GA100().DesignClocks()
+					if err := d.SetClock(clocks[(g*i)%len(clocks)]); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestInstantPowerRippleBounded(t *testing.T) {
+	d := NewDevice(GA100(), 9)
+	e, err := d.Execute(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := 0.0; ts < e.TimeSec; ts += 0.01 {
+		p := e.InstantPower(ts)
+		if math.Abs(p/e.AvgPowerWatts-1) > 0.02 {
+			t.Fatalf("ripple at t=%v exceeds 2%%: %v vs avg %v", ts, p, e.AvgPowerWatts)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+}
+
+func testKernel() KernelProfile {
+	return KernelProfile{
+		Name:         "test",
+		ComputeSec:   1,
+		MemorySec:    0.4,
+		HostSec:      0.05,
+		FPIntensity:  0.9,
+		MemIntensity: 0.85,
+		Overlap:      0.9,
+		FP64Fraction: 0.8,
+		SMActive:     0.95,
+		SMOccupancy:  0.6,
+		PCIeTxMBps:   100,
+		PCIeRxMBps:   50,
+	}
+}

@@ -1,0 +1,146 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Device is a simulated GPU: an architecture model plus mutable clock
+// state and a seeded noise source for run-to-run variability. It is the
+// component the data-collection framework's control and profile modules
+// talk to, playing the role DCGM + nvidia-smi play on real hardware.
+//
+// A Device is safe for concurrent use.
+type Device struct {
+	arch Arch
+
+	mu       sync.Mutex
+	clock    float64
+	memClock float64 // 0 means the default (highest) memory P-state
+	rng      *rand.Rand
+}
+
+// NewDevice returns a device at its default (maximum) clock with the given
+// noise seed. The same seed reproduces the same sequence of runs exactly.
+func NewDevice(arch Arch, seed int64) *Device {
+	return &Device{
+		arch:  arch,
+		clock: arch.MaxFreqMHz,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Arch returns the device's architecture model.
+func (d *Device) Arch() Arch { return d.arch }
+
+// Clock returns the current core clock in MHz.
+func (d *Device) Clock() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+// SetClock pins the core clock to f MHz. f must be one of the supported
+// DVFS configurations.
+func (d *Device) SetClock(f float64) error {
+	if !d.arch.IsSupported(f) {
+		return fmt.Errorf("gpusim: %s does not support %v MHz (range [%v:%v] step %v)",
+			d.arch.Name, f, d.arch.MinFreqMHz, d.arch.MaxFreqMHz, d.arch.StepMHz)
+	}
+	d.mu.Lock()
+	d.clock = f
+	d.mu.Unlock()
+	return nil
+}
+
+// ResetClock restores the default (maximum) core clock; the memory clock
+// is left as pinned (use ResetClocks to restore both).
+func (d *Device) ResetClock() {
+	d.mu.Lock()
+	d.clock = d.arch.MaxFreqMHz
+	d.mu.Unlock()
+}
+
+// ResetClocks restores both the core and memory clocks to their defaults.
+func (d *Device) ResetClocks() {
+	d.mu.Lock()
+	d.clock = d.arch.MaxFreqMHz
+	d.memClock = 0
+	d.mu.Unlock()
+}
+
+// Execution is one realized run of a kernel: the noiseless steady state
+// plus the run's realized duration, average power, and energy after
+// multiplicative run-to-run noise.
+type Execution struct {
+	Workload string
+	Arch     string
+	FreqMHz  float64
+	Steady   Steady
+
+	TimeSec       float64
+	AvgPowerWatts float64
+	EnergyJoules  float64
+
+	// ripplePhase and ripplePeriodSec shape the intra-run power ripple
+	// seen by telemetry sampling.
+	ripplePhase     float64
+	ripplePeriodSec float64
+}
+
+// Execute runs kernel k at the device's current clock and returns the
+// realized execution. Run-to-run noise is multiplicative lognormal with
+// the kernel's RunVariability sigma (default 1%) on time and half that on
+// power.
+func (d *Device) Execute(k KernelProfile) (Execution, error) {
+	d.mu.Lock()
+	clock := d.clock
+	// Draw all random factors under the lock so concurrent Execute calls
+	// remain deterministic as a set (order may vary, values are from one
+	// stream).
+	sigma := k.RunVariability
+	if sigma == 0 {
+		sigma = 0.01
+	}
+	tFactor := lognormal(d.rng, sigma)
+	pFactor := lognormal(d.rng, sigma/2)
+	phase := d.rng.Float64() * 2 * math.Pi
+	period := 0.05 + d.rng.Float64()*0.2
+	d.mu.Unlock()
+
+	eff, err := d.effectiveArch()
+	if err != nil {
+		return Execution{}, err
+	}
+	st, err := Evaluate(eff, k, clock)
+	if err != nil {
+		return Execution{}, err
+	}
+	e := Execution{
+		Workload:        k.Name,
+		Arch:            d.arch.Name,
+		FreqMHz:         clock,
+		Steady:          st,
+		TimeSec:         st.TimeSec * tFactor,
+		AvgPowerWatts:   st.PowerWatts * pFactor,
+		ripplePhase:     phase,
+		ripplePeriodSec: period,
+	}
+	e.EnergyJoules = e.TimeSec * e.AvgPowerWatts
+	return e, nil
+}
+
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	// exp(N(−σ²/2, σ)) has mean 1.
+	return math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+}
+
+// InstantPower returns the modeled instantaneous power draw t seconds into
+// the run, before sampling noise: the run's average power modulated by a
+// small deterministic ripple (fan/boost behaviour telemetry would see).
+func (e Execution) InstantPower(t float64) float64 {
+	ripple := 0.015 * math.Sin(2*math.Pi*t/e.ripplePeriodSec+e.ripplePhase)
+	return e.AvgPowerWatts * (1 + ripple)
+}

@@ -1,0 +1,51 @@
+package gpusim_test
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// Evaluating a compute-bound kernel across the DVFS range shows the
+// paper's Figure 1 shapes: power falls much faster than performance when
+// the clock drops below the voltage knee.
+func Example() {
+	arch := gpusim.GA100()
+	dgemm := workloads.DGEMM()
+	for _, f := range []float64{510, 1080, 1410} {
+		s, err := gpusim.Evaluate(arch, dgemm, f)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%4.0f MHz: %3.0f%% TDP, slowdown x%.2f\n",
+			f, 100*s.PowerWatts/arch.TDPWatts, s.TimeSec/referenceTime(arch, dgemm))
+	}
+	// Output:
+	// 510 MHz:  25% TDP, slowdown x2.46
+	// 1080 MHz:  44% TDP, slowdown x1.26
+	// 1410 MHz:  93% TDP, slowdown x1.00
+}
+
+func referenceTime(arch gpusim.Arch, k gpusim.KernelProfile) float64 {
+	s, _ := gpusim.Evaluate(arch, k, arch.MaxFreqMHz)
+	return s.TimeSec
+}
+
+// Devices expose DCGM-style clock control; unsupported clocks are
+// rejected.
+func ExampleDevice_SetClock() {
+	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	fmt.Println("default:", dev.Clock())
+	if err := dev.SetClock(907); err != nil {
+		fmt.Println("907 MHz rejected")
+	}
+	if err := dev.SetClock(900); err == nil {
+		fmt.Println("pinned:", dev.Clock())
+	}
+	// Output:
+	// default: 1410
+	// 907 MHz rejected
+	// pinned: 900
+}

@@ -1,0 +1,44 @@
+package gpusim
+
+import "testing"
+
+// BenchmarkEvaluate measures one steady-state model evaluation — the unit
+// of work behind every simulated run.
+func BenchmarkEvaluate(b *testing.B) {
+	a := GA100()
+	k := testKernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(a, k, 900); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepDesignSpace measures a full 61-configuration sweep.
+func BenchmarkSweepDesignSpace(b *testing.B) {
+	a := GA100()
+	k := testKernel()
+	freqs := a.DesignClocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(a, k, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecute measures a noisy device execution.
+func BenchmarkExecute(b *testing.B) {
+	d := NewDevice(GA100(), 1)
+	k := testKernel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Execute(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// KernelProfile describes a workload's intrinsic demands, independent of
+// any particular GPU or clock. Times are expressed as engine-seconds at the
+// reference operating point (maximum clock of the architecture the
+// workload is run on):
+//
+//   - ComputeSec: time the SM compute pipes would need alone at max clock.
+//   - MemorySec: time the DRAM system would need alone at full bandwidth.
+//   - HostSec: CPU/driver/launch time entirely insensitive to GPU clock
+//     (large for GROMACS, whose runtime the paper observed to be DVFS-
+//     insensitive, and for low-utilization workloads like LSTM).
+//
+// Intensity fields are utilizations while the corresponding phase is
+// active; Overlap is the fraction of the shorter phase hidden under the
+// longer one (1 = perfect overlap).
+type KernelProfile struct {
+	Name string
+
+	ComputeSec float64
+	MemorySec  float64
+	HostSec    float64
+
+	FPIntensity  float64 // FP pipe utilization while computing, [0,1]
+	MemIntensity float64 // DRAM utilization while memory-active, [0,1]
+	Overlap      float64 // compute/memory overlap, [0,1]
+
+	// HostOverlap is the fraction of host time that runs concurrently
+	// with GPU work, [0,1]. At 1, wall time is max(host, gpu): the GPU
+	// races ahead of a host bottleneck and clocking it down is free until
+	// the GPU becomes critical — the behaviour the paper observes for
+	// GROMACS, whose runtime DVFS barely moves (§5.1).
+	HostOverlap float64
+
+	FP64Fraction float64 // share of FP activity on FP64 pipes, [0,1]
+	SMActive     float64 // fraction of GPU-resident time any warp is resident
+	SMOccupancy  float64 // achieved occupancy, [0,1]
+
+	PCIeTxMBps float64 // host→device traffic while running
+	PCIeRxMBps float64 // device→host traffic while running
+
+	// RunVariability is the run-to-run multiplicative noise sigma for this
+	// workload (time and power). Most workloads sit near 0.01; the paper's
+	// outlier, ResNet50, is noisier.
+	RunVariability float64
+
+	// SizeComputeExp and SizeMemoryExp give how compute and memory demand
+	// scale with a linear input-size factor s: demand ∝ s^exp. DGEMM has
+	// compute ∝ n³ vs memory ∝ n², which is what makes its dram_active
+	// drift slightly with input size (paper §4.2.3) while fp_active stays
+	// put.
+	SizeComputeExp float64
+	SizeMemoryExp  float64
+}
+
+// Validate checks that the profile's fields are physically meaningful.
+func (k KernelProfile) Validate() error {
+	if k.Name == "" {
+		return errors.New("gpusim: kernel profile needs a name")
+	}
+	if k.ComputeSec < 0 || k.MemorySec < 0 || k.HostSec < 0 {
+		return fmt.Errorf("gpusim: %s: negative phase time", k.Name)
+	}
+	if k.ComputeSec == 0 && k.MemorySec == 0 && k.HostSec == 0 {
+		return fmt.Errorf("gpusim: %s: empty workload", k.Name)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"FPIntensity", k.FPIntensity},
+		{"MemIntensity", k.MemIntensity},
+		{"Overlap", k.Overlap},
+		{"HostOverlap", k.HostOverlap},
+		{"FP64Fraction", k.FP64Fraction},
+		{"SMActive", k.SMActive},
+		{"SMOccupancy", k.SMOccupancy},
+	} {
+		if c.v < 0 || c.v > 1 {
+			return fmt.Errorf("gpusim: %s: %s=%v out of [0,1]", k.Name, c.name, c.v)
+		}
+	}
+	if k.RunVariability < 0 || k.RunVariability > 0.5 {
+		return fmt.Errorf("gpusim: %s: RunVariability=%v out of [0,0.5]", k.Name, k.RunVariability)
+	}
+	return nil
+}
+
+// WithInputScale returns a copy of the profile scaled to a different input
+// size. scale is a linear problem-size factor relative to the profile's
+// reference size; compute and memory demands grow with their respective
+// exponents (both default to 1 when unset).
+func (k KernelProfile) WithInputScale(scale float64) (KernelProfile, error) {
+	if scale <= 0 {
+		return KernelProfile{}, fmt.Errorf("gpusim: %s: non-positive input scale %v", k.Name, scale)
+	}
+	ce, me := k.SizeComputeExp, k.SizeMemoryExp
+	if ce == 0 {
+		ce = 1
+	}
+	if me == 0 {
+		me = 1
+	}
+	out := k
+	out.ComputeSec *= math.Pow(scale, ce)
+	out.MemorySec *= math.Pow(scale, me)
+	out.HostSec *= scale // host work grows roughly linearly with problem size
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package gpusim
+
+import (
+	"fmt"
+)
+
+// MemClocks returns the architecture's supported memory (HBM) clocks in
+// MHz, highest (default) first. Datacenter GPUs expose only a handful of
+// memory P-states, unlike the dense core-clock grid.
+func (a Arch) MemClocks() []float64 {
+	switch a.Name {
+	case "GV100":
+		return []float64{877, 810, 405}
+	default: // GA100 and derived variants
+		return []float64{a.MemFreqMHz, 1215, 810}
+	}
+}
+
+// IsSupportedMemClock reports whether m is one of the architecture's
+// memory P-states.
+func (a Arch) IsSupportedMemClock(m float64) bool {
+	for _, c := range a.MemClocks() {
+		if c == m {
+			return true
+		}
+	}
+	return false
+}
+
+// WithMemClock returns a copy of the architecture operating at memory
+// clock memMHz. The achievable bandwidth is capped at the clock ratio of
+// the stock peak (BWScale): the cores' issue rate is unchanged, the HBM
+// ceiling drops. Workload profiles stay calibrated against the stock peak,
+// so a memory-bound kernel's DRAM phase stretches by the inverse ratio
+// while DRAM power — proportional to achieved throughput — falls. The
+// paper's data collection framework controls "the GPU cores and memory"
+// (§4.1); its evaluation pins memory at the default P-state, which is also
+// this model's default.
+func (a Arch) WithMemClock(memMHz float64) (Arch, error) {
+	if !a.IsSupportedMemClock(memMHz) {
+		return Arch{}, fmt.Errorf("gpusim: %s does not support memory clock %v MHz (have %v)", a.Name, memMHz, a.MemClocks())
+	}
+	ratio := memMHz / a.MemClocks()[0]
+	out := a
+	out.MemFreqMHz = memMHz
+	out.BWScale = ratio
+	if ratio != 1 {
+		out.Name = fmt.Sprintf("%s(mem%v)", a.Name, memMHz)
+	}
+	return out, nil
+}
+
+// SetMemClock pins the device's memory clock to one of the supported
+// P-states; subsequent executions see the scaled bandwidth and DRAM power.
+func (d *Device) SetMemClock(memMHz float64) error {
+	if !d.arch.IsSupportedMemClock(memMHz) {
+		return fmt.Errorf("gpusim: %s does not support memory clock %v MHz (have %v)", d.arch.Name, memMHz, d.arch.MemClocks())
+	}
+	d.mu.Lock()
+	d.memClock = memMHz
+	d.mu.Unlock()
+	return nil
+}
+
+// MemClock returns the current memory clock in MHz.
+func (d *Device) MemClock() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.memClock == 0 {
+		return d.arch.MemClocks()[0]
+	}
+	return d.memClock
+}
+
+// effectiveArch returns the architecture adjusted for the device's pinned
+// memory clock. Callers must not hold d.mu.
+func (d *Device) effectiveArch() (Arch, error) {
+	m := d.MemClock()
+	if m == d.arch.MemClocks()[0] {
+		return d.arch, nil
+	}
+	return d.arch.WithMemClock(m)
+}

@@ -1,0 +1,341 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func computeBound() KernelProfile {
+	k := testKernel()
+	k.Name = "compute"
+	k.ComputeSec, k.MemorySec = 2.0, 0.5
+	return k
+}
+
+func memoryBound() KernelProfile {
+	k := testKernel()
+	k.Name = "memory"
+	k.ComputeSec, k.MemorySec = 0.1, 1.5
+	return k
+}
+
+func TestEvaluateRejectsUnsupportedClock(t *testing.T) {
+	if _, err := Evaluate(GA100(), testKernel(), 907); err == nil {
+		t.Fatal("unsupported clock accepted")
+	}
+}
+
+func TestEvaluateRejectsInvalidProfile(t *testing.T) {
+	bad := testKernel()
+	bad.FPIntensity = 1.5
+	if _, err := Evaluate(GA100(), bad, 1410); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestTimeMonotoneInFrequency(t *testing.T) {
+	a := GA100()
+	for _, k := range []KernelProfile{computeBound(), memoryBound()} {
+		prev := math.Inf(1)
+		for _, f := range a.DesignClocks() {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.TimeSec > prev+1e-9 {
+				t.Fatalf("%s: time increased at %v MHz", k.Name, f)
+			}
+			prev = s.TimeSec
+		}
+	}
+}
+
+func TestPowerMonotoneInFrequency(t *testing.T) {
+	a := GA100()
+	for _, k := range []KernelProfile{computeBound(), memoryBound()} {
+		prev := 0.0
+		for _, f := range a.DesignClocks() {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.PowerWatts < prev-1e-9 {
+				t.Fatalf("%s: power decreased at %v MHz", k.Name, f)
+			}
+			prev = s.PowerWatts
+		}
+	}
+}
+
+// TestFigure1PowerLevels pins the paper's §2 observations: a compute-bound
+// kernel draws ~90-100% of TDP at the maximum clock and roughly a fifth to
+// a quarter at 510 MHz; a memory-bound kernel draws ~45-55% at max.
+func TestFigure1PowerLevels(t *testing.T) {
+	a := GA100()
+	cb, err := Evaluate(a, computeBound(), a.MaxFreqMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := cb.PowerWatts / a.TDPWatts; frac < 0.85 || frac > 1.02 {
+		t.Fatalf("compute-bound at max clock draws %.0f%% of TDP", frac*100)
+	}
+	mb, err := Evaluate(a, memoryBound(), a.MaxFreqMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := mb.PowerWatts / a.TDPWatts; frac < 0.35 || frac > 0.6 {
+		t.Fatalf("memory-bound at max clock draws %.0f%% of TDP", frac*100)
+	}
+	cbLow, _ := Evaluate(a, computeBound(), 510)
+	if frac := cbLow.PowerWatts / a.TDPWatts; frac < 0.15 || frac > 0.35 {
+		t.Fatalf("compute-bound at 510 MHz draws %.0f%% of TDP", frac*100)
+	}
+}
+
+// TestEnergyUShape pins the core DVFS phenomenon: energy has an interior
+// minimum, away from both ends of the design space.
+func TestEnergyUShape(t *testing.T) {
+	a := GA100()
+	for _, k := range []KernelProfile{computeBound(), memoryBound()} {
+		clocks := a.DesignClocks()
+		best := -1
+		bestE := math.Inf(1)
+		for i, f := range clocks {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.EnergyJoules < bestE {
+				bestE, best = s.EnergyJoules, i
+			}
+		}
+		if best == 0 || best == len(clocks)-1 {
+			t.Fatalf("%s: energy optimum at boundary (%v MHz)", k.Name, clocks[best])
+		}
+	}
+}
+
+// TestDGEMMEnergyOptimumNearPaper pins the DGEMM-like energy optimum near
+// the paper's 1080 MHz (within a couple of DVFS steps).
+func TestComputeBoundEnergyOptimumNearVKnee(t *testing.T) {
+	a := GA100()
+	bestF, bestE := 0.0, math.Inf(1)
+	for _, f := range a.DesignClocks() {
+		s, err := Evaluate(a, computeBound(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.EnergyJoules < bestE {
+			bestE, bestF = s.EnergyJoules, f
+		}
+	}
+	if math.Abs(bestF-a.VKneeMHz) > 4*a.StepMHz {
+		t.Fatalf("compute-bound energy optimum %v MHz, want near %v", bestF, a.VKneeMHz)
+	}
+}
+
+// TestMemoryBoundTimeFlattens pins the §2 observation that memory-bound
+// kernels gain almost nothing above ~900 MHz.
+func TestMemoryBoundTimeFlattens(t *testing.T) {
+	a := GA100()
+	at1050, _ := Evaluate(a, memoryBound(), 1050)
+	at1410, _ := Evaluate(a, memoryBound(), 1410)
+	if gain := (at1050.TimeSec - at1410.TimeSec) / at1050.TimeSec; gain > 0.02 {
+		t.Fatalf("memory-bound gained %.1f%% from 1050→1410 MHz, want ~0", gain*100)
+	}
+	// While below the knee the dependence is strong.
+	at510, _ := Evaluate(a, memoryBound(), 510)
+	at900, _ := Evaluate(a, memoryBound(), 900)
+	if gain := (at510.TimeSec - at900.TimeSec) / at510.TimeSec; gain < 0.2 {
+		t.Fatalf("memory-bound gained only %.1f%% from 510→900 MHz", gain*100)
+	}
+}
+
+// TestFPActiveDVFSInvariance pins §4.2.2: fp_active barely moves across
+// the design space.
+func TestFPActiveDVFSInvariance(t *testing.T) {
+	a := GA100()
+	for _, k := range []KernelProfile{computeBound(), memoryBound()} {
+		lo, hi := 2.0, -1.0
+		for _, f := range a.DesignClocks() {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.FPActive < lo {
+				lo = s.FPActive
+			}
+			if s.FPActive > hi {
+				hi = s.FPActive
+			}
+		}
+		if rel := (hi - lo) / hi; rel > 0.45 {
+			t.Fatalf("%s: fp_active varies %.0f%% across DVFS", k.Name, rel*100)
+		}
+	}
+}
+
+// TestFLOPSLinearInFrequency pins Figure 1 (d): compute-bound FLOPS grows
+// near-linearly with clock.
+func TestFLOPSNearLinearInFrequency(t *testing.T) {
+	a := GA100()
+	low, _ := Evaluate(a, computeBound(), 510)
+	high, _ := Evaluate(a, computeBound(), 1410)
+	ratio := high.AchievedGFLOPS / low.AchievedGFLOPS
+	fRatio := 1410.0 / 510.0
+	// computeFreqExp softens the exponent slightly; allow [0.8, 1.05]·linear.
+	if ratio < math.Pow(fRatio, 0.8) || ratio > fRatio*1.05 {
+		t.Fatalf("FLOPS ratio %v vs clock ratio %v", ratio, fRatio)
+	}
+}
+
+func TestActivitiesWithinBounds(t *testing.T) {
+	a := GA100()
+	for _, k := range []KernelProfile{computeBound(), memoryBound(), testKernel()} {
+		for _, f := range a.DesignClocks() {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, v := range map[string]float64{
+				"fp": s.FPActive, "fp64": s.FP64Active, "fp32": s.FP32Active,
+				"dram": s.DRAMActive, "sm": s.SMActive, "occ": s.SMOccupancy,
+				"gr": s.GrEngineActive, "util": s.GPUUtilization,
+			} {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s %s = %v out of [0,1] at %v MHz", k.Name, name, v, f)
+				}
+			}
+			if math.Abs(s.FP64Active+s.FP32Active-s.FPActive) > 1e-9 {
+				t.Fatalf("fp64+fp32 != fp at %v MHz", f)
+			}
+			if s.PowerWatts < a.IdleWatts || s.PowerWatts > a.TDPWatts*1.05 {
+				t.Fatalf("%s power %v out of [idle, ~TDP] at %v MHz", k.Name, s.PowerWatts, f)
+			}
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	a := GA100()
+	freqs := []float64{510, 900, 1410}
+	out, err := Sweep(a, testKernel(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("sweep returned %d points", len(out))
+	}
+	for i, f := range freqs {
+		if out[i].FreqMHz != f {
+			t.Fatalf("sweep order broken at %d", i)
+		}
+	}
+	if _, err := Sweep(a, testKernel(), []float64{907}); err == nil {
+		t.Fatal("sweep with bad clock accepted")
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	cases := []func(*KernelProfile){
+		func(k *KernelProfile) { k.Name = "" },
+		func(k *KernelProfile) { k.ComputeSec = -1 },
+		func(k *KernelProfile) { k.ComputeSec, k.MemorySec, k.HostSec = 0, 0, 0 },
+		func(k *KernelProfile) { k.FPIntensity = -0.1 },
+		func(k *KernelProfile) { k.MemIntensity = 1.1 },
+		func(k *KernelProfile) { k.Overlap = 2 },
+		func(k *KernelProfile) { k.FP64Fraction = -1 },
+		func(k *KernelProfile) { k.SMActive = 1.2 },
+		func(k *KernelProfile) { k.SMOccupancy = -0.5 },
+		func(k *KernelProfile) { k.RunVariability = 0.9 },
+	}
+	for i, mutate := range cases {
+		k := testKernel()
+		mutate(&k)
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+	good := testKernel()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+func TestWithInputScale(t *testing.T) {
+	k := testKernel()
+	k.SizeComputeExp, k.SizeMemoryExp = 3, 2 // DGEMM-like
+
+	scaled, err := k.WithInputScale(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.ComputeSec-k.ComputeSec*8) > 1e-12 {
+		t.Fatalf("compute scaled to %v, want cube", scaled.ComputeSec)
+	}
+	if math.Abs(scaled.MemorySec-k.MemorySec*4) > 1e-12 {
+		t.Fatalf("memory scaled to %v, want square", scaled.MemorySec)
+	}
+	if math.Abs(scaled.HostSec-k.HostSec*2) > 1e-12 {
+		t.Fatalf("host scaled to %v, want linear", scaled.HostSec)
+	}
+
+	if _, err := k.WithInputScale(0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := k.WithInputScale(-1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+
+	// Default exponents are linear.
+	lin := testKernel()
+	scaled, err = lin.WithInputScale(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.ComputeSec-lin.ComputeSec*3) > 1e-12 {
+		t.Fatalf("default compute exponent not linear: %v", scaled.ComputeSec)
+	}
+}
+
+func TestSetClockErrorMessage(t *testing.T) {
+	d := NewDevice(GA100(), 1)
+	err := d.SetClock(907)
+	if err == nil || !strings.Contains(err.Error(), "907") {
+		t.Fatalf("error should mention the clock: %v", err)
+	}
+}
+
+// TestGV100ShapesMatchGA100 pins that the Volta model exhibits the same
+// qualitative Figure-1 behaviour the Ampere model was calibrated to —
+// the architectural premise behind cross-GPU portability.
+func TestGV100Shapes(t *testing.T) {
+	gv := GV100()
+	cb, err := Evaluate(gv, computeBound(), gv.MaxFreqMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := cb.PowerWatts / gv.TDPWatts; frac < 0.8 || frac > 1.05 {
+		t.Fatalf("GV100 compute-bound at max clock: %.0f%% TDP", frac*100)
+	}
+	mb, _ := Evaluate(gv, memoryBound(), gv.MaxFreqMHz)
+	if frac := mb.PowerWatts / gv.TDPWatts; frac < 0.35 || frac > 0.65 {
+		t.Fatalf("GV100 memory-bound at max clock: %.0f%% TDP", frac*100)
+	}
+	// Interior energy optimum for the compute-bound kernel.
+	clocks := gv.DesignClocks()
+	best, bestE := -1, 1e300
+	for i, f := range clocks {
+		s, err := Evaluate(gv, computeBound(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.EnergyJoules < bestE {
+			bestE, best = s.EnergyJoules, i
+		}
+	}
+	if best <= 0 || best >= len(clocks)-1 {
+		t.Fatalf("GV100 energy optimum at boundary (%v MHz)", clocks[best])
+	}
+}

@@ -1,0 +1,149 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPhaseMixReconstructsWholeRun is the invariant the phase-resolved
+// telemetry relies on: the busy-fraction-weighted mix of active-phase and
+// idle-phase values reproduces the whole-run averages exactly (power is
+// linear in the activities).
+func TestPhaseMixReconstructsWholeRun(t *testing.T) {
+	a := GA100()
+	kernels := []KernelProfile{computeBound(), memoryBound(), testKernel()}
+	hostHeavy := testKernel()
+	hostHeavy.Name = "hostheavy"
+	hostHeavy.HostSec = 5
+	overlapped := hostHeavy
+	overlapped.Name = "overlapped"
+	overlapped.HostOverlap = 0.8
+	kernels = append(kernels, hostHeavy, overlapped)
+
+	for _, k := range kernels {
+		for _, f := range []float64{510, 900, 1410} {
+			s, err := Evaluate(a, k, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := s.GPUBusyFrac
+			if b < 0 || b > 1 {
+				t.Fatalf("%s@%v: busy frac %v", k.Name, f, b)
+			}
+			mixPower := b*s.ActivePowerWatts + (1-b)*s.IdlePowerWatts
+			if math.Abs(mixPower-s.PowerWatts) > 1e-6*s.PowerWatts {
+				t.Errorf("%s@%v: phase power mix %v != whole-run %v", k.Name, f, mixPower, s.PowerWatts)
+			}
+			if got := b * s.ActiveFPActive; math.Abs(got-s.FPActive) > 1e-9 {
+				t.Errorf("%s@%v: fp mix %v != %v", k.Name, f, got, s.FPActive)
+			}
+			if got := b * s.ActiveDRAMActive; math.Abs(got-s.DRAMActive) > 1e-9 {
+				t.Errorf("%s@%v: dram mix %v != %v", k.Name, f, got, s.DRAMActive)
+			}
+			if got := b * s.ActiveSMActive; math.Abs(got-s.SMActive) > 1e-9 {
+				t.Errorf("%s@%v: sm mix %v != %v", k.Name, f, got, s.SMActive)
+			}
+			if s.ActivePowerWatts < s.IdlePowerWatts {
+				t.Errorf("%s@%v: active power %v below idle %v", k.Name, f, s.ActivePowerWatts, s.IdlePowerWatts)
+			}
+			if s.IdlePowerWatts != a.IdleWatts {
+				t.Errorf("%s@%v: idle power %v != arch idle %v", k.Name, f, s.IdlePowerWatts, a.IdleWatts)
+			}
+		}
+	}
+}
+
+// TestPhaseMixProperty extends the reconstruction invariant to random
+// valid kernel profiles via testing/quick.
+func TestPhaseMixProperty(t *testing.T) {
+	a := GA100()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := KernelProfile{
+			Name:         "q",
+			ComputeSec:   0.1 + rng.Float64()*3,
+			MemorySec:    0.1 + rng.Float64()*3,
+			HostSec:      rng.Float64() * 5,
+			FPIntensity:  0.1 + rng.Float64()*0.9,
+			MemIntensity: 0.1 + rng.Float64()*0.9,
+			Overlap:      rng.Float64(),
+			HostOverlap:  rng.Float64(),
+			FP64Fraction: rng.Float64(),
+			SMActive:     rng.Float64(),
+			SMOccupancy:  rng.Float64(),
+		}
+		clocks := a.DesignClocks()
+		freq := clocks[rng.Intn(len(clocks))]
+		s, err := Evaluate(a, k, freq)
+		if err != nil {
+			return false
+		}
+		b := s.GPUBusyFrac
+		mix := b*s.ActivePowerWatts + (1-b)*s.IdlePowerWatts
+		// Clamping of active values can introduce small slack; tolerate 2%.
+		return math.Abs(mix-s.PowerWatts) <= 0.02*s.PowerWatts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHostOverlapFlattensTime pins the GROMACS mechanism: with full host
+// overlap, wall time barely moves with clock while the serial variant
+// slows down substantially.
+func TestHostOverlapFlattensTime(t *testing.T) {
+	a := GA100()
+	serial := testKernel()
+	serial.HostSec = 5
+	flat := serial
+	flat.HostOverlap = 1
+
+	sLow, err := Evaluate(a, serial, 510)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHigh, _ := Evaluate(a, serial, 1410)
+	fLow, _ := Evaluate(a, flat, 510)
+	fHigh, _ := Evaluate(a, flat, 1410)
+
+	serialSlow := sLow.TimeSec / sHigh.TimeSec
+	flatSlow := fLow.TimeSec / fHigh.TimeSec
+	if flatSlow > 1.01 {
+		t.Fatalf("fully overlapped host should hide GPU slowdown: %v", flatSlow)
+	}
+	if serialSlow < 1.2 {
+		t.Fatalf("serial variant should slow down substantially: %v", serialSlow)
+	}
+}
+
+// TestHostOverlapKeepsPowerVarying pins the other half of the GROMACS
+// story: even with flat time, power still responds to the clock.
+func TestHostOverlapKeepsPowerVarying(t *testing.T) {
+	a := GA100()
+	flat := testKernel()
+	flat.HostSec = 5
+	flat.HostOverlap = 1
+	low, _ := Evaluate(a, flat, 510)
+	high, _ := Evaluate(a, flat, 1410)
+	if high.PowerWatts <= low.PowerWatts {
+		t.Fatalf("power should still rise with clock: %v vs %v", low.PowerWatts, high.PowerWatts)
+	}
+}
+
+// TestFeatureDriftUnderFlatTime documents the physics the frozen-feature
+// methodology must survive: when wall time is pinned by the host,
+// fp_active necessarily rises as the clock falls (same work, same wall
+// time, slower pipes).
+func TestFeatureDriftUnderFlatTime(t *testing.T) {
+	a := GA100()
+	flat := testKernel()
+	flat.HostSec = 5
+	flat.HostOverlap = 1
+	low, _ := Evaluate(a, flat, 510)
+	high, _ := Evaluate(a, flat, 1410)
+	if low.FPActive <= high.FPActive {
+		t.Fatalf("fp_active should rise at low clock for flat-time kernels: %v vs %v", low.FPActive, high.FPActive)
+	}
+}

@@ -1,0 +1,53 @@
+package gpusim
+
+import (
+	"fmt"
+)
+
+// MaxUndervoltOffset bounds how far the operating voltage may be lowered
+// below the stock curve before the model refuses (real silicon becomes
+// unstable well before the transistor threshold; 60 mV is a conservative
+// datacenter-grade margin).
+const MaxUndervoltOffset = 0.06
+
+// WithVoltageOffset returns a copy of the architecture whose entire V(f)
+// curve is shifted by dv volts — the voltage design space the paper's §8
+// names as future work. Negative dv undervolts (dynamic power scales with
+// V², so even tens of millivolts are significant); positive dv models
+// conservative overvolting margins. The offset must keep the curve within
+// [VMin−MaxUndervoltOffset, +MaxUndervoltOffset] of stock.
+func (a Arch) WithVoltageOffset(dv float64) (Arch, error) {
+	if dv < -MaxUndervoltOffset || dv > MaxUndervoltOffset {
+		return Arch{}, fmt.Errorf("gpusim: voltage offset %+.3f V outside ±%.3f V stability margin", dv, MaxUndervoltOffset)
+	}
+	out := a
+	if out.VRef == 0 {
+		out.VRef = a.VMax // pin the calibration reference to stock
+	}
+	out.VMin += dv
+	out.VMax += dv
+	if dv != 0 {
+		out.Name = fmt.Sprintf("%s(%+.0fmV)", a.Name, dv*1000)
+	}
+	return out, nil
+}
+
+// UndervoltSavings evaluates kernel k at clock freqMHz under the stock
+// curve and under a dv-volt offset, returning the relative energy change
+// (positive = saving). It is the primitive behind the voltage-exploration
+// experiment.
+func UndervoltSavings(a Arch, k KernelProfile, freqMHz, dv float64) (float64, error) {
+	base, err := Evaluate(a, k, freqMHz)
+	if err != nil {
+		return 0, err
+	}
+	shifted, err := a.WithVoltageOffset(dv)
+	if err != nil {
+		return 0, err
+	}
+	uv, err := Evaluate(shifted, k, freqMHz)
+	if err != nil {
+		return 0, err
+	}
+	return (base.EnergyJoules - uv.EnergyJoules) / base.EnergyJoules, nil
+}

@@ -1,0 +1,191 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWithVoltageOffsetBounds(t *testing.T) {
+	a := GA100()
+	if _, err := a.WithVoltageOffset(-0.1); err == nil {
+		t.Fatal("excessive undervolt accepted")
+	}
+	if _, err := a.WithVoltageOffset(0.1); err == nil {
+		t.Fatal("excessive overvolt accepted")
+	}
+	uv, err := a.WithVoltageOffset(-0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uv.VMin != a.VMin-0.05 || uv.VMax != a.VMax-0.05 {
+		t.Fatalf("curve not shifted: %v/%v", uv.VMin, uv.VMax)
+	}
+	if uv.VRef != a.VMax {
+		t.Fatalf("calibration reference moved: %v", uv.VRef)
+	}
+	if uv.Name == a.Name {
+		t.Fatal("shifted variant should be renamed")
+	}
+	zero, err := a.WithVoltageOffset(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Name != a.Name {
+		t.Fatal("zero offset should keep the name")
+	}
+}
+
+func TestUndervoltingReducesPowerAndEnergy(t *testing.T) {
+	a := GA100()
+	k := computeBound()
+	uv, err := a.WithVoltageOffset(-0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{510, 900, 1410} {
+		base, err := Evaluate(a, k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shifted, err := Evaluate(uv, k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shifted.PowerWatts >= base.PowerWatts {
+			t.Fatalf("undervolted power %v >= stock %v at %v MHz", shifted.PowerWatts, base.PowerWatts, f)
+		}
+		if math.Abs(shifted.TimeSec-base.TimeSec) > 1e-9 {
+			t.Fatalf("undervolting changed execution time at %v MHz", f)
+		}
+	}
+}
+
+func TestUndervoltSavingsScaleRoughlyQuadratically(t *testing.T) {
+	a := GA100()
+	k := computeBound()
+	// Dynamic power ∝ V²: the −50 mV saving should exceed the −25 mV
+	// saving by clearly more than linear extrapolation's half.
+	s25, err := UndervoltSavings(a, k, 1410, -0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s50, err := UndervoltSavings(a, k, 1410, -0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s25 <= 0 || s50 <= 0 {
+		t.Fatalf("no savings: %v / %v", s25, s50)
+	}
+	if s50 <= 1.9*s25 {
+		t.Fatalf("savings not superlinear: 25mV %v, 50mV %v", s25, s50)
+	}
+}
+
+func TestUndervoltSavingsLargerForComputeBound(t *testing.T) {
+	a := GA100()
+	cb, err := UndervoltSavings(a, computeBound(), 1410, -0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := UndervoltSavings(a, memoryBound(), 1410, -0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb <= mb {
+		t.Fatalf("compute-bound saving %v should exceed memory-bound %v (core dynamic power dominates)", cb, mb)
+	}
+}
+
+func TestUndervoltSavingsErrors(t *testing.T) {
+	a := GA100()
+	if _, err := UndervoltSavings(a, computeBound(), 907, -0.05); err == nil {
+		t.Fatal("bad clock accepted")
+	}
+	if _, err := UndervoltSavings(a, computeBound(), 1410, -0.5); err == nil {
+		t.Fatal("excessive offset accepted")
+	}
+}
+
+func TestMemClocks(t *testing.T) {
+	ga := GA100()
+	clocks := ga.MemClocks()
+	if len(clocks) < 2 || clocks[0] != ga.MemFreqMHz {
+		t.Fatalf("GA100 mem clocks = %v", clocks)
+	}
+	if !ga.IsSupportedMemClock(clocks[1]) || ga.IsSupportedMemClock(123) {
+		t.Fatal("IsSupportedMemClock wrong")
+	}
+	gv := GV100()
+	if gv.MemClocks()[0] != 877 {
+		t.Fatalf("GV100 default mem clock = %v", gv.MemClocks()[0])
+	}
+}
+
+func TestWithMemClockScaling(t *testing.T) {
+	ga := GA100()
+	low, err := ga.WithMemClock(810)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := 810 / ga.MemFreqMHz
+	if math.Abs(low.BWScale-ratio) > 1e-9 {
+		t.Fatalf("bandwidth cap not set: %v, want %v", low.BWScale, ratio)
+	}
+	// The cap binds at every core clock at or above where the issue rate
+	// crosses it.
+	if got := low.BandwidthFactor(1410); math.Abs(got-ratio) > 1e-9 {
+		t.Fatalf("capped factor = %v, want %v", got, ratio)
+	}
+	// Below the cap the issue rate still rules.
+	if got, want := low.BandwidthFactor(300), ga.BandwidthFactor(300); got != want {
+		t.Fatalf("low-clock factor changed: %v vs %v", got, want)
+	}
+	if _, err := ga.WithMemClock(999); err == nil {
+		t.Fatal("unsupported mem clock accepted")
+	}
+}
+
+func TestMemClockAffectsMemoryBoundOnly(t *testing.T) {
+	dev := NewDevice(GA100(), 21)
+	mb, cb := memoryBound(), computeBound()
+
+	baseMB, err := dev.Execute(mb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCB, _ := dev.Execute(cb)
+
+	if err := dev.SetMemClock(810); err != nil {
+		t.Fatal(err)
+	}
+	if dev.MemClock() != 810 {
+		t.Fatalf("mem clock = %v", dev.MemClock())
+	}
+	lowMB, _ := dev.Execute(mb)
+	lowCB, _ := dev.Execute(cb)
+
+	// Memory-bound time stretches roughly with the bandwidth loss.
+	if lowMB.Steady.TimeSec < baseMB.Steady.TimeSec*1.3 {
+		t.Fatalf("memory-bound barely slowed: %v -> %v", baseMB.Steady.TimeSec, lowMB.Steady.TimeSec)
+	}
+	// Compute-bound is barely affected.
+	if lowCB.Steady.TimeSec > baseCB.Steady.TimeSec*1.15 {
+		t.Fatalf("compute-bound slowed too much: %v -> %v", baseCB.Steady.TimeSec, lowCB.Steady.TimeSec)
+	}
+	// Memory-bound power drops (DRAM power scales with the clock).
+	if lowMB.Steady.PowerWatts >= baseMB.Steady.PowerWatts {
+		t.Fatalf("memory-bound power did not drop: %v -> %v", baseMB.Steady.PowerWatts, lowMB.Steady.PowerWatts)
+	}
+
+	dev.ResetClocks()
+	if dev.MemClock() != GA100().MemFreqMHz || dev.Clock() != 1410 {
+		t.Fatal("ResetClocks did not restore defaults")
+	}
+}
+
+func TestSetMemClockRejectsUnsupported(t *testing.T) {
+	dev := NewDevice(GA100(), 22)
+	if err := dev.SetMemClock(500); err == nil {
+		t.Fatal("unsupported mem clock accepted")
+	}
+}

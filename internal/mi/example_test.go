@@ -1,0 +1,39 @@
+package mi_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpudvfs/internal/mi"
+)
+
+// Ranking features by their mutual information with a target, as the
+// paper's §4.2.1 does for GPU utilization metrics against power.
+func ExampleRankFeatures() {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	target := make([]float64, n)
+	strong := make([]float64, n) // tightly coupled to the target
+	weak := make([]float64, n)   // loosely coupled
+	noise := make([]float64, n)  // independent
+	for i := range target {
+		target[i] = rng.NormFloat64()
+		strong[i] = target[i] + 0.1*rng.NormFloat64()
+		weak[i] = target[i] + 2*rng.NormFloat64()
+		noise[i] = rng.NormFloat64()
+	}
+	ranked, err := mi.RankFeatures(map[string][]float64{
+		"strong": strong, "weak": weak, "noise": noise,
+	}, target, mi.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, name := range mi.TopK(ranked, 3) {
+		fmt.Println(name)
+	}
+	// Output:
+	// strong
+	// weak
+	// noise
+}

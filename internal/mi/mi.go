@@ -1,0 +1,243 @@
+// Package mi implements the Kraskov–Stögbauer–Grassberger (KSG) k-nearest-
+// neighbor estimator of mutual information between continuous variables
+// (Kraskov et al. 2004, as popularized for feature selection by Ross 2014
+// and scikit-learn's mutual_info_regression). The paper (§4.2.1) uses this
+// estimator to rank GPU utilization metrics by their dependency on
+// power_usage and execution_time and selects the top three.
+package mi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DefaultK is the neighbor count used when Options.K is zero; it matches
+// scikit-learn's default (n_neighbors=3).
+const DefaultK = 3
+
+// Options configures the estimator.
+type Options struct {
+	// K is the number of nearest neighbors (default DefaultK).
+	K int
+	// NoiseScale adds tiny deterministic jitter (scaled by each variable's
+	// magnitude) to break ties between duplicate samples, as scikit-learn
+	// does. Default 1e-10; set negative to disable.
+	NoiseScale float64
+	// Seed drives the jitter; default 0.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = DefaultK
+	}
+	if o.NoiseScale == 0 {
+		o.NoiseScale = 1e-10
+	}
+	return o
+}
+
+// Estimate returns the estimated mutual information, in nats, between the
+// paired samples x and y. The estimate is clamped at zero (the KSG
+// estimator can go slightly negative for independent variables).
+func Estimate(x, y []float64, opts Options) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("mi: length mismatch %d vs %d", len(x), len(y))
+	}
+	opts = opts.withDefaults()
+	n := len(x)
+	if n <= opts.K {
+		return 0, fmt.Errorf("mi: need more than k=%d samples, got %d", opts.K, n)
+	}
+
+	// Standardize both variables: the KSG estimator's joint Chebyshev
+	// distance is not scale-invariant, and mixing unit-scale utilization
+	// fractions with hundred-watt power readings would otherwise let one
+	// variable dominate the neighborhoods.
+	xs := standardized(x)
+	ys := standardized(y)
+	if opts.NoiseScale > 0 {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		jitter(xs, opts.NoiseScale, rng)
+		jitter(ys, opts.NoiseScale, rng)
+	}
+
+	k := opts.K
+	// For each sample, find the distance to its k-th nearest neighbor in
+	// the joint space under the Chebyshev (max) norm, then count the
+	// marginal neighbors strictly within that radius.
+	//
+	// Brute force O(n²): datasets in this repository are a few thousand
+	// samples, well within budget, and it avoids tree code paths that are
+	// hard to verify.
+	dists := make([]float64, n)
+	psiNx := 0.0
+	psiNy := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				dists[j] = math.Inf(1)
+				continue
+			}
+			dists[j] = math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j]))
+		}
+		eps := kthSmallest(dists, k)
+		nx, ny := 0, 0
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if math.Abs(xs[i]-xs[j]) < eps {
+				nx++
+			}
+			if math.Abs(ys[i]-ys[j]) < eps {
+				ny++
+			}
+		}
+		psiNx += digamma(float64(nx + 1))
+		psiNy += digamma(float64(ny + 1))
+	}
+	est := digamma(float64(k)) + digamma(float64(n)) - (psiNx+psiNy)/float64(n)
+	if est < 0 {
+		est = 0
+	}
+	return est, nil
+}
+
+func standardized(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	var mean float64
+	for _, x := range out {
+		mean += x
+	}
+	mean /= float64(len(out))
+	var variance float64
+	for _, x := range out {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(out))
+	std := math.Sqrt(variance)
+	if std == 0 {
+		std = 1
+	}
+	for i := range out {
+		out[i] = (out[i] - mean) / std
+	}
+	return out
+}
+
+func jitter(v []float64, scale float64, rng *rand.Rand) {
+	var maxAbs float64
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	for i := range v {
+		v[i] += scale * maxAbs * rng.NormFloat64()
+	}
+}
+
+// kthSmallest returns the k-th smallest value (1-based) of v without
+// modifying it.
+func kthSmallest(v []float64, k int) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[k-1]
+}
+
+// digamma evaluates the digamma function ψ(x) for x > 0 using the upward
+// recurrence into the asymptotic regime.
+func digamma(x float64) float64 {
+	var result float64
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// FeatureScore is the MI of one named feature against a predictand.
+type FeatureScore struct {
+	Feature string
+	Score   float64
+}
+
+// RankFeatures estimates the MI of each feature column against target and
+// returns the features sorted by descending score (ties broken by name for
+// determinism). columns maps feature name to its sample vector; every
+// column must be the same length as target.
+func RankFeatures(columns map[string][]float64, target []float64, opts Options) ([]FeatureScore, error) {
+	if len(columns) == 0 {
+		return nil, errors.New("mi: no feature columns")
+	}
+	names := make([]string, 0, len(columns))
+	for name := range columns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	scores := make([]FeatureScore, 0, len(names))
+	for _, name := range names {
+		s, err := Estimate(columns[name], target, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mi: feature %q: %w", name, err)
+		}
+		scores = append(scores, FeatureScore{Feature: name, Score: s})
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		if scores[i].Score != scores[j].Score {
+			return scores[i].Score > scores[j].Score
+		}
+		return scores[i].Feature < scores[j].Feature
+	})
+	return scores, nil
+}
+
+// TopK returns the names of the k highest-scoring features from a ranking
+// produced by RankFeatures.
+func TopK(ranking []FeatureScore, k int) []string {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	out := make([]string, 0, k)
+	for _, fs := range ranking[:k] {
+		out = append(out, fs.Feature)
+	}
+	return out
+}
+
+// NormalizeScores rescales scores so the maximum is 1, mirroring the
+// paper's Figure 3 presentation ("mutual correlation close to 1 indicates
+// higher dependency"). A zero maximum leaves scores untouched.
+func NormalizeScores(ranking []FeatureScore) []FeatureScore {
+	if len(ranking) == 0 {
+		return nil
+	}
+	maxScore := ranking[0].Score
+	for _, fs := range ranking {
+		if fs.Score > maxScore {
+			maxScore = fs.Score
+		}
+	}
+	out := make([]FeatureScore, len(ranking))
+	copy(out, ranking)
+	if maxScore <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i].Score /= maxScore
+	}
+	return out
+}

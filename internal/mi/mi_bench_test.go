@@ -1,0 +1,41 @@
+package mi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSamples(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.6*x[i] + 0.8*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkEstimate366 measures the KSG estimator at the Figure 3 dataset
+// size (DGEMM+STREAM: 61 clocks × 3 runs × 2 workloads = 366 points).
+func BenchmarkEstimate366(b *testing.B) {
+	x, y := benchSamples(366)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimate1500(b *testing.B) {
+	x, y := benchSamples(1500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Estimate(x, y, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

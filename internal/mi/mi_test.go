@@ -1,0 +1,255 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Euler–Mascheroni constant, for digamma reference values.
+const gamma = 0.57721566490153286
+
+func TestDigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{3, 1.5 - gamma},
+		{10, 2.251752589066721},
+		{0.5, -gamma - 2*math.Ln2},
+	}
+	for _, c := range cases {
+		if got := digamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x
+	for _, x := range []float64{0.3, 1.7, 4.2, 25} {
+		lhs := digamma(x + 1)
+		rhs := digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestEstimateIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	got, err := Estimate(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.1 {
+		t.Fatalf("MI of independent variables = %v, want ~0", got)
+	}
+}
+
+func TestEstimateGaussianCorrelation(t *testing.T) {
+	// For bivariate normals, I(X;Y) = −½·ln(1−ρ²).
+	rng := rand.New(rand.NewSource(2))
+	n := 1500
+	for _, rho := range []float64{0.5, 0.9} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			x[i] = a
+			y[i] = rho*a + math.Sqrt(1-rho*rho)*b
+		}
+		want := -0.5 * math.Log(1-rho*rho)
+		got, err := Estimate(x, y, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 0.1 {
+			t.Errorf("rho=%v: MI = %v, want ~%v", rho, got, want)
+		}
+	}
+}
+
+func TestEstimateDeterministicHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 3*x[i] - 1
+	}
+	got, err := Estimate(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 2 {
+		t.Fatalf("MI of deterministic relation = %v, want large", got)
+	}
+}
+
+func TestEstimateScaleInvariance(t *testing.T) {
+	// Internal standardization must make MI estimates invariant to
+	// affine rescaling of either variable.
+	rng := rand.New(rand.NewSource(4))
+	n := 600
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = 0.7*x[i] + 0.7*rng.NormFloat64()
+	}
+	base, err := Estimate(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledY := make([]float64, n)
+	for i := range y {
+		scaledY[i] = 1e4*y[i] + 777
+	}
+	scaled, err := Estimate(x, scaledY, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base-scaled) > 0.05 {
+		t.Fatalf("MI changed under affine rescaling: %v vs %v", base, scaled)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate([]float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Estimate([]float64{1, 2, 3}, []float64{1, 2, 3}, Options{K: 5}); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestEstimateNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(100)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		got, err := Estimate(x, y, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < 0 {
+			t.Fatalf("negative MI %v", got)
+		}
+	}
+}
+
+func TestEstimateDuplicateSamples(t *testing.T) {
+	// Heavily tied data (the jitter's reason to exist) must not error.
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i % 2)
+		y[i] = float64(i % 2)
+	}
+	got, err := Estimate(x, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Fatalf("MI of identical binary variables = %v, want > 0", got)
+	}
+}
+
+func TestRankFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 400
+	target := make([]float64, n)
+	strong := make([]float64, n)
+	weak := make([]float64, n)
+	noise := make([]float64, n)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+		strong[i] = target[i] + 0.1*rng.NormFloat64()
+		weak[i] = target[i] + 2*rng.NormFloat64()
+		noise[i] = rng.NormFloat64()
+	}
+	cols := map[string][]float64{"strong": strong, "weak": weak, "noise": noise}
+	ranked, err := RankFeatures(cols, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d features", len(ranked))
+	}
+	if ranked[0].Feature != "strong" {
+		t.Fatalf("top feature = %s", ranked[0].Feature)
+	}
+	if ranked[2].Feature != "noise" {
+		t.Fatalf("bottom feature = %s", ranked[2].Feature)
+	}
+	if top := TopK(ranked, 2); len(top) != 2 || top[0] != "strong" {
+		t.Fatalf("TopK = %v", top)
+	}
+	if top := TopK(ranked, 99); len(top) != 3 {
+		t.Fatalf("TopK overflow = %v", top)
+	}
+}
+
+func TestRankFeaturesEmpty(t *testing.T) {
+	if _, err := RankFeatures(nil, []float64{1}, Options{}); err == nil {
+		t.Fatal("empty columns accepted")
+	}
+}
+
+func TestRankFeaturesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	target := make([]float64, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+		a[i] = target[i] + rng.NormFloat64()
+		b[i] = target[i] + rng.NormFloat64()
+	}
+	cols := map[string][]float64{"a": a, "b": b}
+	r1, err := RankFeatures(cols, target, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RankFeatures(cols, target, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("ranking not deterministic")
+		}
+	}
+}
+
+func TestNormalizeScores(t *testing.T) {
+	in := []FeatureScore{{"a", 2}, {"b", 1}, {"c", 0}}
+	out := NormalizeScores(in)
+	if out[0].Score != 1 || out[1].Score != 0.5 || out[2].Score != 0 {
+		t.Fatalf("NormalizeScores = %v", out)
+	}
+	if in[0].Score != 2 {
+		t.Fatal("NormalizeScores mutated input")
+	}
+	if NormalizeScores(nil) != nil {
+		t.Fatal("nil input should return nil")
+	}
+	zeros := NormalizeScores([]FeatureScore{{"a", 0}})
+	if zeros[0].Score != 0 {
+		t.Fatal("all-zero scores should be unchanged")
+	}
+}

@@ -1,0 +1,119 @@
+package mlbase
+
+import (
+	"math/rand"
+)
+
+// BoostConfig controls gradient-boosted-tree training.
+type BoostConfig struct {
+	Rounds       int     // boosting rounds; 0 means 100
+	LearningRate float64 // shrinkage; 0 means 0.1
+	MaxDepth     int     // per-tree depth; 0 means 3
+	MinLeaf      int     // minimum samples per leaf; 0 means 1
+	Subsample    float64 // row subsampling per round; 0 means 1 (none)
+	Seed         int64
+}
+
+// GradientBoosting is stagewise least-squares gradient boosting over CART
+// trees with shrinkage and stochastic row subsampling — the stand-in for
+// the paper's XGBR baseline.
+type GradientBoosting struct {
+	Config BoostConfig
+
+	base      float64
+	trees     []*Tree
+	nFeatures int
+}
+
+// NewGradientBoosting returns an unfitted booster.
+func NewGradientBoosting(cfg BoostConfig) *GradientBoosting {
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 100
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 3
+	}
+	if cfg.Subsample == 0 {
+		cfg.Subsample = 1
+	}
+	return &GradientBoosting{Config: cfg}
+}
+
+// Name implements Regressor.
+func (g *GradientBoosting) Name() string { return "XGBR" }
+
+// Fit implements Regressor. With squared loss, each round fits a tree to
+// the current residuals and adds it with shrinkage.
+func (g *GradientBoosting) Fit(x [][]float64, y []float64) error {
+	n, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	g.nFeatures = n
+	rng := rand.New(rand.NewSource(g.Config.Seed))
+
+	// Initialize with the mean.
+	g.base = 0
+	for _, v := range y {
+		g.base += v
+	}
+	g.base /= float64(len(y))
+
+	residual := make([]float64, len(y))
+	for i, v := range y {
+		residual[i] = v - g.base
+	}
+
+	rows := len(x)
+	sub := int(g.Config.Subsample * float64(rows))
+	if sub < 1 {
+		sub = 1
+	}
+	perm := make([]int, rows)
+	for i := range perm {
+		perm[i] = i
+	}
+	sx := make([][]float64, sub)
+	sy := make([]float64, sub)
+
+	g.trees = g.trees[:0]
+	for round := 0; round < g.Config.Rounds; round++ {
+		rng.Shuffle(rows, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := 0; i < sub; i++ {
+			sx[i] = x[perm[i]]
+			sy[i] = residual[perm[i]]
+		}
+		tree := NewTree(TreeConfig{MaxDepth: g.Config.MaxDepth, MinLeaf: g.Config.MinLeaf})
+		if err := tree.fitWithRNG(sx, sy, rng); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, tree)
+		// Update residuals over the full set.
+		for i, row := range x {
+			residual[i] -= g.Config.LearningRate * tree.predictRow(row)
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GradientBoosting) Predict(x [][]float64) ([]float64, error) {
+	if len(g.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredictSet(x, g.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		v := g.base
+		for _, t := range g.trees {
+			v += g.Config.LearningRate * t.predictRow(row)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

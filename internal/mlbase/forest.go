@@ -1,0 +1,92 @@
+package mlbase
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls random-forest training.
+type ForestConfig struct {
+	Trees       int // number of trees; 0 means 100
+	MaxDepth    int // per-tree depth limit; 0 means unlimited
+	MinLeaf     int // minimum samples per leaf; 0 means 1
+	MaxFeatures int // features per split; 0 means ⌈√d⌉ (regression default: d/3 is also common; √d keeps trees diverse)
+	Seed        int64
+}
+
+// RandomForest is bootstrap-aggregated CART regression (the paper's RFR
+// baseline).
+type RandomForest struct {
+	Config ForestConfig
+
+	trees     []*Tree
+	nFeatures int
+}
+
+// NewRandomForest returns an unfitted forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	if cfg.Trees == 0 {
+		cfg.Trees = 100
+	}
+	return &RandomForest{Config: cfg}
+}
+
+// Name implements Regressor.
+func (f *RandomForest) Name() string { return "RFR" }
+
+// Fit implements Regressor: each tree is grown on a bootstrap resample
+// with per-split feature subsampling, deterministically from Config.Seed.
+func (f *RandomForest) Fit(x [][]float64, y []float64) error {
+	n, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	f.nFeatures = n
+	maxF := f.Config.MaxFeatures
+	if maxF == 0 {
+		maxF = int(math.Ceil(math.Sqrt(float64(n))))
+	}
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.trees = f.trees[:0]
+	rows := len(x)
+	bx := make([][]float64, rows)
+	by := make([]float64, rows)
+	for t := 0; t < f.Config.Trees; t++ {
+		for i := 0; i < rows; i++ {
+			j := rng.Intn(rows)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tree := NewTree(TreeConfig{MaxDepth: f.Config.MaxDepth, MinLeaf: f.Config.MinLeaf, MaxFeatures: maxF})
+		if err := tree.fitWithRNG(bx, by, rng); err != nil {
+			return err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Regressor, averaging the trees' predictions.
+func (f *RandomForest) Predict(x [][]float64) ([]float64, error) {
+	if len(f.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredictSet(x, f.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for _, t := range f.trees {
+		p, err := t.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package mlbase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNConfig controls k-nearest-neighbor regression.
+type KNNConfig struct {
+	K int // neighbors; 0 means 5
+	// Weighted applies inverse-distance weighting instead of a plain mean.
+	Weighted bool
+}
+
+// KNN is k-nearest-neighbor regression — the simplest learner that, unlike
+// trees, can interpolate between training clusters, which makes it an
+// informative baseline for the mixture-feature queries this repository's
+// online methodology performs.
+type KNN struct {
+	Config KNNConfig
+
+	x         [][]float64
+	y         []float64
+	nFeatures int
+}
+
+// NewKNN returns an unfitted kNN regressor.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K == 0 {
+		cfg.K = 5
+	}
+	return &KNN{Config: cfg}
+}
+
+// Name implements Regressor.
+func (m *KNN) Name() string { return "KNN" }
+
+// Fit implements Regressor (kNN just memorizes the data).
+func (m *KNN) Fit(x [][]float64, y []float64) error {
+	n, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	if m.Config.K > len(x) {
+		return fmt.Errorf("mlbase: k=%d exceeds %d training points", m.Config.K, len(x))
+	}
+	m.nFeatures = n
+	m.x = make([][]float64, len(x))
+	for i, row := range x {
+		m.x[i] = append([]float64(nil), row...)
+	}
+	m.y = append([]float64(nil), y...)
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *KNN) Predict(x [][]float64) ([]float64, error) {
+	if len(m.x) == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredictSet(x, m.nFeatures); err != nil {
+		return nil, err
+	}
+	type nb struct {
+		d float64
+		y float64
+	}
+	out := make([]float64, len(x))
+	nbs := make([]nb, len(m.x))
+	for qi, q := range x {
+		for i, row := range m.x {
+			var d2 float64
+			for j, v := range row {
+				diff := v - q[j]
+				d2 += diff * diff
+			}
+			nbs[i] = nb{d: d2, y: m.y[i]}
+		}
+		sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+		k := m.Config.K
+		if m.Config.Weighted {
+			var num, den float64
+			for _, n := range nbs[:k] {
+				w := 1 / (math.Sqrt(n.d) + 1e-9)
+				num += w * n.y
+				den += w
+			}
+			out[qi] = num / den
+			continue
+		}
+		var s float64
+		for _, n := range nbs[:k] {
+			s += n.y
+		}
+		out[qi] = s / float64(k)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package mlbase
+
+import (
+	"gpudvfs/internal/mat"
+)
+
+// LinearRegression is ordinary-least-squares multiple linear regression
+// (the paper's MLR baseline), solved via the normal equations.
+type LinearRegression struct {
+	// Coef holds the fitted weights; Intercept the bias.
+	Coef      []float64
+	Intercept float64
+
+	nFeatures int
+}
+
+// Name implements Regressor.
+func (m *LinearRegression) Name() string { return "MLR" }
+
+// Fit implements Regressor. A singular design matrix (e.g. duplicated
+// constant columns) returns mat.ErrSingular; use Ridge in that case.
+func (m *LinearRegression) Fit(x [][]float64, y []float64) error {
+	return m.fit(x, y, 0)
+}
+
+// Predict implements Regressor.
+func (m *LinearRegression) Predict(x [][]float64) ([]float64, error) {
+	if err := checkPredictSet(x, m.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Intercept + mat.Dot(m.Coef, row)
+	}
+	return out, nil
+}
+
+func (m *LinearRegression) fit(x [][]float64, y []float64, lambda float64) error {
+	n, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	// Augment with a ones column for the intercept: solve (XᵀX + λI)w = Xᵀy.
+	d := n + 1
+	xtx := mat.New(d, d)
+	xty := make([]float64, d)
+	for r, row := range x {
+		for i := 0; i < d; i++ {
+			xi := 1.0
+			if i < n {
+				xi = row[i]
+			}
+			xty[i] += xi * y[r]
+			for j := i; j < d; j++ {
+				xj := 1.0
+				if j < n {
+					xj = row[j]
+				}
+				xtx.Data[i*d+j] += xi * xj
+			}
+		}
+	}
+	// Mirror the upper triangle and apply the ridge penalty (not on the
+	// intercept).
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			xtx.Data[i*d+j] = xtx.Data[j*d+i]
+		}
+		if i < n {
+			xtx.Data[i*d+i] += lambda
+		}
+	}
+	w, err := mat.Solve(xtx, xty)
+	if err != nil {
+		return err
+	}
+	m.Coef = w[:n]
+	m.Intercept = w[n]
+	m.nFeatures = n
+	return nil
+}
+
+// Ridge is L2-regularized linear regression.
+type Ridge struct {
+	Lambda float64
+	lr     LinearRegression
+}
+
+// Name implements Regressor.
+func (m *Ridge) Name() string { return "Ridge" }
+
+// Fit implements Regressor.
+func (m *Ridge) Fit(x [][]float64, y []float64) error {
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	return m.lr.fit(x, y, lambda)
+}
+
+// Predict implements Regressor.
+func (m *Ridge) Predict(x [][]float64) ([]float64, error) { return m.lr.Predict(x) }
+
+// Coef returns the fitted weights.
+func (m *Ridge) Coef() []float64 { return m.lr.Coef }
+
+// Intercept returns the fitted bias.
+func (m *Ridge) Intercept() float64 { return m.lr.Intercept }

@@ -1,0 +1,74 @@
+package mlbase
+
+import (
+	"testing"
+)
+
+func benchTrainingSet() ([][]float64, []float64) {
+	// Roughly the per-run GPU dataset's shape: ~1300 points, 3 features.
+	return makeLinear(1300, 0.1, 1)
+}
+
+func BenchmarkFitMLR(b *testing.B) {
+	x, y := benchTrainingSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &LinearRegression{}
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitTree(b *testing.B) {
+	x, y := benchTrainingSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTree(TreeConfig{MaxDepth: 8})
+		if err := tr.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitForest(b *testing.B) {
+	x, y := benchTrainingSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewRandomForest(ForestConfig{Trees: 30, MaxDepth: 8, Seed: 1})
+		if err := f.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitBoosting(b *testing.B) {
+	x, y := benchTrainingSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGradientBoosting(BoostConfig{Rounds: 50, Seed: 1})
+		if err := g.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictForest(b *testing.B) {
+	x, y := benchTrainingSet()
+	f := NewRandomForest(ForestConfig{Trees: 30, MaxDepth: 8, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	probe := x[:61] // one design-space sweep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Predict(probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package mlbase
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// makeLinear builds y = 2·x0 − 3·x1 + 5 (+ optional noise).
+func makeLinear(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 2*a - 3*b + 5 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	x, y := makeLinear(200, 0, 1)
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 1e-9 || math.Abs(m.Coef[1]+3) > 1e-9 || math.Abs(m.Intercept-5) > 1e-9 {
+		t.Fatalf("coef %v intercept %v", m.Coef, m.Intercept)
+	}
+	pred, err := m.Predict([][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-4) > 1e-9 {
+		t.Fatalf("predict(1,1) = %v, want 4", pred[0])
+	}
+}
+
+// Property: OLS residuals on exactly linear data are ~zero for random
+// coefficient draws.
+func TestLinearRegressionExactFitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w0, w1, b := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		n := 20 + rng.Intn(50)
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			a, c := rng.NormFloat64(), rng.NormFloat64()
+			x[i] = []float64{a, c}
+			y[i] = w0*a + w1*c + b
+		}
+		m := &LinearRegression{}
+		if err := m.Fit(x, y); err != nil {
+			return false
+		}
+		pred, err := m.Predict(x)
+		if err != nil {
+			return false
+		}
+		for i := range y {
+			if math.Abs(pred[i]-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRegressionSingular(t *testing.T) {
+	// Two identical columns → singular normal equations.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{1, 2, 3}
+	m := &LinearRegression{}
+	if err := m.Fit(x, y); err == nil {
+		t.Fatal("singular design accepted")
+	}
+}
+
+func TestRidgeHandlesSingular(t *testing.T) {
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	m := &Ridge{Lambda: 1e-3}
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([][]float64{{2.5, 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-5) > 0.1 {
+		t.Fatalf("ridge predict = %v, want ~5", pred[0])
+	}
+}
+
+func TestRidgeShrinksCoefficients(t *testing.T) {
+	x, y := makeLinear(100, 0.1, 2)
+	ols := &LinearRegression{}
+	if err := ols.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	heavy := &Ridge{Lambda: 1e4}
+	if err := heavy.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heavy.Coef()[0]) >= math.Abs(ols.Coef[0]) {
+		t.Fatalf("heavy ridge did not shrink: %v vs %v", heavy.Coef()[0], ols.Coef[0])
+	}
+}
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		v := float64(i) / 100
+		x = append(x, []float64{v})
+		if v < 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 2)
+		}
+	}
+	tr := NewTree(TreeConfig{MaxDepth: 2})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := tr.Predict([][]float64{{0.25}, {0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred[0]-1) > 1e-9 || math.Abs(pred[1]-2) > 1e-9 {
+		t.Fatalf("step predictions = %v", pred)
+	}
+}
+
+func TestTreeDepthLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		y = append(y, math.Sin(10*v))
+	}
+	for _, depth := range []int{1, 2, 3, 5} {
+		tr := NewTree(TreeConfig{MaxDepth: depth})
+		if err := tr.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Depth(); got > depth {
+			t.Fatalf("depth %d exceeds limit %d", got, depth)
+		}
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	tr := NewTree(TreeConfig{MinLeaf: 4})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("MinLeaf=n should produce a stump, depth %d", tr.Depth())
+	}
+	pred, _ := tr.Predict([][]float64{{99}})
+	if math.Abs(pred[0]-2.5) > 1e-9 {
+		t.Fatalf("stump predicts %v, want mean 2.5", pred[0])
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tr := NewTree(TreeConfig{})
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := tr.Predict([][]float64{{2}})
+	if pred[0] != 7 {
+		t.Fatalf("constant tree predicts %v", pred[0])
+	}
+}
+
+func TestForestImprovesOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b}
+		y[i] = a + b
+	}
+	f := NewRandomForest(ForestConfig{Trees: 30, MaxDepth: 6, Seed: 1})
+	if err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := f.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse float64
+	for i := range y {
+		d := pred[i] - y[i]
+		mse += d * d
+	}
+	mse /= float64(n)
+	if mse > 0.02 {
+		t.Fatalf("forest train MSE %v too high", mse)
+	}
+}
+
+func TestForestDeterministicSeed(t *testing.T) {
+	x, y := makeLinear(100, 0.5, 5)
+	run := func(seed int64) float64 {
+		f := NewRandomForest(ForestConfig{Trees: 10, MaxDepth: 4, Seed: seed})
+		if err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		p, _ := f.Predict([][]float64{{0.5, -0.5}})
+		return p[0]
+	}
+	if run(9) != run(9) {
+		t.Fatal("same seed gave different forests")
+	}
+}
+
+func TestGradientBoostingReducesResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a := rng.Float64() * 4
+		x[i] = []float64{a}
+		y[i] = math.Sin(a)
+	}
+	few := NewGradientBoosting(BoostConfig{Rounds: 5, Seed: 1})
+	many := NewGradientBoosting(BoostConfig{Rounds: 150, Seed: 1})
+	if err := few.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := many.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	mse := func(g *GradientBoosting) float64 {
+		p, err := g.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for i := range y {
+			d := p[i] - y[i]
+			s += d * d
+		}
+		return s / float64(n)
+	}
+	mFew, mMany := mse(few), mse(many)
+	if mMany >= mFew {
+		t.Fatalf("more rounds did not help: %v vs %v", mMany, mFew)
+	}
+	if mMany > 0.01 {
+		t.Fatalf("boosted train MSE %v too high", mMany)
+	}
+}
+
+func TestSVRFitsSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a := rng.Float64()*2 - 1
+		x[i] = []float64{a}
+		y[i] = a * a
+	}
+	s := NewSVR(SVRConfig{C: 10, Epsilon: 0.01, Gamma: 2, Iters: 300, Seed: 1})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := s.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i := range y {
+		mae += math.Abs(pred[i] - y[i])
+	}
+	mae /= float64(n)
+	if mae > 0.08 {
+		t.Fatalf("SVR MAE %v too high", mae)
+	}
+	if s.NumSupport() == 0 {
+		t.Fatal("no support vectors retained")
+	}
+}
+
+func TestSVRConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{4, 4, 4}
+	s := NewSVR(SVRConfig{Epsilon: 0.5})
+	if err := s.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Predict([][]float64{{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-4) > 0.6 {
+		t.Fatalf("constant SVR predicts %v", p[0])
+	}
+}
+
+func TestAllLearnersNotFitted(t *testing.T) {
+	for _, name := range LearnerNames() {
+		m, err := NewByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Predict([][]float64{{1, 2}}); !errors.Is(err, ErrNotFitted) && err == nil {
+			t.Errorf("%s: unfitted Predict did not error", name)
+		}
+	}
+}
+
+func TestAllLearnersDimensionMismatch(t *testing.T) {
+	x, y := makeLinear(60, 0.1, 8)
+	for _, name := range LearnerNames() {
+		m, _ := NewByName(name, 1)
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := m.Predict([][]float64{{1}}); err == nil {
+			t.Errorf("%s: wrong feature width accepted", name)
+		}
+	}
+}
+
+func TestAllLearnersTrainingErrors(t *testing.T) {
+	for _, name := range LearnerNames() {
+		m, _ := NewByName(name, 1)
+		if err := m.Fit(nil, nil); err == nil {
+			t.Errorf("%s: empty training set accepted", name)
+		}
+		if err := m.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: length mismatch accepted", name)
+		}
+		if err := m.Fit([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+			t.Errorf("%s: ragged rows accepted", name)
+		}
+	}
+}
+
+func TestNewByNameUnknown(t *testing.T) {
+	if _, err := NewByName("bogus", 1); err == nil {
+		t.Fatal("unknown learner accepted")
+	}
+}
+
+func TestAllLearnersBeatMeanOnLinearData(t *testing.T) {
+	x, y := makeLinear(200, 0.2, 9)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var baseline float64
+	for _, v := range y {
+		baseline += (v - mean) * (v - mean)
+	}
+	baseline /= float64(len(y))
+
+	for _, name := range LearnerNames() {
+		m, _ := NewByName(name, 1)
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pred, err := m.Predict(x)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var mse float64
+		for i := range y {
+			d := pred[i] - y[i]
+			mse += d * d
+		}
+		mse /= float64(len(y))
+		if mse > baseline/2 {
+			t.Errorf("%s: train MSE %v vs mean-baseline %v", name, mse, baseline)
+		}
+	}
+}
+
+func TestKNNInterpolates(t *testing.T) {
+	// Two clusters; the midpoint query must land between their values —
+	// the property trees lack.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		x = append(x, []float64{0.0 + 0.01*float64(i%3)})
+		y = append(y, 1.0)
+		x = append(x, []float64{1.0 - 0.01*float64(i%3)})
+		y = append(y, 3.0)
+	}
+	m := NewKNN(KNNConfig{K: 10, Weighted: true})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict([][]float64{{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred[0] < 1.5 || pred[0] > 2.5 {
+		t.Fatalf("midpoint prediction %v, want between the clusters", pred[0])
+	}
+}
+
+func TestKNNExactNeighbors(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{0, 10, 20, 30}
+	m := NewKNN(KNNConfig{K: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := m.Predict([][]float64{{1.1}, {2.9}})
+	if pred[0] != 10 || pred[1] != 30 {
+		t.Fatalf("1-NN predictions %v", pred)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	m := NewKNN(KNNConfig{K: 10})
+	if err := m.Fit([][]float64{{1}, {2}}, []float64{1, 2}); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := m.Predict([][]float64{{1}}); err == nil {
+		t.Fatal("unfitted predict accepted")
+	}
+}
+
+func TestKNNFitCopiesData(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	m := NewKNN(KNNConfig{K: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	x[0][0] = 99
+	y[0] = 99
+	pred, _ := m.Predict([][]float64{{1}})
+	if pred[0] != 1 {
+		t.Fatalf("Fit did not copy training data: %v", pred[0])
+	}
+}

@@ -1,0 +1,89 @@
+// Package mlbase implements the traditional multi-learner baselines the
+// paper compares its DNN against in Figure 11: Multiple Linear Regression
+// (MLR), Random Forest Regression (RFR), gradient-boosted trees (standing
+// in for XGBR), and ε-Support Vector Regression (SVR), plus ridge
+// regression and CART trees as building blocks.
+//
+// All learners are deterministic given their seed and implement the shared
+// Regressor interface, so the experiment harness can sweep them uniformly.
+package mlbase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Regressor is the common interface over all baseline learners.
+type Regressor interface {
+	Name() string
+	// Fit trains on feature rows x with targets y.
+	Fit(x [][]float64, y []float64) error
+	// Predict returns one prediction per row; it errors if called before
+	// Fit or with a different feature width.
+	Predict(x [][]float64) ([]float64, error)
+}
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("mlbase: model not fitted")
+
+func checkTrainingSet(x [][]float64, y []float64) (nFeatures int, err error) {
+	if len(x) == 0 {
+		return 0, errors.New("mlbase: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("mlbase: %d rows but %d targets", len(x), len(y))
+	}
+	nFeatures = len(x[0])
+	if nFeatures == 0 {
+		return 0, errors.New("mlbase: rows have no features")
+	}
+	for i, row := range x {
+		if len(row) != nFeatures {
+			return 0, fmt.Errorf("mlbase: row %d has %d features, want %d", i, len(row), nFeatures)
+		}
+	}
+	return nFeatures, nil
+}
+
+func checkPredictSet(x [][]float64, nFeatures int) error {
+	if nFeatures == 0 {
+		return ErrNotFitted
+	}
+	for i, row := range x {
+		if len(row) != nFeatures {
+			return fmt.Errorf("mlbase: row %d has %d features, model fitted on %d", i, len(row), nFeatures)
+		}
+	}
+	return nil
+}
+
+// NewByName constructs a baseline learner with this repository's default
+// hyperparameters. Recognized names: "mlr", "ridge", "rfr", "xgbr", "svr".
+func NewByName(name string, seed int64) (Regressor, error) {
+	switch name {
+	case "mlr":
+		return &LinearRegression{}, nil
+	case "ridge":
+		return &Ridge{Lambda: 1e-3}, nil
+	case "rfr":
+		return NewRandomForest(ForestConfig{Trees: 100, MaxDepth: 8, MinLeaf: 2, Seed: seed}), nil
+	case "xgbr":
+		return NewGradientBoosting(BoostConfig{Rounds: 200, LearningRate: 0.1, MaxDepth: 4, MinLeaf: 2, Subsample: 0.8, Seed: seed}), nil
+	case "knn":
+		return NewKNN(KNNConfig{K: 5, Weighted: true}), nil
+	case "svr":
+		// Moderately tuned RBF SVR: an epsilon tube of 2% of the target
+		// range, matching the care the paper's baseline comparison gives
+		// its scikit-learn learners.
+		return NewSVR(SVRConfig{C: 5, Epsilon: 0.02, Gamma: 1, Iters: 150, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("mlbase: unknown learner %q (have %v)", name, LearnerNames())
+}
+
+// LearnerNames lists the learners NewByName accepts, sorted.
+func LearnerNames() []string {
+	names := []string{"knn", "mlr", "ridge", "rfr", "svr", "xgbr"}
+	sort.Strings(names)
+	return names
+}

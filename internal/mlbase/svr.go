@@ -1,0 +1,173 @@
+package mlbase
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SVRConfig controls ε-support-vector regression training.
+type SVRConfig struct {
+	C       float64 // loss weight; 0 means 1
+	Epsilon float64 // insensitive-tube half width; 0 means 0.1
+	Gamma   float64 // RBF kernel width k(a,b)=exp(−γ‖a−b‖²); 0 means 1/d
+	Iters   int     // optimization epochs; 0 means 300
+	Seed    int64
+}
+
+// SVR is ε-insensitive support vector regression with an RBF kernel (the
+// paper's SVR baseline). It is trained in the primal over the kernel
+// expansion f(x) = Σ βᵢ k(xᵢ,x) + b (representer theorem) by stochastic
+// subgradient descent on C·Σ max(0,|f(xᵢ)−yᵢ|−ε) + ½ βᵀKβ, which converges
+// to the same class of solutions as SMO on the dual for these dataset
+// sizes.
+type SVR struct {
+	Config SVRConfig
+
+	support   [][]float64
+	beta      []float64
+	bias      float64
+	gamma     float64
+	nFeatures int
+}
+
+// NewSVR returns an unfitted SVR.
+func NewSVR(cfg SVRConfig) *SVR {
+	if cfg.C == 0 {
+		cfg.C = 1
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.Iters == 0 {
+		cfg.Iters = 300
+	}
+	return &SVR{Config: cfg}
+}
+
+// Name implements Regressor.
+func (s *SVR) Name() string { return "SVR" }
+
+// Fit implements Regressor.
+func (s *SVR) Fit(x [][]float64, y []float64) error {
+	d, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	s.nFeatures = d
+	s.gamma = s.Config.Gamma
+	if s.gamma == 0 {
+		s.gamma = 1 / float64(d)
+	}
+	n := len(x)
+
+	// Precompute the kernel matrix.
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rbf(x[i], x[j], s.gamma)
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+
+	beta := make([]float64, n)
+	bias := 0.0
+	// f-cache: f[i] = Σ_j beta[j]·K(i,j) + bias, maintained incrementally.
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = bias
+	}
+
+	rng := rand.New(rand.NewSource(s.Config.Seed))
+	order := rng.Perm(n)
+	c := s.Config.C / float64(n)
+	for epoch := 0; epoch < s.Config.Iters; epoch++ {
+		lr := 1.0 / (1.0 + 0.05*float64(epoch))
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			resid := f[i] - y[i]
+			var g float64
+			switch {
+			case resid > s.Config.Epsilon:
+				g = c
+			case resid < -s.Config.Epsilon:
+				g = -c
+			default:
+				g = 0
+			}
+			// Subgradient of the regularizer ½βᵀKβ w.r.t. βᵢ is (Kβ)ᵢ = f[i]−bias.
+			reg := 1e-3 * (f[i] - bias)
+			delta := -lr * (g + reg)
+			if delta == 0 {
+				continue
+			}
+			beta[i] += delta
+			bias += -lr * g * 0.1
+			for j := 0; j < n; j++ {
+				f[j] += delta * k[i][j]
+			}
+			// Bias moved: shift the cache uniformly.
+			if g != 0 {
+				for j := 0; j < n; j++ {
+					f[j] += -lr * g * 0.1
+				}
+			}
+		}
+	}
+
+	// Retain only support vectors (non-negligible coefficients).
+	s.support = s.support[:0]
+	s.beta = s.beta[:0]
+	for i, b := range beta {
+		if math.Abs(b) > 1e-9 {
+			s.support = append(s.support, x[i])
+			s.beta = append(s.beta, b)
+		}
+	}
+	s.bias = bias
+	if len(s.support) == 0 {
+		// Degenerate fit (e.g. constant y inside the tube): predict bias.
+		s.bias = mean(y)
+	}
+	return nil
+}
+
+func mean(v []float64) float64 {
+	var t float64
+	for _, x := range v {
+		t += x
+	}
+	return t / float64(len(v))
+}
+
+func rbf(a, b []float64, gamma float64) float64 {
+	var d2 float64
+	for i, v := range a {
+		d := v - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-gamma * d2)
+}
+
+// Predict implements Regressor.
+func (s *SVR) Predict(x [][]float64) ([]float64, error) {
+	if s.nFeatures == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredictSet(x, s.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		v := s.bias
+		for j, sv := range s.support {
+			v += s.beta[j] * rbf(sv, row, s.gamma)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NumSupport returns the number of retained support vectors.
+func (s *SVR) NumSupport() int { return len(s.support) }

@@ -1,0 +1,208 @@
+package mlbase
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART regression-tree growth.
+type TreeConfig struct {
+	MaxDepth int // 0 means unlimited
+	MinLeaf  int // minimum samples per leaf; 0 means 1
+	// MaxFeatures limits how many features are considered per split
+	// (sampled without replacement); 0 means all. Used by random forests.
+	MaxFeatures int
+}
+
+type treeNode struct {
+	// Leaf prediction (valid when left == nil).
+	value float64
+	// Split (valid when left != nil).
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// Tree is a CART regression tree grown by variance reduction.
+type Tree struct {
+	Config TreeConfig
+
+	root      *treeNode
+	nFeatures int
+}
+
+// NewTree returns a tree with the given growth configuration.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{Config: cfg} }
+
+// Name implements Regressor.
+func (t *Tree) Name() string { return "CART" }
+
+// Fit implements Regressor, growing the tree deterministically (feature
+// subsampling, if any, uses a zero-seeded source; forests pass their own
+// rng via fitWithRNG).
+func (t *Tree) Fit(x [][]float64, y []float64) error {
+	return t.fitWithRNG(x, y, rand.New(rand.NewSource(0)))
+}
+
+func (t *Tree) fitWithRNG(x [][]float64, y []float64, rng *rand.Rand) error {
+	n, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	t.nFeatures = n
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, y, idx, 0, rng)
+	return nil
+}
+
+func (t *Tree) grow(x [][]float64, y []float64, idx []int, depth int, rng *rand.Rand) *treeNode {
+	node := &treeNode{value: meanAt(y, idx)}
+	minLeaf := t.Config.MinLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	if len(idx) < 2*minLeaf {
+		return node
+	}
+	if t.Config.MaxDepth > 0 && depth >= t.Config.MaxDepth {
+		return node
+	}
+
+	feature, threshold, ok := t.bestSplit(x, y, idx, minLeaf, rng)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return node
+	}
+	node.feature = feature
+	node.threshold = threshold
+	node.left = t.grow(x, y, left, depth+1, rng)
+	node.right = t.grow(x, y, right, depth+1, rng)
+	return node
+}
+
+// bestSplit scans candidate features for the split minimizing the weighted
+// child sum of squared errors, using the sorted-prefix-sums formulation.
+func (t *Tree) bestSplit(x [][]float64, y []float64, idx []int, minLeaf int, rng *rand.Rand) (feature int, threshold float64, ok bool) {
+	features := t.candidateFeatures(rng)
+	bestSSE := math.Inf(1)
+
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		// Prefix sums of y and y² along the sorted order.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, i := range order {
+			sumR += y[i]
+			sqR += y[i] * y[i]
+		}
+		n := len(order)
+		for pos := 0; pos < n-1; pos++ {
+			i := order[pos]
+			sumL += y[i]
+			sqL += y[i] * y[i]
+			sumR -= y[i]
+			sqR -= y[i] * y[i]
+			// Can't split between equal feature values.
+			if x[i][f] == x[order[pos+1]][f] {
+				continue
+			}
+			nl, nr := pos+1, n-pos-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			sse := (sqL - sumL*sumL/float64(nl)) + (sqR - sumR*sumR/float64(nr))
+			if sse < bestSSE {
+				bestSSE = sse
+				feature = f
+				threshold = (x[i][f] + x[order[pos+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func (t *Tree) candidateFeatures(rng *rand.Rand) []int {
+	all := make([]int, t.nFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	k := t.Config.MaxFeatures
+	if k <= 0 || k >= t.nFeatures {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	sub := all[:k]
+	sort.Ints(sub)
+	return sub
+}
+
+// Predict implements Regressor.
+func (t *Tree) Predict(x [][]float64) ([]float64, error) {
+	if t.root == nil {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredictSet(x, t.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = t.predictRow(row)
+	}
+	return out, nil
+}
+
+func (t *Tree) predictRow(row []float64) float64 {
+	n := t.root
+	for n.left != nil {
+		if row[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the fitted tree (0 for a stump).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.left == nil {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}

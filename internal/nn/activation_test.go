@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSELUValues(t *testing.T) {
+	a, err := ActivationByName("selu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Func(1); math.Abs(got-SELUScale) > 1e-12 {
+		t.Fatalf("selu(1) = %v, want %v", got, SELUScale)
+	}
+	// selu(x→−∞) → −scale·alpha
+	if got := a.Func(-50); math.Abs(got+SELUScale*SELUAlpha) > 1e-9 {
+		t.Fatalf("selu(-50) = %v, want %v", got, -SELUScale*SELUAlpha)
+	}
+	if got := a.Func(0); got != 0 {
+		// x > 0 branch is not taken at 0; the negative branch gives
+		// scale·alpha·(e⁰−1) = 0 as well.
+		t.Fatalf("selu(0) = %v, want 0", got)
+	}
+}
+
+func TestActivationNamesRegistry(t *testing.T) {
+	names := ActivationNames()
+	if len(names) != 9 {
+		t.Fatalf("registry has %d activations, want 9: %v", len(names), names)
+	}
+	for _, n := range names {
+		a, err := ActivationByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name() != n {
+			t.Fatalf("activation %q reports name %q", n, a.Name())
+		}
+	}
+	if _, err := ActivationByName("bogus"); err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+}
+
+// TestActivationDerivatives checks every activation's Deriv against a
+// central finite difference across a range of inputs.
+func TestActivationDerivatives(t *testing.T) {
+	const h = 1e-6
+	for _, name := range ActivationNames() {
+		a, _ := ActivationByName(name)
+		for _, x := range []float64{-3, -1.5, -0.5, -0.01, 0.01, 0.5, 1.5, 3} {
+			fx := a.Func(x)
+			got := a.Deriv(x, fx)
+			want := (a.Func(x+h) - a.Func(x-h)) / (2 * h)
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Errorf("%s'(%v) = %v, finite difference %v", name, x, got, want)
+			}
+		}
+	}
+}
+
+// Property: monotone activations are non-decreasing.
+func TestActivationMonotonicity(t *testing.T) {
+	monotone := []string{"selu", "relu", "elu", "leaky_relu", "sigmoid", "tanh", "softplus", "softsign", "linear"}
+	for _, name := range monotone {
+		a, _ := ActivationByName(name)
+		f := func(x, dx float64) bool {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 50 {
+				return true
+			}
+			d := math.Abs(dx)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 50 {
+				return true
+			}
+			return a.Func(x+d) >= a.Func(x)-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s not monotone: %v", name, err)
+		}
+	}
+}
+
+func TestSigmoidBounds(t *testing.T) {
+	a, _ := ActivationByName("sigmoid")
+	for _, x := range []float64{-100, -1, 0, 1, 100} {
+		v := a.Func(x)
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid(%v) = %v out of [0,1]", x, v)
+		}
+	}
+}
+
+func TestSoftplusStableForLargeX(t *testing.T) {
+	a, _ := ActivationByName("softplus")
+	if got := a.Func(1000); math.IsInf(got, 1) || math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("softplus(1000) = %v", got)
+	}
+}

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad hardens the model deserializer: arbitrary bytes must either
+// load into a network whose Predict works at the declared input width, or
+// return an error — never panic.
+func FuzzLoad(f *testing.F) {
+	net, _ := NewNetwork(Arch{Inputs: 2, Hidden: []int{4}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}, 1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add("")
+	f.Add("{}")
+	f.Add(`{"format":"gpudvfs-nn/1","layers":[]}`)
+	f.Add(strings.Replace(valid, `"selu"`, `"bogus"`, 1))
+	f.Add(strings.Replace(valid, `"in":2`, `"in":-1`, 1))
+	f.Add(strings.Replace(valid, `"out":4`, `"out":9999999`, 1))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		loaded, err := Load(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		in := loaded.Layers[0].In
+		if in <= 0 || in > 1<<16 {
+			// Degenerate but parseable widths: just don't predict.
+			return
+		}
+		row := make([]float64, in)
+		if _, err := loaded.Predict([][]float64{row}); err != nil {
+			t.Fatalf("loaded model cannot predict: %v", err)
+		}
+	})
+}

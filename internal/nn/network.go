@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpudvfs/internal/mat"
+)
+
+// Layer is one fully connected layer: y = act(x·Wᵀ + b).
+type Layer struct {
+	In, Out int
+	W       *mat.Matrix // Out×In
+	B       []float64   // Out
+	Act     Activation
+
+	// Scratch saved by the last Forward call, consumed by Backward.
+	lastX *mat.Matrix // batch input, n×In
+	lastZ *mat.Matrix // pre-activation, n×Out
+	lastA *mat.Matrix // activation output, n×Out
+
+	// Gradients from the last Backward call.
+	gradW *mat.Matrix
+	gradB []float64
+}
+
+// NewLayer creates a layer with weights initialized for the given
+// activation: LeCun-normal for SELU (required for its self-normalizing
+// property), He-normal for the ReLU family, and Xavier/Glorot otherwise.
+func NewLayer(in, out int, act Activation, rng *rand.Rand) *Layer {
+	l := &Layer{In: in, Out: out, W: mat.New(out, in), B: make([]float64, out), Act: act}
+	var std float64
+	switch act.Name() {
+	case "selu":
+		std = math.Sqrt(1 / float64(in)) // LeCun normal
+	case "relu", "leaky_relu", "elu":
+		std = math.Sqrt(2 / float64(in)) // He normal
+	default:
+		std = math.Sqrt(2 / float64(in+out)) // Xavier
+	}
+	for i := range l.W.Data {
+		l.W.Data[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// Forward computes the layer output for a batch x (n×In), caching the
+// intermediates needed by Backward.
+func (l *Layer) Forward(x *mat.Matrix) *mat.Matrix {
+	z := mat.Mul(x, l.W.T())
+	z.AddRowVec(l.B)
+	a := z.Clone()
+	a.Apply(l.Act.Func)
+	l.lastX, l.lastZ, l.lastA = x, z, a
+	return a
+}
+
+// Infer computes the layer output without caching training state; safe for
+// concurrent use once training has finished.
+func (l *Layer) Infer(x *mat.Matrix) *mat.Matrix {
+	z := mat.Mul(x, l.W.T())
+	z.AddRowVec(l.B)
+	return z.Apply(l.Act.Func)
+}
+
+// Backward receives dL/dA for this layer's output and returns dL/dX for the
+// layer below, storing the weight and bias gradients internally. Any
+// batch-size averaging belongs in the loss gradient the caller feeds in
+// (Fit passes dL/dŷ = 2(ŷ−y)/m); Backward itself only sums over the batch.
+func (l *Layer) Backward(dA *mat.Matrix) *mat.Matrix {
+	n := dA.Rows
+	// dZ = dA ∘ act'(Z)
+	dZ := mat.New(n, l.Out)
+	for i := 0; i < n; i++ {
+		zr, ar, dr, or := l.lastZ.Row(i), l.lastA.Row(i), dA.Row(i), dZ.Row(i)
+		for j := range or {
+			or[j] = dr[j] * l.Act.Deriv(zr[j], ar[j])
+		}
+	}
+	// dW = dZᵀ·X ; db = colsum(dZ) ; dX = dZ·W
+	l.gradW = mat.Mul(dZ.T(), l.lastX)
+	l.gradB = dZ.ColSums()
+	return mat.Mul(dZ, l.W)
+}
+
+// Network is a feed-forward neural network of fully connected layers.
+type Network struct {
+	Layers []*Layer
+}
+
+// Arch describes a network architecture: layer widths, hidden activation,
+// and output activation (linear for regression).
+type Arch struct {
+	Inputs    int    `json:"inputs"`
+	Hidden    []int  `json:"hidden"`
+	Outputs   int    `json:"outputs"`
+	HiddenAct string `json:"hidden_act"`
+	OutputAct string `json:"output_act"`
+}
+
+// PaperArch returns the architecture used throughout the paper: the given
+// number of input features, three hidden layers of 64 SELU neurons, and a
+// single linear output.
+func PaperArch(inputs int) Arch {
+	return Arch{Inputs: inputs, Hidden: []int{64, 64, 64}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}
+}
+
+// NewNetwork builds a network with freshly initialized weights drawn from
+// the seeded source, making construction deterministic.
+func NewNetwork(a Arch, seed int64) (*Network, error) {
+	if a.Inputs <= 0 || a.Outputs <= 0 {
+		return nil, fmt.Errorf("nn: invalid architecture: inputs=%d outputs=%d", a.Inputs, a.Outputs)
+	}
+	hact, err := ActivationByName(a.HiddenAct)
+	if err != nil {
+		return nil, err
+	}
+	oact, err := ActivationByName(a.OutputAct)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{}
+	prev := a.Inputs
+	for _, h := range a.Hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("nn: invalid hidden width %d", h)
+		}
+		net.Layers = append(net.Layers, NewLayer(prev, h, hact, rng))
+		prev = h
+	}
+	net.Layers = append(net.Layers, NewLayer(prev, a.Outputs, oact, rng))
+	return net, nil
+}
+
+// Forward runs a training-mode forward pass over batch x.
+func (n *Network) Forward(x *mat.Matrix) *mat.Matrix {
+	a := x
+	for _, l := range n.Layers {
+		a = l.Forward(a)
+	}
+	return a
+}
+
+// Backward propagates dL/dŷ through all layers, leaving per-layer gradients
+// stored on each layer.
+func (n *Network) Backward(dOut *mat.Matrix) {
+	d := dOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		d = n.Layers[i].Backward(d)
+	}
+}
+
+// Step applies one optimizer update using the gradients from the last
+// Backward call.
+func (n *Network) Step(opt Optimizer) {
+	for i, l := range n.Layers {
+		opt.Step(2*i, l.W.Data, l.gradW.Data)
+		opt.Step(2*i+1, l.B, l.gradB)
+	}
+}
+
+// Predict runs inference on a batch of rows and returns one output row per
+// input row. It does not mutate training state and is safe for concurrent
+// callers once training has completed.
+func (n *Network) Predict(rows [][]float64) ([][]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	x, err := mat.NewFromRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	if x.Cols != n.Layers[0].In {
+		return nil, fmt.Errorf("nn: input has %d features, network expects %d", x.Cols, n.Layers[0].In)
+	}
+	a := x
+	for _, l := range n.Layers {
+		a = l.Infer(a)
+	}
+	out := make([][]float64, a.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), a.Row(i)...)
+	}
+	return out, nil
+}
+
+// Predict1 is a convenience wrapper for a single input row with a single
+// output neuron.
+func (n *Network) Predict1(row []float64) (float64, error) {
+	out, err := n.Predict([][]float64{row})
+	if err != nil {
+		return 0, err
+	}
+	if len(out) != 1 || len(out[0]) != 1 {
+		return 0, fmt.Errorf("nn: Predict1 on network with %d outputs", len(out[0]))
+	}
+	return out[0][0], nil
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += len(l.W.Data) + len(l.B)
+	}
+	return total
+}

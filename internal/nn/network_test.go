@@ -1,0 +1,431 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpudvfs/internal/mat"
+)
+
+func TestPaperArch(t *testing.T) {
+	a := PaperArch(3)
+	if a.Inputs != 3 || len(a.Hidden) != 3 || a.Hidden[0] != 64 || a.Outputs != 1 {
+		t.Fatalf("PaperArch = %+v", a)
+	}
+	if a.HiddenAct != "selu" || a.OutputAct != "linear" {
+		t.Fatalf("PaperArch activations = %s/%s", a.HiddenAct, a.OutputAct)
+	}
+}
+
+func TestNewNetworkShapeAndParams(t *testing.T) {
+	net, err := NewNetwork(PaperArch(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Layers) != 4 {
+		t.Fatalf("layers = %d, want 4", len(net.Layers))
+	}
+	// (3·64+64) + (64·64+64)·2 + (64·1+1) = 8641
+	if got := net.NumParams(); got != 8641 {
+		t.Fatalf("NumParams = %d, want 8641", got)
+	}
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	cases := []Arch{
+		{Inputs: 0, Hidden: []int{4}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"},
+		{Inputs: 2, Hidden: []int{4}, Outputs: 0, HiddenAct: "selu", OutputAct: "linear"},
+		{Inputs: 2, Hidden: []int{-1}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"},
+		{Inputs: 2, Hidden: []int{4}, Outputs: 1, HiddenAct: "bogus", OutputAct: "linear"},
+		{Inputs: 2, Hidden: []int{4}, Outputs: 1, HiddenAct: "selu", OutputAct: "bogus"},
+	}
+	for i, a := range cases {
+		if _, err := NewNetwork(a, 1); err == nil {
+			t.Errorf("case %d: invalid arch accepted: %+v", i, a)
+		}
+	}
+}
+
+func TestNewNetworkDeterministicSeed(t *testing.T) {
+	a, _ := NewNetwork(PaperArch(2), 7)
+	b, _ := NewNetwork(PaperArch(2), 7)
+	c, _ := NewNetwork(PaperArch(2), 8)
+	for i := range a.Layers {
+		for j := range a.Layers[i].W.Data {
+			if a.Layers[i].W.Data[j] != b.Layers[i].W.Data[j] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+	same := true
+	for j := range a.Layers[0].W.Data {
+		if a.Layers[0].W.Data[j] != c.Layers[0].W.Data[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical weights")
+	}
+}
+
+// TestGradientCheck validates analytic backprop gradients against central
+// finite differences on a small network — the canonical correctness test
+// for a from-scratch NN.
+func TestGradientCheck(t *testing.T) {
+	for _, act := range []string{"selu", "relu", "tanh", "sigmoid", "softplus"} {
+		net, err := NewNetwork(Arch{Inputs: 3, Hidden: []int{5, 4}, Outputs: 1, HiddenAct: act, OutputAct: "linear"}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		xRows := [][]float64{
+			{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+		}
+		y := []float64{0.3, -0.7}
+
+		loss := func() float64 {
+			out, err := net.Predict(xRows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var l float64
+			for i := range y {
+				d := out[i][0] - y[i]
+				l += d * d
+			}
+			return l / float64(len(y))
+		}
+
+		// Analytic gradients.
+		x, _ := mat.NewFromRows(xRows)
+		pred := net.Forward(x)
+		dOut := mat.New(len(y), 1)
+		for i := range y {
+			dOut.Set(i, 0, 2*(pred.At(i, 0)-y[i])/float64(len(y)))
+		}
+		net.Backward(dOut)
+
+		const h = 1e-6
+		for li, l := range net.Layers {
+			for wi := range l.W.Data {
+				orig := l.W.Data[wi]
+				l.W.Data[wi] = orig + h
+				lp := loss()
+				l.W.Data[wi] = orig - h
+				lm := loss()
+				l.W.Data[wi] = orig
+				want := (lp - lm) / (2 * h)
+				got := l.gradW.Data[wi]
+				if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+					t.Fatalf("%s layer %d weight %d: grad %v, numeric %v", act, li, wi, got, want)
+				}
+			}
+			for bi := range l.B {
+				orig := l.B[bi]
+				l.B[bi] = orig + h
+				lp := loss()
+				l.B[bi] = orig - h
+				lm := loss()
+				l.B[bi] = orig
+				want := (lp - lm) / (2 * h)
+				got := l.gradB[bi]
+				if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+					t.Fatalf("%s layer %d bias %d: grad %v, numeric %v", act, li, bi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardMatchesInfer(t *testing.T) {
+	net, _ := NewNetwork(PaperArch(3), 5)
+	rows := [][]float64{{0.2, -1.5, 0.9}, {1.1, 0.4, -0.3}}
+	x, _ := mat.NewFromRows(rows)
+	f := net.Forward(x)
+	p, err := net.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if f.At(i, 0) != p[i][0] {
+			t.Fatalf("row %d: Forward %v vs Predict %v", i, f.At(i, 0), p[i][0])
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	net, _ := NewNetwork(PaperArch(3), 1)
+	if _, err := net.Predict([][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	out, err := net.Predict(nil)
+	if err != nil || out != nil {
+		t.Fatalf("empty predict: %v, %v", out, err)
+	}
+	if _, err := net.Predict([][]float64{{1, 2, 3}, {1, 2}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestPredict1(t *testing.T) {
+	net, _ := NewNetwork(PaperArch(2), 1)
+	v, err := net.Predict1([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := net.Predict([][]float64{{0.5, 0.5}})
+	if v != batch[0][0] {
+		t.Fatalf("Predict1 %v != Predict %v", v, batch[0][0])
+	}
+}
+
+func TestFitLearnsLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 500
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = 0.4*a - 0.9*b + 0.2
+	}
+	net, _ := NewNetwork(Arch{Inputs: 2, Hidden: []int{16, 16}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}, 2)
+	hist, err := net.Fit(x, y, PaperTrainConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.ValLoss[len(hist.ValLoss)-1]
+	if final > 0.01 {
+		t.Fatalf("final val MSE %v, want < 0.01", final)
+	}
+	if len(hist.TrainLoss) != 150 || len(hist.ValLoss) != 150 {
+		t.Fatalf("history lengths %d/%d", len(hist.TrainLoss), len(hist.ValLoss))
+	}
+}
+
+func TestFitLearnsNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 800
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = a*b + 0.3*a*a
+	}
+	net, _ := NewNetwork(Arch{Inputs: 2, Hidden: []int{32, 32}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}, 2)
+	hist, err := net.Fit(x, y, PaperTrainConfig(150))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := hist.ValLoss[len(hist.ValLoss)-1]
+	if final > 0.05 {
+		t.Fatalf("final val MSE %v, want < 0.05", final)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	net, _ := NewNetwork(PaperArch(2), 1)
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []float64{1, 2}
+	cases := []struct {
+		name string
+		x    [][]float64
+		y    []float64
+		cfg  TrainConfig
+	}{
+		{"empty", nil, nil, PaperTrainConfig(5)},
+		{"mismatch", x, []float64{1}, PaperTrainConfig(5)},
+		{"zero epochs", x, y, TrainConfig{Epochs: 0, BatchSize: 2}},
+		{"zero batch", x, y, TrainConfig{Epochs: 1, BatchSize: 0}},
+		{"bad split", x, y, TrainConfig{Epochs: 1, BatchSize: 2, ValidationSplit: 1.0, Optimizer: OptimizerConfig{Name: "sgd"}}},
+		{"bad optimizer", x, y, TrainConfig{Epochs: 1, BatchSize: 2, Optimizer: OptimizerConfig{Name: "bogus"}}},
+		{"wrong width", [][]float64{{1}}, []float64{1}, PaperTrainConfig(5)},
+	}
+	for _, c := range cases {
+		if _, err := net.Fit(c.x, c.y, c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	mk := func() float64 {
+		rng := rand.New(rand.NewSource(9))
+		x := make([][]float64, 100)
+		y := make([]float64, 100)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64()}
+			y[i] = 2 * x[i][0]
+		}
+		net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{8}, Outputs: 1, HiddenAct: "tanh", OutputAct: "linear"}, 3)
+		if _, err := net.Fit(x, y, PaperTrainConfig(10)); err != nil {
+			t.Fatal(err)
+		}
+		v, _ := net.Predict1([]float64{0.5})
+		return v
+	}
+	if mk() != mk() {
+		t.Fatal("training is not deterministic for a fixed seed")
+	}
+}
+
+func TestFitNoValidationSplit(t *testing.T) {
+	net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{4}, Outputs: 1, HiddenAct: "tanh", OutputAct: "linear"}, 1)
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	cfg := TrainConfig{Epochs: 3, BatchSize: 2, ValidationSplit: 0, Optimizer: OptimizerConfig{Name: "sgd"}, Seed: 1}
+	hist, err := net.Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.ValLoss) != 0 {
+		t.Fatalf("val loss recorded without a split: %v", hist.ValLoss)
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	x := make([][]float64, 300)
+	y := make([]float64, 300)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64()}
+		// Noisy target: the val loss plateaus at the noise floor, which is
+		// what early stopping exists to catch.
+		y[i] = 3*x[i][0] + 0.5*rng.NormFloat64()
+	}
+	net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{8}, Outputs: 1, HiddenAct: "tanh", OutputAct: "linear"}, 4)
+	cfg := PaperTrainConfig(500)
+	cfg.EarlyStopPatience = 5
+	hist, err := net.Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.TrainLoss) >= 500 {
+		t.Fatalf("early stopping never triggered (%d epochs)", len(hist.TrainLoss))
+	}
+	if len(hist.ValLoss) != len(hist.TrainLoss) {
+		t.Fatalf("history lengths diverge: %d vs %d", len(hist.ValLoss), len(hist.TrainLoss))
+	}
+}
+
+func TestEarlyStoppingRequiresValidation(t *testing.T) {
+	net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{4}, Outputs: 1, HiddenAct: "tanh", OutputAct: "linear"}, 1)
+	cfg := TrainConfig{Epochs: 5, BatchSize: 2, ValidationSplit: 0, EarlyStopPatience: 2, Optimizer: OptimizerConfig{Name: "sgd"}}
+	if _, err := net.Fit([][]float64{{1}, {2}, {3}, {4}}, []float64{1, 2, 3, 4}, cfg); err == nil {
+		t.Fatal("early stopping without validation accepted")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = x[i][0] - x[i][1]
+	}
+	norm := func(decay float64) float64 {
+		net, _ := NewNetwork(Arch{Inputs: 2, Hidden: []int{16}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}, 6)
+		cfg := PaperTrainConfig(40)
+		cfg.WeightDecay = decay
+		if _, err := net.Fit(x, y, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, l := range net.Layers {
+			for _, w := range l.W.Data {
+				s += w * w
+			}
+		}
+		return s
+	}
+	if heavy, free := norm(0.01), norm(0); heavy >= free {
+		t.Fatalf("weight decay did not shrink weights: %v vs %v", heavy, free)
+	}
+}
+
+func TestEarlyStoppingRestoresBestWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64()}
+		y[i] = x[i][0] + 0.8*rng.NormFloat64()
+	}
+	net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{12}, Outputs: 1, HiddenAct: "tanh", OutputAct: "linear"}, 4)
+	cfg := PaperTrainConfig(400)
+	cfg.EarlyStopPatience = 4
+	hist, err := net.Fit(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored model's val loss must equal the best recorded one, not
+	// the last (which by construction was not an improvement).
+	best := hist.ValLoss[0]
+	for _, v := range hist.ValLoss {
+		if v < best {
+			best = v
+		}
+	}
+	// Recompute val loss on the same split used by Fit.
+	vr := rand.New(rand.NewSource(cfg.Seed))
+	idx := vr.Perm(len(x))
+	nVal := int(cfg.ValidationSplit * float64(len(x)))
+	valIdx := idx[len(x)-nVal:]
+	ys := make([][]float64, len(y))
+	for i, v := range y {
+		ys[i] = []float64{v}
+	}
+	got, err := net.evalMSE(x, ys, valIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-best) > 1e-12 {
+		t.Fatalf("restored val loss %v, best recorded %v", got, best)
+	}
+}
+
+func TestFitMultiLearnsTwoOutputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	n := 600
+	x := make([][]float64, n)
+	ys := make([][]float64, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		ys[i] = []float64{0.5*a - 0.2*b, a * b * 0.3}
+	}
+	net, _ := NewNetwork(Arch{Inputs: 2, Hidden: []int{24, 24}, Outputs: 2, HiddenAct: "selu", OutputAct: "linear"}, 7)
+	hist, err := net.FitMulti(x, ys, PaperTrainConfig(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := hist.ValLoss[len(hist.ValLoss)-1]; final > 0.02 {
+		t.Fatalf("final val MSE %v", final)
+	}
+	pred, err := net.Predict([][]float64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred[0]) != 2 {
+		t.Fatalf("prediction width %d", len(pred[0]))
+	}
+	if math.Abs(pred[0][0]-0.3) > 0.15 || math.Abs(pred[0][1]-0.3) > 0.15 {
+		t.Fatalf("predictions at (1,1): %v, want ~[0.3, 0.3]", pred[0])
+	}
+}
+
+func TestFitMultiValidation(t *testing.T) {
+	net, _ := NewNetwork(Arch{Inputs: 1, Hidden: []int{4}, Outputs: 2, HiddenAct: "tanh", OutputAct: "linear"}, 1)
+	// Ragged target width rejected.
+	if _, err := net.FitMulti([][]float64{{1}, {2}}, [][]float64{{1, 2}, {1}}, PaperTrainConfig(2)); err == nil {
+		t.Fatal("ragged targets accepted")
+	}
+	// Fit on a multi-output network is rejected with a pointer to FitMulti.
+	if _, err := net.Fit([][]float64{{1}}, []float64{1}, PaperTrainConfig(2)); err == nil {
+		t.Fatal("Fit on 2-output net accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpudvfs/internal/mat"
+)
+
+func benchBatch(n, features int) (*mat.Matrix, [][]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, features)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.NormFloat64()
+	}
+	x, _ := mat.NewFromRows(rows)
+	return x, rows, y
+}
+
+// BenchmarkForwardPaperArch measures one training-mode forward pass of the
+// paper's 3-64-64-64-1 network at the paper's batch size.
+func BenchmarkForwardPaperArch(b *testing.B) {
+	net, _ := NewNetwork(PaperArch(3), 1)
+	x, _, _ := benchBatch(64, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkTrainStep measures one full forward+backward+RMSprop step.
+func BenchmarkTrainStep(b *testing.B) {
+	net, _ := NewNetwork(PaperArch(3), 1)
+	opt, _ := NewOptimizer(OptimizerConfig{Name: "rmsprop"})
+	x, _, y := benchBatch(64, 3)
+	dOut := mat.New(64, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred := net.Forward(x)
+		for r := 0; r < 64; r++ {
+			dOut.Set(r, 0, 2*(pred.At(r, 0)-y[r])/64)
+		}
+		net.Backward(dOut)
+		net.Step(opt)
+	}
+}
+
+// BenchmarkPredictDesignSpace measures the online phase's inference cost:
+// predicting all 61 DVFS configurations in one batch.
+func BenchmarkPredictDesignSpace(b *testing.B) {
+	net, _ := NewNetwork(PaperArch(3), 1)
+	_, rows, _ := benchBatch(61, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Predict(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Optimizer applies gradient updates to parameter tensors. Each distinct
+// parameter tensor is identified by a stable integer key (assigned by the
+// network: two keys per layer, weights and biases); optimizers allocate
+// per-key state lazily on first use.
+type Optimizer interface {
+	Name() string
+	// Step updates params in place given grads of the same length.
+	Step(key int, params, grads []float64)
+	// Reset clears all accumulated state (fresh training run).
+	Reset()
+}
+
+// OptimizerConfig selects and parameterizes an optimizer by name. A zero
+// LearningRate selects the optimizer's conventional default.
+type OptimizerConfig struct {
+	Name         string  `json:"name"`
+	LearningRate float64 `json:"learning_rate,omitempty"`
+}
+
+// NewOptimizer builds an optimizer from its config. Recognized names:
+// "sgd", "rmsprop", "adam", "adamax", "nadam", "adadelta".
+func NewOptimizer(cfg OptimizerConfig) (Optimizer, error) {
+	lr := cfg.LearningRate
+	switch cfg.Name {
+	case "sgd":
+		if lr == 0 {
+			lr = 0.01
+		}
+		return &SGD{LR: lr, Momentum: 0.9, state: map[int][]float64{}}, nil
+	case "rmsprop":
+		if lr == 0 {
+			lr = 0.001
+		}
+		return &RMSprop{LR: lr, Rho: 0.9, Eps: 1e-7, state: map[int][]float64{}}, nil
+	case "adam":
+		if lr == 0 {
+			lr = 0.001
+		}
+		return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, m: map[int][]float64{}, v: map[int][]float64{}}, nil
+	case "adamax":
+		if lr == 0 {
+			lr = 0.001
+		}
+		return &Adamax{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, m: map[int][]float64{}, u: map[int][]float64{}}, nil
+	case "nadam":
+		if lr == 0 {
+			lr = 0.001
+		}
+		return &Nadam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7, m: map[int][]float64{}, v: map[int][]float64{}}, nil
+	case "adadelta":
+		// AdaDelta adapts its own effective step size; lr is a scale factor.
+		if lr == 0 {
+			lr = 1.0
+		}
+		return &AdaDelta{LR: lr, Rho: 0.95, Eps: 1e-6, eg: map[int][]float64{}, ex: map[int][]float64{}}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q (have %v)", cfg.Name, OptimizerNames())
+	}
+}
+
+// OptimizerNames lists the recognized optimizer names, sorted.
+func OptimizerNames() []string {
+	names := []string{"adadelta", "adam", "adamax", "nadam", "rmsprop", "sgd"}
+	sort.Strings(names)
+	return names
+}
+
+func stateFor(m map[int][]float64, key, n int) []float64 {
+	s, ok := m[key]
+	if !ok || len(s) != n {
+		s = make([]float64, n)
+		m[key] = s
+	}
+	return s
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR, Momentum float64
+	state        map[int][]float64 // velocity
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (o *SGD) Step(key int, params, grads []float64) {
+	v := stateFor(o.state, key, len(params))
+	for i, g := range grads {
+		v[i] = o.Momentum*v[i] - o.LR*g
+		params[i] += v[i]
+	}
+}
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() { o.state = map[int][]float64{} }
+
+// RMSprop divides the gradient by a running average of its recent magnitude
+// (Tieleman & Hinton 2012) — the optimizer the paper selects.
+type RMSprop struct {
+	LR, Rho, Eps float64
+	state        map[int][]float64 // mean squared gradient
+}
+
+// Name implements Optimizer.
+func (o *RMSprop) Name() string { return "rmsprop" }
+
+// Step implements Optimizer.
+func (o *RMSprop) Step(key int, params, grads []float64) {
+	ms := stateFor(o.state, key, len(params))
+	for i, g := range grads {
+		ms[i] = o.Rho*ms[i] + (1-o.Rho)*g*g
+		params[i] -= o.LR * g / (math.Sqrt(ms[i]) + o.Eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (o *RMSprop) Reset() { o.state = map[int][]float64{} }
+
+// Adam is adaptive moment estimation with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[int][]float64
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (o *Adam) Step(key int, params, grads []float64) {
+	// The shared step counter advances once per parameter tensor; bias
+	// correction only needs the counter to grow monotonically, and in
+	// practice every tensor is stepped each iteration.
+	o.t++
+	m := stateFor(o.m, key, len(params))
+	v := stateFor(o.v, key, len(params))
+	b1t := math.Pow(o.Beta1, float64(o.t))
+	b2t := math.Pow(o.Beta2, float64(o.t))
+	for i, g := range grads {
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+		v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+		mhat := m[i] / (1 - b1t)
+		vhat := v[i] / (1 - b2t)
+		params[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() { o.t = 0; o.m = map[int][]float64{}; o.v = map[int][]float64{} }
+
+// Adamax is the infinity-norm variant of Adam.
+type Adamax struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, u                  map[int][]float64
+}
+
+// Name implements Optimizer.
+func (o *Adamax) Name() string { return "adamax" }
+
+// Step implements Optimizer.
+func (o *Adamax) Step(key int, params, grads []float64) {
+	o.t++
+	m := stateFor(o.m, key, len(params))
+	u := stateFor(o.u, key, len(params))
+	b1t := math.Pow(o.Beta1, float64(o.t))
+	for i, g := range grads {
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+		u[i] = math.Max(o.Beta2*u[i], math.Abs(g))
+		params[i] -= o.LR / (1 - b1t) * m[i] / (u[i] + o.Eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adamax) Reset() { o.t = 0; o.m = map[int][]float64{}; o.u = map[int][]float64{} }
+
+// Nadam is Adam with Nesterov momentum.
+type Nadam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[int][]float64
+}
+
+// Name implements Optimizer.
+func (o *Nadam) Name() string { return "nadam" }
+
+// Step implements Optimizer.
+func (o *Nadam) Step(key int, params, grads []float64) {
+	o.t++
+	m := stateFor(o.m, key, len(params))
+	v := stateFor(o.v, key, len(params))
+	b1t := math.Pow(o.Beta1, float64(o.t))
+	b2t := math.Pow(o.Beta2, float64(o.t))
+	for i, g := range grads {
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+		v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+		mhat := m[i] / (1 - b1t)
+		vhat := v[i] / (1 - b2t)
+		// Nesterov look-ahead on the first moment.
+		nes := o.Beta1*mhat + (1-o.Beta1)*g/(1-b1t)
+		params[i] -= o.LR * nes / (math.Sqrt(vhat) + o.Eps)
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Nadam) Reset() { o.t = 0; o.m = map[int][]float64{}; o.v = map[int][]float64{} }
+
+// AdaDelta adapts learning rates with a running window of gradient and
+// update magnitudes (Zeiler 2012); it requires no base learning rate.
+type AdaDelta struct {
+	LR, Rho, Eps float64
+	eg, ex       map[int][]float64 // E[g²], E[Δx²]
+}
+
+// Name implements Optimizer.
+func (o *AdaDelta) Name() string { return "adadelta" }
+
+// Step implements Optimizer.
+func (o *AdaDelta) Step(key int, params, grads []float64) {
+	eg := stateFor(o.eg, key, len(params))
+	ex := stateFor(o.ex, key, len(params))
+	for i, g := range grads {
+		eg[i] = o.Rho*eg[i] + (1-o.Rho)*g*g
+		dx := -math.Sqrt(ex[i]+o.Eps) / math.Sqrt(eg[i]+o.Eps) * g
+		ex[i] = o.Rho*ex[i] + (1-o.Rho)*dx*dx
+		params[i] += o.LR * dx
+	}
+}
+
+// Reset implements Optimizer.
+func (o *AdaDelta) Reset() { o.eg = map[int][]float64{}; o.ex = map[int][]float64{} }

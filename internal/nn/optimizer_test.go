@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// minimizeQuadratic runs an optimizer on f(p) = Σ (p_i − target_i)² and
+// returns the final distance to the target.
+func minimizeQuadratic(t *testing.T, name string, steps int) float64 {
+	t.Helper()
+	opt, err := NewOptimizer(OptimizerConfig{Name: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := []float64{5, -3, 2}
+	target := []float64{1, 1, 1}
+	grads := make([]float64, len(params))
+	for i := 0; i < steps; i++ {
+		for j := range params {
+			grads[j] = 2 * (params[j] - target[j])
+		}
+		opt.Step(0, params, grads)
+	}
+	var d float64
+	for j := range params {
+		d += (params[j] - target[j]) * (params[j] - target[j])
+	}
+	return math.Sqrt(d)
+}
+
+func TestOptimizersMinimizeQuadratic(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps int
+		tol   float64
+	}{
+		{"sgd", 500, 1e-3},
+		{"rmsprop", 5000, 0.05},
+		{"adam", 12000, 0.05},
+		{"adamax", 5000, 0.05},
+		{"nadam", 12000, 0.05},
+		{"adadelta", 20000, 0.5},
+	}
+	for _, c := range cases {
+		start := math.Sqrt(16 + 16 + 1) // distance from {5,-3,2} to {1,1,1}
+		if got := minimizeQuadratic(t, c.name, c.steps); got > c.tol {
+			t.Errorf("%s: final distance %v (start %v), want < %v", c.name, got, start, c.tol)
+		}
+	}
+}
+
+func TestOptimizerUnknownName(t *testing.T) {
+	if _, err := NewOptimizer(OptimizerConfig{Name: "bogus"}); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	names := OptimizerNames()
+	if len(names) != 6 {
+		t.Fatalf("have %d optimizers, want 6: %v", len(names), names)
+	}
+	for _, n := range names {
+		o, err := NewOptimizer(OptimizerConfig{Name: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Name() != n {
+			t.Fatalf("optimizer %q reports name %q", n, o.Name())
+		}
+	}
+}
+
+func TestOptimizerCustomLearningRate(t *testing.T) {
+	opt, err := NewOptimizer(OptimizerConfig{Name: "sgd", LearningRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd, ok := opt.(*SGD)
+	if !ok {
+		t.Fatalf("got %T", opt)
+	}
+	if sgd.LR != 0.5 {
+		t.Fatalf("LR = %v", sgd.LR)
+	}
+}
+
+func TestOptimizerStatePerKey(t *testing.T) {
+	// Two parameter tensors with opposite gradients must not share state.
+	opt, _ := NewOptimizer(OptimizerConfig{Name: "rmsprop"})
+	p1, p2 := []float64{0}, []float64{0}
+	for i := 0; i < 100; i++ {
+		opt.Step(0, p1, []float64{1})
+		opt.Step(1, p2, []float64{-1})
+	}
+	if !(p1[0] < 0 && p2[0] > 0) {
+		t.Fatalf("per-key state broken: p1=%v p2=%v", p1[0], p2[0])
+	}
+}
+
+func TestOptimizerReset(t *testing.T) {
+	for _, name := range OptimizerNames() {
+		opt, _ := NewOptimizer(OptimizerConfig{Name: name})
+		a := []float64{1}
+		opt.Step(0, a, []float64{0.5})
+		after1 := a[0]
+		opt.Reset()
+		b := []float64{1}
+		opt.Step(0, b, []float64{0.5})
+		if b[0] != after1 {
+			t.Errorf("%s: step after Reset differs (%v vs %v)", name, b[0], after1)
+		}
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt := &SGD{LR: 0.1, Momentum: 0.9, state: map[int][]float64{}}
+	p := []float64{0}
+	opt.Step(0, p, []float64{1})
+	first := -p[0] // 0.1
+	opt.Step(0, p, []float64{1})
+	second := -p[0] - first // momentum makes the second step larger
+	if second <= first {
+		t.Fatalf("momentum not accumulating: first %v second %v", first, second)
+	}
+}
+
+func TestRMSpropNormalizesScale(t *testing.T) {
+	// RMSprop steps should have similar magnitude for tiny and large
+	// gradients after warm-up (scale invariance).
+	run := func(g float64) float64 {
+		opt, _ := NewOptimizer(OptimizerConfig{Name: "rmsprop"})
+		p := []float64{0}
+		for i := 0; i < 200; i++ {
+			opt.Step(0, p, []float64{g})
+		}
+		return -p[0]
+	}
+	small, large := run(1e-4), run(1e4)
+	if ratio := large / small; ratio > 1.5 || ratio < 0.67 {
+		t.Fatalf("RMSprop not scale invariant: ratio %v", ratio)
+	}
+}

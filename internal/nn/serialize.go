@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gpudvfs/internal/mat"
+)
+
+// layerJSON is the wire form of one layer.
+type layerJSON struct {
+	In      int         `json:"in"`
+	Out     int         `json:"out"`
+	Act     string      `json:"act"`
+	Weights [][]float64 `json:"weights"` // Out rows of In values
+	Biases  []float64   `json:"biases"`
+}
+
+// networkJSON is the wire form of a network.
+type networkJSON struct {
+	Format string      `json:"format"`
+	Layers []layerJSON `json:"layers"`
+}
+
+const wireFormat = "gpudvfs-nn/1"
+
+// Save writes the network weights as JSON to w.
+func (n *Network) Save(w io.Writer) error {
+	out := networkJSON{Format: wireFormat}
+	for _, l := range n.Layers {
+		lj := layerJSON{In: l.In, Out: l.Out, Act: l.Act.Name(), Biases: l.B}
+		for i := 0; i < l.Out; i++ {
+			lj.Weights = append(lj.Weights, l.W.Row(i))
+		}
+		out.Layers = append(out.Layers, lj)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*Network, error) {
+	var in networkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if in.Format != wireFormat {
+		return nil, fmt.Errorf("nn: unsupported model format %q, want %q", in.Format, wireFormat)
+	}
+	if len(in.Layers) == 0 {
+		return nil, fmt.Errorf("nn: model has no layers")
+	}
+	net := &Network{}
+	for li, lj := range in.Layers {
+		act, err := ActivationByName(lj.Act)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", li, err)
+		}
+		if len(lj.Weights) != lj.Out || len(lj.Biases) != lj.Out {
+			return nil, fmt.Errorf("nn: layer %d: inconsistent shapes (weights %d, biases %d, out %d)", li, len(lj.Weights), len(lj.Biases), lj.Out)
+		}
+		l := &Layer{In: lj.In, Out: lj.Out, Act: act, B: append([]float64(nil), lj.Biases...)}
+		for _, row := range lj.Weights {
+			if len(row) != lj.In {
+				return nil, fmt.Errorf("nn: layer %d: weight row width %d, want %d", li, len(row), lj.In)
+			}
+		}
+		w, err := mat.NewFromRows(lj.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", li, err)
+		}
+		l.W = w
+		if li > 0 && net.Layers[li-1].Out != l.In {
+			return nil, fmt.Errorf("nn: layer %d input %d does not match previous output %d", li, l.In, net.Layers[li-1].Out)
+		}
+		net.Layers = append(net.Layers, l)
+	}
+	return net, nil
+}
+
+// SaveFile saves the network to path, creating or truncating it.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := n.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile loads a network previously written with SaveFile.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trainedNet(t *testing.T) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	x := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = a - 0.5*b
+	}
+	net, err := NewNetwork(Arch{Inputs: 2, Hidden: []int{8, 8}, Outputs: 1, HiddenAct: "selu", OutputAct: "linear"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Fit(x, y, PaperTrainConfig(20)); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := trainedNet(t)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := [][]float64{{0.1, -0.7}, {1.2, 0.4}, {-2, 3}}
+	a, err := net.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Predict(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range probe {
+		if a[i][0] != b[i][0] {
+			t.Fatalf("row %d: original %v, loaded %v", i, a[i][0], b[i][0])
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	net := trainedNet(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := net.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := net.Predict1([]float64{0.3, 0.3})
+	b, _ := loaded.Predict1([]float64{0.3, 0.3})
+	if a != b {
+		t.Fatalf("file round trip changed prediction: %v vs %v", a, b)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadRejectsWrongFormat(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"format":"other/9","layers":[]}`)); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+}
+
+func TestLoadRejectsEmptyLayers(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"format":"gpudvfs-nn/1","layers":[]}`)); err == nil {
+		t.Fatal("empty layers accepted")
+	}
+}
+
+func TestLoadRejectsInconsistentShapes(t *testing.T) {
+	bad := []string{
+		// biases length != out
+		`{"format":"gpudvfs-nn/1","layers":[{"in":1,"out":2,"act":"linear","weights":[[1],[2]],"biases":[0]}]}`,
+		// weight row width != in
+		`{"format":"gpudvfs-nn/1","layers":[{"in":2,"out":1,"act":"linear","weights":[[1]],"biases":[0]}]}`,
+		// unknown activation
+		`{"format":"gpudvfs-nn/1","layers":[{"in":1,"out":1,"act":"bogus","weights":[[1]],"biases":[0]}]}`,
+		// layer chaining mismatch
+		`{"format":"gpudvfs-nn/1","layers":[
+			{"in":1,"out":2,"act":"linear","weights":[[1],[2]],"biases":[0,0]},
+			{"in":3,"out":1,"act":"linear","weights":[[1,2,3]],"biases":[0]}]}`,
+	}
+	for i, s := range bad {
+		if _, err := Load(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: inconsistent model accepted", i)
+		}
+	}
+}
+
+func TestLoadValidModelPredicts(t *testing.T) {
+	// y = 2x + 1 expressed as a single linear layer.
+	s := `{"format":"gpudvfs-nn/1","layers":[{"in":1,"out":1,"act":"linear","weights":[[2]],"biases":[1]}]}`
+	net, err := Load(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := net.Predict1([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("predict = %v, want 7", v)
+	}
+}

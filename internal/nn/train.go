@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpudvfs/internal/mat"
+)
+
+// TrainConfig controls one training run. The zero value is not usable; use
+// PaperTrainConfig or fill the fields explicitly.
+type TrainConfig struct {
+	Epochs          int             `json:"epochs"`
+	BatchSize       int             `json:"batch_size"`
+	ValidationSplit float64         `json:"validation_split"` // fraction held out, e.g. 0.2
+	Optimizer       OptimizerConfig `json:"optimizer"`
+	Seed            int64           `json:"seed"` // shuffling and weight init
+	// WeightDecay adds an L2 penalty gradient (decay·W) on weights (not
+	// biases) each step. It bounds the fitted surface's curvature between
+	// training clusters — important here because the GPU dataset is a set
+	// of tight per-workload clusters and unregularized networks can spike
+	// between them without any visible validation-loss signal.
+	WeightDecay float64 `json:"weight_decay,omitempty"`
+	// EarlyStopPatience, when positive, stops training once the
+	// validation loss has not improved for that many consecutive epochs —
+	// automating the by-hand epoch selection the paper describes in §4.3
+	// ("after 25 epochs, slight overfitting was observed, and we stopped
+	// training"). The weights from the best validation epoch are restored
+	// on stop. Requires a validation split.
+	EarlyStopPatience int `json:"early_stop_patience,omitempty"`
+}
+
+// PaperTrainConfig returns the paper's training regime: batch size 64,
+// RMSprop, 80/20 split, and the given epoch budget (100 for the power
+// model, 25 for the performance model).
+func PaperTrainConfig(epochs int) TrainConfig {
+	return TrainConfig{
+		Epochs:          epochs,
+		BatchSize:       64,
+		ValidationSplit: 0.2,
+		Optimizer:       OptimizerConfig{Name: "rmsprop"},
+		Seed:            1,
+	}
+}
+
+// History records per-epoch training and validation MSE losses, as plotted
+// in the paper's Figure 6.
+type History struct {
+	TrainLoss []float64 `json:"train_loss"`
+	ValLoss   []float64 `json:"val_loss"`
+}
+
+// Fit trains the network on rows x with scalar targets y using mini-batch
+// backpropagation and MSE loss, and returns the loss history. The network
+// must have exactly one output neuron; use FitMulti for wider outputs.
+func (n *Network) Fit(x [][]float64, y []float64, cfg TrainConfig) (*History, error) {
+	if n.Layers[len(n.Layers)-1].Out != 1 {
+		return nil, fmt.Errorf("nn: Fit supports single-output networks, got %d outputs (use FitMulti)", n.Layers[len(n.Layers)-1].Out)
+	}
+	ys := make([][]float64, len(y))
+	for i, v := range y {
+		ys[i] = []float64{v}
+	}
+	return n.FitMulti(x, ys, cfg)
+}
+
+// FitMulti trains a multi-output network: ys holds one target row per
+// input row, each as wide as the network's output layer. The loss is the
+// MSE averaged over all outputs, so targets should share a scale (this
+// repository's normalized power fractions and slowdowns do).
+func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*History, error) {
+	outW := n.Layers[len(n.Layers)-1].Out
+	switch {
+	case len(x) == 0:
+		return nil, errors.New("nn: empty training set")
+	case len(x) != len(ys):
+		return nil, fmt.Errorf("nn: %d inputs but %d targets", len(x), len(ys))
+	case cfg.Epochs <= 0:
+		return nil, fmt.Errorf("nn: non-positive epochs %d", cfg.Epochs)
+	case cfg.BatchSize <= 0:
+		return nil, fmt.Errorf("nn: non-positive batch size %d", cfg.BatchSize)
+	case cfg.ValidationSplit < 0 || cfg.ValidationSplit >= 1:
+		return nil, fmt.Errorf("nn: validation split %v out of [0,1)", cfg.ValidationSplit)
+	case cfg.EarlyStopPatience > 0 && cfg.ValidationSplit <= 0:
+		return nil, errors.New("nn: early stopping requires a validation split")
+	}
+	for i, row := range ys {
+		if len(row) != outW {
+			return nil, fmt.Errorf("nn: target row %d has %d values, network outputs %d", i, len(row), outW)
+		}
+	}
+	if want := n.Layers[0].In; len(x[0]) != want {
+		return nil, fmt.Errorf("nn: input has %d features, network expects %d", len(x[0]), want)
+	}
+
+	opt, err := NewOptimizer(cfg.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shuffle once, then carve off the validation tail.
+	idx := rng.Perm(len(x))
+	nVal := int(cfg.ValidationSplit * float64(len(x)))
+	nTrain := len(x) - nVal
+	if nTrain == 0 {
+		return nil, errors.New("nn: validation split leaves no training data")
+	}
+	trainIdx, valIdx := idx[:nTrain], idx[nTrain:]
+
+	hist := &History{}
+	batch := make([]int, 0, cfg.BatchSize)
+	bestVal := math.Inf(1)
+	sinceBest := 0
+	var bestWeights [][]float64
+	var bestBiases [][]float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fresh shuffle of the training partition each epoch.
+		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
+		var epochLoss float64
+		var seen int
+		for start := 0; start < nTrain; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > nTrain {
+				end = nTrain
+			}
+			batch = batch[:0]
+			batch = append(batch, trainIdx[start:end]...)
+
+			xb := mat.New(len(batch), len(x[0]))
+			for i, r := range batch {
+				copy(xb.Row(i), x[r])
+			}
+			pred := n.Forward(xb)
+
+			// MSE loss and its gradient dL/dŷ = 2(ŷ−y)/(m·outW).
+			m := float64(len(batch)) * float64(outW)
+			dOut := mat.New(len(batch), outW)
+			for i, r := range batch {
+				for o := 0; o < outW; o++ {
+					diff := pred.At(i, o) - ys[r][o]
+					epochLoss += diff * diff
+					dOut.Set(i, o, 2*diff/m)
+				}
+			}
+			seen += len(batch) * outW
+			n.Backward(dOut)
+			if cfg.WeightDecay > 0 {
+				for _, l := range n.Layers {
+					mat.AXPY(cfg.WeightDecay, l.W.Data, l.gradW.Data)
+				}
+			}
+			n.Step(opt)
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(seen))
+
+		if nVal > 0 {
+			valLoss, err := n.evalMSE(x, ys, valIdx)
+			if err != nil {
+				return nil, err
+			}
+			hist.ValLoss = append(hist.ValLoss, valLoss)
+			if cfg.EarlyStopPatience > 0 {
+				if valLoss < bestVal {
+					bestVal = valLoss
+					sinceBest = 0
+					bestWeights, bestBiases = n.snapshot()
+				} else {
+					sinceBest++
+					if sinceBest >= cfg.EarlyStopPatience {
+						n.restore(bestWeights, bestBiases)
+						return hist, nil
+					}
+				}
+			}
+		}
+	}
+	if cfg.EarlyStopPatience > 0 && bestWeights != nil {
+		n.restore(bestWeights, bestBiases)
+	}
+	return hist, nil
+}
+
+// snapshot copies all trainable parameters.
+func (n *Network) snapshot() (weights, biases [][]float64) {
+	for _, l := range n.Layers {
+		weights = append(weights, append([]float64(nil), l.W.Data...))
+		biases = append(biases, append([]float64(nil), l.B...))
+	}
+	return weights, biases
+}
+
+// restore copies parameters saved by snapshot back into the network.
+func (n *Network) restore(weights, biases [][]float64) {
+	if weights == nil {
+		return
+	}
+	for i, l := range n.Layers {
+		copy(l.W.Data, weights[i])
+		copy(l.B, biases[i])
+	}
+}
+
+func (n *Network) evalMSE(x [][]float64, ys [][]float64, idx []int) (float64, error) {
+	rows := make([][]float64, len(idx))
+	for i, r := range idx {
+		rows[i] = x[r]
+	}
+	out, err := n.Predict(rows)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var count int
+	for i, r := range idx {
+		for o := range ys[r] {
+			d := out[i][o] - ys[r][o]
+			sum += d * d
+			count++
+		}
+	}
+	return sum / float64(count), nil
+}

@@ -1,0 +1,46 @@
+package objective_test
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/objective"
+)
+
+// Selecting an optimal frequency from a predicted power/time curve, first
+// unconstrained, then under a 5% performance-degradation threshold.
+func Example() {
+	profiles := []objective.Profile{
+		{FreqMHz: 510, TimeSec: 4.0, PowerWatts: 120},
+		{FreqMHz: 900, TimeSec: 2.5, PowerWatts: 180},
+		{FreqMHz: 1080, TimeSec: 2.2, PowerWatts: 220},
+		{FreqMHz: 1410, TimeSec: 2.0, PowerWatts: 460},
+	}
+
+	opt, _ := objective.SelectOptimal(profiles, objective.EDP{})
+	fmt.Printf("EDP optimum: %.0f MHz\n", opt.FreqMHz)
+
+	capped, _ := objective.SelectWithThreshold(profiles, objective.EDP{}, 0.05)
+	fmt.Printf("with 5%% threshold: %.0f MHz\n", capped.FreqMHz)
+
+	to, _ := objective.Evaluate(profiles, opt)
+	fmt.Printf("trade-off at the optimum: energy %+.1f%%, time %+.1f%%\n", to.EnergyPct, to.TimePct)
+	// Output:
+	// EDP optimum: 1080 MHz
+	// with 5% threshold: 1410 MHz
+	// trade-off at the optimum: energy +47.4%, time -10.0%
+}
+
+// ED²P weighs execution time more heavily than EDP, so it never selects a
+// lower frequency than EDP does.
+func ExampleED2P() {
+	profiles := []objective.Profile{
+		{FreqMHz: 510, TimeSec: 4.0, PowerWatts: 120},
+		{FreqMHz: 900, TimeSec: 2.5, PowerWatts: 180},
+		{FreqMHz: 1410, TimeSec: 2.0, PowerWatts: 460},
+	}
+	edp, _ := objective.SelectOptimal(profiles, objective.EDP{})
+	ed2p, _ := objective.SelectOptimal(profiles, objective.ED2P{})
+	fmt.Printf("EDP: %.0f MHz, ED2P: %.0f MHz\n", edp.FreqMHz, ed2p.FreqMHz)
+	// Output:
+	// EDP: 900 MHz, ED2P: 900 MHz
+}

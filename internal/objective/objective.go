@@ -1,0 +1,187 @@
+// Package objective implements the paper's multi-objective optimal
+// frequency selection (§4.4): EDP and ED²P scoring over per-frequency
+// energy/time profiles, Algorithm 1's threshold-constrained selection, and
+// the energy/performance trade-off accounting of §5.3.
+//
+// The framework allows a user-defined objective; EDP (energy × delay) and
+// ED²P (energy × delay²) are provided, with ED²P weighting execution time
+// more heavily — the paper's recommendation for HPC centers where
+// performance is paramount.
+package objective
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Profile is one DVFS configuration's outcome for a workload — measured,
+// or predicted by the models.
+type Profile struct {
+	FreqMHz    float64
+	TimeSec    float64
+	PowerWatts float64
+}
+
+// Energy returns the profile's energy in joules.
+func (p Profile) Energy() float64 { return p.PowerWatts * p.TimeSec }
+
+// Objective scores an (energy, time) pair; lower is better.
+type Objective interface {
+	Name() string
+	Score(energyJoules, timeSec float64) float64
+}
+
+// EDP is the energy-delay product.
+type EDP struct{}
+
+// Name implements Objective.
+func (EDP) Name() string { return "EDP" }
+
+// Score implements Objective.
+func (EDP) Score(e, t float64) float64 { return e * t }
+
+// ED2P is the energy-delay-squared product, emphasizing execution time.
+type ED2P struct{}
+
+// Name implements Objective.
+func (ED2P) Name() string { return "ED2P" }
+
+// Score implements Objective.
+func (ED2P) Score(e, t float64) float64 { return e * t * t }
+
+// Weighted is a user-defined objective E^EnergyExp · T^TimeExp, the
+// generalization the paper's framework exposes (EDP is {1,1}, ED²P {1,2}).
+type Weighted struct {
+	EnergyExp, TimeExp float64
+}
+
+// Name implements Objective.
+func (w Weighted) Name() string {
+	return fmt.Sprintf("E^%g*T^%g", w.EnergyExp, w.TimeExp)
+}
+
+// Score implements Objective.
+func (w Weighted) Score(e, t float64) float64 {
+	return math.Pow(e, w.EnergyExp) * math.Pow(t, w.TimeExp)
+}
+
+// ByName returns the named objective: "EDP" or "ED2P".
+func ByName(name string) (Objective, error) {
+	switch name {
+	case "EDP", "edp":
+		return EDP{}, nil
+	case "ED2P", "ed2p":
+		return ED2P{}, nil
+	}
+	return nil, fmt.Errorf("objective: unknown objective %q (have EDP, ED2P)", name)
+}
+
+// ErrNoProfiles is returned when selection is attempted over no candidates.
+var ErrNoProfiles = errors.New("objective: no profiles")
+
+// SelectOptimal returns the profile minimizing obj's score — the paper's
+// unconstrained selection (its evaluation uses no threshold, §4.4). Ties
+// break toward higher frequency.
+func SelectOptimal(profiles []Profile, obj Objective) (Profile, error) {
+	if len(profiles) == 0 {
+		return Profile{}, ErrNoProfiles
+	}
+	best := profiles[0]
+	bestScore := obj.Score(best.Energy(), best.TimeSec)
+	for _, p := range profiles[1:] {
+		s := obj.Score(p.Energy(), p.TimeSec)
+		if s < bestScore || (s == bestScore && p.FreqMHz > best.FreqMHz) {
+			best, bestScore = p, s
+		}
+	}
+	return best, nil
+}
+
+// PerfDegradation returns the fractional performance degradation of p
+// relative to the best-performing (lowest-time) profile in the set:
+// (maxPerf − perf) / maxPerf with perf = 1/time, as in Algorithm 1.
+func PerfDegradation(profiles []Profile, p Profile) float64 {
+	maxPerf := 0.0
+	for _, q := range profiles {
+		if q.TimeSec <= 0 {
+			continue
+		}
+		if perf := 1 / q.TimeSec; perf > maxPerf {
+			maxPerf = perf
+		}
+	}
+	if maxPerf == 0 || p.TimeSec <= 0 {
+		return 0
+	}
+	return (maxPerf - 1/p.TimeSec) / maxPerf
+}
+
+// SelectWithThreshold implements Algorithm 1: pick the obj-optimal
+// frequency, then, if its performance degradation exceeds threshold (a
+// fraction, e.g. 0.05 for 5%), walk to higher frequencies until the
+// degradation is below the threshold. The walk always terminates: the
+// best-performing profile has zero degradation.
+func SelectWithThreshold(profiles []Profile, obj Objective, threshold float64) (Profile, error) {
+	if len(profiles) == 0 {
+		return Profile{}, ErrNoProfiles
+	}
+	if threshold < 0 {
+		return Profile{}, fmt.Errorf("objective: negative threshold %v", threshold)
+	}
+	sorted := append([]Profile(nil), profiles...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqMHz < sorted[j].FreqMHz })
+
+	opt, err := SelectOptimal(sorted, obj)
+	if err != nil {
+		return Profile{}, err
+	}
+	start := sort.Search(len(sorted), func(i int) bool { return sorted[i].FreqMHz >= opt.FreqMHz })
+	for i := start; i < len(sorted); i++ {
+		if PerfDegradation(sorted, sorted[i]) < threshold {
+			return sorted[i], nil
+		}
+	}
+	// No higher frequency satisfies the threshold (possible when even the
+	// maximum clock's noisy time trails the best): fall back to the
+	// best-performing profile, which has zero degradation by construction.
+	best := sorted[0]
+	for _, p := range sorted[1:] {
+		if p.TimeSec < best.TimeSec {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// TradeOff is the §5.3 accounting of a selection against the maximum-clock
+// reference. Positive EnergyPct is an energy saving; negative TimePct is a
+// performance loss (the paper's sign convention in Table 5).
+type TradeOff struct {
+	FreqMHz   float64
+	EnergyPct float64
+	TimePct   float64
+}
+
+// Evaluate computes the trade-off of chosen against the highest-frequency
+// profile in the set.
+func Evaluate(profiles []Profile, chosen Profile) (TradeOff, error) {
+	if len(profiles) == 0 {
+		return TradeOff{}, ErrNoProfiles
+	}
+	ref := profiles[0]
+	for _, p := range profiles[1:] {
+		if p.FreqMHz > ref.FreqMHz {
+			ref = p
+		}
+	}
+	if ref.TimeSec <= 0 || ref.Energy() <= 0 {
+		return TradeOff{}, fmt.Errorf("objective: degenerate reference profile at %v MHz", ref.FreqMHz)
+	}
+	return TradeOff{
+		FreqMHz:   chosen.FreqMHz,
+		EnergyPct: (ref.Energy() - chosen.Energy()) / ref.Energy() * 100,
+		TimePct:   (ref.TimeSec - chosen.TimeSec) / ref.TimeSec * 100,
+	}, nil
+}

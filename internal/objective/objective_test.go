@@ -1,0 +1,216 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func profiles() []Profile {
+	// Energy U-shape: optimum in the middle; time decreasing with freq.
+	return []Profile{
+		{FreqMHz: 510, TimeSec: 4.0, PowerWatts: 120},  // E=480, EDP=1920
+		{FreqMHz: 900, TimeSec: 2.5, PowerWatts: 180},  // E=450, EDP=1125
+		{FreqMHz: 1080, TimeSec: 2.2, PowerWatts: 220}, // E=484, EDP=1064.8
+		{FreqMHz: 1410, TimeSec: 2.0, PowerWatts: 460}, // E=920, EDP=1840
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	p := Profile{TimeSec: 2, PowerWatts: 100}
+	if p.Energy() != 200 {
+		t.Fatalf("Energy = %v", p.Energy())
+	}
+}
+
+func TestEDPandED2PScores(t *testing.T) {
+	if (EDP{}).Score(10, 3) != 30 {
+		t.Fatal("EDP score")
+	}
+	if (ED2P{}).Score(10, 3) != 90 {
+		t.Fatal("ED2P score")
+	}
+	w := Weighted{EnergyExp: 1, TimeExp: 2}
+	if w.Score(10, 3) != (ED2P{}).Score(10, 3) {
+		t.Fatal("Weighted{1,2} != ED2P")
+	}
+	if w.Name() == "" || (EDP{}).Name() != "EDP" || (ED2P{}).Name() != "ED2P" {
+		t.Fatal("names")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"EDP", "edp", "ED2P", "ed2p"} {
+		if _, err := ByName(n); err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	if _, err := ByName("EDDP"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestSelectOptimalEDP(t *testing.T) {
+	got, err := SelectOptimal(profiles(), EDP{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FreqMHz != 1080 {
+		t.Fatalf("EDP optimal = %v MHz, want 1080", got.FreqMHz)
+	}
+}
+
+func TestSelectOptimalED2PFavorsTime(t *testing.T) {
+	edp, _ := SelectOptimal(profiles(), EDP{})
+	ed2p, _ := SelectOptimal(profiles(), ED2P{})
+	if ed2p.FreqMHz < edp.FreqMHz {
+		t.Fatalf("ED2P picked %v below EDP's %v", ed2p.FreqMHz, edp.FreqMHz)
+	}
+}
+
+func TestSelectOptimalEmpty(t *testing.T) {
+	if _, err := SelectOptimal(nil, EDP{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSelectOptimalTieBreaksHigherFreq(t *testing.T) {
+	ps := []Profile{
+		{FreqMHz: 600, TimeSec: 2, PowerWatts: 100},
+		{FreqMHz: 900, TimeSec: 2, PowerWatts: 100},
+	}
+	got, _ := SelectOptimal(ps, EDP{})
+	if got.FreqMHz != 900 {
+		t.Fatalf("tie broke to %v, want 900", got.FreqMHz)
+	}
+}
+
+func TestPerfDegradation(t *testing.T) {
+	ps := profiles()
+	// Best perf = 1/2.0; at 510 MHz perf = 1/4 → degradation 0.5.
+	if got := PerfDegradation(ps, ps[0]); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("degradation = %v, want 0.5", got)
+	}
+	if got := PerfDegradation(ps, ps[3]); got != 0 {
+		t.Fatalf("degradation of best = %v, want 0", got)
+	}
+}
+
+func TestSelectWithThresholdWalksUp(t *testing.T) {
+	ps := profiles()
+	// EDP optimum is 1080 (degradation (1/2−1/2.2)/(1/2) ≈ 0.0909).
+	// A 5% threshold forces the walk up to 1410.
+	got, err := SelectWithThreshold(ps, EDP{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FreqMHz != 1410 {
+		t.Fatalf("thresholded choice = %v, want 1410", got.FreqMHz)
+	}
+	// A loose threshold keeps the EDP optimum.
+	got, _ = SelectWithThreshold(ps, EDP{}, 0.20)
+	if got.FreqMHz != 1080 {
+		t.Fatalf("loose threshold choice = %v, want 1080", got.FreqMHz)
+	}
+}
+
+func TestSelectWithThresholdErrors(t *testing.T) {
+	if _, err := SelectWithThreshold(nil, EDP{}, 0.05); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := SelectWithThreshold(profiles(), EDP{}, -0.1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+// Property: a thresholded selection either satisfies the threshold or is
+// the best-performing profile.
+func TestSelectWithThresholdProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		ps := make([]Profile, n)
+		for i := range ps {
+			ps[i] = Profile{
+				FreqMHz:    500 + float64(i)*15,
+				TimeSec:    0.5 + rng.Float64()*4,
+				PowerWatts: 50 + rng.Float64()*400,
+			}
+		}
+		th := rng.Float64() * 0.3
+		got, err := SelectWithThreshold(ps, EDP{}, th)
+		if err != nil {
+			return false
+		}
+		if PerfDegradation(ps, got) < th {
+			return true
+		}
+		// Otherwise it must be the best performer.
+		for _, p := range ps {
+			if p.TimeSec < got.TimeSec {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateTradeOff(t *testing.T) {
+	ps := profiles()
+	to, err := Evaluate(ps, ps[1]) // 900 MHz vs reference 1410
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy: (920−450)/920 ≈ 51.1% saving; time: (2.0−2.5)/2.0 = −25%.
+	if math.Abs(to.EnergyPct-51.086956) > 0.01 {
+		t.Fatalf("energy = %v", to.EnergyPct)
+	}
+	if math.Abs(to.TimePct+25) > 1e-9 {
+		t.Fatalf("time = %v", to.TimePct)
+	}
+	if to.FreqMHz != 900 {
+		t.Fatalf("freq = %v", to.FreqMHz)
+	}
+}
+
+func TestEvaluateAtReferenceIsZero(t *testing.T) {
+	ps := profiles()
+	to, err := Evaluate(ps, ps[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to.EnergyPct != 0 || to.TimePct != 0 {
+		t.Fatalf("reference trade-off = %+v", to)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, Profile{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	bad := []Profile{{FreqMHz: 1410, TimeSec: 0, PowerWatts: 0}}
+	if _, err := Evaluate(bad, bad[0]); err == nil {
+		t.Fatal("degenerate reference accepted")
+	}
+}
+
+func TestSelectWithThresholdUnsortedInput(t *testing.T) {
+	ps := profiles()
+	// Shuffle a copy; the selection must not depend on input order.
+	shuffled := []Profile{ps[2], ps[0], ps[3], ps[1]}
+	a, err := SelectWithThreshold(ps, EDP{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectWithThreshold(shuffled, EDP{}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FreqMHz != b.FreqMHz {
+		t.Fatalf("order dependence: %v vs %v", a.FreqMHz, b.FreqMHz)
+	}
+}

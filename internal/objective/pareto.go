@@ -1,0 +1,54 @@
+package objective
+
+import "sort"
+
+// ParetoFront returns the non-dominated subset of profiles in the
+// (energy, time) plane: a profile is dominated if another one is at least
+// as good in both energy and time and strictly better in one. The front is
+// returned sorted by ascending time.
+//
+// This is the output style of the Pareto-based approaches the paper
+// contrasts itself with (Guerreiro et al., Fan et al.): a *set* of optimal
+// configurations for the user to choose from, where the paper insists on a
+// single frequency. Any EDP/ED²P optimum necessarily lies on this front
+// (a dominated profile always has a strictly worse product score), so the
+// paper's selection can be read as picking one point off the front.
+func ParetoFront(profiles []Profile) []Profile {
+	if len(profiles) == 0 {
+		return nil
+	}
+	sorted := append([]Profile(nil), profiles...)
+	// Sort by time ascending, breaking ties by energy ascending: a front
+	// sweep then only needs to track the best energy seen so far.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TimeSec != sorted[j].TimeSec {
+			return sorted[i].TimeSec < sorted[j].TimeSec
+		}
+		return sorted[i].Energy() < sorted[j].Energy()
+	})
+	var front []Profile
+	bestEnergy := 0.0
+	for _, p := range sorted {
+		e := p.Energy()
+		if len(front) == 0 || e < bestEnergy {
+			// Skip duplicates of the previous point (equal time and
+			// energy): one representative is enough.
+			if len(front) > 0 && front[len(front)-1].TimeSec == p.TimeSec {
+				continue
+			}
+			front = append(front, p)
+			bestEnergy = e
+		}
+	}
+	return front
+}
+
+// Dominates reports whether profile a dominates b: no worse in both
+// energy and time, strictly better in at least one.
+func Dominates(a, b Profile) bool {
+	ea, eb := a.Energy(), b.Energy()
+	if ea > eb || a.TimeSec > b.TimeSec {
+		return false
+	}
+	return ea < eb || a.TimeSec < b.TimeSec
+}

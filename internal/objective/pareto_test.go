@@ -1,0 +1,127 @@
+package objective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParetoFrontBasic(t *testing.T) {
+	ps := []Profile{
+		{FreqMHz: 510, TimeSec: 4.0, PowerWatts: 120},  // E=480
+		{FreqMHz: 900, TimeSec: 2.5, PowerWatts: 180},  // E=450 (dominates 510: less E, less T)
+		{FreqMHz: 1080, TimeSec: 2.2, PowerWatts: 220}, // E=484
+		{FreqMHz: 1410, TimeSec: 2.0, PowerWatts: 460}, // E=920
+	}
+	front := ParetoFront(ps)
+	got := map[float64]bool{}
+	for _, p := range front {
+		got[p.FreqMHz] = true
+	}
+	if got[510] {
+		t.Fatal("dominated 510 MHz on the front")
+	}
+	for _, f := range []float64{900, 1080, 1410} {
+		if !got[f] {
+			t.Fatalf("%v MHz missing from the front", f)
+		}
+	}
+	// Sorted by ascending time.
+	for i := 1; i < len(front); i++ {
+		if front[i].TimeSec < front[i-1].TimeSec {
+			t.Fatal("front not time-sorted")
+		}
+	}
+}
+
+func TestParetoFrontEmptyAndSingleton(t *testing.T) {
+	if ParetoFront(nil) != nil {
+		t.Fatal("nil input")
+	}
+	one := []Profile{{FreqMHz: 900, TimeSec: 1, PowerWatts: 100}}
+	if front := ParetoFront(one); len(front) != 1 {
+		t.Fatalf("singleton front = %v", front)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Profile{TimeSec: 1, PowerWatts: 100} // E=100
+	b := Profile{TimeSec: 2, PowerWatts: 100} // E=200
+	if !Dominates(a, b) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Fatal("b should not dominate a")
+	}
+	if Dominates(a, a) {
+		t.Fatal("no self-domination")
+	}
+	// Trade-off: neither dominates.
+	c := Profile{TimeSec: 0.5, PowerWatts: 600} // E=300, faster but costlier
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("trade-off pair should be mutually non-dominated")
+	}
+}
+
+// TestFrontMembersMutuallyNonDominated and the objective-optimum property
+// below are the two invariants that define a correct front.
+func TestFrontInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		ps := make([]Profile, n)
+		for i := range ps {
+			ps[i] = Profile{
+				FreqMHz:    500 + float64(i)*15,
+				TimeSec:    0.5 + rng.Float64()*4,
+				PowerWatts: 50 + rng.Float64()*400,
+			}
+		}
+		front := ParetoFront(ps)
+		if len(front) == 0 {
+			return false
+		}
+		// No front member dominates another.
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		// Every input profile is dominated by or equal to a front member.
+		for _, p := range ps {
+			covered := false
+			for _, q := range front {
+				if q == p || Dominates(q, p) || (q.Energy() == p.Energy() && q.TimeSec == p.TimeSec) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		// EDP and ED²P optima lie on the front.
+		for _, obj := range []Objective{EDP{}, ED2P{}} {
+			opt, err := SelectOptimal(ps, obj)
+			if err != nil {
+				return false
+			}
+			onFront := false
+			for _, q := range front {
+				if q.Energy() == opt.Energy() && q.TimeSec == opt.TimeSec {
+					onFront = true
+					break
+				}
+			}
+			if !onFront {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package report turns a regenerated evaluation into a verdict: it runs
+// named shape checks — the qualitative claims a faithful reproduction must
+// satisfy, as prose'd in EXPERIMENTS.md — against freshly generated
+// tables, and renders a complete markdown report with every table and the
+// paper-vs-ours comparisons.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"gpudvfs/internal/experiments"
+)
+
+// CheckResult is one shape check's outcome.
+type CheckResult struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// check is a named predicate over the experiment context.
+type check struct {
+	name string
+	run  func(*experiments.Context) (bool, string, error)
+}
+
+func cellFloat(t *experiments.Table, r, c int) float64 {
+	if r < 0 {
+		r += len(t.Rows)
+	}
+	v, _ := strconv.ParseFloat(t.Rows[r][c], 64)
+	return v
+}
+
+var checks = []check{
+	{"fig1: DGEMM draws ~TDP at max clock", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Figure1()
+		if err != nil {
+			return false, "", err
+		}
+		frac := cellFloat(t, -1, 1) / 500
+		return frac >= 0.85 && frac <= 1.05, fmt.Sprintf("%.0f%% of TDP", frac*100), nil
+	}},
+	{"fig1: STREAM draws ~half TDP at max clock", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Figure1()
+		if err != nil {
+			return false, "", err
+		}
+		frac := cellFloat(t, -1, 5) / 500
+		return frac >= 0.35 && frac <= 0.6, fmt.Sprintf("%.0f%% of TDP", frac*100), nil
+	}},
+	{"fig1: DGEMM energy optimum is interior", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Figure1()
+		if err != nil {
+			return false, "", err
+		}
+		best, bestE := -1, 1e300
+		for r := range t.Rows {
+			if e := cellFloat(t, r, 3); e < bestE {
+				bestE, best = e, r
+			}
+		}
+		freq := cellFloat(t, best, 0)
+		return best > 0 && best < len(t.Rows)-1, fmt.Sprintf("optimum at %.0f MHz", freq), nil
+	}},
+	{"fig3: paper's features top the MI ranking", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Figure3()
+		if err != nil {
+			return false, "", err
+		}
+		rank := map[string]int{}
+		for i, row := range t.Rows {
+			rank[row[0]] = i
+		}
+		ok := rank["sm_app_clock"] <= 3 && rank["fp_active"] <= 3 && rank["dram_active"] <= 4
+		return ok, fmt.Sprintf("clock #%d, fp #%d, dram #%d",
+			rank["sm_app_clock"]+1, rank["fp_active"]+1, rank["dram_active"]+1), nil
+	}},
+	{"tab3: every accuracy within the paper's band", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Table3()
+		if err != nil {
+			return false, "", err
+		}
+		lo := 101.0
+		for r := range t.Rows {
+			for _, col := range []int{2, 3} {
+				if v := cellFloat(t, r, col); v < lo {
+					lo = v
+				}
+			}
+		}
+		return lo >= 84, fmt.Sprintf("minimum accuracy %.1f%%", lo), nil
+	}},
+	{"tab4: every optimal frequency below the max clock", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Table4()
+		if err != nil {
+			return false, "", err
+		}
+		for r := range t.Rows {
+			for col := 1; col <= 4; col++ {
+				if f := cellFloat(t, r, col); f < 510 || f > 1410 {
+					return false, fmt.Sprintf("%s at %v MHz", t.Rows[r][0], f), nil
+				}
+			}
+		}
+		return true, "all within [510, 1410]", nil
+	}},
+	{"tab5: measured ED²P saves tens of percent energy", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Table5()
+		if err != nil {
+			return false, "", err
+		}
+		avg := cellFloat(t, -1, 1)
+		return avg >= 10 && avg <= 45, fmt.Sprintf("average %.1f%%", avg), nil
+	}},
+	{"tab5: ED²P costs less time than EDP", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Table5()
+		if err != nil {
+			return false, "", err
+		}
+		ed2p, edp := cellFloat(t, -1, 5), cellFloat(t, -1, 7)
+		return ed2p >= edp, fmt.Sprintf("ED²P %.1f%% vs EDP %.1f%%", ed2p, edp), nil
+	}},
+	{"tab6: thresholds monotonically bound the loss", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Table6()
+		if err != nil {
+			return false, "", err
+		}
+		for app := 0; app < len(t.Rows)/3; app++ {
+			a, b, d := cellFloat(t, app*3, 3), cellFloat(t, app*3+1, 3), cellFloat(t, app*3+2, 3)
+			if b < a-1e-9 || d < b-1e-9 {
+				return false, fmt.Sprintf("%s: %v → %v → %v", t.Rows[app*3][0], a, b, d), nil
+			}
+		}
+		return true, "loss shrinks at every tightening", nil
+	}},
+	{"fig11: the DNN beats every multi-learner baseline", func(c *experiments.Context) (bool, string, error) {
+		t, err := c.Figure11()
+		if err != nil {
+			return false, "", err
+		}
+		dnn := cellFloat(t, -1, 1)
+		best, name := 0.0, ""
+		for col := 2; col < len(t.Columns); col++ {
+			if v := cellFloat(t, -1, col); v > best {
+				best, name = v, t.Columns[col]
+			}
+		}
+		return dnn > best, fmt.Sprintf("DNN %.1f%% vs best baseline %s %.1f%%", dnn, name, best), nil
+	}},
+}
+
+// RunChecks evaluates every shape check against ctx.
+func RunChecks(ctx *experiments.Context) ([]CheckResult, error) {
+	out := make([]CheckResult, 0, len(checks))
+	for _, ch := range checks {
+		pass, detail, err := ch.run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("report: check %q: %w", ch.name, err)
+		}
+		out = append(out, CheckResult{Name: ch.name, Pass: pass, Detail: detail})
+	}
+	return out, nil
+}
+
+// Options configures WriteMarkdown.
+type Options struct {
+	// Title heads the report; empty selects a default.
+	Title string
+	// Timestamp is printed verbatim when non-empty (callers supply it so
+	// report generation itself stays deterministic).
+	Timestamp time.Time
+	// IncludeComparisons appends the paper-vs-ours tables.
+	IncludeComparisons bool
+}
+
+// WriteMarkdown renders the complete evaluation as one markdown document:
+// the shape-check verdict table first, then every regenerated artifact.
+func WriteMarkdown(w io.Writer, ctx *experiments.Context, opts Options) error {
+	title := opts.Title
+	if title == "" {
+		title = "gpudvfs reproduction report"
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n\n", title); err != nil {
+		return err
+	}
+	if !opts.Timestamp.IsZero() {
+		if _, err := fmt.Fprintf(w, "Generated %s.\n\n", opts.Timestamp.Format(time.RFC3339)); err != nil {
+			return err
+		}
+	}
+
+	results, err := RunChecks(ctx)
+	if err != nil {
+		return err
+	}
+	passed := 0
+	for _, r := range results {
+		if r.Pass {
+			passed++
+		}
+	}
+	fmt.Fprintf(w, "## Shape checks — %d/%d passed\n\n", passed, len(results))
+	fmt.Fprintln(w, "| check | verdict | detail |")
+	fmt.Fprintln(w, "|---|---|---|")
+	for _, r := range results {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "**FAIL**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s |\n", r.Name, verdict, r.Detail)
+	}
+	fmt.Fprintln(w)
+
+	tables, err := ctx.All()
+	if err != nil {
+		return err
+	}
+	if opts.IncludeComparisons {
+		cmp, err := ctx.Comparisons()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, cmp...)
+	}
+	for _, t := range tables {
+		if err := t.Fmarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

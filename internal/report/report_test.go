@@ -1,0 +1,88 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpudvfs/internal/experiments"
+)
+
+var (
+	ctxOnce sync.Once
+	testCtx *experiments.Context
+)
+
+func sharedCtx(t *testing.T) *experiments.Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("report integration (use without -short)")
+	}
+	ctxOnce.Do(func() {
+		testCtx = experiments.NewContext(experiments.Config{Seed: 42, Runs: 3})
+	})
+	return testCtx
+}
+
+func TestRunChecksAllPass(t *testing.T) {
+	ctx := sharedCtx(t)
+	results, err := RunChecks(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 8 {
+		t.Fatalf("only %d checks", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("check failed: %s (%s)", r.Name, r.Detail)
+		}
+		if r.Detail == "" {
+			t.Errorf("check %s has no detail", r.Name)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	ctx := sharedCtx(t)
+	var buf bytes.Buffer
+	err := WriteMarkdown(&buf, ctx, Options{
+		Title:              "test report",
+		Timestamp:          time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		IncludeComparisons: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# test report",
+		"Generated 2026-07-06T12:00:00Z",
+		"## Shape checks",
+		"## tab3 —",
+		"## fig11 —",
+		"## cmp-tab5 —",
+		"|---|",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "**FAIL**") {
+		t.Error("report contains failing checks")
+	}
+}
+
+func TestCellFloatNegativeIndex(t *testing.T) {
+	tab := &experiments.Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("3", "4")
+	if got := cellFloat(tab, -1, 1); got != 4 {
+		t.Fatalf("cellFloat(-1,1) = %v", got)
+	}
+	if got := cellFloat(tab, 0, 0); got != 1 {
+		t.Fatalf("cellFloat(0,0) = %v", got)
+	}
+}

@@ -1,0 +1,38 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/sched"
+	"gpudvfs/internal/workloads"
+)
+
+// Planning a three-job fleet under a 2 kW budget. (Compile-checked only —
+// profiling requires trained models; run examples/hpccenter for the live
+// version.)
+func Example() {
+	var models *core.Models // from core.OfflineTrain or core.LoadModels
+
+	planner, err := sched.NewPlanner(gpusim.GA100(), models, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs := []sched.Job{
+		{Name: "md", App: workloads.LAMMPS(), GPUs: 4, MaxSlowdown: 0.05},
+		{Name: "ml", App: workloads.BERT(), GPUs: 2, MaxSlowdown: 0.10},
+		{Name: "post", App: workloads.GROMACS(), GPUs: 1, MaxSlowdown: -1},
+	}
+	if err := planner.Profile(jobs); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := planner.Plan(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		fmt.Printf("%s: %d GPUs at %.0f MHz\n", a.Job, a.GPUs, a.FreqMHz)
+	}
+}

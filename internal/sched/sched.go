@@ -1,0 +1,239 @@
+// Package sched turns the paper's per-application frequency selection
+// into the fleet-level capability its introduction motivates: operating a
+// GPU cluster under a power budget (the "20 MW exascale" constraint) with
+// minimal performance loss.
+//
+// A Planner profiles each job once at the maximum clock (the paper's
+// online phase), obtains its predicted power/time curve across the DVFS
+// space, and then assigns one frequency per job. Capping is a greedy
+// marginal analysis: starting from every job at the maximum clock, the
+// planner repeatedly steps down whichever job currently buys the most
+// watts per unit of predicted slowdown, until the fleet fits the budget
+// or every job is pinned by its own performance threshold.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/objective"
+)
+
+// Job is one entry in the fleet plan.
+type Job struct {
+	Name string
+	App  gpusim.KernelProfile
+	// GPUs is how many GPUs the job occupies (its power counts that many
+	// times toward the budget). 0 means 1.
+	GPUs int
+	// MaxSlowdown bounds the job's acceptable predicted slowdown versus
+	// the maximum clock, as a fraction (0.05 = 5%). 0 means 0.10;
+	// negative means unconstrained.
+	MaxSlowdown float64
+}
+
+func (j Job) gpus() int {
+	if j.GPUs <= 0 {
+		return 1
+	}
+	return j.GPUs
+}
+
+func (j Job) maxSlowdown() float64 {
+	if j.MaxSlowdown == 0 {
+		return 0.10
+	}
+	if j.MaxSlowdown < 0 {
+		return math.Inf(1)
+	}
+	return j.MaxSlowdown
+}
+
+// Assignment is one job's planned operating point.
+type Assignment struct {
+	Job         string
+	GPUs        int
+	FreqMHz     float64
+	PowerWatts  float64 // predicted per-GPU power at the assigned clock
+	SlowdownPct float64 // predicted slowdown vs max clock, percent (positive = slower)
+	EnergyPct   float64 // predicted energy saving vs max clock, percent
+}
+
+// Plan is a fleet assignment under a power budget.
+type Plan struct {
+	Assignments     []Assignment
+	TotalPowerWatts float64
+	BudgetWatts     float64
+	// FitsBudget is false when every job is already at its threshold-
+	// permitted minimum and the fleet still exceeds the budget.
+	FitsBudget bool
+}
+
+// Planner profiles jobs and produces budget-constrained frequency plans.
+type Planner struct {
+	arch   gpusim.Arch
+	models *core.Models
+	seed   int64
+
+	profiles map[string][]objective.Profile // job name -> predicted curve, ascending freq
+	jobs     []Job
+}
+
+// NewPlanner returns a planner for the given architecture using trained
+// models. seed drives the profiling runs' simulated noise.
+func NewPlanner(arch gpusim.Arch, models *core.Models, seed int64) (*Planner, error) {
+	if models == nil {
+		return nil, errors.New("sched: models are required")
+	}
+	return &Planner{arch: arch, models: models, seed: seed, profiles: map[string][]objective.Profile{}}, nil
+}
+
+// Profile runs the online phase for every job (one profiling run each at
+// the maximum clock) and caches the predicted DVFS curves. Job names must
+// be unique and non-empty.
+func (p *Planner) Profile(jobs []Job) error {
+	if len(jobs) == 0 {
+		return errors.New("sched: no jobs")
+	}
+	seen := map[string]bool{}
+	for i, j := range jobs {
+		if j.Name == "" {
+			return fmt.Errorf("sched: job %d has no name", i)
+		}
+		if seen[j.Name] {
+			return fmt.Errorf("sched: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	for i, j := range jobs {
+		dev := gpusim.NewDevice(p.arch, p.seed+int64(i)*101)
+		on, err := core.OnlinePredict(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1})
+		if err != nil {
+			return fmt.Errorf("sched: profiling job %q: %w", j.Name, err)
+		}
+		curve := append([]objective.Profile(nil), on.Predicted...)
+		sort.Slice(curve, func(a, b int) bool { return curve[a].FreqMHz < curve[b].FreqMHz })
+		p.profiles[j.Name] = curve
+	}
+	p.jobs = append([]Job(nil), jobs...)
+	return nil
+}
+
+// jobState tracks one job's position on its DVFS curve during planning.
+type jobState struct {
+	job    Job
+	curve  []objective.Profile
+	idx    int     // current index into curve (ascending by frequency)
+	minIdx int     // lowest index the job's slowdown threshold permits
+	refT   float64 // predicted time at max clock
+}
+
+func (s *jobState) current() objective.Profile { return s.curve[s.idx] }
+
+func (s *jobState) slowdown(i int) float64 {
+	return s.curve[i].TimeSec/s.refT - 1
+}
+
+// Plan assigns frequencies so the fleet's predicted power fits
+// budgetWatts. Profile must have been called first.
+func (p *Planner) Plan(budgetWatts float64) (Plan, error) {
+	if len(p.jobs) == 0 {
+		return Plan{}, errors.New("sched: Profile must run before Plan")
+	}
+	if budgetWatts <= 0 {
+		return Plan{}, fmt.Errorf("sched: non-positive budget %v", budgetWatts)
+	}
+
+	states := make([]*jobState, len(p.jobs))
+	total := 0.0
+	for i, j := range p.jobs {
+		curve := p.profiles[j.Name]
+		st := &jobState{job: j, curve: curve, idx: len(curve) - 1}
+		st.refT = curve[len(curve)-1].TimeSec
+		maxSlow := j.maxSlowdown()
+		st.minIdx = len(curve) - 1
+		for k := 0; k < len(curve); k++ {
+			if st.slowdown(k) <= maxSlow {
+				st.minIdx = k
+				break
+			}
+		}
+		states[i] = st
+		total += curve[st.idx].PowerWatts * float64(j.gpus())
+	}
+
+	// Greedy marginal descent: step down the job with the best
+	// watts-saved per slowdown-added ratio until the budget fits.
+	for total > budgetWatts {
+		best := -1
+		bestRatio := -1.0
+		for i, st := range states {
+			if st.idx <= st.minIdx {
+				continue
+			}
+			cur, next := st.curve[st.idx], st.curve[st.idx-1]
+			dPower := (cur.PowerWatts - next.PowerWatts) * float64(st.job.gpus())
+			dSlow := st.slowdown(st.idx-1) - st.slowdown(st.idx)
+			if dPower <= 0 {
+				// Stepping down is free (or better) in power terms only
+				// if the model predicts a flat spot; skip zero-gain moves.
+				continue
+			}
+			ratio := dPower / math.Max(dSlow, 1e-9)
+			if ratio > bestRatio {
+				bestRatio, best = ratio, i
+			}
+		}
+		if best == -1 {
+			break // every job pinned at its threshold
+		}
+		st := states[best]
+		total -= (st.curve[st.idx].PowerWatts - st.curve[st.idx-1].PowerWatts) * float64(st.job.gpus())
+		st.idx--
+	}
+
+	plan := Plan{BudgetWatts: budgetWatts, FitsBudget: total <= budgetWatts}
+	for _, st := range states {
+		cur := st.current()
+		refE := st.curve[len(st.curve)-1].Energy()
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Job:         st.job.Name,
+			GPUs:        st.job.gpus(),
+			FreqMHz:     cur.FreqMHz,
+			PowerWatts:  cur.PowerWatts,
+			SlowdownPct: st.slowdown(st.idx) * 100,
+			EnergyPct:   (refE - cur.Energy()) / refE * 100,
+		})
+	}
+	plan.TotalPowerWatts = total
+	return plan, nil
+}
+
+// MinFeasibleBudget returns the fleet power when every job runs at the
+// lowest frequency its slowdown threshold permits — the tightest budget
+// Plan can satisfy.
+func (p *Planner) MinFeasibleBudget() (float64, error) {
+	if len(p.jobs) == 0 {
+		return 0, errors.New("sched: Profile must run before MinFeasibleBudget")
+	}
+	total := 0.0
+	for _, j := range p.jobs {
+		curve := p.profiles[j.Name]
+		refT := curve[len(curve)-1].TimeSec
+		maxSlow := j.maxSlowdown()
+		idx := len(curve) - 1
+		for k := 0; k < len(curve); k++ {
+			if curve[k].TimeSec/refT-1 <= maxSlow {
+				idx = k
+				break
+			}
+		}
+		total += curve[idx].PowerWatts * float64(j.gpus())
+	}
+	return total, nil
+}

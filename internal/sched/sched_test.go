@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+var (
+	modelsOnce sync.Once
+	testModels *core.Models
+	modelsErr  error
+)
+
+func quickModels(t *testing.T) *core.Models {
+	t.Helper()
+	modelsOnce.Do(func() {
+		dev := gpusim.NewDevice(gpusim.GA100(), 61)
+		coll := dcgm.NewCollector(dev, dcgm.Config{
+			Freqs:            gpusim.GA100().DesignClocks(),
+			Runs:             1,
+			MaxSamplesPerRun: 4,
+			Seed:             62,
+		})
+		nw, err := workloads.ByName("NW")
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+		if err != nil {
+			modelsErr = err
+			return
+		}
+		testModels, modelsErr = core.TrainSplit(sds, ds, core.TrainOptions{
+			PowerEpochs: 40, TimeEpochs: 15, Hidden: []int{24, 24}, Seed: 1,
+		})
+	})
+	if modelsErr != nil {
+		t.Fatal(modelsErr)
+	}
+	return testModels
+}
+
+func fleet() []Job {
+	return []Job{
+		{Name: "md", App: workloads.LAMMPS(), GPUs: 4, MaxSlowdown: 0.15},
+		{Name: "chem", App: workloads.NAMD(), GPUs: 2, MaxSlowdown: 0.15},
+		{Name: "ml", App: workloads.BERT(), GPUs: 2, MaxSlowdown: 0.25},
+	}
+}
+
+func profiledPlanner(t *testing.T) *Planner {
+	t.Helper()
+	p, err := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(fleet()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlannerRequiresModels(t *testing.T) {
+	if _, err := NewPlanner(gpusim.GA100(), nil, 1); err == nil {
+		t.Fatal("nil models accepted")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 1)
+	if err := p.Profile(nil); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if err := p.Profile([]Job{{Name: "", App: workloads.LAMMPS()}}); err == nil {
+		t.Fatal("unnamed job accepted")
+	}
+	if err := p.Profile([]Job{
+		{Name: "a", App: workloads.LAMMPS()},
+		{Name: "a", App: workloads.NAMD()},
+	}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestPlanBeforeProfileFails(t *testing.T) {
+	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 1)
+	if _, err := p.Plan(1000); err == nil {
+		t.Fatal("plan before profile accepted")
+	}
+	if _, err := p.MinFeasibleBudget(); err == nil {
+		t.Fatal("min budget before profile accepted")
+	}
+}
+
+func TestGenerousBudgetRunsAtMaxClock(t *testing.T) {
+	p := profiledPlanner(t)
+	plan, err := p.Plan(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FitsBudget {
+		t.Fatal("generous budget reported infeasible")
+	}
+	for _, a := range plan.Assignments {
+		if a.FreqMHz != 1410 {
+			t.Fatalf("job %s capped to %v MHz under a generous budget", a.Job, a.FreqMHz)
+		}
+		if math.Abs(a.SlowdownPct) > 1e-9 {
+			t.Fatalf("job %s slowdown %v at max clock", a.Job, a.SlowdownPct)
+		}
+	}
+}
+
+func TestTightBudgetCapsWithinThresholds(t *testing.T) {
+	p := profiledPlanner(t)
+	min, err := p.MinFeasibleBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, _ := p.Plan(1e6)
+	budget := (min + unlimited.TotalPowerWatts) / 2
+
+	plan, err := p.Plan(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.FitsBudget {
+		t.Fatalf("budget %v between min %v and max %v reported infeasible", budget, min, unlimited.TotalPowerWatts)
+	}
+	if plan.TotalPowerWatts > budget {
+		t.Fatalf("plan power %v over budget %v", plan.TotalPowerWatts, budget)
+	}
+	jobs := fleet()
+	byName := map[string]Job{}
+	for _, j := range jobs {
+		byName[j.Name] = j
+	}
+	for _, a := range plan.Assignments {
+		if a.SlowdownPct > byName[a.Job].MaxSlowdown*100+1e-6 {
+			t.Fatalf("job %s slowdown %v%% exceeds its %v%% threshold", a.Job, a.SlowdownPct, byName[a.Job].MaxSlowdown*100)
+		}
+	}
+	// Someone must have been capped.
+	capped := false
+	for _, a := range plan.Assignments {
+		if a.FreqMHz < 1410 {
+			capped = true
+		}
+	}
+	if !capped {
+		t.Fatal("tight budget capped nobody")
+	}
+}
+
+func TestInfeasibleBudgetReported(t *testing.T) {
+	p := profiledPlanner(t)
+	min, _ := p.MinFeasibleBudget()
+	plan, err := p.Plan(min * 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FitsBudget {
+		t.Fatalf("half the minimum budget reported feasible (%v W for budget %v)", plan.TotalPowerWatts, min*0.5)
+	}
+	// Even infeasible, thresholds must hold.
+	for _, a := range plan.Assignments {
+		if a.SlowdownPct > 26 {
+			t.Fatalf("job %s pushed past its threshold: %v%%", a.Job, a.SlowdownPct)
+		}
+	}
+}
+
+// TestMonotoneBudgets pins greedy sanity: a looser budget never yields a
+// higher total predicted slowdown.
+func TestMonotoneBudgets(t *testing.T) {
+	p := profiledPlanner(t)
+	min, _ := p.MinFeasibleBudget()
+	unlimited, _ := p.Plan(1e6)
+	prevSlow := math.Inf(1)
+	for _, frac := range []float64{0.2, 0.45, 0.7, 0.95} {
+		budget := min + frac*(unlimited.TotalPowerWatts-min)
+		plan, err := p.Plan(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var slow float64
+		for _, a := range plan.Assignments {
+			slow += a.SlowdownPct
+		}
+		if slow > prevSlow+1e-6 {
+			t.Fatalf("looser budget increased slowdown: %v after %v", slow, prevSlow)
+		}
+		prevSlow = slow
+	}
+}
+
+func TestPlanRejectsBadBudget(t *testing.T) {
+	p := profiledPlanner(t)
+	if _, err := p.Plan(0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := p.Plan(-5); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestJobDefaults(t *testing.T) {
+	j := Job{}
+	if j.gpus() != 1 {
+		t.Fatalf("default GPUs = %d", j.gpus())
+	}
+	if j.maxSlowdown() != 0.10 {
+		t.Fatalf("default slowdown = %v", j.maxSlowdown())
+	}
+	j.MaxSlowdown = -1
+	if !math.IsInf(j.maxSlowdown(), 1) {
+		t.Fatal("negative threshold should be unconstrained")
+	}
+}
+
+func TestGPUCountsScalePower(t *testing.T) {
+	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	if err := p.Profile([]Job{{Name: "one", App: workloads.LAMMPS(), GPUs: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	one, _ := p.Plan(1e6)
+
+	p2, _ := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	if err := p2.Profile([]Job{{Name: "eight", App: workloads.LAMMPS(), GPUs: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	eight, _ := p2.Plan(1e6)
+	if math.Abs(eight.TotalPowerWatts-8*one.TotalPowerWatts) > 1e-6 {
+		t.Fatalf("8-GPU job power %v != 8×%v", eight.TotalPowerWatts, one.TotalPowerWatts)
+	}
+}

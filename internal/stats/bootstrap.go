@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Point, Lo, Hi float64
+	Level         float64 // e.g. 0.95
+}
+
+func (c CI) String() string {
+	return fmt.Sprintf("%.2f [%.2f, %.2f] @%.0f%%", c.Point, c.Lo, c.Hi, c.Level*100)
+}
+
+// BootstrapCI estimates a confidence interval for an arbitrary statistic
+// of paired observations (y, yhat) by nonparametric bootstrap: resample
+// the pairs with replacement, recompute the statistic, and take the
+// percentile interval. Used to put error bars on the accuracy numbers in
+// EXPERIMENTS.md-style reporting.
+//
+// stat receives aligned resamples; it may return an error for degenerate
+// resamples (e.g. all-zero targets for MAPE), in which case that resample
+// is skipped. resamples ≤ 0 selects 1000; level must be in (0,1); the
+// seed makes the interval reproducible.
+func BootstrapCI(y, yhat []float64, stat func(y, yhat []float64) (float64, error), resamples int, level float64, seed int64) (CI, error) {
+	if err := checkPair(y, yhat); err != nil {
+		return CI{}, err
+	}
+	if stat == nil {
+		return CI{}, errors.New("stats: nil statistic")
+	}
+	if level <= 0 || level >= 1 {
+		return CI{}, fmt.Errorf("stats: confidence level %v out of (0,1)", level)
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+
+	point, err := stat(y, yhat)
+	if err != nil {
+		return CI{}, fmt.Errorf("stats: statistic on full sample: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	n := len(y)
+	ry := make([]float64, n)
+	rh := make([]float64, n)
+	vals := make([]float64, 0, resamples)
+	for b := 0; b < resamples; b++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			ry[i] = y[j]
+			rh[i] = yhat[j]
+		}
+		v, err := stat(ry, rh)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) < resamples/2 {
+		return CI{}, fmt.Errorf("stats: only %d of %d bootstrap resamples valid", len(vals), resamples)
+	}
+	sort.Float64s(vals)
+	alpha := (1 - level) / 2
+	return CI{
+		Point: point,
+		Lo:    Percentile(vals, alpha*100),
+		Hi:    Percentile(vals, (1-alpha)*100),
+		Level: level,
+	}, nil
+}
+
+// AccuracyCI is BootstrapCI specialized to the paper's accuracy metric
+// (100 − MAPE) with a 95 % percentile interval.
+func AccuracyCI(y, yhat []float64, seed int64) (CI, error) {
+	return BootstrapCI(y, yhat, Accuracy, 1000, 0.95, seed)
+}

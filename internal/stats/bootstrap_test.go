@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func noisyPredictions(n int, relErr float64, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	y := make([]float64, n)
+	yhat := make([]float64, n)
+	for i := range y {
+		y[i] = 100 + 50*rng.Float64()
+		yhat[i] = y[i] * (1 + relErr*rng.NormFloat64())
+	}
+	return y, yhat
+}
+
+func TestAccuracyCIBracketsPoint(t *testing.T) {
+	y, yhat := noisyPredictions(80, 0.05, 1)
+	ci, err := AccuracyCI(y, yhat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Point > ci.Hi {
+		t.Fatalf("interval does not bracket the point: %v", ci)
+	}
+	if ci.Level != 0.95 {
+		t.Fatalf("level = %v", ci.Level)
+	}
+	// 5% relative noise → accuracy ~96%; interval should be tight-ish.
+	if ci.Point < 93 || ci.Point > 99 {
+		t.Fatalf("point = %v", ci.Point)
+	}
+	if ci.Hi-ci.Lo > 3 {
+		t.Fatalf("interval suspiciously wide: %v", ci)
+	}
+}
+
+func TestBootstrapCIWidthGrowsWithNoise(t *testing.T) {
+	yq, yhatq := noisyPredictions(60, 0.02, 3)
+	quiet, err := AccuracyCI(yq, yhatq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yn, yhatn := noisyPredictions(60, 0.15, 3)
+	noisy, err := AccuracyCI(yn, yhatn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Hi-noisy.Lo <= quiet.Hi-quiet.Lo {
+		t.Fatalf("noisier data should widen the interval: %v vs %v", noisy, quiet)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	y, yhat := noisyPredictions(50, 0.05, 5)
+	a, err := AccuracyCI(y, yhat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AccuracyCI(y, yhat, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave different intervals: %v vs %v", a, b)
+	}
+	c, err := AccuracyCI(y, yhat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds gave identical intervals")
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	y, yhat := noisyPredictions(10, 0.05, 6)
+	if _, err := BootstrapCI(nil, nil, Accuracy, 10, 0.95, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := BootstrapCI(y, yhat, nil, 10, 0.95, 1); err == nil {
+		t.Fatal("nil statistic accepted")
+	}
+	if _, err := BootstrapCI(y, yhat, Accuracy, 10, 1.5, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	// A statistic that always errors must surface a failure.
+	bad := func(_, _ []float64) (float64, error) { return 0, errors.New("nope") }
+	if _, err := BootstrapCI(y, yhat, bad, 10, 0.95, 1); err == nil {
+		t.Fatal("always-failing statistic accepted")
+	}
+}
+
+func TestBootstrapCICustomStatistic(t *testing.T) {
+	y, yhat := noisyPredictions(40, 0.05, 9)
+	ci, err := BootstrapCI(y, yhat, MSE, 200, 0.9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, _ := MSE(y, yhat)
+	if math.Abs(ci.Point-mse) > 1e-12 {
+		t.Fatalf("point %v != full-sample MSE %v", ci.Point, mse)
+	}
+	if ci.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,229 @@
+// Package stats provides the error metrics, feature scalers, and summary
+// statistics used across the dataset, modeling, and experiment packages.
+//
+// The accuracy convention follows the paper: model accuracy is reported as
+// 100% − MAPE (mean absolute percentage error), so a MAPE of 3.5% is an
+// accuracy of 96.5%.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a metric is requested over zero observations.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrLengthMismatch is returned when paired slices differ in length.
+var ErrLengthMismatch = errors.New("stats: length mismatch")
+
+func checkPair(y, yhat []float64) error {
+	if len(y) == 0 {
+		return ErrEmpty
+	}
+	if len(y) != len(yhat) {
+		return fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(y), len(yhat))
+	}
+	return nil
+}
+
+// MAPE returns the mean absolute percentage error, in percent, between the
+// measured values y and predictions yhat. Observations with |y| below eps
+// are skipped to avoid division blow-up; if all are skipped an error is
+// returned.
+func MAPE(y, yhat []float64) (float64, error) {
+	if err := checkPair(y, yhat); err != nil {
+		return 0, err
+	}
+	const eps = 1e-12
+	var sum float64
+	n := 0
+	for i, v := range y {
+		if math.Abs(v) < eps {
+			continue
+		}
+		sum += math.Abs((v - yhat[i]) / v)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: MAPE undefined, all targets ~0: %w", ErrEmpty)
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// Accuracy returns the paper's accuracy metric, 100 − MAPE, clamped at 0.
+func Accuracy(y, yhat []float64) (float64, error) {
+	mape, err := MAPE(y, yhat)
+	if err != nil {
+		return 0, err
+	}
+	return math.Max(0, 100-mape), nil
+}
+
+// MSE returns the mean squared error between y and yhat.
+func MSE(y, yhat []float64) (float64, error) {
+	if err := checkPair(y, yhat); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, v := range y {
+		d := v - yhat[i]
+		sum += d * d
+	}
+	return sum / float64(len(y)), nil
+}
+
+// MAE returns the mean absolute error between y and yhat.
+func MAE(y, yhat []float64) (float64, error) {
+	if err := checkPair(y, yhat); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, v := range y {
+		sum += math.Abs(v - yhat[i])
+	}
+	return sum / float64(len(y)), nil
+}
+
+// RMSE returns the root mean squared error between y and yhat.
+func RMSE(y, yhat []float64) (float64, error) {
+	mse, err := MSE(y, yhat)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(mse), nil
+}
+
+// R2 returns the coefficient of determination of predictions yhat against
+// measurements y. A constant y yields an error (undefined variance).
+func R2(y, yhat []float64) (float64, error) {
+	if err := checkPair(y, yhat); err != nil {
+		return 0, err
+	}
+	mean := Mean(y)
+	var ssRes, ssTot float64
+	for i, v := range y {
+		d := v - yhat[i]
+		ssRes += d * d
+		t := v - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0, errors.New("stats: R2 undefined for constant target")
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// Mean returns the arithmetic mean of v, or 0 for empty input.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than two
+// observations.
+func Variance(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// Min returns the minimum of v; it panics on empty input.
+func Min(v []float64) float64 {
+	if len(v) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of v; it panics on empty input.
+func Max(v []float64) float64 {
+	if len(v) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element of v, breaking ties in
+// favour of the lowest index. It panics on empty input.
+func ArgMin(v []float64) int {
+	if len(v) == 0 {
+		panic("stats: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range v[1:] {
+		if x < v[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Median returns the median of v (average of the two central elements for
+// even lengths). It panics on empty input.
+func Median(v []float64) float64 {
+	if len(v) == 0 {
+		panic("stats: Median of empty slice")
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Percentile returns the p-th percentile (0..100) of v using linear
+// interpolation between closest ranks. It panics on empty input.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p <= 0 {
+		return Min(v)
+	}
+	if p >= 100 {
+		return Max(v)
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{100, 200}, []float64{90, 220})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (10/100 + 20/200)/2 = 0.1 → 10%
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPESkipsNearZeroTargets(t *testing.T) {
+	got, err := MAPE([]float64{0, 100}, []float64{5, 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10 (zero target skipped)", got)
+	}
+}
+
+func TestMAPEAllZero(t *testing.T) {
+	if _, err := MAPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("all-zero targets accepted")
+	}
+}
+
+func TestMAPEErrors(t *testing.T) {
+	if _, err := MAPE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("mismatch: %v", err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	got, err := Accuracy([]float64{100}, []float64{97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-97) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 97", got)
+	}
+}
+
+func TestAccuracyClampedAtZero(t *testing.T) {
+	got, err := Accuracy([]float64{1}, []float64{10}) // MAPE 900%
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("Accuracy = %v, want 0", got)
+	}
+}
+
+func TestMSEMAERMSE(t *testing.T) {
+	y, yhat := []float64{1, 2, 3}, []float64{2, 2, 1}
+	mse, _ := MSE(y, yhat)
+	if math.Abs(mse-(1.0+0+4)/3) > 1e-12 {
+		t.Fatalf("MSE = %v", mse)
+	}
+	mae, _ := MAE(y, yhat)
+	if math.Abs(mae-1) > 1e-12 {
+		t.Fatalf("MAE = %v", mae)
+	}
+	rmse, _ := RMSE(y, yhat)
+	if math.Abs(rmse-math.Sqrt(mse)) > 1e-12 {
+		t.Fatalf("RMSE = %v", rmse)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	perfect, _ := R2(y, y)
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Fatalf("perfect R2 = %v", perfect)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	zero, _ := R2(y, meanPred)
+	if math.Abs(zero) > 1e-12 {
+		t.Fatalf("mean-predictor R2 = %v", zero)
+	}
+	if _, err := R2([]float64{5, 5}, []float64{5, 5}); err == nil {
+		t.Fatal("constant target accepted")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(v) != 5 {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if Variance(v) != 4 {
+		t.Fatalf("Variance = %v", Variance(v))
+	}
+	if StdDev(v) != 2 {
+		t.Fatalf("StdDev = %v", StdDev(v))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs mishandled")
+	}
+}
+
+func TestMinMaxArgMin(t *testing.T) {
+	v := []float64{3, 1, 4, 1, 5}
+	if Min(v) != 1 || Max(v) != 5 {
+		t.Fatalf("Min/Max = %v/%v", Min(v), Max(v))
+	}
+	if ArgMin(v) != 1 {
+		t.Fatalf("ArgMin = %d, want first minimum", ArgMin(v))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	// Does not mutate input.
+	v := []float64{3, 1, 2}
+	Median(v)
+	if v[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(v, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}

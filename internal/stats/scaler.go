@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler transforms feature columns to a normalized range and back.
+// Implementations are fitted on training data and then applied to both
+// training and inference inputs so the model always sees the same scale.
+type Scaler interface {
+	// Fit learns scaling parameters from the rows of x.
+	Fit(x [][]float64) error
+	// Transform returns a scaled copy of the rows of x.
+	Transform(x [][]float64) ([][]float64, error)
+	// InverseTransform undoes Transform.
+	InverseTransform(x [][]float64) ([][]float64, error)
+}
+
+// MinMaxScaler maps each column linearly onto [0,1] using the column's
+// fitted minimum and maximum. Constant columns map to 0.
+type MinMaxScaler struct {
+	Mins, Maxs []float64
+}
+
+// Fit learns per-column minima and maxima.
+func (s *MinMaxScaler) Fit(x [][]float64) error {
+	if len(x) == 0 {
+		return ErrEmpty
+	}
+	cols := len(x[0])
+	s.Mins = make([]float64, cols)
+	s.Maxs = make([]float64, cols)
+	copy(s.Mins, x[0])
+	copy(s.Maxs, x[0])
+	for _, row := range x[1:] {
+		if len(row) != cols {
+			return fmt.Errorf("stats: ragged row in Fit: %w", ErrLengthMismatch)
+		}
+		for j, v := range row {
+			if v < s.Mins[j] {
+				s.Mins[j] = v
+			}
+			if v > s.Maxs[j] {
+				s.Maxs[j] = v
+			}
+		}
+	}
+	return nil
+}
+
+func (s *MinMaxScaler) fitted() error {
+	if len(s.Mins) == 0 {
+		return errors.New("stats: scaler not fitted")
+	}
+	return nil
+}
+
+// Transform maps rows onto the fitted [0,1] ranges.
+func (s *MinMaxScaler) Transform(x [][]float64) ([][]float64, error) {
+	if err := s.fitted(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(s.Mins) {
+			return nil, fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Mins), ErrLengthMismatch)
+		}
+		o := make([]float64, len(row))
+		for j, v := range row {
+			span := s.Maxs[j] - s.Mins[j]
+			if span == 0 {
+				o[j] = 0
+				continue
+			}
+			o[j] = (v - s.Mins[j]) / span
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// InverseTransform maps scaled rows back to the original ranges.
+func (s *MinMaxScaler) InverseTransform(x [][]float64) ([][]float64, error) {
+	if err := s.fitted(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(s.Mins) {
+			return nil, fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Mins), ErrLengthMismatch)
+		}
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = v*(s.Maxs[j]-s.Mins[j]) + s.Mins[j]
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// StandardScaler maps each column to zero mean and unit variance.
+// Constant columns map to 0.
+type StandardScaler struct {
+	Means, Stds []float64
+}
+
+// Fit learns per-column means and standard deviations.
+func (s *StandardScaler) Fit(x [][]float64) error {
+	if len(x) == 0 {
+		return ErrEmpty
+	}
+	cols := len(x[0])
+	s.Means = make([]float64, cols)
+	s.Stds = make([]float64, cols)
+	col := make([]float64, len(x))
+	for j := 0; j < cols; j++ {
+		for i, row := range x {
+			if len(row) != cols {
+				return fmt.Errorf("stats: ragged row in Fit: %w", ErrLengthMismatch)
+			}
+			col[i] = row[j]
+		}
+		s.Means[j] = Mean(col)
+		s.Stds[j] = StdDev(col)
+	}
+	return nil
+}
+
+func (s *StandardScaler) fitted() error {
+	if len(s.Means) == 0 {
+		return errors.New("stats: scaler not fitted")
+	}
+	return nil
+}
+
+// Transform standardizes rows with the fitted means and deviations.
+func (s *StandardScaler) Transform(x [][]float64) ([][]float64, error) {
+	if err := s.fitted(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(s.Means) {
+			return nil, fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Means), ErrLengthMismatch)
+		}
+		o := make([]float64, len(row))
+		for j, v := range row {
+			if s.Stds[j] == 0 {
+				o[j] = 0
+				continue
+			}
+			o[j] = (v - s.Means[j]) / s.Stds[j]
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// InverseTransform undoes standardization.
+func (s *StandardScaler) InverseTransform(x [][]float64) ([][]float64, error) {
+	if err := s.fitted(); err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != len(s.Means) {
+			return nil, fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Means), ErrLengthMismatch)
+		}
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = v*s.Stds[j] + s.Means[j]
+		}
+		out[i] = o
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxScalerBasics(t *testing.T) {
+	s := &MinMaxScaler{}
+	x := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0, 0}, {0.5, 0.5}, {1, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(out[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("Transform[%d][%d] = %v, want %v", i, j, out[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestMinMaxScalerConstantColumn(t *testing.T) {
+	s := &MinMaxScaler{}
+	x := [][]float64{{7, 1}, {7, 2}}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Transform(x)
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Fatalf("constant column = %v, %v, want 0", out[0][0], out[1][0])
+	}
+}
+
+func TestMinMaxScalerErrors(t *testing.T) {
+	s := &MinMaxScaler{}
+	if err := s.Fit(nil); err == nil {
+		t.Fatal("empty Fit accepted")
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Fatal("unfitted Transform accepted")
+	}
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged Fit accepted")
+	}
+}
+
+func TestStandardScalerBasics(t *testing.T) {
+	s := &StandardScaler{}
+	x := [][]float64{{1}, {2}, {3}}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, variance float64
+	for _, r := range out {
+		mean += r[0]
+	}
+	mean /= 3
+	for _, r := range out {
+		variance += (r[0] - mean) * (r[0] - mean)
+	}
+	variance /= 3
+	if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-12 {
+		t.Fatalf("standardized mean %v variance %v", mean, variance)
+	}
+}
+
+func TestStandardScalerConstantColumn(t *testing.T) {
+	s := &StandardScaler{}
+	if err := s.Fit([][]float64{{5}, {5}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Transform([][]float64{{5}})
+	if out[0][0] != 0 {
+		t.Fatalf("constant column transformed to %v", out[0][0])
+	}
+}
+
+// Property: InverseTransform(Transform(x)) ≈ x for both scalers.
+func TestScalerRoundTripProperty(t *testing.T) {
+	for _, mk := range []func() Scaler{
+		func() Scaler { return &MinMaxScaler{} },
+		func() Scaler { return &StandardScaler{} },
+	} {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			rows, cols := 2+rng.Intn(20), 1+rng.Intn(5)
+			x := make([][]float64, rows)
+			for i := range x {
+				x[i] = make([]float64, cols)
+				for j := range x[i] {
+					x[i][j] = rng.NormFloat64() * 100
+				}
+			}
+			s := mk()
+			if err := s.Fit(x); err != nil {
+				return false
+			}
+			tr, err := s.Transform(x)
+			if err != nil {
+				return false
+			}
+			back, err := s.InverseTransform(tr)
+			if err != nil {
+				return false
+			}
+			for i := range x {
+				for j := range x[i] {
+					if math.Abs(back[i][j]-x[i][j]) > 1e-8*(1+math.Abs(x[i][j])) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScalerTransformDoesNotMutate(t *testing.T) {
+	s := &StandardScaler{}
+	x := [][]float64{{1, 2}, {3, 4}}
+	if err := s.Fit(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0][0] != 1 || x[1][1] != 4 {
+		t.Fatal("Transform mutated its input")
+	}
+}

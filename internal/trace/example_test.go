@@ -1,0 +1,43 @@
+package trace_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/trace"
+)
+
+// Segmenting a telemetry stream that flips from a compute-bound phase to a
+// memory-bound one.
+func ExampleDetect() {
+	rng := rand.New(rand.NewSource(1))
+	var stream []dcgm.Sample
+	for i := 0; i < 60; i++ { // compute phase
+		stream = append(stream, dcgm.Sample{
+			FP64Active: 0.9 + 0.02*rng.NormFloat64(),
+			DRAMActive: 0.2 + 0.02*rng.NormFloat64(),
+		})
+	}
+	for i := 0; i < 40; i++ { // memory phase
+		stream = append(stream, dcgm.Sample{
+			FP64Active: 0.08 + 0.02*rng.NormFloat64(),
+			DRAMActive: 0.9 + 0.02*rng.NormFloat64(),
+		})
+	}
+	segs, err := trace.Detect(stream, trace.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range segs {
+		kind := "memory-bound"
+		if s.MeanFPActive > s.MeanDRAMActive {
+			kind = "compute-bound"
+		}
+		fmt.Printf("samples %d..%d: %s\n", s.Start, s.End, kind)
+	}
+	// Output:
+	// samples 0..60: compute-bound
+	// samples 60..100: memory-bound
+}

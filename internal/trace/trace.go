@@ -1,0 +1,178 @@
+// Package trace analyzes telemetry sample streams as time series: it
+// segments a stream into phases of homogeneous computational character via
+// change-point detection on the paper's two workload-identifying features
+// (fp_active, dram_active).
+//
+// Phase segmentation closes a gap in the paper's methodology: the online
+// phase assumes one profiling run captures "the" application character,
+// but long-running applications interleave phases (compute kernels, memory
+// sweeps, host-bound I/O). Segmenting the profiling stream lets a caller
+// select frequencies per phase — or at least notice that a single
+// frequency cannot fit all of them.
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"gpudvfs/internal/dcgm"
+)
+
+// Segment is one detected phase: the half-open sample range [Start, End)
+// and the mean features within it.
+type Segment struct {
+	Start, End     int
+	MeanFPActive   float64
+	MeanDRAMActive float64
+}
+
+// Len returns the segment's length in samples.
+func (s Segment) Len() int { return s.End - s.Start }
+
+// Options configures phase detection.
+type Options struct {
+	// Penalty is the minimum total squared-error reduction a split must
+	// achieve, per feature dimension, to be accepted. Larger values yield
+	// fewer, coarser segments. 0 means 0.5 — calibrated so that telemetry
+	// noise (σ≈0.04 per activity sample) does not fragment a homogeneous
+	// stream, while a compute↔memory phase flip is detected within a few
+	// samples.
+	Penalty float64
+	// MinSegment is the minimum samples per segment (default 5).
+	MinSegment int
+	// MaxSegments bounds the recursion (default 16).
+	MaxSegments int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Penalty == 0 {
+		o.Penalty = 0.5
+	}
+	if o.MinSegment == 0 {
+		o.MinSegment = 5
+	}
+	if o.MaxSegments == 0 {
+		o.MaxSegments = 16
+	}
+	return o
+}
+
+// Detect segments a telemetry stream into phases by binary segmentation:
+// it recursively places the split that most reduces the within-segment
+// squared error of (fp_active, dram_active), stopping when no split gains
+// more than the penalty or limits are reached. Segments are returned in
+// stream order and exactly cover the input.
+func Detect(samples []dcgm.Sample, opts Options) ([]Segment, error) {
+	opts = opts.withDefaults()
+	if opts.Penalty < 0 {
+		return nil, fmt.Errorf("trace: negative penalty %v", opts.Penalty)
+	}
+	if opts.MinSegment < 1 {
+		return nil, fmt.Errorf("trace: MinSegment %d < 1", opts.MinSegment)
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("trace: no samples")
+	}
+
+	// Prefix sums of each feature and its square, for O(1) segment SSE.
+	n := len(samples)
+	fp := make([]float64, n)
+	dr := make([]float64, n)
+	for i, s := range samples {
+		fp[i] = s.FPActive()
+		dr[i] = s.DRAMActive
+	}
+	ps := newPrefix(fp)
+	pd := newPrefix(dr)
+	cost := func(a, b int) float64 { return ps.sse(a, b) + pd.sse(a, b) }
+
+	// Binary segmentation over a worklist of segments.
+	bounds := []int{0, n}
+	for len(bounds)-1 < opts.MaxSegments {
+		bestGain := opts.Penalty
+		bestSeg, bestSplit := -1, -1
+		for i := 0; i+1 < len(bounds); i++ {
+			a, b := bounds[i], bounds[i+1]
+			if b-a < 2*opts.MinSegment {
+				continue
+			}
+			base := cost(a, b)
+			for split := a + opts.MinSegment; split <= b-opts.MinSegment; split++ {
+				gain := base - cost(a, split) - cost(split, b)
+				if gain > bestGain {
+					bestGain, bestSeg, bestSplit = gain, i, split
+				}
+			}
+		}
+		if bestSeg < 0 {
+			break
+		}
+		bounds = append(bounds, 0)
+		copy(bounds[bestSeg+2:], bounds[bestSeg+1:])
+		bounds[bestSeg+1] = bestSplit
+	}
+
+	out := make([]Segment, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		out = append(out, Segment{
+			Start:          a,
+			End:            b,
+			MeanFPActive:   ps.mean(a, b),
+			MeanDRAMActive: pd.mean(a, b),
+		})
+	}
+	return out, nil
+}
+
+// prefix holds prefix sums for O(1) range mean and SSE queries.
+type prefix struct {
+	sum, sq []float64
+}
+
+func newPrefix(v []float64) *prefix {
+	p := &prefix{sum: make([]float64, len(v)+1), sq: make([]float64, len(v)+1)}
+	for i, x := range v {
+		p.sum[i+1] = p.sum[i] + x
+		p.sq[i+1] = p.sq[i] + x*x
+	}
+	return p
+}
+
+func (p *prefix) mean(a, b int) float64 {
+	return (p.sum[b] - p.sum[a]) / float64(b-a)
+}
+
+// sse returns Σ (x−mean)² over [a,b).
+func (p *prefix) sse(a, b int) float64 {
+	n := float64(b - a)
+	s := p.sum[b] - p.sum[a]
+	q := p.sq[b] - p.sq[a]
+	return q - s*s/n
+}
+
+// Homogeneous reports whether the stream contains a single phase under the
+// given options.
+func Homogeneous(samples []dcgm.Sample, opts Options) (bool, error) {
+	segs, err := Detect(samples, opts)
+	if err != nil {
+		return false, err
+	}
+	return len(segs) == 1, nil
+}
+
+// DominantSegment returns the longest detected segment — the phase a
+// single-frequency selection should at least serve well.
+func DominantSegment(samples []dcgm.Sample, opts Options) (Segment, error) {
+	segs, err := Detect(samples, opts)
+	if err != nil {
+		return Segment{}, err
+	}
+	best := segs[0]
+	for _, s := range segs[1:] {
+		if s.Len() > best.Len() {
+			best = s
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// synth builds a stream of samples around (fp, dram) with noise.
+func synth(rng *rand.Rand, n int, fp, dram float64) []dcgm.Sample {
+	out := make([]dcgm.Sample, n)
+	for i := range out {
+		out[i] = dcgm.Sample{
+			FP64Active: math.Max(0, fp+0.03*rng.NormFloat64()),
+			DRAMActive: math.Max(0, dram+0.03*rng.NormFloat64()),
+		}
+	}
+	return out
+}
+
+func TestDetectHomogeneousStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := synth(rng, 120, 0.8, 0.3)
+	segs, err := Detect(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("homogeneous stream split into %d segments", len(segs))
+	}
+	if segs[0].Start != 0 || segs[0].End != 120 {
+		t.Fatalf("segment bounds %d..%d", segs[0].Start, segs[0].End)
+	}
+	if math.Abs(segs[0].MeanFPActive-0.8) > 0.02 {
+		t.Fatalf("segment mean fp %v", segs[0].MeanFPActive)
+	}
+	ok, err := Homogeneous(samples, Options{})
+	if err != nil || !ok {
+		t.Fatalf("Homogeneous = %v, %v", ok, err)
+	}
+}
+
+func TestDetectTwoPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream := append(synth(rng, 60, 0.9, 0.2), synth(rng, 40, 0.08, 0.9)...)
+	segs, err := Detect(stream, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("two-phase stream split into %d segments: %+v", len(segs), segs)
+	}
+	if got := segs[0].End; got < 55 || got > 65 {
+		t.Fatalf("change point at %d, want ~60", got)
+	}
+	if segs[0].MeanFPActive < segs[1].MeanFPActive {
+		t.Fatal("first phase should be the compute-bound one")
+	}
+	// Segments exactly cover the stream.
+	if segs[0].Start != 0 || segs[1].End != len(stream) || segs[0].End != segs[1].Start {
+		t.Fatalf("segments do not tile the stream: %+v", segs)
+	}
+}
+
+func TestDetectThreePhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stream := append(synth(rng, 50, 0.9, 0.2), synth(rng, 50, 0.1, 0.9)...)
+	stream = append(stream, synth(rng, 50, 0.5, 0.5)...)
+	segs, err := Detect(stream, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("three-phase stream split into %d segments", len(segs))
+	}
+}
+
+func TestDetectRespectsMaxSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var stream []dcgm.Sample
+	for i := 0; i < 6; i++ {
+		stream = append(stream, synth(rng, 30, float64(i)*0.15, 0.9-float64(i)*0.15)...)
+	}
+	segs, err := Detect(stream, Options{MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) > 3 {
+		t.Fatalf("MaxSegments ignored: %d segments", len(segs))
+	}
+}
+
+func TestDetectMinSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A 3-sample glitch inside a long phase must not become its own segment
+	// when MinSegment is larger.
+	stream := synth(rng, 50, 0.8, 0.2)
+	stream = append(stream, synth(rng, 3, 0.1, 0.9)...)
+	stream = append(stream, synth(rng, 50, 0.8, 0.2)...)
+	segs, err := Detect(stream, Options{MinSegment: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if s.Len() < 10 {
+			t.Fatalf("segment shorter than MinSegment: %+v", s)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(nil, Options{}); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := Detect(make([]dcgm.Sample, 10), Options{Penalty: -1}); err == nil {
+		t.Fatal("negative penalty accepted")
+	}
+	if _, err := Detect(make([]dcgm.Sample, 10), Options{MinSegment: -2}); err == nil {
+		t.Fatal("negative MinSegment accepted")
+	}
+}
+
+func TestDetectSingleSample(t *testing.T) {
+	segs, err := Detect(make([]dcgm.Sample, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Len() != 1 {
+		t.Fatalf("segments = %+v", segs)
+	}
+}
+
+func TestDominantSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	stream := append(synth(rng, 20, 0.9, 0.2), synth(rng, 80, 0.1, 0.9)...)
+	dom, err := DominantSegment(stream, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Len() < 70 {
+		t.Fatalf("dominant segment length %d", dom.Len())
+	}
+	if dom.MeanDRAMActive < 0.7 {
+		t.Fatalf("dominant segment should be the memory phase: %+v", dom)
+	}
+}
+
+// TestDetectOnCollectedTelemetry ties the detector to the real pipeline:
+// concatenating samples from a compute-bound and a memory-bound run yields
+// two phases at the seam.
+func TestDetectOnCollectedTelemetry(t *testing.T) {
+	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	coll := dcgm.NewCollector(dev, dcgm.Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 8})
+	dgemm, err := coll.CollectWorkload(workloads.DGEMM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append([]dcgm.Sample(nil), dgemm[0].Samples...)
+	streamRuns, err := coll.CollectWorkload(workloads.STREAM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seam := len(stream)
+	stream = append(stream, streamRuns[0].Samples...)
+
+	segs, err := Detect(stream, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("telemetry seam not detected: %d segments", len(segs))
+	}
+	// Some boundary must land within a few samples of the seam.
+	found := false
+	for _, s := range segs {
+		if abs(s.Start-seam) <= 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no boundary near seam %d: %+v", seam, segs)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPrefixSSE(t *testing.T) {
+	p := newPrefix([]float64{1, 2, 3, 4})
+	// SSE of {1,2,3,4}: mean 2.5 → 1.25²·... = 2.25+0.25+0.25+2.25 = 5
+	if got := p.sse(0, 4); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("sse = %v", got)
+	}
+	if got := p.mean(1, 3); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := p.sse(2, 3); math.Abs(got) > 1e-12 {
+		t.Fatalf("single-point sse = %v", got)
+	}
+}

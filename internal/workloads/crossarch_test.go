@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpudvfs/internal/gpusim"
+)
+
+// TestWorkloadShapesPortAcrossArchitectures pins the premise behind the
+// paper's §4.2.4 portability claim: every workload's qualitative character
+// (normalized power level, slowdown behaviour, feature signature) is the
+// same on GA100 and GV100.
+func TestWorkloadShapesPortAcrossArchitectures(t *testing.T) {
+	ga, gv := gpusim.GA100(), gpusim.GV100()
+	for _, w := range All() {
+		gaMax, err := gpusim.Evaluate(ga, w, ga.MaxFreqMHz)
+		if err != nil {
+			t.Fatalf("%s on GA100: %v", w.Name, err)
+		}
+		gvMax, err := gpusim.Evaluate(gv, w, gv.MaxFreqMHz)
+		if err != nil {
+			t.Fatalf("%s on GV100: %v", w.Name, err)
+		}
+		// Normalized power levels agree within 12 points of TDP.
+		gaFrac := gaMax.PowerWatts / ga.TDPWatts
+		gvFrac := gvMax.PowerWatts / gv.TDPWatts
+		if d := gaFrac - gvFrac; d > 0.12 || d < -0.12 {
+			t.Errorf("%s: TDP fraction %0.2f on GA100 vs %0.2f on GV100", w.Name, gaFrac, gvFrac)
+		}
+		// Feature signatures agree within 0.08 absolute.
+		if d := gaMax.FPActive - gvMax.FPActive; d > 0.08 || d < -0.08 {
+			t.Errorf("%s: fp_active %0.3f vs %0.3f", w.Name, gaMax.FPActive, gvMax.FPActive)
+		}
+		if d := gaMax.DRAMActive - gvMax.DRAMActive; d > 0.08 || d < -0.08 {
+			t.Errorf("%s: dram_active %0.3f vs %0.3f", w.Name, gaMax.DRAMActive, gvMax.DRAMActive)
+		}
+		// Slowdown at ~510 MHz agrees within 20% relative.
+		gaLow, err := gpusim.Evaluate(ga, w, 510)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gvLow, err := gpusim.Evaluate(gv, w, 510)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaSlow := gaLow.TimeSec / gaMax.TimeSec
+		gvSlow := gvLow.TimeSec / gvMax.TimeSec
+		if r := gaSlow / gvSlow; r > 1.2 || r < 0.8 {
+			t.Errorf("%s: slowdown(510) %0.2f on GA100 vs %0.2f on GV100", w.Name, gaSlow, gvSlow)
+		}
+	}
+}
+
+// TestWorkloadEnergyOptimaInterior pins that every workload has an
+// interior energy optimum on both architectures — the condition that makes
+// frequency selection worthwhile at all.
+func TestWorkloadEnergyOptimaInterior(t *testing.T) {
+	for _, arch := range []gpusim.Arch{gpusim.GA100(), gpusim.GV100()} {
+		clocks := arch.DesignClocks()
+		for _, w := range All() {
+			best, bestE := -1, 1e300
+			for i, f := range clocks {
+				s, err := gpusim.Evaluate(arch, w, f)
+				if err != nil {
+					t.Fatalf("%s@%v on %s: %v", w.Name, f, arch.Name, err)
+				}
+				if s.EnergyJoules < bestE {
+					bestE, best = s.EnergyJoules, i
+				}
+			}
+			if best == len(clocks)-1 {
+				t.Errorf("%s on %s: energy optimum at the maximum clock", w.Name, arch.Name)
+			}
+		}
+	}
+}
+
+// TestComputeCharacterOrdering pins the compute-vs-memory spectrum: DGEMM
+// is the most frequency-sensitive workload and STREAM among the least,
+// with the suite spread in between.
+func TestComputeCharacterOrdering(t *testing.T) {
+	arch := gpusim.GA100()
+	slowdown := func(w gpusim.KernelProfile) float64 {
+		lo, err := gpusim.Evaluate(arch, w, 510)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := gpusim.Evaluate(arch, w, arch.MaxFreqMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lo.TimeSec / hi.TimeSec
+	}
+	dgemm := slowdown(DGEMM())
+	stream := slowdown(STREAM())
+	gromacs := slowdown(GROMACS())
+	if dgemm <= stream {
+		t.Fatalf("DGEMM slowdown %v should exceed STREAM's %v", dgemm, stream)
+	}
+	if gromacs >= stream {
+		t.Fatalf("GROMACS slowdown %v should be below STREAM's %v (DVFS-flat)", gromacs, stream)
+	}
+	for _, w := range All() {
+		s := slowdown(w)
+		if s < 0.99 || s > dgemm+0.15 {
+			t.Errorf("%s slowdown %v outside [1, DGEMM+margin]", w.Name, s)
+		}
+	}
+}
