@@ -1,0 +1,34 @@
+GO ?= go
+
+# Packages with dedicated concurrent paths: they get a -race pass in check.
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi
+
+.PHONY: all build test race bench-smoke vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over every package with a concurrent code
+# path. The experiments/core integration suites are too slow to run fully
+# under -race, so only their fast concurrency tests (which exercise all
+# new concurrent paths) are included.
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+	$(GO) test -race -count=1 -run 'Deterministic' ./internal/core
+	$(GO) test -race -count=1 -run 'Singleflight' ./internal/experiments
+
+# bench-smoke compiles and runs each hot-path benchmark once, catching
+# benchmark bit-rot without paying for stable measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
+
+check: vet build test race bench-smoke

@@ -28,6 +28,24 @@ func sharedCtx() *experiments.Context {
 	return benchCtx
 }
 
+// BenchmarkPrewarmSerial and BenchmarkPrewarmParallel measure building
+// every artifact the bench suite consumes from a cold context, serially
+// vs fanned out over the machine's cores. Each iteration pays full
+// collection + training cost, so run these with -benchtime=1x. The two
+// produce bit-identical caches (pinned by the experiments determinism
+// tests); only wall-clock should differ, by up to the core count.
+func BenchmarkPrewarmSerial(b *testing.B)   { benchPrewarm(b, 1) }
+func BenchmarkPrewarmParallel(b *testing.B) { benchPrewarm(b, 0) }
+
+func benchPrewarm(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(experiments.Config{Seed: 42, Runs: 1, Workers: workers})
+		if err := ctx.Prewarm(workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchTable runs one artifact generator under the benchmark loop and
 // reports a metric extracted from the final table.
 func benchTable(b *testing.B, gen func(*experiments.Context) (*experiments.Table, error), metric func(*experiments.Table) (string, float64)) {

@@ -28,19 +28,20 @@ func main() {
 		cv        = flag.Bool("cv", false, "also run leave-one-workload-out cross-validation (slow: 21 retrainings)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		runs      = flag.Int("runs", 3, "runs per DVFS configuration")
+		workers   = flag.Int("workers", 0, "concurrent artifact builds (0 = GOMAXPROCS); output is identical for any value")
 		out       = flag.String("out", "", "directory to also write one .txt file per artifact")
 		markdown  = flag.Bool("md", false, "write .md (markdown tables) instead of .txt into -out")
 	)
 	flag.Parse()
 
-	if err := run(*only, *ablations, *compare, *cv, *markdown, *seed, *runs, *out); err != nil {
+	if err := run(*only, *ablations, *compare, *cv, *markdown, *seed, *runs, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, ablations, compare, cv, markdown bool, seed int64, runs int, out string) error {
-	ctx := experiments.NewContext(experiments.Config{Seed: seed, Runs: runs})
+func run(only string, ablations, compare, cv, markdown bool, seed int64, runs, workers int, out string) error {
+	ctx := experiments.NewContext(experiments.Config{Seed: seed, Runs: runs, Workers: workers})
 
 	gens := map[string]func() (*experiments.Table, error){
 		"fig1":  ctx.Figure1,
@@ -68,6 +69,11 @@ func run(only string, ablations, compare, cv, markdown bool, seed int64, runs in
 
 	var tables []*experiments.Table
 	if only == "" {
+		// The full suite touches every artifact; build them concurrently
+		// up front (tables then render from the warm cache).
+		if err := ctx.Prewarm(workers); err != nil {
+			return err
+		}
 		all, err := ctx.All()
 		if err != nil {
 			return err

@@ -11,7 +11,7 @@ import (
 // that need no collection or training (tab1, tab2, tab7 are static).
 func TestRunStaticTables(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "results")
-	if err := run("tab1,tab2,tab7", false, false, false, false, 1, 1, out); err != nil {
+	if err := run("tab1,tab2,tab7", false, false, false, false, 1, 1, 1, out); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"tab1.txt", "tab2.txt", "tab7.txt"} {
@@ -30,20 +30,20 @@ func TestRunStaticTables(t *testing.T) {
 }
 
 func TestRunUnknownArtifact(t *testing.T) {
-	if err := run("fig99", false, false, false, false, 1, 1, ""); err == nil {
+	if err := run("fig99", false, false, false, false, 1, 1, 1, ""); err == nil {
 		t.Fatal("unknown artifact accepted")
 	}
 }
 
 func TestRunWhitespaceIDs(t *testing.T) {
-	if err := run(" tab7 , tab1 ", false, false, false, false, 1, 1, ""); err != nil {
+	if err := run(" tab7 , tab1 ", false, false, false, false, 1, 1, 1, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMarkdownOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "md")
-	if err := run("tab7", false, false, false, true, 1, 1, out); err != nil {
+	if err := run("tab7", false, false, false, true, 1, 1, 1, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(out, "tab7.md"))

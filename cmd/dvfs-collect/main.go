@@ -31,17 +31,18 @@ func main() {
 		inputScale = flag.Float64("input-scale", 1, "problem-size factor relative to each workload's reference size")
 		maxOnly    = flag.Bool("max-only", false, "profile at the maximum clock only (online-phase acquisition)")
 		seed       = flag.Int64("seed", 42, "simulation noise seed")
+		workers    = flag.Int("workers", 0, "concurrent workload sweeps (0 = GOMAXPROCS); results are identical for any value")
 		out        = flag.String("out", "", "output CSV path (default stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*archName, *list, *runs, *interval, *inputScale, *maxOnly, *seed, *out); err != nil {
+	if err := run(*archName, *list, *runs, *interval, *inputScale, *maxOnly, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-collect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(archName, list string, runs int, interval time.Duration, inputScale float64, maxOnly bool, seed int64, out string) error {
+func run(archName, list string, runs int, interval time.Duration, inputScale float64, maxOnly bool, seed int64, workers int, out string) error {
 	arch, err := gpusim.ArchByName(archName)
 	if err != nil {
 		return err
@@ -51,30 +52,33 @@ func run(archName, list string, runs int, interval time.Duration, inputScale flo
 		return err
 	}
 
-	dev := gpusim.NewDevice(arch, seed)
 	cfg := dcgm.Config{
 		Runs:           runs,
 		SampleInterval: interval,
 		InputScale:     inputScale,
 		Seed:           seed + 1,
 	}
-	coll := dcgm.NewCollector(dev, cfg)
 
 	var collected []dcgm.Run
-	for _, w := range ws {
-		if maxOnly {
+	if maxOnly {
+		// Online-phase acquisition profiles one run per workload on a
+		// single device, matching deployment; stays serial.
+		dev := gpusim.NewDevice(arch, seed)
+		coll := dcgm.NewCollector(dev, cfg)
+		for _, w := range ws {
 			r, err := coll.ProfileAtMax(w)
 			if err != nil {
 				return err
 			}
 			collected = append(collected, r)
-			continue
 		}
-		rs, err := coll.CollectWorkload(w)
-		if err != nil {
+	} else {
+		// Full sweeps fan out one simulated device per workload, each
+		// seeded from the workload name — output is bit-identical for any
+		// -workers value.
+		if collected, err = dcgm.CollectAllParallel(arch, ws, cfg, workers); err != nil {
 			return err
 		}
-		collected = append(collected, rs...)
 	}
 
 	if out == "" {

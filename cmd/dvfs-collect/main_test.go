@@ -35,7 +35,7 @@ func TestResolveWorkloadsGroups(t *testing.T) {
 
 func TestRunWritesCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "runs.csv")
-	err := run("GA100", "DGEMM", 1, 20*time.Millisecond, 1, true /*maxOnly*/, 1, out)
+	err := run("GA100", "DGEMM", 1, 20*time.Millisecond, 1, true /*maxOnly*/, 1, 1, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunSweep(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "sweep.csv")
-	if err := run("GV100", "STREAM", 2, 20*time.Millisecond, 1, false, 1, out); err != nil {
+	if err := run("GV100", "STREAM", 2, 20*time.Millisecond, 1, false, 1, 2, out); err != nil {
 		t.Fatal(err)
 	}
 	runs, err := dcgm.ReadRunsFile(out)
@@ -63,10 +63,10 @@ func TestRunSweep(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("H100", "DGEMM", 1, time.Millisecond, 1, true, 1, ""); err == nil {
+	if err := run("H100", "DGEMM", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run("GA100", "NOPE", 1, time.Millisecond, 1, true, 1, ""); err == nil {
+	if err := run("GA100", "NOPE", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

@@ -34,16 +34,17 @@ func main() {
 		optimizer   = flag.String("optimizer", "rmsprop", "training optimizer")
 		seed        = flag.Int64("seed", 1, "weight initialization and shuffling seed")
 		runs        = flag.Int("runs", 3, "runs per DVFS configuration when collecting inline")
+		workers     = flag.Int("workers", 0, "concurrent workload sweeps for -collect (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*in, *collect, *archName, *out, *powerEpochs, *timeEpochs, *activation, *optimizer, *seed, *runs); err != nil {
+	if err := run(*in, *collect, *archName, *out, *powerEpochs, *timeEpochs, *activation, *optimizer, *seed, *runs, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs int, activation, optimizer string, seed int64, runsPer int) error {
+func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs int, activation, optimizer string, seed int64, runsPer, workers int) error {
 	arch, err := gpusim.ArchByName(archName)
 	if err != nil {
 		return err
@@ -52,13 +53,12 @@ func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs 
 	var runs []dcgm.Run
 	switch {
 	case collect:
-		dev := gpusim.NewDevice(arch, seed+41)
-		coll := dcgm.NewCollector(dev, dcgm.Config{
+		cfg := dcgm.Config{
 			Runs:             runsPer,
 			Seed:             seed + 42,
 			MaxSamplesPerRun: core.OfflineTrainSamplesPerRun,
-		})
-		if runs, err = coll.CollectAll(workloads.TrainingSet()); err != nil {
+		}
+		if runs, err = dcgm.CollectAllParallel(arch, workloads.TrainingSet(), cfg, workers); err != nil {
 			return err
 		}
 		fmt.Printf("collected %d runs for %d training workloads on %s\n",
@@ -89,6 +89,7 @@ func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs 
 		Activation:  activation,
 		Optimizer:   optimizer,
 		Seed:        seed,
+		Workers:     workers,
 	})
 	if err != nil {
 		return err

@@ -35,7 +35,7 @@ func writeSmallCampaign(t *testing.T) string {
 func TestRunTrainsFromCSV(t *testing.T) {
 	in := writeSmallCampaign(t)
 	out := filepath.Join(t.TempDir(), "models")
-	if err := run(in, false, "GA100", out, 3, 2, "selu", "rmsprop", 1, 1); err != nil {
+	if err := run(in, false, "GA100", out, 3, 2, "selu", "rmsprop", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	m, err := core.LoadModels(out)
@@ -48,20 +48,20 @@ func TestRunTrainsFromCSV(t *testing.T) {
 }
 
 func TestRunRequiresInput(t *testing.T) {
-	if err := run("", false, "GA100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1); err == nil {
+	if err := run("", false, "GA100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1, 1); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }
 
 func TestRunRejectsBadArch(t *testing.T) {
-	if err := run("x.csv", false, "H100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1); err == nil {
+	if err := run("x.csv", false, "H100", t.TempDir(), 1, 1, "selu", "rmsprop", 1, 1, 1); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
 }
 
 func TestRunRejectsBadActivation(t *testing.T) {
 	in := writeSmallCampaign(t)
-	if err := run(in, false, "GA100", t.TempDir(), 1, 1, "bogus", "rmsprop", 1, 1); err == nil {
+	if err := run(in, false, "GA100", t.TempDir(), 1, 1, "bogus", "rmsprop", 1, 1, 1); err == nil {
 		t.Fatal("unknown activation accepted")
 	}
 }

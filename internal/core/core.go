@@ -53,6 +53,11 @@ type TrainOptions struct {
 	TimeLR      float64 // time model learning rate; default 0.001
 	WeightDecay float64 // L2 weight decay; default 1e-4, negative disables
 	Seed        int64   // weight init and shuffling; default 1
+	// Workers bounds the goroutines used by the parallel stages that
+	// consume these options (offline collection fan-out, cross-validation
+	// folds). Zero means GOMAXPROCS. Results are bit-identical for any
+	// worker count.
+	Workers int
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {

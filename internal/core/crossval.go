@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
@@ -42,43 +44,80 @@ func CrossValidate(arch gpusim.Arch, runs []dcgm.Run, opts TrainOptions) (map[st
 	}
 	sort.Strings(names)
 
-	out := make(map[string]Accuracy, len(names))
-	for _, held := range names {
-		var trainRuns []dcgm.Run
-		for _, w := range names {
-			if w != held {
-				trainRuns = append(trainRuns, byWorkload[w]...)
+	// Each fold is an independent train-and-evaluate on its own data and
+	// its own deterministic seed (carried in opts), so folds fan out over a
+	// worker pool. Results land in per-fold slots and are assembled in
+	// sorted-name order, making the output identical — bit for bit — to the
+	// serial loop for any worker count.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	accs := make([]Accuracy, len(names))
+	errs := make([]error, len(names))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				accs[f], errs[f] = crossValidateFold(arch, names, f, byWorkload, opts)
 			}
-		}
-		ds, err := dataset.Build(arch, trainRuns, dataset.Options{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
-		}
-		sds, err := dataset.Build(arch, trainRuns, dataset.Options{PerSample: true})
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
-		}
-		models, err := TrainSplit(sds, ds, opts)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
-		}
+		}()
+	}
+	for f := range names {
+		jobs <- f
+	}
+	close(jobs)
+	wg.Wait()
 
-		heldRuns := byWorkload[held]
-		profile, err := maxClockRun(arch, heldRuns)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
+	out := make(map[string]Accuracy, len(names))
+	for f, held := range names {
+		if errs[f] != nil {
+			return nil, nil, fmt.Errorf("core: fold %s: %w", held, errs[f])
 		}
-		predicted, err := models.PredictProfile(arch, profile, measuredFreqs(heldRuns))
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
-		}
-		acc, err := EvaluateAccuracy(predicted, MeasuredProfiles(heldRuns))
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: fold %s: %w", held, err)
-		}
-		out[held] = acc
+		out[held] = accs[f]
 	}
 	return out, names, nil
+}
+
+// crossValidateFold trains on every workload except names[fold] and
+// evaluates on the held-out one.
+func crossValidateFold(arch gpusim.Arch, names []string, fold int, byWorkload map[string][]dcgm.Run, opts TrainOptions) (Accuracy, error) {
+	held := names[fold]
+	var trainRuns []dcgm.Run
+	for _, w := range names {
+		if w != held {
+			trainRuns = append(trainRuns, byWorkload[w]...)
+		}
+	}
+	ds, err := dataset.Build(arch, trainRuns, dataset.Options{})
+	if err != nil {
+		return Accuracy{}, err
+	}
+	sds, err := dataset.Build(arch, trainRuns, dataset.Options{PerSample: true})
+	if err != nil {
+		return Accuracy{}, err
+	}
+	models, err := TrainSplit(sds, ds, opts)
+	if err != nil {
+		return Accuracy{}, err
+	}
+
+	heldRuns := byWorkload[held]
+	profile, err := maxClockRun(arch, heldRuns)
+	if err != nil {
+		return Accuracy{}, err
+	}
+	predicted, err := models.PredictProfile(arch, profile, measuredFreqs(heldRuns))
+	if err != nil {
+		return Accuracy{}, err
+	}
+	return EvaluateAccuracy(predicted, MeasuredProfiles(heldRuns))
 }
 
 // maxClockRun returns one run of the set taken at the architecture's

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/workloads"
+)
+
+// quickCampaign collects a small deterministic parallel campaign of four
+// contrasting workloads, cheap enough to train cross-validation folds on
+// repeatedly.
+func quickCampaign(t *testing.T) []dcgm.Run {
+	t.Helper()
+	ks := []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()}
+	for _, name := range []string{"HOTSPOT", "NW"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, w)
+	}
+	runs, err := dcgm.CollectAllParallel(gpusim.GA100(), ks, dcgm.Config{
+		Freqs:            []float64{510, 990, 1410},
+		Runs:             1,
+		MaxSamplesPerRun: 3,
+		Seed:             77,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func quickCVOpts(workers int) TrainOptions {
+	return TrainOptions{PowerEpochs: 8, TimeEpochs: 8, Hidden: []int{8}, Seed: 1, Workers: workers}
+}
+
+// TestCrossValidateDeterministicAcrossWorkers pins the concurrency
+// contract of the parallel fold loop: accuracies must be bit-identical to
+// the single-worker run for any worker count, since each fold trains on
+// its own data with its own deterministic seed.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	runs := quickCampaign(t)
+	base, baseOrder, err := CrossValidate(gpusim.GA100(), runs, quickCVOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 9} {
+		got, order, err := CrossValidate(gpusim.GA100(), runs, quickCVOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != len(baseOrder) {
+			t.Fatalf("Workers=%d: %d folds, want %d", workers, len(order), len(baseOrder))
+		}
+		for i := range order {
+			if order[i] != baseOrder[i] {
+				t.Fatalf("Workers=%d: order %v, want %v", workers, order, baseOrder)
+			}
+		}
+		for w, acc := range base {
+			g := got[w]
+			if math.Float64bits(g.Power) != math.Float64bits(acc.Power) ||
+				math.Float64bits(g.Time) != math.Float64bits(acc.Time) {
+				t.Errorf("Workers=%d fold %s: accuracy %+v differs from serial %+v", workers, w, g, acc)
+			}
+		}
+	}
+}
+
+// TestOfflineTrainDeterministicAcrossWorkers pins that the worker count
+// used for offline collection never changes the campaign: the per-workload
+// seeding makes runs — and therefore the trained models' predictions —
+// bit-identical whether collected serially or in parallel.
+func TestOfflineTrainDeterministicAcrossWorkers(t *testing.T) {
+	train := func(workers int) *OfflineResult {
+		dev := gpusim.NewDevice(gpusim.GA100(), 1)
+		opts := quickCVOpts(workers)
+		off, err := OfflineTrain(dev, []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()},
+			dcgm.Config{Freqs: []float64{510, 1410}, Runs: 1, Seed: 5}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return off
+	}
+	base := train(1)
+	par := train(4)
+	if len(base.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(base.Runs), len(par.Runs))
+	}
+	for i := range base.Runs {
+		b, p := base.Runs[i], par.Runs[i]
+		if b.Workload != p.Workload || math.Float64bits(b.AvgPowerWatts) != math.Float64bits(p.AvgPowerWatts) ||
+			math.Float64bits(b.ExecTimeSec) != math.Float64bits(p.ExecTimeSec) {
+			t.Fatalf("run %d differs: serial %+v vs parallel %+v", i, b, p)
+		}
+	}
+	// Same runs + same training seed ⇒ identical model predictions.
+	profile := base.Runs[len(base.Runs)-1]
+	freqs := gpusim.GA100().DesignClocks()
+	pb, err := base.Models.PredictProfile(gpusim.GA100(), profile, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.Models.PredictProfile(gpusim.GA100(), profile, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pb {
+		if math.Float64bits(pb[i].PowerWatts) != math.Float64bits(pp[i].PowerWatts) ||
+			math.Float64bits(pb[i].TimeSec) != math.Float64bits(pp[i].TimeSec) {
+			t.Fatalf("prediction %d differs: %+v vs %+v", i, pb[i], pp[i])
+		}
+	}
+}

@@ -39,8 +39,11 @@ func OfflineTrain(dev *gpusim.Device, training []gpusim.KernelProfile, collect d
 	if collect.MaxSamplesPerRun == 0 {
 		collect.MaxSamplesPerRun = OfflineTrainSamplesPerRun
 	}
-	coll := dcgm.NewCollector(dev, collect)
-	runs, err := coll.CollectAll(training)
+	// Collect with the per-workload-seeded parallel collector: the runs it
+	// returns are bit-identical for any worker count (including 1), so the
+	// trained models depend only on the campaign config, never on how many
+	// cores collected it.
+	runs, err := dcgm.CollectAllParallel(dev.Arch(), training, collect, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: offline collection: %w", err)
 	}

@@ -26,6 +26,7 @@ func (c *Context) CrossValidationTable() (*Table, error) {
 		PowerEpochs: 40,
 		TimeEpochs:  25,
 		Seed:        1,
+		Workers:     c.cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+)
+
+// TestMeasuredRunsSingleflight hammers the per-key cache from many
+// goroutines: every caller of a key must observe the same built artifact
+// (the build runs exactly once per key), and distinct keys must not
+// serialize each other. Collection-only, so it is cheap enough to run
+// under -race unconditionally.
+func TestMeasuredRunsSingleflight(t *testing.T) {
+	ctx := NewContext(Config{Seed: 7, Runs: 1})
+	keys := [][2]string{{"GA100", "DGEMM"}, {"GA100", "STREAM"}, {"GV100", "DGEMM"}}
+	const callers = 8
+	results := make([][][]dcgm.Run, len(keys))
+	for i := range results {
+		results[i] = make([][]dcgm.Run, callers)
+	}
+	var wg sync.WaitGroup
+	for ki, key := range keys {
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(ki, c int, arch, app string) {
+				defer wg.Done()
+				runs, err := ctx.MeasuredRuns(arch, app)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[ki][c] = runs
+			}(ki, c, key[0], key[1])
+		}
+	}
+	wg.Wait()
+	for ki := range keys {
+		first := results[ki][0]
+		if len(first) == 0 {
+			t.Fatalf("key %v: empty runs", keys[ki])
+		}
+		for c := 1; c < callers; c++ {
+			if &results[ki][c][0] != &first[0] {
+				t.Errorf("key %v: caller %d got a different slice — build ran more than once", keys[ki], c)
+			}
+		}
+	}
+}
+
+// TestPrewarmDeterministicAcrossWorkers pins the engine's central
+// contract: a context prewarmed serially and a context prewarmed over a
+// worker pool produce bit-identical artifacts and therefore byte-identical
+// tables. Every artifact derives its seeds from its own (arch, app) key,
+// so neither build order nor concurrency can leak into the results.
+//
+// Runs: 1 keeps the two full offline trainings affordable; the comparison
+// still spans collection, training, online prediction, and selection.
+func TestPrewarmDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments integration (use without -short)")
+	}
+	build := func(cfgWorkers, prewarmWorkers int) (*Table, *Table) {
+		ctx := NewContext(Config{Seed: 42, Runs: 1, Workers: cfgWorkers})
+		if err := ctx.Prewarm(prewarmWorkers); err != nil {
+			t.Fatal(err)
+		}
+		t3, err := ctx.Table3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f7, err := ctx.Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t3, f7
+	}
+
+	serialT3, serialF7 := build(1, 1)
+	parT3, parF7 := build(4, 4)
+
+	if !reflect.DeepEqual(serialT3, parT3) {
+		t.Errorf("Table3 differs between serial and parallel prewarm:\nserial: %+v\nparallel: %+v", serialT3, parT3)
+	}
+	if !reflect.DeepEqual(serialF7, parF7) {
+		t.Errorf("Figure7 differs between serial and parallel prewarm:\nserial: %+v\nparallel: %+v", serialF7, parF7)
+	}
+}
+
+// TestPrewarmPopulatesCaches verifies Prewarm actually fills the caches:
+// artifact lookups afterwards must return the already-built values (same
+// backing slices) rather than rebuilding.
+func TestPrewarmPopulatesCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments integration (use without -short)")
+	}
+	ctx := sharedTestCtx(t)
+	if err := ctx.Prewarm(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, archName := range []string{"GA100", "GV100"} {
+		for _, app := range RealAppNames() {
+			r1, err := ctx.MeasuredRuns(archName, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := ctx.MeasuredRuns(archName, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if &r1[0] != &r2[0] {
+				t.Fatalf("%s/%s: MeasuredRuns not cached after Prewarm", archName, app)
+			}
+			o1, err := ctx.Online(archName, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o2, err := ctx.Online(archName, app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o1 != o2 {
+				t.Fatalf("%s/%s: Online not cached after Prewarm", archName, app)
+			}
+		}
+	}
+}

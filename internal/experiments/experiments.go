@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -103,6 +104,12 @@ func (t *Table) Fmarkdown(w io.Writer) error {
 type Config struct {
 	Seed int64 // master seed; 0 means 42
 	Runs int   // runs per DVFS configuration; 0 means the paper's 3
+	// Workers bounds the goroutines used inside artifact builds (offline
+	// collection, cross-validation folds, MI ranking) and is the default
+	// fan-out for Prewarm. 0 means GOMAXPROCS. Every artifact is
+	// bit-identical for any worker count: each one is built from its own
+	// key-derived seeds, never from shared RNG state.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,50 +119,69 @@ func (c Config) withDefaults() Config {
 	if c.Runs == 0 {
 		c.Runs = 3
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// cacheEntry is one singleflight-memoized artifact: the first caller runs
+// the build inside once.Do while later callers for the same key block on
+// that Do and then read the settled result. Distinct keys never contend —
+// the Context mutex only guards map insertion, not artifact construction.
+type cacheEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
 }
 
 // Context lazily builds and caches the artifacts the generators share:
 // training telemetry and models on GA100, and measured evaluation sweeps
-// plus online profiling runs per (architecture, application).
+// plus online profiling runs per (architecture, application). All methods
+// are safe for concurrent use, and independent artifacts build
+// concurrently — the cache serializes only callers of the *same* artifact.
 type Context struct {
 	cfg Config
 
-	mu       sync.Mutex
-	offline  *core.OfflineResult
-	measured map[string][]dcgm.Run         // arch/app -> sweep runs
-	online   map[string]*core.OnlineResult // arch/app -> online result
+	offline cacheEntry[*core.OfflineResult]
+
+	mu       sync.Mutex // guards the maps below, never held during builds
+	measured map[string]*cacheEntry[[]dcgm.Run]         // arch/app -> sweep runs
+	online   map[string]*cacheEntry[*core.OnlineResult] // arch/app -> online result
 }
 
 // NewContext returns a Context with the given configuration.
 func NewContext(cfg Config) *Context {
 	return &Context{
 		cfg:      cfg.withDefaults(),
-		measured: map[string][]dcgm.Run{},
-		online:   map[string]*core.OnlineResult{},
+		measured: map[string]*cacheEntry[[]dcgm.Run]{},
+		online:   map[string]*cacheEntry[*core.OnlineResult]{},
 	}
+}
+
+// entryFor returns the singleflight slot for key, creating it under the
+// mutex on first request.
+func entryFor[T any](mu *sync.Mutex, m map[string]*cacheEntry[T], key string) *cacheEntry[T] {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := m[key]
+	if !ok {
+		e = &cacheEntry[T]{}
+		m[key] = e
+	}
+	return e
 }
 
 // Offline returns the GA100 offline-phase result (collected training
 // telemetry, dataset, trained models), building it on first use.
 func (c *Context) Offline() (*core.OfflineResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.offlineLocked()
-}
-
-func (c *Context) offlineLocked() (*core.OfflineResult, error) {
-	if c.offline != nil {
-		return c.offline, nil
-	}
-	dev := gpusim.NewDevice(gpusim.GA100(), c.cfg.Seed)
-	res, err := core.OfflineTrain(dev, workloads.TrainingSet(),
-		dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + 1}, core.TrainOptions{Seed: 1})
-	if err != nil {
-		return nil, err
-	}
-	c.offline = res
-	return res, nil
+	c.offline.once.Do(func() {
+		dev := gpusim.NewDevice(gpusim.GA100(), c.cfg.Seed)
+		c.offline.val, c.offline.err = core.OfflineTrain(dev, workloads.TrainingSet(),
+			dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + 1},
+			core.TrainOptions{Seed: 1, Workers: c.cfg.Workers})
+	})
+	return c.offline.val, c.offline.err
 }
 
 // Models returns the GA100-trained power and time models.
@@ -170,30 +196,29 @@ func (c *Context) Models() (*core.Models, error) {
 func archFor(name string) (gpusim.Arch, error) { return gpusim.ArchByName(name) }
 
 // MeasuredRuns returns the measured DVFS sweep (design space × Runs) for
-// one application on one architecture, collecting it on first use.
+// one application on one architecture, collecting it on first use. The
+// sweep's seeds derive only from the (arch, app) key, so concurrent
+// collection of different keys yields exactly what serial collection
+// would.
 func (c *Context) MeasuredRuns(archName, app string) ([]dcgm.Run, error) {
 	key := archName + "/" + app
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if runs, ok := c.measured[key]; ok {
-		return runs, nil
-	}
-	arch, err := archFor(archName)
-	if err != nil {
-		return nil, err
-	}
-	w, err := workloads.ByName(app)
-	if err != nil {
-		return nil, err
-	}
-	dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key))
-	coll := dcgm.NewCollector(dev, dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + hashString(key) + 1})
-	runs, err := coll.CollectWorkload(w)
-	if err != nil {
-		return nil, err
-	}
-	c.measured[key] = runs
-	return runs, nil
+	e := entryFor(&c.mu, c.measured, key)
+	e.once.Do(func() {
+		arch, err := archFor(archName)
+		if err != nil {
+			e.err = err
+			return
+		}
+		w, err := workloads.ByName(app)
+		if err != nil {
+			e.err = err
+			return
+		}
+		dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key))
+		coll := dcgm.NewCollector(dev, dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + hashString(key) + 1})
+		e.val, e.err = coll.CollectWorkload(w)
+	})
+	return e.val, e.err
 }
 
 // MeasuredProfiles returns the per-frequency averaged measured profiles
@@ -208,33 +233,85 @@ func (c *Context) MeasuredProfiles(archName, app string) ([]objective.Profile, e
 
 // Online returns the online-phase result (single max-clock profile and
 // model predictions across the design space) for one application on one
-// architecture, running it on first use.
+// architecture, running it on first use. It waits on the shared offline
+// build (models) but never blocks other keys' online runs.
 func (c *Context) Online(archName, app string) (*core.OnlineResult, error) {
 	key := archName + "/" + app
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if res, ok := c.online[key]; ok {
-		return res, nil
+	e := entryFor(&c.mu, c.online, key)
+	e.once.Do(func() {
+		off, err := c.Offline()
+		if err != nil {
+			e.err = err
+			return
+		}
+		arch, err := archFor(archName)
+		if err != nil {
+			e.err = err
+			return
+		}
+		w, err := workloads.ByName(app)
+		if err != nil {
+			e.err = err
+			return
+		}
+		dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key)+2)
+		e.val, e.err = core.OnlinePredict(dev, off.Models, w, dcgm.Config{Seed: c.cfg.Seed + hashString(key) + 3})
+	})
+	return e.val, e.err
+}
+
+// Prewarm concurrently builds every artifact the full table/figure suite
+// consumes: the offline models, the GA100 microbenchmark sweeps, and the
+// measured sweeps plus online runs for all real applications on both
+// architectures. workers ≤ 0 uses Config.Workers. Because every artifact
+// is seeded from its own key, the cache contents after Prewarm are
+// bit-identical to building the same artifacts lazily, serially, in any
+// order. It returns the first build error encountered.
+func (c *Context) Prewarm(workers int) error {
+	if workers <= 0 {
+		workers = c.cfg.Workers
 	}
-	off, err := c.offlineLocked()
-	if err != nil {
-		return nil, err
+	var tasks []func() error
+	tasks = append(tasks, func() error { _, err := c.Offline(); return err })
+	for _, app := range []string{"DGEMM", "STREAM"} {
+		app := app
+		tasks = append(tasks, func() error { _, err := c.MeasuredRuns("GA100", app); return err })
 	}
-	arch, err := archFor(archName)
-	if err != nil {
-		return nil, err
+	for _, archName := range []string{"GA100", "GV100"} {
+		for _, app := range RealAppNames() {
+			archName, app := archName, app
+			tasks = append(tasks, func() error { _, err := c.MeasuredRuns(archName, app); return err })
+			tasks = append(tasks, func() error { _, err := c.Online(archName, app); return err })
+		}
 	}
-	w, err := workloads.ByName(app)
-	if err != nil {
-		return nil, err
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
-	dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key)+2)
-	res, err := core.OnlinePredict(dev, off.Models, w, dcgm.Config{Seed: c.cfg.Seed + hashString(key) + 3})
-	if err != nil {
-		return nil, err
+	jobs := make(chan func() error)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for task := range jobs {
+				if err := task(); err != nil && errs[w] == nil {
+					errs[w] = err
+				}
+			}
+		}(w)
 	}
-	c.online[key] = res
-	return res, nil
+	for _, task := range tasks {
+		jobs <- task
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EvaluateOnMeasured looks up the measured profile at freq and reports its

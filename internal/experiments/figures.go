@@ -107,7 +107,7 @@ func (c *Context) Figure3() (*Table, error) {
 		power = append(power, r.AvgPowerWatts)
 		execTime = append(execTime, r.ExecTimeSec)
 	}
-	opts := mi.Options{Seed: c.cfg.Seed}
+	opts := mi.Options{Seed: c.cfg.Seed, Workers: c.cfg.Workers}
 	pRank, err := mi.RankFeatures(cols, power, opts)
 	if err != nil {
 		return nil, err

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // DefaultK is the neighbor count used when Options.K is zero; it matches
@@ -28,6 +30,11 @@ type Options struct {
 	NoiseScale float64
 	// Seed drives the jitter; default 0.
 	Seed int64
+	// Workers bounds the goroutines used for the O(n²) neighbor search
+	// (default GOMAXPROCS). The result is bit-identical for any worker
+	// count: each sample's contribution is computed independently and the
+	// final reduction always sums in increasing sample order.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.NoiseScale == 0 {
 		o.NoiseScale = 1e-10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -72,33 +82,59 @@ func Estimate(x, y []float64, opts Options) (float64, error) {
 	//
 	// Brute force O(n²): datasets in this repository are a few thousand
 	// samples, well within budget, and it avoids tree code paths that are
-	// hard to verify.
-	dists := make([]float64, n)
+	// hard to verify. The outer loop shards across workers; every sample's
+	// digamma contributions land in per-i slots and are reduced in
+	// increasing-i order below, so the float64 summation order — and hence
+	// the result, bit for bit — is independent of the worker count.
+	psiX := make([]float64, n)
+	psiY := make([]float64, n)
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dists := make([]float64, n) // per-worker scratch
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					if j == i {
+						dists[j] = math.Inf(1)
+						continue
+					}
+					dists[j] = math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j]))
+				}
+				eps := kthSmallest(dists, k)
+				nx, ny := 0, 0
+				for j := 0; j < n; j++ {
+					if j == i {
+						continue
+					}
+					if math.Abs(xs[i]-xs[j]) < eps {
+						nx++
+					}
+					if math.Abs(ys[i]-ys[j]) < eps {
+						ny++
+					}
+				}
+				psiX[i] = digamma(float64(nx + 1))
+				psiY[i] = digamma(float64(ny + 1))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	psiNx := 0.0
 	psiNy := 0.0
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if j == i {
-				dists[j] = math.Inf(1)
-				continue
-			}
-			dists[j] = math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j]))
-		}
-		eps := kthSmallest(dists, k)
-		nx, ny := 0, 0
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			if math.Abs(xs[i]-xs[j]) < eps {
-				nx++
-			}
-			if math.Abs(ys[i]-ys[j]) < eps {
-				ny++
-			}
-		}
-		psiNx += digamma(float64(nx + 1))
-		psiNy += digamma(float64(ny + 1))
+		psiNx += psiX[i]
+		psiNy += psiY[i]
 	}
 	est := digamma(float64(k)) + digamma(float64(n)) - (psiNx+psiNy)/float64(n)
 	if est < 0 {

@@ -16,13 +16,35 @@ type Layer struct {
 	Act     Activation
 
 	// Scratch saved by the last Forward call, consumed by Backward.
+	// lastZ and lastA are reusable workspaces: Forward overwrites them in
+	// place (growing their backing arrays only when the batch outgrows
+	// them), so the steady-state training loop allocates nothing.
 	lastX *mat.Matrix // batch input, n×In
 	lastZ *mat.Matrix // pre-activation, n×Out
 	lastA *mat.Matrix // activation output, n×Out
 
-	// Gradients from the last Backward call.
+	// Backward workspaces, reused the same way.
+	dZ *mat.Matrix // n×Out
+	dX *mat.Matrix // n×In, returned to the layer below
+
+	// Gradients from the last Backward call (reused across batches).
 	gradW *mat.Matrix
 	gradB []float64
+}
+
+// reshape resizes *m to rows×cols, reusing the backing array when its
+// capacity suffices and allocating a fresh matrix only on growth. The
+// training loop's batch sizes repeat (full batches, one partial tail,
+// the validation set), so after the first epoch every reshape is a
+// header update with zero allocation.
+func reshape(m **mat.Matrix, rows, cols int) *mat.Matrix {
+	if *m == nil || cap((*m).Data) < rows*cols {
+		*m = mat.New(rows, cols)
+	} else {
+		(*m).Rows, (*m).Cols = rows, cols
+		(*m).Data = (*m).Data[:rows*cols]
+	}
+	return *m
 }
 
 // NewLayer creates a layer with weights initialized for the given
@@ -46,20 +68,34 @@ func NewLayer(in, out int, act Activation, rng *rand.Rand) *Layer {
 }
 
 // Forward computes the layer output for a batch x (n×In), caching the
-// intermediates needed by Backward.
+// intermediates needed by Backward. The returned matrix is a workspace
+// owned by the layer: it stays valid until the next Forward call.
 func (l *Layer) Forward(x *mat.Matrix) *mat.Matrix {
-	z := mat.Mul(x, l.W.T())
+	z := reshape(&l.lastZ, x.Rows, l.Out)
+	mat.MulTBInto(z, x, l.W)
 	z.AddRowVec(l.B)
-	a := z.Clone()
+	a := reshape(&l.lastA, x.Rows, l.Out)
+	copy(a.Data, z.Data)
 	a.Apply(l.Act.Func)
-	l.lastX, l.lastZ, l.lastA = x, z, a
+	l.lastX = x
 	return a
 }
 
+// inferParallelElems is the output-element count above which Infer fans
+// the matrix product out over mat.MulParallel; the paper's online batches
+// (61 rows) stay below it and run serially.
+const inferParallelElems = 64 * 64
+
 // Infer computes the layer output without caching training state; safe for
-// concurrent use once training has finished.
+// concurrent use once training has finished. Large batches route through
+// mat.MulParallel (bit-identical to the serial kernel).
 func (l *Layer) Infer(x *mat.Matrix) *mat.Matrix {
-	z := mat.Mul(x, l.W.T())
+	var z *mat.Matrix
+	if x.Rows*l.Out >= inferParallelElems {
+		z = mat.MulParallel(x, l.W.T(), 0)
+	} else {
+		z = mat.MulTB(x, l.W)
+	}
 	z.AddRowVec(l.B)
 	return z.Apply(l.Act.Func)
 }
@@ -71,17 +107,24 @@ func (l *Layer) Infer(x *mat.Matrix) *mat.Matrix {
 func (l *Layer) Backward(dA *mat.Matrix) *mat.Matrix {
 	n := dA.Rows
 	// dZ = dA ∘ act'(Z)
-	dZ := mat.New(n, l.Out)
+	dZ := reshape(&l.dZ, n, l.Out)
 	for i := 0; i < n; i++ {
 		zr, ar, dr, or := l.lastZ.Row(i), l.lastA.Row(i), dA.Row(i), dZ.Row(i)
 		for j := range or {
 			or[j] = dr[j] * l.Act.Deriv(zr[j], ar[j])
 		}
 	}
-	// dW = dZᵀ·X ; db = colsum(dZ) ; dX = dZ·W
-	l.gradW = mat.Mul(dZ.T(), l.lastX)
-	l.gradB = dZ.ColSums()
-	return mat.Mul(dZ, l.W)
+	// dW = dZᵀ·X ; db = colsum(dZ) ; dX = dZ·W — all into reused
+	// workspaces via fused kernels (no transpose materialization).
+	if l.gradW == nil {
+		l.gradW = mat.New(l.Out, l.In)
+	}
+	mat.MulTAInto(l.gradW, dZ, l.lastX)
+	if l.gradB == nil {
+		l.gradB = make([]float64, l.Out)
+	}
+	dZ.ColSumsInto(l.gradB)
+	return mat.MulInto(reshape(&l.dX, n, l.In), dZ, l.W)
 }
 
 // Network is a feed-forward neural network of fully connected layers.

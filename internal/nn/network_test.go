@@ -379,10 +379,11 @@ func TestEarlyStoppingRestoresBestWeights(t *testing.T) {
 	for i, v := range y {
 		ys[i] = []float64{v}
 	}
-	got, err := net.evalMSE(x, ys, valIdx)
-	if err != nil {
-		t.Fatal(err)
+	xVal := mat.New(len(valIdx), 1)
+	for i, r := range valIdx {
+		copy(xVal.Row(i), x[r])
 	}
+	got := net.evalMSE(xVal, ys, valIdx)
 	if math.Abs(got-best) > 1e-12 {
 		t.Fatalf("restored val loss %v, best recorded %v", got, best)
 	}

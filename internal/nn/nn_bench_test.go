@@ -52,6 +52,24 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 }
 
+// BenchmarkFitEpochs measures a full Fit call — the paper's offline
+// training regime on a realistically sized sample set, including the
+// validation passes and best-epoch snapshots — so the steady-state
+// allocation behaviour of the whole loop is visible, not just one step.
+func BenchmarkFitEpochs(b *testing.B) {
+	_, rows, y := benchBatch(366, 3) // 61 configs × 6 samples/run
+	cfg := PaperTrainConfig(10)
+	cfg.EarlyStopPatience = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, _ := NewNetwork(PaperArch(3), 1)
+		if _, err := net.Fit(rows, y, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPredictDesignSpace measures the online phase's inference cost:
 // predicting all 61 DVFS configurations in one batch.
 func BenchmarkPredictDesignSpace(b *testing.B) {

@@ -116,6 +116,20 @@ func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*His
 	sinceBest := 0
 	var bestWeights [][]float64
 	var bestBiases [][]float64
+
+	// Reusable batch workspaces: the input and loss-gradient matrices are
+	// sized once and resliced per batch, so the steady-state epoch loop
+	// allocates nothing.
+	var xb, dOut *mat.Matrix
+	// The validation partition is fixed across epochs; build its input
+	// matrix once instead of regathering rows every epoch.
+	var xVal *mat.Matrix
+	if nVal > 0 {
+		xVal = mat.New(nVal, len(x[0]))
+		for i, r := range valIdx {
+			copy(xVal.Row(i), x[r])
+		}
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// Fresh shuffle of the training partition each epoch.
 		rng.Shuffle(len(trainIdx), func(i, j int) { trainIdx[i], trainIdx[j] = trainIdx[j], trainIdx[i] })
@@ -129,7 +143,7 @@ func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*His
 			batch = batch[:0]
 			batch = append(batch, trainIdx[start:end]...)
 
-			xb := mat.New(len(batch), len(x[0]))
+			xb = reshape(&xb, len(batch), len(x[0]))
 			for i, r := range batch {
 				copy(xb.Row(i), x[r])
 			}
@@ -137,7 +151,7 @@ func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*His
 
 			// MSE loss and its gradient dL/dŷ = 2(ŷ−y)/(m·outW).
 			m := float64(len(batch)) * float64(outW)
-			dOut := mat.New(len(batch), outW)
+			dOut = reshape(&dOut, len(batch), outW)
 			for i, r := range batch {
 				for o := 0; o < outW; o++ {
 					diff := pred.At(i, o) - ys[r][o]
@@ -157,16 +171,13 @@ func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*His
 		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(seen))
 
 		if nVal > 0 {
-			valLoss, err := n.evalMSE(x, ys, valIdx)
-			if err != nil {
-				return nil, err
-			}
+			valLoss := n.evalMSE(xVal, ys, valIdx)
 			hist.ValLoss = append(hist.ValLoss, valLoss)
 			if cfg.EarlyStopPatience > 0 {
 				if valLoss < bestVal {
 					bestVal = valLoss
 					sinceBest = 0
-					bestWeights, bestBiases = n.snapshot()
+					bestWeights, bestBiases = n.snapshot(bestWeights, bestBiases)
 				} else {
 					sinceBest++
 					if sinceBest >= cfg.EarlyStopPatience {
@@ -183,11 +194,21 @@ func (n *Network) FitMulti(x [][]float64, ys [][]float64, cfg TrainConfig) (*His
 	return hist, nil
 }
 
-// snapshot copies all trainable parameters.
-func (n *Network) snapshot() (weights, biases [][]float64) {
-	for _, l := range n.Layers {
-		weights = append(weights, append([]float64(nil), l.W.Data...))
-		biases = append(biases, append([]float64(nil), l.B...))
+// snapshot copies all trainable parameters into the supplied buffers,
+// allocating them only on first use — best-validation epochs recur many
+// times per run, and reallocating every snapshot churned the heap.
+func (n *Network) snapshot(weights, biases [][]float64) ([][]float64, [][]float64) {
+	if weights == nil {
+		weights = make([][]float64, len(n.Layers))
+		biases = make([][]float64, len(n.Layers))
+		for i, l := range n.Layers {
+			weights[i] = make([]float64, len(l.W.Data))
+			biases[i] = make([]float64, len(l.B))
+		}
+	}
+	for i, l := range n.Layers {
+		copy(weights[i], l.W.Data)
+		copy(biases[i], l.B)
 	}
 	return weights, biases
 }
@@ -203,23 +224,19 @@ func (n *Network) restore(weights, biases [][]float64) {
 	}
 }
 
-func (n *Network) evalMSE(x [][]float64, ys [][]float64, idx []int) (float64, error) {
-	rows := make([][]float64, len(idx))
-	for i, r := range idx {
-		rows[i] = x[r]
-	}
-	out, err := n.Predict(rows)
-	if err != nil {
-		return 0, err
-	}
+// evalMSE computes the MSE over a pre-built validation matrix using the
+// training-mode forward pass (whose per-layer workspaces are reused; the
+// cached intermediates it clobbers were already consumed by Backward).
+func (n *Network) evalMSE(xVal *mat.Matrix, ys [][]float64, idx []int) float64 {
+	out := n.Forward(xVal)
 	var sum float64
 	var count int
 	for i, r := range idx {
 		for o := range ys[r] {
-			d := out[i][o] - ys[r][o]
+			d := out.At(i, o) - ys[r][o]
 			sum += d * d
 			count++
 		}
 	}
-	return sum / float64(count), nil
+	return sum / float64(count)
 }
