@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors
 
-.PHONY: all build test race bench-smoke vet check
+.PHONY: all build test race bench-smoke fuzz-smoke vet check
 
 all: build
 
@@ -26,9 +26,15 @@ race:
 	$(GO) test -race -count=1 -run 'Singleflight' ./internal/experiments
 
 # bench-smoke compiles and runs each hot-path benchmark once, catching
-# benchmark bit-rot without paying for stable measurements.
+# benchmark bit-rot without paying for stable measurements. The mi run
+# covers the BENCH_mi.json scaling table (tree and brute, n up to 12k).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
 
-check: vet build test race bench-smoke
+# fuzz-smoke gives the tree-vs-brute differential fuzzer a short budget on
+# every check; regressions in estimator exactness surface here first.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEstimateMatchesBrute -fuzztime=5s ./internal/mi
+
+check: vet build test race bench-smoke fuzz-smoke

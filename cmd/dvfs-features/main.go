@@ -27,16 +27,19 @@ func main() {
 		archName = flag.String("arch", "GA100", "architecture the telemetry came from (for clock normalization)")
 		top      = flag.Int("top", 0, "also print the top-N combined ranking")
 		seed     = flag.Int64("seed", 1, "estimator jitter seed")
+		workers  = flag.Int("workers", 0, "goroutines for the MI estimation (0 = GOMAXPROCS); any value gives bit-identical output")
+		brute    = flag.Bool("brute", false, "use the O(n²) pairwise reference estimator instead of the k-d tree (bit-identical, for cross-checking)")
 	)
 	flag.Parse()
 
-	if err := run(*in, *archName, *top, *seed, os.Stdout); err != nil {
+	opts := mi.Options{Seed: *seed, Workers: *workers, Brute: *brute}
+	if err := run(*in, *archName, *top, opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-features:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, archName string, top int, seed int64, w *os.File) error {
+func run(in, archName string, top int, opts mi.Options, w *os.File) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -53,7 +56,6 @@ func run(in, archName string, top int, seed int64, w *os.File) error {
 	}
 
 	cols, power, execTime := featureColumns(runs, arch)
-	opts := mi.Options{Seed: seed}
 	pRank, err := mi.RankFeatures(cols, power, opts)
 	if err != nil {
 		return err

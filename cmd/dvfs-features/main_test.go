@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,21 +29,50 @@ func collectCSV(t *testing.T) string {
 
 func TestRunRanksFeatures(t *testing.T) {
 	path := collectCSV(t)
-	if err := run(path, "GA100", 3, 1, os.Stdout); err != nil {
+	if err := run(path, "GA100", 3, mi.Options{Seed: 1}, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "GA100", 0, 1, os.Stdout); err == nil {
+	opts := mi.Options{Seed: 1}
+	if err := run("", "GA100", 0, opts, os.Stdout); err == nil {
 		t.Fatal("missing input accepted")
 	}
-	if err := run("nope.csv", "GA100", 0, 1, os.Stdout); err == nil {
+	if err := run("nope.csv", "GA100", 0, opts, os.Stdout); err == nil {
 		t.Fatal("missing file accepted")
 	}
 	path := collectCSV(t)
-	if err := run(path, "H100", 0, 1, os.Stdout); err == nil {
+	if err := run(path, "H100", 0, opts, os.Stdout); err == nil {
 		t.Fatal("unknown arch accepted")
+	}
+}
+
+// TestRunBruteIdenticalOutput pins the -brute flag to the estimator
+// exactness contract: the printed report must be byte-identical whether
+// the ranking came from the k-d tree path or the pairwise oracle.
+func TestRunBruteIdenticalOutput(t *testing.T) {
+	path := collectCSV(t)
+	capture := func(opts mi.Options) []byte {
+		t.Helper()
+		out, err := os.Create(filepath.Join(t.TempDir(), "out.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Close()
+		if err := run(path, "GA100", 3, opts, out); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	tree := capture(mi.Options{Seed: 1})
+	brute := capture(mi.Options{Seed: 1, Brute: true, Workers: 2})
+	if !bytes.Equal(tree, brute) {
+		t.Fatalf("tree and brute reports differ:\n--- tree ---\n%s--- brute ---\n%s", tree, brute)
 	}
 }
 

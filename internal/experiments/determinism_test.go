@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"math"
 	"reflect"
 	"sync"
 	"testing"
 
 	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/mi"
 )
 
 // TestMeasuredRunsSingleflight hammers the per-key cache from many
@@ -123,6 +125,39 @@ func TestPrewarmPopulatesCaches(t *testing.T) {
 			}
 			if o1 != o2 {
 				t.Fatalf("%s/%s: Online not cached after Prewarm", archName, app)
+			}
+		}
+	}
+}
+
+// TestFigure3TreeBruteIdentical pins the §4.2.1 pipeline to the
+// estimator-exactness contract: ranking the real Figure 3 telemetry
+// columns with the O(n log n) k-d tree estimator and with the O(n²)
+// pairwise oracle (mi.Options.Brute) must produce bit-identical scores
+// in the same order, at every worker count.
+func TestFigure3TreeBruteIdentical(t *testing.T) {
+	ctx := sharedTestCtx(t)
+	cols, power, execTime, err := ctx.fig3Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range [][]float64{power, execTime} {
+		base, err := mi.RankFeatures(cols, target, mi.Options{Seed: ctx.cfg.Seed, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			brute, err := mi.RankFeatures(cols, target,
+				mi.Options{Seed: ctx.cfg.Seed, Workers: workers, Brute: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base {
+				if brute[i].Feature != base[i].Feature ||
+					math.Float64bits(brute[i].Score) != math.Float64bits(base[i].Score) {
+					t.Errorf("workers=%d rank %d: brute %+v != tree %+v",
+						workers, i, brute[i], base[i])
+				}
 			}
 		}
 	}

@@ -72,25 +72,21 @@ func (c *Context) Figure1() (*Table, error) {
 	return t, nil
 }
 
-// Figure3 reproduces the feature-dependency study (§4.2.1): mutual
-// information of each candidate utilization feature with power and with
-// execution time, over the DGEMM+STREAM dataset, normalized to the top
-// score. The paper selects the top three: fp_active, sm_app_clock,
-// dram_active.
-func (c *Context) Figure3() (*Table, error) {
+// fig3Columns extracts the Figure 3 study inputs from the offline
+// telemetry: the 10 candidate feature columns plus the two predictands,
+// over DGEMM+STREAM runs only, per the paper.
+func (c *Context) fig3Columns() (cols map[string][]float64, power, execTime []float64, err error) {
 	off, err := c.Offline()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	// DGEMM+STREAM runs only, per the paper.
 	var runs []dcgm.Run
 	for _, r := range off.Runs {
 		if r.Workload == "DGEMM" || r.Workload == "STREAM" {
 			runs = append(runs, r)
 		}
 	}
-	cols := map[string][]float64{}
-	var power, execTime []float64
+	cols = map[string][]float64{}
 	arch := gpusim.GA100()
 	for _, r := range runs {
 		m := r.MeanSample()
@@ -106,6 +102,19 @@ func (c *Context) Figure3() (*Table, error) {
 		cols["pcie_rx_mbps"] = append(cols["pcie_rx_mbps"], m.PCIeRxMBps)
 		power = append(power, r.AvgPowerWatts)
 		execTime = append(execTime, r.ExecTimeSec)
+	}
+	return cols, power, execTime, nil
+}
+
+// Figure3 reproduces the feature-dependency study (§4.2.1): mutual
+// information of each candidate utilization feature with power and with
+// execution time, over the DGEMM+STREAM dataset, normalized to the top
+// score. The paper selects the top three: fp_active, sm_app_clock,
+// dram_active.
+func (c *Context) Figure3() (*Table, error) {
+	cols, power, execTime, err := c.fig3Columns()
+	if err != nil {
+		return nil, err
 	}
 	opts := mi.Options{Seed: c.cfg.Seed, Workers: c.cfg.Workers}
 	pRank, err := mi.RankFeatures(cols, power, opts)

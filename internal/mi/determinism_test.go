@@ -37,6 +37,18 @@ func TestEstimateDeterministicAcrossWorkers(t *testing.T) {
 				workers, got, math.Float64bits(got), base, math.Float64bits(base))
 		}
 	}
+	// The brute oracle upholds the same contract, and agrees with the
+	// tree path at every worker count.
+	for _, workers := range []int{1, 2, 4} {
+		got, err := EstimateBrute(x, y, Options{Workers: workers, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(base) {
+			t.Errorf("EstimateBrute Workers=%d: %v (bits %x) differs from tree serial %v (bits %x)",
+				workers, got, math.Float64bits(got), base, math.Float64bits(base))
+		}
+	}
 }
 
 // TestRankFeaturesDeterministicAcrossWorkers covers the feature-ranking

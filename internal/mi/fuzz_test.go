@@ -1,0 +1,55 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzEstimateMatchesBrute pins the estimator's central contract: the
+// O(n log n) tree path returns the bit-identical float64 the O(n²)
+// pairwise oracle returns, for every input, k, jitter setting, and worker
+// count. Sample data is derived from the fuzzed seed; the tied variant
+// quantizes it so duplicate values and exactly tied distances (the
+// hardest regime for exactness) are generated too.
+func FuzzEstimateMatchesBrute(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(3), false, false)
+	f.Add(int64(2), uint8(120), uint8(1), true, false)
+	f.Add(int64(3), uint8(60), uint8(7), true, true)
+	f.Add(int64(4), uint8(0), uint8(0), false, true)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, kRaw uint8, tied, noJitter bool) {
+		k := 1 + int(kRaw)%8
+		n := k + 2 + int(nRaw)
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.5*x[i] + rng.NormFloat64()
+			if tied {
+				x[i] = math.Round(x[i] * 2)
+				y[i] = math.Round(y[i] * 2)
+			}
+		}
+		opts := Options{K: k, Seed: seed}
+		if noJitter {
+			opts.NoiseScale = -1
+		}
+		want, err := EstimateBrute(x, y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			opts.Workers = workers
+			got, err := Estimate(x, y, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d k=%d tied=%v noJitter=%v workers=%d: tree %v (bits %x) != brute %v (bits %x)",
+					n, k, tied, noJitter, workers,
+					got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	})
+}

@@ -4,6 +4,13 @@
 // and scikit-learn's mutual_info_regression). The paper (§4.2.1) uses this
 // estimator to rank GPU utilization metrics by their dependency on
 // power_usage and execution_time and selects the top three.
+//
+// Two implementations coexist. Estimate runs in O(n log n) using a k-d
+// tree for the joint-space neighbor radius and sorted-marginal binary
+// searches for the within-radius counts (internal/neighbors).
+// EstimateBrute is the retained O(n²) pairwise reference oracle. The two
+// are bit-identical on every input — differential unit tests and
+// FuzzEstimateMatchesBrute pin that contract.
 package mi
 
 import (
@@ -14,6 +21,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"gpudvfs/internal/neighbors"
 )
 
 // DefaultK is the neighbor count used when Options.K is zero; it matches
@@ -30,11 +39,17 @@ type Options struct {
 	NoiseScale float64
 	// Seed drives the jitter; default 0.
 	Seed int64
-	// Workers bounds the goroutines used for the O(n²) neighbor search
-	// (default GOMAXPROCS). The result is bit-identical for any worker
-	// count: each sample's contribution is computed independently and the
-	// final reduction always sums in increasing sample order.
+	// Workers bounds the goroutines used for the per-sample neighbor
+	// queries and for ranking feature columns (default GOMAXPROCS). The
+	// result is bit-identical for any worker count: each sample's
+	// contribution is computed independently and the final reduction
+	// always sums in increasing sample order.
 	Workers int
+	// Brute routes Estimate through the retained O(n²) pairwise reference
+	// path (EstimateBrute). The result is bit-identical to the default
+	// tree path; the knob exists so pipelines can cross-check the fast
+	// path end to end.
+	Brute bool
 }
 
 func (o Options) withDefaults() Options {
@@ -50,42 +65,112 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Estimate returns the estimated mutual information, in nats, between the
-// paired samples x and y. The estimate is clamped at zero (the KSG
-// estimator can go slightly negative for independent variables).
-func Estimate(x, y []float64, opts Options) (float64, error) {
+// prepared validates one sample pair and returns its standardized,
+// jittered copies. Both estimator paths share it, so they see identical
+// float64 inputs — a precondition for their bit-identical outputs.
+//
+// Standardizing matters because the KSG estimator's joint Chebyshev
+// distance is not scale-invariant: mixing unit-scale utilization
+// fractions with hundred-watt power readings would otherwise let one
+// variable dominate the neighborhoods.
+func prepared(x, y []float64, opts Options) (xs, ys []float64, err error) {
 	if len(x) != len(y) {
-		return 0, fmt.Errorf("mi: length mismatch %d vs %d", len(x), len(y))
+		return nil, nil, fmt.Errorf("mi: length mismatch %d vs %d", len(x), len(y))
 	}
-	opts = opts.withDefaults()
-	n := len(x)
-	if n <= opts.K {
-		return 0, fmt.Errorf("mi: need more than k=%d samples, got %d", opts.K, n)
+	if len(x) <= opts.K {
+		return nil, nil, fmt.Errorf("mi: need more than k=%d samples, got %d", opts.K, len(x))
 	}
-
-	// Standardize both variables: the KSG estimator's joint Chebyshev
-	// distance is not scale-invariant, and mixing unit-scale utilization
-	// fractions with hundred-watt power readings would otherwise let one
-	// variable dominate the neighborhoods.
-	xs := standardized(x)
-	ys := standardized(y)
+	xs = standardized(x)
+	ys = standardized(y)
 	if opts.NoiseScale > 0 {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		jitter(xs, opts.NoiseScale, rng)
 		jitter(ys, opts.NoiseScale, rng)
 	}
+	return xs, ys, nil
+}
 
+// Estimate returns the estimated mutual information, in nats, between the
+// paired samples x and y. The estimate is clamped at zero (the KSG
+// estimator can go slightly negative for independent variables).
+//
+// For each sample the estimator needs the Chebyshev distance to its k-th
+// nearest neighbor in the joint space, then the marginal neighbor counts
+// strictly within that radius. Both come from internal/neighbors in
+// O(log n) per sample: an exact k-d tree query for the radius and binary
+// searches over the sorted marginals for the counts. The values are
+// bit-identical to the pairwise scans in EstimateBrute — the tree
+// computes the same distance expression over the same floats and prunes
+// only on provable lower bounds, and the marginal counter binary-searches
+// the scan's own predicate.
+func Estimate(x, y []float64, opts Options) (float64, error) {
+	opts = opts.withDefaults()
+	if opts.Brute {
+		return EstimateBrute(x, y, opts)
+	}
+	xs, ys, err := prepared(x, y, opts)
+	if err != nil {
+		return 0, err
+	}
+	n := len(xs)
 	k := opts.K
-	// For each sample, find the distance to its k-th nearest neighbor in
-	// the joint space under the Chebyshev (max) norm, then count the
-	// marginal neighbors strictly within that radius.
-	//
-	// Brute force O(n²): datasets in this repository are a few thousand
-	// samples, well within budget, and it avoids tree code paths that are
-	// hard to verify. The outer loop shards across workers; every sample's
-	// digamma contributions land in per-i slots and are reduced in
-	// increasing-i order below, so the float64 summation order — and hence
-	// the result, bit for bit — is independent of the worker count.
+
+	tree := neighbors.NewTree(xs, ys)
+	sortedX := append([]float64(nil), xs...)
+	sort.Float64s(sortedX)
+	sortedY := append([]float64(nil), ys...)
+	sort.Float64s(sortedY)
+
+	psiX := make([]float64, n)
+	psiY := make([]float64, n)
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var q neighbors.KNN // per-worker scratch, reused across samples
+			for i := lo; i < hi; i++ {
+				eps := tree.KthDist(&q, i, k)
+				nx := neighbors.CountWithin(sortedX, xs[i], eps)
+				ny := neighbors.CountWithin(sortedY, ys[i], eps)
+				if eps > 0 {
+					// The sorted marginals contain sample i itself at
+					// distance exactly 0 < eps; the pairwise scan skips
+					// j == i, so drop it here too.
+					nx--
+					ny--
+				}
+				psiX[i] = digamma(float64(nx + 1))
+				psiY[i] = digamma(float64(ny + 1))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return reduce(psiX, psiY, n, k), nil
+}
+
+// EstimateBrute is the O(n²) pairwise reference implementation of
+// Estimate, retained as the oracle the tree path is differentially tested
+// against. It shards samples across Options.Workers like Estimate and is
+// likewise bit-identical for any worker count.
+func EstimateBrute(x, y []float64, opts Options) (float64, error) {
+	opts = opts.withDefaults()
+	xs, ys, err := prepared(x, y, opts)
+	if err != nil {
+		return 0, err
+	}
+	n := len(xs)
+	k := opts.K
+
 	psiX := make([]float64, n)
 	psiY := make([]float64, n)
 	workers := opts.Workers
@@ -111,7 +196,10 @@ func Estimate(x, y []float64, opts Options) (float64, error) {
 					}
 					dists[j] = math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j]))
 				}
-				eps := kthSmallest(dists, k)
+				// quickselect reorders dists in place, which is fine:
+				// the slice is refilled for the next sample. No copy,
+				// no full sort.
+				eps := quickselect(dists, k)
 				nx, ny := 0, 0
 				for j := 0; j < n; j++ {
 					if j == i {
@@ -130,6 +218,14 @@ func Estimate(x, y []float64, opts Options) (float64, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	return reduce(psiX, psiY, n, k), nil
+}
+
+// reduce folds the per-sample digamma contributions into the KSG
+// estimate. It always sums in increasing sample order, so the float64
+// summation — and hence the result, bit for bit — is independent of the
+// worker count that filled the slots.
+func reduce(psiX, psiY []float64, n, k int) float64 {
 	psiNx := 0.0
 	psiNy := 0.0
 	for i := 0; i < n; i++ {
@@ -140,7 +236,7 @@ func Estimate(x, y []float64, opts Options) (float64, error) {
 	if est < 0 {
 		est = 0
 	}
-	return est, nil
+	return est
 }
 
 func standardized(v []float64) []float64 {
@@ -181,12 +277,64 @@ func jitter(v []float64, scale float64, rng *rand.Rand) {
 	}
 }
 
-// kthSmallest returns the k-th smallest value (1-based) of v without
-// modifying it.
-func kthSmallest(v []float64, k int) float64 {
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	return s[k-1]
+// quickselect returns the k-th smallest value (1-based) of v, partially
+// reordering v in place. Median-of-three pivoting keeps the control flow
+// deterministic; the returned order statistic is the same value a full
+// sort would yield at index k-1. v must not contain NaNs (+Inf is fine —
+// the brute path uses it as the self-distance sentinel).
+func quickselect(v []float64, k int) float64 {
+	target := k - 1
+	lo, hi := 0, len(v) // half-open active range containing target
+	for hi-lo > 8 {
+		p := medianOfThree(v[lo], v[lo+(hi-lo)/2], v[hi-1])
+		i, j := lo, hi-1
+		for i <= j {
+			for v[i] < p {
+				i++
+			}
+			for v[j] > p {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		// Invariant: v[lo:j+1] ≤ p ≤ v[i:hi], and j < i.
+		switch {
+		case target <= j:
+			hi = j + 1
+		case target >= i:
+			lo = i
+		default:
+			// Everything strictly between j and i equals the pivot.
+			return v[target]
+		}
+	}
+	insertionSort(v[lo:hi])
+	return v[target]
+}
+
+func medianOfThree(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func insertionSort(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
 }
 
 // digamma evaluates the digamma function ψ(x) for x > 0 using the upward
@@ -215,6 +363,12 @@ type FeatureScore struct {
 // returns the features sorted by descending score (ties broken by name for
 // determinism). columns maps feature name to its sample vector; every
 // column must be the same length as target.
+//
+// Columns are estimated concurrently, bounded by Options.Workers. The
+// output is independent of the worker count: per-column scores land in
+// name-ordered slots, Estimate itself is worker-invariant, and the final
+// stable sort on (score, name) sees the same inputs in the same order.
+// On error, the first failing column in sorted-name order is reported.
 func RankFeatures(columns map[string][]float64, target []float64, opts Options) ([]FeatureScore, error) {
 	if len(columns) == 0 {
 		return nil, errors.New("mi: no feature columns")
@@ -224,13 +378,34 @@ func RankFeatures(columns map[string][]float64, target []float64, opts Options) 
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	scores := make([]FeatureScore, 0, len(names))
-	for _, name := range names {
-		s, err := Estimate(columns[name], target, opts)
+
+	workers := opts.withDefaults().Workers
+	if workers > len(names) {
+		workers = len(names)
+	}
+	scores := make([]FeatureScore, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for idx, name := range names {
+		wg.Add(1)
+		go func(idx int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s, err := Estimate(columns[name], target, opts)
+			if err != nil {
+				errs[idx] = fmt.Errorf("mi: feature %q: %w", name, err)
+				return
+			}
+			scores[idx] = FeatureScore{Feature: name, Score: s}
+		}(idx, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("mi: feature %q: %w", name, err)
+			return nil, err
 		}
-		scores = append(scores, FeatureScore{Feature: name, Score: s})
 	}
 	sort.SliceStable(scores, func(i, j int) bool {
 		if scores[i].Score != scores[j].Score {

@@ -1,6 +1,7 @@
 package mi
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -16,26 +17,37 @@ func benchSamples(n int) ([]float64, []float64) {
 	return x, y
 }
 
-// BenchmarkEstimate366 measures the KSG estimator at the Figure 3 dataset
-// size (DGEMM+STREAM: 61 clocks × 3 runs × 2 workloads = 366 points).
-func BenchmarkEstimate366(b *testing.B) {
-	x, y := benchSamples(366)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(x, y, Options{}); err != nil {
-			b.Fatal(err)
-		}
+// benchSizes is the BENCH_mi.json scaling table: the Figure 3 dataset
+// size (DGEMM+STREAM: 61 clocks × 3 runs × 2 workloads = 366 points) up
+// through the sample counts a 20 ms-cadence telemetry sweep produces.
+var benchSizes = []int{366, 1500, 6000, 12000}
+
+// BenchmarkEstimateTree measures the default O(n log n) k-d tree path.
+func BenchmarkEstimateTree(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y := benchSamples(n)
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Estimate(x, y, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkEstimate1500(b *testing.B) {
-	x, y := benchSamples(1500)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Estimate(x, y, Options{}); err != nil {
-			b.Fatal(err)
-		}
+// BenchmarkEstimateBrute measures the retained O(n²) reference oracle.
+func BenchmarkEstimateBrute(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y := benchSamples(n)
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := EstimateBrute(x, y, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

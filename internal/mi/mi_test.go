@@ -3,6 +3,7 @@ package mi
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -165,6 +166,116 @@ func TestEstimateDuplicateSamples(t *testing.T) {
 	}
 	if got <= 0 {
 		t.Fatalf("MI of identical binary variables = %v, want > 0", got)
+	}
+}
+
+func TestEstimateMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{10, 50, 366, 900} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = 0.6*x[i] + 0.8*rng.NormFloat64()
+		}
+		for _, k := range []int{1, 3, 7} {
+			opts := Options{K: k, Seed: 5}
+			want, err := EstimateBrute(x, y, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Estimate(x, y, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("n=%d k=%d: tree %v (bits %x) != brute %v (bits %x)",
+					n, k, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestEstimateMatchesBruteTiedDistances(t *testing.T) {
+	// Jitter disabled, heavily duplicated values: the joint k-NN radius
+	// collapses to exactly 0 for most samples and every remaining
+	// distance ties with many others — the hardest regime for exactness.
+	n := 90
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i % 3)
+		y[i] = float64(i % 5)
+	}
+	for _, k := range []int{1, 3, 10} {
+		opts := Options{K: k, NoiseScale: -1}
+		want, err := EstimateBrute(x, y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Estimate(x, y, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("k=%d: tree %v != brute %v on tied data", k, got, want)
+		}
+	}
+}
+
+func TestEstimateBruteOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 120
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + rng.NormFloat64()
+	}
+	direct, err := EstimateBrute(x, y, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := Estimate(x, y, Options{Seed: 2, Brute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(direct) != math.Float64bits(routed) {
+		t.Fatalf("Options.Brute route %v != EstimateBrute %v", routed, direct)
+	}
+}
+
+func TestEstimateBruteErrors(t *testing.T) {
+	if _, err := EstimateBrute([]float64{1, 2}, []float64{1}, Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := EstimateBrute([]float64{1, 2, 3}, []float64{1, 2, 3}, Options{K: 5}); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestQuickselectMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		v := make([]float64, n)
+		for i := range v {
+			switch rng.Intn(4) {
+			case 0:
+				v[i] = math.Inf(1) // brute path's self-distance sentinel
+			case 1:
+				v[i] = float64(rng.Intn(4)) // force duplicates
+			default:
+				v[i] = rng.NormFloat64()
+			}
+		}
+		sorted := append([]float64(nil), v...)
+		sort.Float64s(sorted)
+		k := 1 + rng.Intn(n)
+		got := quickselect(append([]float64(nil), v...), k)
+		if math.Float64bits(got) != math.Float64bits(sorted[k-1]) {
+			t.Fatalf("quickselect(%v, %d) = %v, want %v", v, k, got, sorted[k-1])
+		}
 	}
 }
 

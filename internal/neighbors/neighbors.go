@@ -1,0 +1,313 @@
+// Package neighbors provides the exact neighbor-search primitives behind
+// the O(n log n) KSG mutual-information estimator (internal/mi): a
+// deterministic 2-D k-d tree answering k-th-nearest-neighbor radius
+// queries under the Chebyshev (max) metric, and binary-search counting
+// over sorted marginal arrays.
+//
+// Both primitives are bit-exact replacements for the pairwise scans they
+// displace, not merely close approximations. Three properties make that
+// hold in float64 arithmetic:
+//
+//  1. Leaf distances are computed with the very expression the brute
+//     loop uses — math.Max(math.Abs(qx-x), math.Abs(qy-y)) — so the
+//     multiset of candidate distances is identical.
+//  2. Pruning uses provable lower bounds: IEEE 754 rounding is monotone,
+//     so the computed box distance fl(qx-maxX) never exceeds the computed
+//     point distance fl(qx-x) for any in-box x, and a subtree is skipped
+//     only when even its lower bound cannot reduce the current k-th
+//     distance.
+//  3. CountWithin evaluates the scan's predicate verbatim at the search
+//     boundaries instead of comparing against derived interval endpoints
+//     like center+eps, whose rounding could disagree with the scan on
+//     boundary values.
+//
+// Inputs must be free of NaNs (the mi package standardizes its samples,
+// which preserves finiteness); ±Inf coordinates are likewise unsupported.
+package neighbors
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// leafSize is the span below which nodes stop splitting. 16 keeps the
+// tree shallow while the per-leaf scan stays within a couple of cache
+// lines per coordinate array.
+const leafSize = 16
+
+// node is one k-d tree node: its points' bounding box plus either two
+// children or (for leaves) a span into Tree.order.
+type node struct {
+	minX, maxX float64
+	minY, maxY float64
+	left, right int32 // child node indices; -1 marks a leaf
+	start, end  int32 // half-open span into Tree.order
+}
+
+// Tree is an immutable 2-D k-d tree over paired coordinate slices. It
+// retains the slices it was built from; callers must not mutate them
+// while the tree is in use. All methods are safe for concurrent use as
+// long as each goroutine brings its own KNN scratch.
+type Tree struct {
+	xs, ys []float64
+	order  []int32 // sample indices, permuted so every node's span is contiguous
+	nodes  []node
+}
+
+// NewTree builds a tree over the points (xs[i], ys[i]). The construction
+// is deterministic: nodes split on their bounding box's wider side (ties
+// pick x) at the median, ordering equal coordinates by sample index.
+func NewTree(xs, ys []float64) *Tree {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("neighbors: length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	t := &Tree{xs: xs, ys: ys, order: make([]int32, len(xs))}
+	for i := range t.order {
+		t.order[i] = int32(i)
+	}
+	if len(xs) == 0 {
+		return t
+	}
+	t.nodes = make([]node, 0, 2*(len(xs)/leafSize+1))
+	t.build(0, int32(len(xs)))
+	return t
+}
+
+// build creates the node covering order[start:end] and returns its index.
+func (t *Tree) build(start, end int32) int32 {
+	nd := node{
+		minX: math.Inf(1), maxX: math.Inf(-1),
+		minY: math.Inf(1), maxY: math.Inf(-1),
+		left: -1, right: -1, start: start, end: end,
+	}
+	for _, j := range t.order[start:end] {
+		x, y := t.xs[j], t.ys[j]
+		nd.minX = math.Min(nd.minX, x)
+		nd.maxX = math.Max(nd.maxX, x)
+		nd.minY = math.Min(nd.minY, y)
+		nd.maxY = math.Max(nd.maxY, y)
+	}
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, nd)
+	if end-start <= leafSize {
+		return id
+	}
+	coords := t.xs
+	if nd.maxY-nd.minY > nd.maxX-nd.minX {
+		coords = t.ys
+	}
+	sortSpan(t.order[start:end], coords)
+	mid := start + (end-start)/2
+	left := t.build(start, mid)
+	right := t.build(mid, end)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// sortSpan orders the sample indices in span ascending by (coords[idx],
+// idx). It is an allocation-free median-of-three quicksort — sort.Slice
+// would pay two allocations per tree node for its closure and reflection
+// swapper — and the index tie-break makes the order (and hence the tree
+// layout) fully deterministic even among equal coordinates.
+func sortSpan(span []int32, coords []float64) {
+	for len(span) > 12 {
+		p := spanMedianOfThree(span, coords)
+		pc, pi := coords[p], p
+		i, j := 0, len(span)-1
+		for i <= j {
+			for spanLess(coords, span[i], pc, pi) {
+				i++
+			}
+			for spanGreater(coords, span[j], pc, pi) {
+				j--
+			}
+			if i <= j {
+				span[i], span[j] = span[j], span[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger: O(log n)
+		// stack depth even on adversarial input.
+		if j+1 < len(span)-i {
+			sortSpan(span[:j+1], coords)
+			span = span[i:]
+		} else {
+			sortSpan(span[i:], coords)
+			span = span[:j+1]
+		}
+	}
+	for i := 1; i < len(span); i++ {
+		for j := i; j > 0 && spanLess(coords, span[j], coords[span[j-1]], span[j-1]); j-- {
+			span[j], span[j-1] = span[j-1], span[j]
+		}
+	}
+}
+
+// spanLess reports whether sample a sorts before the (coordinate, index)
+// pair (bc, bi).
+func spanLess(coords []float64, a int32, bc float64, bi int32) bool {
+	if ac := coords[a]; ac != bc {
+		return ac < bc
+	}
+	return a < bi
+}
+
+// spanGreater reports whether sample a sorts after the (coordinate,
+// index) pair (bc, bi).
+func spanGreater(coords []float64, a int32, bc float64, bi int32) bool {
+	if ac := coords[a]; ac != bc {
+		return ac > bc
+	}
+	return a > bi
+}
+
+// spanMedianOfThree returns the median, by (coordinate, index), of the
+// span's first, middle, and last sample indices.
+func spanMedianOfThree(span []int32, coords []float64) int32 {
+	a, b, c := span[0], span[len(span)/2], span[len(span)-1]
+	if spanLess(coords, b, coords[a], a) {
+		a, b = b, a
+	}
+	if spanLess(coords, c, coords[b], b) {
+		b = c
+	}
+	if spanLess(coords, b, coords[a], a) {
+		b = a
+	}
+	return b
+}
+
+// minDist lower-bounds the Chebyshev distance from (qx, qy) to every
+// point in the node, in computed arithmetic: for in-box x ≥ maxX' ≥ qx
+// the real inequality qx-maxX ≤ qx-x survives rounding because fl is
+// monotone, so the bound is safe to prune on.
+func (nd *node) minDist(qx, qy float64) float64 {
+	var dx, dy float64
+	switch {
+	case qx < nd.minX:
+		dx = nd.minX - qx
+	case qx > nd.maxX:
+		dx = qx - nd.maxX
+	}
+	switch {
+	case qy < nd.minY:
+		dy = nd.minY - qy
+	case qy > nd.maxY:
+		dy = qy - nd.maxY
+	}
+	if dy > dx {
+		return dy
+	}
+	return dx
+}
+
+// KNN holds the reusable max-heap scratch for KthDist queries, so a
+// sweep of queries allocates only once. A KNN must not be shared across
+// goroutines.
+type KNN struct {
+	heap []float64
+}
+
+// KthDist returns the k-th smallest Chebyshev distance from sample i to
+// every other sample — bit-identical to sorting the pairwise distances
+// math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j])) over j ≠ i and
+// taking the k-th entry. It panics unless 1 ≤ k ≤ n-1.
+func (t *Tree) KthDist(q *KNN, i, k int) float64 {
+	if k < 1 || k > len(t.xs)-1 {
+		panic(fmt.Sprintf("neighbors: k=%d out of range for %d samples", k, len(t.xs)))
+	}
+	if cap(q.heap) < k {
+		q.heap = make([]float64, 0, k)
+	}
+	q.heap = q.heap[:0]
+	t.search(0, i, t.xs[i], t.ys[i], k, q)
+	return q.heap[0]
+}
+
+// search descends the tree accumulating the k smallest distances to
+// sample qi's coordinates in q's max-heap. The nearer child is visited
+// first so the pruning radius tightens as early as possible; a subtree is
+// skipped only when the heap is full and the subtree's lower bound
+// cannot be below the current k-th distance.
+func (t *Tree) search(nid int32, qi int, qx, qy float64, k int, q *KNN) {
+	nd := &t.nodes[nid]
+	if nd.left < 0 {
+		for _, j := range t.order[nd.start:nd.end] {
+			if int(j) == qi {
+				continue
+			}
+			d := math.Max(math.Abs(qx-t.xs[j]), math.Abs(qy-t.ys[j]))
+			q.push(d, k)
+		}
+		return
+	}
+	first, second := nd.left, nd.right
+	df := t.nodes[first].minDist(qx, qy)
+	ds := t.nodes[second].minDist(qx, qy)
+	if ds < df {
+		first, second = second, first
+		df, ds = ds, df
+	}
+	if len(q.heap) < k || df < q.heap[0] {
+		t.search(first, qi, qx, qy, k, q)
+	}
+	if len(q.heap) < k || ds < q.heap[0] {
+		t.search(second, qi, qx, qy, k, q)
+	}
+}
+
+// push offers distance d to the bounded max-heap of the k smallest
+// distances seen so far. A d equal to the current k-th distance is
+// dropped — it cannot change the k-th value.
+func (q *KNN) push(d float64, k int) {
+	h := q.heap
+	if len(h) < k {
+		h = append(h, d)
+		for c := len(h) - 1; c > 0; {
+			p := (c - 1) / 2
+			if h[p] >= h[c] {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			c = p
+		}
+		q.heap = h
+		return
+	}
+	if d >= h[0] {
+		return
+	}
+	h[0] = d
+	for c := 0; ; {
+		l := 2*c + 1
+		if l >= len(h) {
+			break
+		}
+		if r := l + 1; r < len(h) && h[r] > h[l] {
+			l = r
+		}
+		if h[c] >= h[l] {
+			break
+		}
+		h[c], h[l] = h[l], h[c]
+		c = l
+	}
+}
+
+// CountWithin returns how many values v of the ascending-sorted vals
+// satisfy math.Abs(center-v) < eps, in O(log n), bit-identical to the
+// linear scan of that predicate. fl(center-v) is weakly decreasing in v
+// (rounding is monotone), so each half of the |center-v| < eps
+// conjunction is monotone over the array and binary-searchable with the
+// predicate evaluated verbatim.
+func CountWithin(vals []float64, center, eps float64) int {
+	lo := sort.Search(len(vals), func(j int) bool { return center-vals[j] < eps })
+	hi := sort.Search(len(vals), func(j int) bool { return !(center-vals[j] > -eps) })
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,161 @@
+package neighbors
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteKth is the pairwise reference: the k-th smallest Chebyshev
+// distance from point i to every other point, by full sort.
+func bruteKth(xs, ys []float64, i, k int) float64 {
+	dists := make([]float64, 0, len(xs)-1)
+	for j := range xs {
+		if j == i {
+			continue
+		}
+		dists = append(dists, math.Max(math.Abs(xs[i]-xs[j]), math.Abs(ys[i]-ys[j])))
+	}
+	sort.Float64s(dists)
+	return dists[k-1]
+}
+
+// bruteCount is the linear-scan reference for CountWithin.
+func bruteCount(vals []float64, center, eps float64) int {
+	n := 0
+	for _, v := range vals {
+		if math.Abs(center-v) < eps {
+			n++
+		}
+	}
+	return n
+}
+
+func randomPoints(rng *rand.Rand, n int, tied bool) (xs, ys []float64) {
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+		if tied {
+			// Quantize to force duplicate coordinates and exactly
+			// tied distances.
+			xs[i] = math.Round(xs[i]*2) / 2
+			ys[i] = math.Round(ys[i]*2) / 2
+		}
+	}
+	return xs, ys
+}
+
+func TestKthDistMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tied := range []bool{false, true} {
+		// Sizes straddle leaf boundaries and force multi-level trees.
+		for _, n := range []int{2, 7, leafSize, leafSize + 1, 100, 333} {
+			xs, ys := randomPoints(rng, n, tied)
+			tree := NewTree(xs, ys)
+			for _, k := range []int{1, 3, 7, n - 1} {
+				if k < 1 || k > n-1 {
+					continue
+				}
+				var q KNN
+				for i := 0; i < n; i++ {
+					got := tree.KthDist(&q, i, k)
+					want := bruteKth(xs, ys, i, k)
+					if math.Float64bits(got) != math.Float64bits(want) {
+						t.Fatalf("tied=%v n=%d k=%d i=%d: KthDist=%v want %v",
+							tied, n, k, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKthDistAllDuplicatePoints(t *testing.T) {
+	// Every pairwise distance is exactly zero; the radius must be too.
+	n := 50
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.25
+		ys[i] = -3.5
+	}
+	tree := NewTree(xs, ys)
+	var q KNN
+	for i := 0; i < n; i++ {
+		if got := tree.KthDist(&q, i, 3); got != 0 {
+			t.Fatalf("i=%d: KthDist=%v, want 0", i, got)
+		}
+	}
+}
+
+func TestKthDistScratchReuse(t *testing.T) {
+	// One KNN reused across queries of different k must not leak state.
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := randomPoints(rng, 64, false)
+	tree := NewTree(xs, ys)
+	var q KNN
+	for _, k := range []int{5, 1, 3, 5, 2} {
+		got := tree.KthDist(&q, 7, k)
+		want := bruteKth(xs, ys, 7, k)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("k=%d: KthDist=%v want %v", k, got, want)
+		}
+	}
+}
+
+func TestKthDistPanicsOutOfRange(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	tree := NewTree(xs, xs)
+	for _, k := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			var q KNN
+			tree.KthDist(&q, 0, k)
+		}()
+	}
+}
+
+func TestNewTreePanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch accepted")
+		}
+	}()
+	NewTree([]float64{1, 2}, []float64{1})
+}
+
+func TestCountWithinMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tied := range []bool{false, true} {
+		vals, _ := randomPoints(rng, 200, tied)
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for trial := 0; trial < 200; trial++ {
+			center := vals[rng.Intn(len(vals))]
+			// Use an actual pairwise distance as eps so the boundary
+			// |center-v| == eps is exercised, plus zero and tiny.
+			eps := math.Abs(center - vals[rng.Intn(len(vals))])
+			for _, e := range []float64{eps, 0, 1e-300, math.Nextafter(eps, math.Inf(1))} {
+				got := CountWithin(sorted, center, e)
+				want := bruteCount(sorted, center, e)
+				if got != want {
+					t.Fatalf("tied=%v center=%v eps=%v: CountWithin=%d scan=%d",
+						tied, center, e, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountWithinEmpty(t *testing.T) {
+	if got := CountWithin(nil, 0, 1); got != 0 {
+		t.Fatalf("CountWithin(nil) = %d", got)
+	}
+}
