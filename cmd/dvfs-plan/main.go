@@ -45,16 +45,17 @@ func main() {
 		budget    = flag.Float64("budget", 0, "fleet power budget in watts")
 		archName  = flag.String("arch", "GA100", "target GPU architecture")
 		seed      = flag.Int64("seed", 11, "profiling noise seed")
+		workers   = flag.Int("workers", 0, "concurrent per-job profiling workers; 0 = all cores (output is identical for any value)")
 	)
 	flag.Parse()
 
-	if err := run(*modelsDir, *jobsPath, *budget, *archName, *seed, os.Stdout); err != nil {
+	if err := run(*modelsDir, *jobsPath, *budget, *archName, *seed, *workers, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelsDir, jobsPath string, budget float64, archName string, seed int64, w *os.File) error {
+func run(modelsDir, jobsPath string, budget float64, archName string, seed int64, workers int, w *os.File) error {
 	if jobsPath == "" {
 		return fmt.Errorf("-jobs is required")
 	}
@@ -74,7 +75,7 @@ func run(modelsDir, jobsPath string, budget float64, archName string, seed int64
 		return err
 	}
 
-	planner, err := sched.NewPlanner(arch, models, seed)
+	planner, err := sched.NewPlannerConfig(arch, models, sched.Config{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -94,6 +95,9 @@ func run(modelsDir, jobsPath string, budget float64, archName string, seed int64
 	for _, a := range plan.Assignments {
 		fmt.Fprintf(w, "%-12s %5d %10.0f %12.1f %+11.1f%% %+11.1f%%\n",
 			a.Job, a.GPUs, a.FreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+	}
+	if c := planner.Clamped(); c > 0 {
+		fmt.Fprintf(w, "\nwarning: %d predictions hit the safety floors; the models look undertrained for this fleet\n", c)
 	}
 	fmt.Fprintf(w, "\nfleet power: %.0f W of %.0f W budget", plan.TotalPowerWatts, plan.BudgetWatts)
 	if plan.FitsBudget {

@@ -90,11 +90,11 @@ func TestLoadJobsErrors(t *testing.T) {
 func TestRunPlans(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, jobs, 5000, "GA100", 1, os.Stdout); err != nil {
+	if err := run(models, jobs, 5000, "GA100", 1, 4, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	// A tiny budget still plans (reporting infeasibility), it must not error.
-	if err := run(models, jobs, 10, "GA100", 1, os.Stdout); err != nil {
+	if err := run(models, jobs, 10, "GA100", 1, 1, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -102,16 +102,16 @@ func TestRunPlans(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, "", 1000, "GA100", 1, os.Stdout); err == nil {
+	if err := run(models, "", 1000, "GA100", 1, 1, os.Stdout); err == nil {
 		t.Fatal("missing jobs accepted")
 	}
-	if err := run(models, jobs, 0, "GA100", 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 0, "GA100", 1, 1, os.Stdout); err == nil {
 		t.Fatal("zero budget accepted")
 	}
-	if err := run(models, jobs, 1000, "H100", 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 1000, "H100", 1, 1, os.Stdout); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, "GA100", 1, os.Stdout); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, "GA100", 1, 1, os.Stdout); err == nil {
 		t.Fatal("missing models accepted")
 	}
 }

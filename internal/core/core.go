@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
@@ -109,6 +110,11 @@ type Models struct {
 	TrainedOn  string  // architecture name, informational
 	TDPWatts   float64 // TDP of the trained-on architecture
 	MaxFreqMHz float64 // maximum clock of the trained-on architecture
+
+	// swMu guards the memoized per-target sweepers PredictProfile routes
+	// through (see sweeper.go). Models must not be copied by value.
+	swMu     sync.Mutex
+	sweepers map[string]*Sweeper
 }
 
 // Train fits the power and time models on a dataset built by
@@ -210,6 +216,12 @@ func TrainSplit(powerDS, timeDS *dataset.Dataset, opts TrainOptions) (*Models, e
 // Normalized targets make the models portable: power comes back as a TDP
 // fraction and time as a slowdown, both denormalized against the *target*
 // architecture — this is how models trained on GA100 predict for GV100.
+//
+// PredictProfile routes through a memoized per-target Sweeper, so repeated
+// calls amortize the sweep-matrix construction; the outputs are
+// bit-identical to the historical build-everything-per-call formulation.
+// Callers that need the clamp count or an allocation-free path should use
+// NewSweeper / Sweeper.PredictProfileInto directly.
 func (m *Models) PredictProfile(target gpusim.Arch, maxRun dcgm.Run, freqs []float64) ([]objective.Profile, error) {
 	if len(maxRun.Samples) == 0 {
 		return nil, errors.New("core: profiling run has no samples")
@@ -220,49 +232,12 @@ func (m *Models) PredictProfile(target gpusim.Arch, maxRun dcgm.Run, freqs []flo
 	if maxRun.ExecTimeSec <= 0 {
 		return nil, fmt.Errorf("core: profiling run has non-positive exec time %v", maxRun.ExecTimeSec)
 	}
-	mean := maxRun.MeanSample()
-	rows := make([][]float64, len(freqs))
-	for i, f := range freqs {
-		row, err := dataset.FeatureVector(m.Features, mean, f, target.MaxFreqMHz)
-		if err != nil {
-			return nil, err
-		}
-		rows[i] = row
-	}
-	if m.Scaler != nil {
-		scaled, err := m.Scaler.Transform(rows)
-		if err != nil {
-			return nil, fmt.Errorf("core: scaling features: %w", err)
-		}
-		rows = scaled
-	}
-	pPred, err := m.Power.Predict(rows)
+	sw, err := m.sweeperFor(target, freqs)
 	if err != nil {
-		return nil, fmt.Errorf("core: power prediction: %w", err)
+		return nil, err
 	}
-	tPred, err := m.Time.Predict(rows)
-	if err != nil {
-		return nil, fmt.Errorf("core: time prediction: %w", err)
-	}
-	out := make([]objective.Profile, len(freqs))
-	for i, f := range freqs {
-		power := pPred[i][0] * target.TDPWatts
-		slow := tPred[i][0]
-		// Floor pathological predictions at 1 W so downstream EDP math
-		// stays well defined even for badly undertrained models.
-		if power < 1 {
-			power = 1
-		}
-		if slow < 1e-6 {
-			slow = 1e-6
-		}
-		out[i] = objective.Profile{
-			FreqMHz:    f,
-			PowerWatts: power,
-			TimeSec:    maxRun.ExecTimeSec * slow,
-		}
-	}
-	return out, nil
+	out, _, err := sw.PredictProfile(maxRun)
+	return out, err
 }
 
 // MeasuredProfiles converts measured sweep runs into objective profiles,

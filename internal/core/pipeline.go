@@ -67,6 +67,10 @@ type OnlineResult struct {
 	Workload   string
 	ProfileRun dcgm.Run            // the single max-clock profiling run
 	Predicted  []objective.Profile // model predictions across the design space
+	// Clamped counts predictions floored to the 1 W power / 1e-6 slowdown
+	// safety bounds. Non-zero means the models are undertrained for this
+	// workload and the predictions should not be trusted blindly.
+	Clamped int
 }
 
 // OnlinePredict runs the online phase for one application on a device:
@@ -78,11 +82,15 @@ func OnlinePredict(dev *gpusim.Device, m *Models, app gpusim.KernelProfile, coll
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", app.Name, err)
 	}
-	profiles, err := m.PredictProfile(dev.Arch(), run, dev.Arch().DesignClocks())
+	sw, err := m.sweeperFor(dev.Arch(), dev.Arch().DesignClocks())
 	if err != nil {
 		return nil, fmt.Errorf("core: predicting %s: %w", app.Name, err)
 	}
-	return &OnlineResult{Workload: app.Name, ProfileRun: run, Predicted: profiles}, nil
+	profiles, clamped, err := sw.PredictProfile(run)
+	if err != nil {
+		return nil, fmt.Errorf("core: predicting %s: %w", app.Name, err)
+	}
+	return &OnlineResult{Workload: app.Name, ProfileRun: run, Predicted: profiles, Clamped: clamped}, nil
 }
 
 // Selection is a chosen frequency with its objective and trade-off against

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/objective"
+)
+
+// PlanCacheConfig configures a PlanCache.
+type PlanCacheConfig struct {
+	// Objective ranks candidate frequencies (required).
+	Objective objective.Objective
+	// Threshold is Algorithm 1's performance bound; negative selects the
+	// unconstrained optimum.
+	Threshold float64
+	// Quantum is the feature-quantization bucket width. Two profiling runs
+	// whose mean feature vectors fall in the same bucket in every dimension
+	// share a cache entry; two runs that differ by more than the quantum in
+	// any dimension never do. Pick a value at or below the workload-drift
+	// tolerance you consider "the same workload". Default 0.1.
+	Quantum float64
+	// Capacity bounds the number of memoized selections (LRU eviction).
+	// Default 1024.
+	Capacity int
+}
+
+func (c PlanCacheConfig) withDefaults() (PlanCacheConfig, error) {
+	if c.Objective == nil {
+		return c, errors.New("core: PlanCacheConfig.Objective is required")
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 0.1
+	}
+	if c.Quantum < 0 {
+		return c, fmt.Errorf("core: negative plan-cache quantum %v", c.Quantum)
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1024
+	}
+	if c.Capacity < 1 {
+		return c, fmt.Errorf("core: plan-cache capacity %d < 1", c.Capacity)
+	}
+	return c, nil
+}
+
+// PlanCacheStats counts cache activity.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// planEntry is one singleflight-memoized selection: the first caller for a
+// key computes under the entry's once while concurrent callers for the
+// same key wait on it instead of predicting redundantly.
+type planEntry struct {
+	key  string
+	elem *list.Element
+
+	once    sync.Once
+	sel     Selection
+	clamped int
+	err     error
+}
+
+// PlanCache memoizes online frequency selections for a fixed (target,
+// frequency list, objective, threshold), keyed by the profiling run's
+// quantized mean feature vector. Workloads of the same computational
+// character — features within one quantization bucket — resolve to one
+// cached Selection; the underlying sweep+selection runs once per bucket,
+// guarded by a per-key singleflight. The cache is bounded (LRU) and safe
+// for concurrent use.
+type PlanCache struct {
+	sweeper *Sweeper
+	cfg     PlanCacheConfig
+	prefix  string // arch + objective + threshold, shared by every key
+
+	mu      sync.Mutex // guards entries/lru/stats, never held during prediction
+	entries map[string]*planEntry
+	lru     *list.List // of *planEntry, front = most recent
+	stats   PlanCacheStats
+}
+
+// NewPlanCache builds a plan cache over a sweeper.
+func NewPlanCache(s *Sweeper, cfg PlanCacheConfig) (*PlanCache, error) {
+	if s == nil {
+		return nil, errors.New("core: plan cache needs a sweeper")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &PlanCache{
+		sweeper: s,
+		cfg:     cfg,
+		prefix:  s.target.Name + "|" + cfg.Objective.Name() + "|" + strconv.FormatFloat(cfg.Threshold, 'g', -1, 64) + "|",
+		entries: map[string]*planEntry{},
+		lru:     list.New(),
+	}, nil
+}
+
+// quantizeFeature maps a feature value to its bucket index under quantum q.
+// Buckets are half-open [k·q, (k+1)·q): values that differ by more than q
+// (beyond float-division rounding slop) can never share a bucket, while a
+// ±1 ulp perturbation can only change the bucket when the value sits at a
+// bucket boundary. Non-finite and out-of-range values collapse to sentinel
+// buckets so a pathological sample cannot produce an unbounded key space.
+func quantizeFeature(v, q float64) int64 {
+	r := math.Floor(v / q)
+	switch {
+	case math.IsNaN(r):
+		return math.MinInt64
+	case r > 1e18:
+		return math.MaxInt64
+	case r < -1e18:
+		return math.MinInt64 + 1
+	}
+	return int64(r)
+}
+
+// keyFor builds the cache key for a profiling run's mean sample: the shared
+// (arch, objective, threshold) prefix plus the quantized feature vector.
+func (c *PlanCache) keyFor(mean dcgm.Sample) (string, error) {
+	m := c.sweeper.models
+	base := make([]float64, len(m.Features))
+	if err := dataset.FeatureVectorInto(base, m.Features, mean, c.sweeper.target.MaxFreqMHz, c.sweeper.target.MaxFreqMHz); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 0, len(c.prefix)+16*len(base))
+	buf = append(buf, c.prefix...)
+	for _, v := range base {
+		buf = strconv.AppendInt(buf, quantizeFeature(v, c.cfg.Quantum), 36)
+		buf = append(buf, ',')
+	}
+	return string(buf), nil
+}
+
+// Select returns the frequency selection for a profiling run, serving
+// repeated queries for same-character workloads from the cache. hit
+// reports whether the selection was memoized. The returned Selection on a
+// hit is identical to the one the original computation produced.
+func (c *PlanCache) Select(maxRun dcgm.Run) (sel Selection, hit bool, err error) {
+	if err := c.sweeper.validateRun(maxRun); err != nil {
+		return Selection{}, false, err
+	}
+	key, err := c.keyFor(maxRun.MeanSample())
+	if err != nil {
+		return Selection{}, false, err
+	}
+
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if hit {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+	} else {
+		e = &planEntry{key: key}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.stats.Misses++
+		for c.lru.Len() > c.cfg.Capacity {
+			back := c.lru.Back()
+			old := back.Value.(*planEntry)
+			c.lru.Remove(back)
+			delete(c.entries, old.key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		profiles := make([]objective.Profile, len(c.sweeper.freqs))
+		clamped, perr := c.sweeper.PredictProfileInto(profiles, maxRun)
+		if perr != nil {
+			e.err = perr
+			return
+		}
+		e.clamped = clamped
+		e.sel, e.err = SelectFrequency(profiles, c.cfg.Objective, c.cfg.Threshold)
+	})
+	if e.err != nil {
+		// Drop the failed entry so a transient error does not poison the
+		// bucket for later callers.
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == e {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return Selection{}, false, e.err
+	}
+	return e.sel, hit, nil
+}
+
+// Clamped returns the clamp count recorded when the given run's bucket was
+// computed, and whether that bucket is currently cached.
+func (c *PlanCache) Clamped(maxRun dcgm.Run) (int, bool) {
+	key, err := c.keyFor(maxRun.MeanSample())
+	if err != nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e.clamped, true
+	}
+	return 0, false
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of memoized selections.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/stats"
+	"gpudvfs/internal/workloads"
+)
+
+// benchModels builds paper-shaped models (3-64-64-64-1) without paying for
+// training: the serving-path cost is identical for trained and untrained
+// weights.
+func benchModels(b *testing.B) *Models {
+	b.Helper()
+	arch := gpusim.GA100()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &Models{
+		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
+		Scaler:     &stats.StandardScaler{Means: []float64{0.4, 0.3, 0.7}, Stds: []float64{0.2, 0.15, 0.25}},
+		Power:      power,
+		Time:       tmodel,
+		TrainedOn:  arch.Name,
+		TDPWatts:   arch.TDPWatts,
+		MaxFreqMHz: arch.MaxFreqMHz,
+	}
+}
+
+func benchProfileRun(b *testing.B) dcgm.Run {
+	b.Helper()
+	coll := dcgm.NewCollector(gpusim.NewDevice(gpusim.GA100(), 3), dcgm.Config{Seed: 9})
+	run, err := coll.ProfileAtMax(workloads.DGEMM())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkPredictProfile measures one online-phase prediction across the
+// full 61-frequency design space — the paper's Algorithm 1 inner loop and
+// the serving hot path of a frequency-selection service.
+func BenchmarkPredictProfile(b *testing.B) {
+	m := benchModels(b)
+	run := benchProfileRun(b)
+	arch := gpusim.GA100()
+	freqs := arch.DesignClocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictProfile(arch, run, freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictProfileInto is the fully amortized sweep: pre-built
+// sweeper, caller-owned profile buffer. This is the path a long-running
+// governor sits on; the target is zero steady-state allocations.
+func BenchmarkPredictProfileInto(b *testing.B) {
+	m := benchModels(b)
+	run := benchProfileRun(b)
+	arch := gpusim.GA100()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]objective.Profile, len(sw.Freqs()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.PredictProfileInto(dst, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheSelect measures a steady stream of same-character
+// online queries — after the first miss, every Select is a cache hit.
+func BenchmarkPlanCacheSelect(b *testing.B) {
+	m := benchModels(b)
+	run := benchProfileRun(b)
+	arch := gpusim.GA100()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pc.Select(run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

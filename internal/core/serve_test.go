@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/stats"
+	"gpudvfs/internal/workloads"
+)
+
+// serveModels builds paper-shaped models with random (untrained) weights —
+// bit-identity of the serving path does not depend on training, and this
+// keeps the test fast.
+func serveModels(t *testing.T) *Models {
+	t.Helper()
+	arch := gpusim.GA100()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Models{
+		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
+		Scaler:     &stats.StandardScaler{Means: []float64{0.4, 0.3, 0.7}, Stds: []float64{0.2, 0.15, 0.25}},
+		Power:      power,
+		Time:       tmodel,
+		TrainedOn:  arch.Name,
+		TDPWatts:   arch.TDPWatts,
+		MaxFreqMHz: arch.MaxFreqMHz,
+	}
+}
+
+func serveRun(t *testing.T, seed int64, w gpusim.KernelProfile) dcgm.Run {
+	t.Helper()
+	coll := dcgm.NewCollector(gpusim.NewDevice(gpusim.GA100(), 3), dcgm.Config{Seed: seed})
+	run, err := coll.ProfileAtMax(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// oracleProfile is the seed's build-everything-per-call PredictProfile
+// formulation, kept verbatim as the reference the pooled sweeper must match
+// bitwise.
+func oracleProfile(t *testing.T, m *Models, target gpusim.Arch, maxRun dcgm.Run, freqs []float64) []objective.Profile {
+	t.Helper()
+	mean := maxRun.MeanSample()
+	rows := make([][]float64, len(freqs))
+	for i, f := range freqs {
+		row, err := dataset.FeatureVector(m.Features, mean, f, target.MaxFreqMHz)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[i] = row
+	}
+	if m.Scaler != nil {
+		scaled, err := m.Scaler.Transform(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = scaled
+	}
+	pPred, err := m.Power.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tPred, err := m.Time.Predict(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]objective.Profile, len(freqs))
+	for i, f := range freqs {
+		power := pPred[i][0] * target.TDPWatts
+		slow := tPred[i][0]
+		if power < 1 {
+			power = 1
+		}
+		if slow < 1e-6 {
+			slow = 1e-6
+		}
+		out[i] = objective.Profile{
+			FreqMHz:    f,
+			PowerWatts: power,
+			TimeSec:    maxRun.ExecTimeSec * slow,
+		}
+	}
+	return out
+}
+
+func profilesIdentical(a, b []objective.Profile) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].FreqMHz) != math.Float64bits(b[i].FreqMHz) ||
+			math.Float64bits(a[i].PowerWatts) != math.Float64bits(b[i].PowerWatts) ||
+			math.Float64bits(a[i].TimeSec) != math.Float64bits(b[i].TimeSec) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSweeperMatchesPredictProfile(t *testing.T) {
+	m := serveModels(t)
+	arch := gpusim.GA100()
+	freqs := arch.DesignClocks()
+	sw, err := m.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), workloads.LAMMPS()} {
+		run := serveRun(t, int64(40+i), w)
+		want := oracleProfile(t, m, arch, run, freqs)
+
+		got, _, err := sw.PredictProfile(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !profilesIdentical(got, want) {
+			t.Fatalf("%s: sweeper diverges from the per-call oracle", w.Name)
+		}
+		// The public entry point must agree too (it routes through the
+		// memoized sweeper).
+		viaModels, err := m.PredictProfile(arch, run, freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !profilesIdentical(viaModels, want) {
+			t.Fatalf("%s: Models.PredictProfile diverges from the oracle", w.Name)
+		}
+	}
+}
+
+func TestSweeperConcurrentDeterministic(t *testing.T) {
+	m := serveModels(t)
+	arch := gpusim.GA100()
+	freqs := arch.DesignClocks()
+	sw, err := m.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []dcgm.Run{
+		serveRun(t, 50, workloads.DGEMM()),
+		serveRun(t, 51, workloads.STREAM()),
+	}
+	want := make([][]objective.Profile, len(runs))
+	for i, r := range runs {
+		want[i], _, err = sw.PredictProfile(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines, iters = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]objective.Profile, len(freqs))
+			for it := 0; it < iters; it++ {
+				ri := (g + it) % len(runs)
+				if _, err := sw.PredictProfileInto(dst, runs[ri]); err != nil {
+					errs <- err
+					return
+				}
+				if !profilesIdentical(dst, want[ri]) {
+					errs <- fmt.Errorf("goroutine %d iter %d: output diverged", g, it)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// zeroWeights flattens a network to the all-zero function, which predicts
+// 0 TDP-fraction power and 0 slowdown — both below the safety floors.
+func zeroWeights(net *nn.Network) {
+	for _, l := range net.Layers {
+		for i := range l.W.Data {
+			l.W.Data[i] = 0
+		}
+		for i := range l.B {
+			l.B[i] = 0
+		}
+	}
+}
+
+func TestClampCountSurfaced(t *testing.T) {
+	m := serveModels(t)
+	zeroWeights(m.Power)
+	zeroWeights(m.Time)
+	arch := gpusim.GA100()
+	freqs := arch.DesignClocks()
+	sw, err := m.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := serveRun(t, 60, workloads.DGEMM())
+	profiles, clamped, err := sw.PredictProfile(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every frequency clamps both power and slowdown.
+	if want := 2 * len(freqs); clamped != want {
+		t.Fatalf("clamped = %d, want %d", clamped, want)
+	}
+	for _, p := range profiles {
+		if p.PowerWatts != 1 || p.TimeSec != run.ExecTimeSec*1e-6 {
+			t.Fatalf("floors not applied: %+v", p)
+		}
+	}
+
+	// And the counter reaches OnlineResult through the online pipeline.
+	dev := gpusim.NewDevice(arch, 61)
+	res, err := OnlinePredict(dev, m, workloads.DGEMM(), dcgm.Config{Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(arch.DesignClocks()); res.Clamped != want {
+		t.Fatalf("OnlineResult.Clamped = %d, want %d", res.Clamped, want)
+	}
+
+	// A healthy (random-weight) model pair rarely clamps everything; just
+	// assert the count stays within its bound.
+	m2 := serveModels(t)
+	sw2, err := m2.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clamped2, err := sw2.PredictProfile(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped2 < 0 || clamped2 > 2*len(freqs) {
+		t.Fatalf("clamp count %d out of range", clamped2)
+	}
+}
+
+func planCacheFor(t *testing.T, m *Models, cfg PlanCacheConfig) *PlanCache {
+	t.Helper()
+	arch := gpusim.GA100()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := NewPlanCache(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func selectionsIdentical(a, b Selection) bool {
+	return a.Objective == b.Objective &&
+		math.Float64bits(a.FreqMHz) == math.Float64bits(b.FreqMHz) &&
+		math.Float64bits(a.EnergyPct) == math.Float64bits(b.EnergyPct) &&
+		math.Float64bits(a.TimePct) == math.Float64bits(b.TimePct)
+}
+
+func TestPlanCacheHitReturnsIdenticalSelection(t *testing.T) {
+	m := serveModels(t)
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1})
+	run := serveRun(t, 70, workloads.DGEMM())
+
+	first, hit, err := pc.Select(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Select reported a hit")
+	}
+	second, hit, err := pc.Select(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("repeat Select missed")
+	}
+	if !selectionsIdentical(first, second) {
+		t.Fatalf("cached selection diverged: %+v vs %+v", first, second)
+	}
+	if s := pc.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if c, ok := pc.Clamped(run); !ok || c < 0 {
+		t.Fatalf("Clamped = %d, %v", c, ok)
+	}
+}
+
+// syntheticRun builds a max-clock profiling run whose mean features are
+// exactly the given activities.
+func syntheticRun(fp, dram float64) dcgm.Run {
+	return dcgm.Run{
+		FreqMHz:     1410,
+		ExecTimeSec: 1,
+		Samples: []dcgm.Sample{{
+			FP32Active:    fp,
+			DRAMActive:    dram,
+			SMAppClockMHz: 1410,
+		}},
+	}
+}
+
+func TestPlanCacheQuantizationNeverAliasesBeyondTolerance(t *testing.T) {
+	m := serveModels(t)
+	const quantum = 0.1
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Quantum: quantum})
+
+	base := syntheticRun(0.42, 0.30)
+	baseKey, err := pc.keyFor(base.MeanSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearby workloads (within one bucket) share the entry…
+	near := syntheticRun(0.42+quantum/4, 0.30)
+	nearKey, err := pc.keyFor(near.MeanSample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearKey != baseKey {
+		t.Fatalf("within-bucket workloads got distinct keys:\n%q\n%q", baseKey, nearKey)
+	}
+	// …but anything differing by more than the tolerance in any dimension
+	// never aliases.
+	for _, d := range []struct{ fp, dram float64 }{
+		{quantum * 1.01, 0},
+		{0, quantum * 1.01},
+		{-quantum * 1.5, 0},
+		{quantum * 3, quantum * 3},
+	} {
+		far := syntheticRun(0.42+d.fp, 0.30+d.dram)
+		k, err := pc.keyFor(far.MeanSample())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == baseKey {
+			t.Fatalf("workloads differing by (%v,%v) > tolerance aliased to one key", d.fp, d.dram)
+		}
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	m := serveModels(t)
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Quantum: 0.1, Capacity: 2})
+	runs := []dcgm.Run{
+		syntheticRun(0.15, 0.20),
+		syntheticRun(0.45, 0.20),
+		syntheticRun(0.75, 0.20),
+	}
+	for _, r := range runs {
+		if _, _, err := pc.Select(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", pc.Len())
+	}
+	s := pc.Stats()
+	if s.Evictions != 1 || s.Misses != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+	// The oldest bucket was evicted; re-querying it misses again.
+	if _, hit, err := pc.Select(runs[0]); err != nil || hit {
+		t.Fatalf("evicted bucket still hit (err %v)", err)
+	}
+	// The most recent one still hits.
+	if _, hit, err := pc.Select(runs[2]); err != nil || !hit {
+		t.Fatalf("recent bucket missed (err %v)", err)
+	}
+}
+
+func TestPlanCacheSingleflight(t *testing.T) {
+	m := serveModels(t)
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1})
+	run := serveRun(t, 71, workloads.STREAM())
+
+	const goroutines = 8
+	sels := make([]Selection, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sels[g], _, errs[g] = pc.Select(run)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if !selectionsIdentical(sels[g], sels[0]) {
+			t.Fatalf("goroutine %d selection diverged", g)
+		}
+	}
+	// Singleflight: all concurrent callers shared one computation/bucket.
+	if s := pc.Stats(); s.Misses != 1 {
+		t.Fatalf("stats %+v, want exactly 1 miss", s)
+	}
+}
+
+func TestPlanCacheConfigValidation(t *testing.T) {
+	m := serveModels(t)
+	arch := gpusim.GA100()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanCache(nil, PlanCacheConfig{Objective: objective.EDP{}}); err == nil {
+		t.Fatal("nil sweeper accepted")
+	}
+	if _, err := NewPlanCache(sw, PlanCacheConfig{}); err == nil {
+		t.Fatal("missing objective accepted")
+	}
+	if _, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Quantum: -1}); err == nil {
+		t.Fatal("negative quantum accepted")
+	}
+	if _, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Capacity: -3}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+// FuzzPlanKeyQuantizer checks the cache key quantizer's two contracts over
+// arbitrary feature values: values separated by more than one quantum never
+// share a bucket, and a ±1 ulp perturbation moves the bucket index by at
+// most one (it can only change at all when the value sits on a bucket
+// boundary).
+func FuzzPlanKeyQuantizer(f *testing.F) {
+	f.Add(0.0, 0.1)
+	f.Add(0.42, 0.73)
+	f.Add(-0.30000000001, 0.29999999999)
+	f.Add(0.1, 0.2)
+	f.Add(1e-12, -1e-12)
+	f.Fuzz(func(t *testing.T, v, w float64) {
+		const q = 0.1
+		if math.IsNaN(v) || math.IsNaN(w) {
+			t.Skip()
+		}
+		// Realistic feature magnitudes: activities, clock fractions, scaled
+		// PCIe rates. Beyond this, float spacing exceeds the bucket width and
+		// the quantizer's sentinel clamps take over.
+		if math.Abs(v) > 1e6 || math.Abs(w) > 1e6 {
+			t.Skip()
+		}
+		a, b := v, w
+		if a > b {
+			a, b = b, a
+		}
+		ba, bb := quantizeFeature(a, q), quantizeFeature(b, q)
+		if ba > bb {
+			t.Fatalf("quantizer not monotone: q(%v)=%d > q(%v)=%d", a, ba, b, bb)
+		}
+		if b-a > q*(1+1e-8) && ba == bb {
+			t.Fatalf("values %v and %v differ by more than the quantum but share bucket %d", a, b, ba)
+		}
+		bv := quantizeFeature(v, q)
+		up := quantizeFeature(math.Nextafter(v, math.Inf(1)), q)
+		if up != bv && up != bv+1 {
+			t.Fatalf("+1 ulp moved bucket from %d to %d", bv, up)
+		}
+		down := quantizeFeature(math.Nextafter(v, math.Inf(-1)), q)
+		if down != bv && down != bv-1 {
+			t.Fatalf("-1 ulp moved bucket from %d to %d", bv, down)
+		}
+	})
+}

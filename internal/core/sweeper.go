@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/mat"
+	"gpudvfs/internal/objective"
+)
+
+// Sweeper is the serving-grade form of the online phase for one
+// (target architecture, frequency list) pair. It pre-resolves everything
+// that does not depend on the profiling run — the clock-feature column
+// (freq/maxFreq per sweep row), the clock column's index, and per-call
+// workspaces behind a sync.Pool — so each PredictProfileInto call reduces
+// to: fill the mean-sample feature columns, scale the sweep matrix in
+// place, run two pooled batch inferences, and write profiles into the
+// caller's buffer. At steady state the whole call performs zero heap
+// allocations, and every value it produces is bit-identical to
+// Models.PredictProfile's original build-everything-per-call formulation.
+//
+// A Sweeper is safe for concurrent use: each in-flight call owns one
+// pooled workspace, and the underlying nn.Predictor pool provides the same
+// guarantee for the forward passes.
+type Sweeper struct {
+	models    *Models
+	target    gpusim.Arch
+	freqs     []float64
+	clockIdx  int       // index of sm_app_clock in the feature layout, -1 if absent
+	clockVals []float64 // freqs[i]/target.MaxFreqMHz, precomputed
+	pool      sync.Pool // *sweepWS
+}
+
+// sweepWS is one in-flight call's workspace.
+type sweepWS struct {
+	base []float64   // feature vector of the mean sample at max clock
+	x    *mat.Matrix // len(freqs) × len(features) sweep matrix
+	rows [][]float64 // row views into x, for the in-place scaler
+	pP   *mat.Matrix // power predictions, len(freqs) × 1
+	tP   *mat.Matrix // time predictions, len(freqs) × 1
+}
+
+// NewSweeper builds a sweeper for predicting m's profiles on target across
+// freqs. The feature layout and model shapes are validated once here so
+// the per-call path cannot fail on them.
+func (m *Models) NewSweeper(target gpusim.Arch, freqs []float64) (*Sweeper, error) {
+	if m.Power == nil || m.Time == nil {
+		return nil, errors.New("core: sweeper needs trained power and time models")
+	}
+	if target.MaxFreqMHz <= 0 {
+		return nil, fmt.Errorf("core: target %q has non-positive max clock %v", target.Name, target.MaxFreqMHz)
+	}
+	// Resolve the feature layout once; FeatureVectorInto can only fail on
+	// unknown names, so surfacing that here keeps the hot path error-free.
+	if err := dataset.FeatureVectorInto(make([]float64, len(m.Features)), m.Features, dcgm.Sample{}, target.MaxFreqMHz, target.MaxFreqMHz); err != nil {
+		return nil, err
+	}
+	s := &Sweeper{
+		models:    m,
+		target:    target,
+		freqs:     append([]float64(nil), freqs...),
+		clockIdx:  -1,
+		clockVals: make([]float64, len(freqs)),
+	}
+	for i, name := range m.Features {
+		if name == "sm_app_clock" {
+			s.clockIdx = i
+			break
+		}
+	}
+	for i, f := range freqs {
+		// The same expression FeatureVector uses, so the filled rows are
+		// bit-identical to the per-frequency rebuild.
+		s.clockVals[i] = f / target.MaxFreqMHz
+	}
+	nf := len(m.Features)
+	s.pool.New = func() any {
+		ws := &sweepWS{
+			base: make([]float64, nf),
+			x:    mat.New(len(s.freqs), nf),
+			rows: make([][]float64, len(s.freqs)),
+			pP:   mat.New(len(s.freqs), 1),
+			tP:   mat.New(len(s.freqs), 1),
+		}
+		for i := range ws.rows {
+			ws.rows[i] = ws.x.Row(i)
+		}
+		return ws
+	}
+	return s, nil
+}
+
+// Freqs returns the sweep's frequency list (not a copy; callers must not
+// modify it).
+func (s *Sweeper) Freqs() []float64 { return s.freqs }
+
+// Target returns the architecture the sweeper predicts for.
+func (s *Sweeper) Target() gpusim.Arch { return s.target }
+
+// matches reports whether the sweeper was built for exactly this target
+// and frequency list (the fields prediction depends on).
+func (s *Sweeper) matches(target gpusim.Arch, freqs []float64) bool {
+	if s.target.Name != target.Name || s.target.MaxFreqMHz != target.MaxFreqMHz || s.target.TDPWatts != target.TDPWatts {
+		return false
+	}
+	if len(s.freqs) != len(freqs) {
+		return false
+	}
+	for i, f := range freqs {
+		if s.freqs[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// validateRun applies the online phase's profiling-run preconditions, with
+// the same error messages PredictProfile always produced.
+func (s *Sweeper) validateRun(maxRun dcgm.Run) error {
+	if len(maxRun.Samples) == 0 {
+		return errors.New("core: profiling run has no samples")
+	}
+	if maxRun.FreqMHz != s.target.MaxFreqMHz {
+		return fmt.Errorf("core: profiling run was at %v MHz, want the maximum clock %v MHz", maxRun.FreqMHz, s.target.MaxFreqMHz)
+	}
+	if maxRun.ExecTimeSec <= 0 {
+		return fmt.Errorf("core: profiling run has non-positive exec time %v", maxRun.ExecTimeSec)
+	}
+	return nil
+}
+
+// PredictProfileInto runs the online phase for one profiling run, writing
+// one predicted profile per sweep frequency into dst (which must have
+// len(Freqs()) entries). It returns how many predictions had to be clamped
+// to the power/slowdown floors — a signal that the models are undertrained
+// for this workload, surfaced instead of silently masked.
+//
+// Zero heap allocations at steady state; bit-identical to
+// Models.PredictProfile.
+func (s *Sweeper) PredictProfileInto(dst []objective.Profile, maxRun dcgm.Run) (clamped int, err error) {
+	if err := s.validateRun(maxRun); err != nil {
+		return 0, err
+	}
+	if len(dst) != len(s.freqs) {
+		return 0, fmt.Errorf("core: profile buffer has %d entries, sweep has %d frequencies", len(dst), len(s.freqs))
+	}
+	m := s.models
+	mean := maxRun.MeanSample()
+	ws := s.pool.Get().(*sweepWS)
+	defer s.pool.Put(ws)
+
+	// Fill the mean-sample feature columns once and broadcast them to every
+	// sweep row; only the clock column varies. The values are the exact
+	// floats the per-frequency FeatureVector rebuild produced.
+	if err := dataset.FeatureVectorInto(ws.base, m.Features, mean, s.target.MaxFreqMHz, s.target.MaxFreqMHz); err != nil {
+		return 0, err
+	}
+	for i := range s.freqs {
+		row := ws.x.Row(i)
+		copy(row, ws.base)
+		if s.clockIdx >= 0 {
+			row[s.clockIdx] = s.clockVals[i]
+		}
+	}
+	if m.Scaler != nil {
+		if err := m.Scaler.TransformInto(ws.rows, ws.rows); err != nil {
+			return 0, fmt.Errorf("core: scaling features: %w", err)
+		}
+	}
+	if err := m.Power.Predictor().PredictMatInto(ws.pP, ws.x); err != nil {
+		return 0, fmt.Errorf("core: power prediction: %w", err)
+	}
+	if err := m.Time.Predictor().PredictMatInto(ws.tP, ws.x); err != nil {
+		return 0, fmt.Errorf("core: time prediction: %w", err)
+	}
+	for i, f := range s.freqs {
+		power := ws.pP.At(i, 0) * s.target.TDPWatts
+		slow := ws.tP.At(i, 0)
+		// Floor pathological predictions at 1 W / 1e-6 slowdown so
+		// downstream EDP math stays well defined even for badly
+		// undertrained models — but count every clamp so they are visible.
+		if power < 1 {
+			power = 1
+			clamped++
+		}
+		if slow < 1e-6 {
+			slow = 1e-6
+			clamped++
+		}
+		dst[i] = objective.Profile{
+			FreqMHz:    f,
+			PowerWatts: power,
+			TimeSec:    maxRun.ExecTimeSec * slow,
+		}
+	}
+	return clamped, nil
+}
+
+// PredictProfile is the allocating convenience form of PredictProfileInto.
+func (s *Sweeper) PredictProfile(maxRun dcgm.Run) ([]objective.Profile, int, error) {
+	out := make([]objective.Profile, len(s.freqs))
+	clamped, err := s.PredictProfileInto(out, maxRun)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, clamped, nil
+}
+
+// sweeperFor returns a memoized sweeper for (target, freqs), rebuilding
+// only when the target identity or frequency list changes. One slot per
+// architecture name: the common serving pattern is a stable design-space
+// sweep per target.
+func (m *Models) sweeperFor(target gpusim.Arch, freqs []float64) (*Sweeper, error) {
+	m.swMu.Lock()
+	defer m.swMu.Unlock()
+	if sw := m.sweepers[target.Name]; sw != nil && sw.matches(target, freqs) {
+		return sw, nil
+	}
+	sw, err := m.NewSweeper(target, freqs)
+	if err != nil {
+		return nil, err
+	}
+	if m.sweepers == nil {
+		m.sweepers = map[string]*Sweeper{}
+	}
+	m.sweepers[target.Name] = sw
+	return sw, nil
+}

@@ -257,16 +257,29 @@ func (d *Dataset) Column(feature string) ([]float64, error) {
 // whole DVFS space, with only the clock feature swapped.
 func FeatureVector(features []string, s dcgm.Sample, freqMHz, maxFreqMHz float64) ([]float64, error) {
 	out := make([]float64, len(features))
+	if err := FeatureVectorInto(out, features, s, freqMHz, maxFreqMHz); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FeatureVectorInto fills dst (len(features)) like FeatureVector without
+// allocating — the entry point the serving hot path uses to rebuild sweep
+// rows in place.
+func FeatureVectorInto(dst []float64, features []string, s dcgm.Sample, freqMHz, maxFreqMHz float64) error {
+	if len(dst) != len(features) {
+		return fmt.Errorf("dataset: FeatureVectorInto dst len %d, want %d", len(dst), len(features))
+	}
 	for i, name := range features {
 		if name == "sm_app_clock" {
-			out[i] = freqMHz / maxFreqMHz
+			dst[i] = freqMHz / maxFreqMHz
 			continue
 		}
 		e, ok := extractors[name]
 		if !ok {
-			return nil, fmt.Errorf("dataset: unknown feature %q", name)
+			return fmt.Errorf("dataset: unknown feature %q", name)
 		}
-		out[i] = e(s, maxFreqMHz)
+		dst[i] = e(s, maxFreqMHz)
 	}
-	return out, nil
+	return nil
 }

@@ -274,3 +274,28 @@ func TestBuildPerSampleCountProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFeatureVectorIntoMatchesFeatureVector pins the no-alloc variant to
+// the allocating one, plus its length and unknown-feature errors.
+func TestFeatureVectorIntoMatchesFeatureVector(t *testing.T) {
+	s := sampleAt(1410, 0.8, 0.3)
+	want, err := FeatureVector(PaperFeatures, s, 705, 1410)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(PaperFeatures))
+	if err := FeatureVectorInto(dst, PaperFeatures, s, 705, 1410); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("element %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+	if err := FeatureVectorInto(make([]float64, 1), PaperFeatures, s, 705, 1410); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := FeatureVectorInto(make([]float64, 1), []string{"bogus"}, s, 705, 1410); err == nil {
+		t.Fatal("unknown feature accepted")
+	}
+}

@@ -74,6 +74,7 @@ type Stats struct {
 	Runs         int // workload executions observed
 	DriftedRuns  int // observations flagged as drifted
 	Retunes      int // re-tunes triggered by drift
+	Clamped      int // predictions floored to the safety bounds across all tunes
 	EnergyJoules float64
 	TimeSeconds  float64
 }
@@ -83,6 +84,12 @@ type Governor struct {
 	dev    *gpusim.Device
 	models *core.Models
 	cfg    Config
+
+	// sw and profBuf are the serving-path state: the design-space sweeper
+	// is built once per governor and every (re-)tune predicts into the same
+	// buffer, so a long-lived governor allocates nothing per re-tune.
+	sw      *core.Sweeper
+	profBuf []objective.Profile
 
 	tuned     bool
 	selection core.Selection
@@ -109,15 +116,51 @@ func (g *Governor) Selection() core.Selection { return g.selection }
 // Stats returns a snapshot of the governor's counters.
 func (g *Governor) Stats() Stats { return g.stats }
 
+// sweeper lazily builds the design-space sweeper and the governor-owned
+// profile buffer the tune paths predict into.
+func (g *Governor) sweeper() (*core.Sweeper, error) {
+	if g.sw == nil {
+		sw, err := g.models.NewSweeper(g.dev.Arch(), g.dev.Arch().DesignClocks())
+		if err != nil {
+			return nil, err
+		}
+		g.sw = sw
+		g.profBuf = make([]objective.Profile, len(sw.Freqs()))
+	}
+	return g.sw, nil
+}
+
+// profileAtMax runs one profiling run at the maximum clock with the same
+// seed schedule every tune path uses.
+func (g *Governor) profileAtMax(app gpusim.KernelProfile) (dcgm.Run, error) {
+	coll := dcgm.NewCollector(g.dev, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
+	run, err := coll.ProfileAtMax(app)
+	if err != nil {
+		return dcgm.Run{}, fmt.Errorf("governor: profiling %s: %w", app.Name, err)
+	}
+	return run, nil
+}
+
 // Tune runs the paper's online phase for app (one profiling run at the
 // maximum clock), selects the optimal frequency under the configured
-// objective, and pins the device clock to it.
+// objective, and pins the device clock to it. Predictions go through the
+// governor's reused sweeper and buffer; the selection is bit-identical to
+// the allocating core.OnlinePredict + SelectFrequency formulation.
 func (g *Governor) Tune(app gpusim.KernelProfile) (core.Selection, error) {
-	on, err := core.OnlinePredict(g.dev, g.models, app, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
+	sw, err := g.sweeper()
 	if err != nil {
 		return core.Selection{}, err
 	}
-	sel, err := core.SelectFrequency(on.Predicted, g.cfg.Objective, g.cfg.Threshold)
+	run, err := g.profileAtMax(app)
+	if err != nil {
+		return core.Selection{}, err
+	}
+	clamped, err := sw.PredictProfileInto(g.profBuf, run)
+	if err != nil {
+		return core.Selection{}, fmt.Errorf("governor: predicting %s: %w", app.Name, err)
+	}
+	g.stats.Clamped += clamped
+	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
 	if err != nil {
 		return core.Selection{}, err
 	}
@@ -125,7 +168,7 @@ func (g *Governor) Tune(app gpusim.KernelProfile) (core.Selection, error) {
 		return core.Selection{}, err
 	}
 	g.selection = sel
-	g.baseline = on.ProfileRun.MeanSample()
+	g.baseline = run.MeanSample()
 	g.tuned = true
 	g.drifted = 0
 	g.stats.Tunes++

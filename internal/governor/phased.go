@@ -29,11 +29,15 @@ type PhasedTune struct {
 // occupies; the dominant-phase features describe the behaviour the
 // selected frequency will actually govern most of the time.
 func (g *Governor) TunePhased(app gpusim.KernelProfile, opts trace.Options) (PhasedTune, error) {
-	on, err := core.OnlinePredict(g.dev, g.models, app, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
+	sw, err := g.sweeper()
 	if err != nil {
 		return PhasedTune{}, err
 	}
-	segs, err := trace.Detect(on.ProfileRun.Samples, opts)
+	full, err := g.profileAtMax(app)
+	if err != nil {
+		return PhasedTune{}, err
+	}
+	segs, err := trace.Detect(full.Samples, opts)
 	if err != nil {
 		return PhasedTune{}, err
 	}
@@ -44,14 +48,16 @@ func (g *Governor) TunePhased(app gpusim.KernelProfile, opts trace.Options) (Pha
 		}
 	}
 
-	// Re-predict from the dominant phase's samples only.
-	run := on.ProfileRun
-	run.Samples = append([]dcgm.Sample(nil), on.ProfileRun.Samples[dom.Start:dom.End]...)
-	predicted, err := g.models.PredictProfile(g.dev.Arch(), run, g.dev.Arch().DesignClocks())
+	// Predict from the dominant phase's samples only, through the reused
+	// sweeper — the only prediction this tune needs.
+	run := full
+	run.Samples = append([]dcgm.Sample(nil), full.Samples[dom.Start:dom.End]...)
+	clamped, err := sw.PredictProfileInto(g.profBuf, run)
 	if err != nil {
 		return PhasedTune{}, fmt.Errorf("governor: phased prediction: %w", err)
 	}
-	sel, err := core.SelectFrequency(predicted, g.cfg.Objective, g.cfg.Threshold)
+	g.stats.Clamped += clamped
+	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
 	if err != nil {
 		return PhasedTune{}, err
 	}
@@ -67,6 +73,6 @@ func (g *Governor) TunePhased(app gpusim.KernelProfile, opts trace.Options) (Pha
 	return PhasedTune{
 		Selection:     sel,
 		Segments:      segs,
-		DominantShare: float64(dom.Len()) / float64(len(on.ProfileRun.Samples)),
+		DominantShare: float64(dom.Len()) / float64(len(full.Samples)),
 	}, nil
 }

@@ -50,6 +50,68 @@ func MulParallel(a, b *Matrix, workers int) *Matrix {
 	return out
 }
 
+// MulTBParallelInto stores a·bᵀ into dst like MulTBInto, computing disjoint
+// row blocks of the output on separate goroutines. Results are bit-identical
+// to MulTBInto (each output row is produced by exactly one goroutine with the
+// same kernel and summation order), which is itself bit-identical to
+// Mul(a, b.T()) — so callers may switch between the serial, parallel, and
+// transpose-materializing formulations without perturbing a single bit.
+// workers ≤ 0 selects GOMAXPROCS. Small outputs fall back to the serial
+// kernel.
+func MulTBParallelInto(dst, a, b *Matrix, workers int) *Matrix {
+	if a.Rows*b.Rows < parallelThreshold {
+		return MulTBInto(dst, a, b)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		// Delegate dimension panics (and the trivial case) to the serial kernel.
+		return MulTBInto(dst, a, b)
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulTBRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return dst
+}
+
+// mulTBRows computes output rows [lo, hi) with the same kernel MulTBInto uses.
+func mulTBRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Rows; j++ {
+				orow[j] += av * b.Data[j*b.Cols+k]
+			}
+		}
+	}
+}
+
 // mulRows computes output rows [lo, hi) with the same ikj kernel Mul uses.
 func mulRows(out, a, b *Matrix, lo, hi int) {
 	for i := lo; i < hi; i++ {

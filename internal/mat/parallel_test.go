@@ -1,0 +1,58 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulTBParallelIntoBitIdentical pins the serving-path contract: the
+// parallel fused kernel must produce bit-identical output to both the serial
+// fused kernel and the transpose-materializing formulation, above and below
+// the parallel threshold and for any worker count.
+func TestMulTBParallelIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct{ n, k, m int }{
+		{1, 3, 1},
+		{61, 3, 64},   // the paper's design-space sweep shape
+		{61, 64, 64},  // hidden-layer shape, below threshold
+		{128, 64, 64}, // above parallelThreshold
+		{257, 33, 17}, // odd sizes, uneven chunking
+	}
+	for _, tc := range cases {
+		a := randMatrix(tc.n, tc.k, rng)
+		b := randMatrix(tc.m, tc.k, rng)
+		want := Mul(a, b.T())
+		serial := MulTBInto(New(tc.n, tc.m), a, b)
+		for i := range want.Data {
+			if math.Float64bits(serial.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("%dx%dx%d: MulTBInto differs from Mul(a, bᵀ) at %d", tc.n, tc.k, tc.m, i)
+			}
+		}
+		for _, workers := range []int{0, 1, 2, 5, 64} {
+			dst := New(tc.n, tc.m)
+			// Poison dst to prove the kernel overwrites rather than accumulates.
+			for i := range dst.Data {
+				dst.Data[i] = math.NaN()
+			}
+			MulTBParallelInto(dst, a, b, workers)
+			for i := range want.Data {
+				if math.Float64bits(dst.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("%dx%dx%d workers=%d: element %d = %v, want %v",
+						tc.n, tc.k, tc.m, workers, i, dst.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulTBParallelIntoDimPanics pins that dimension mismatches still panic
+// like the serial kernel.
+func TestMulTBParallelIntoDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on inner-dimension mismatch")
+		}
+	}()
+	MulTBParallelInto(New(100, 100), New(100, 3), New(100, 4), 2)
+}

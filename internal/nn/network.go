@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"gpudvfs/internal/mat"
 )
@@ -130,6 +131,12 @@ func (l *Layer) Backward(dA *mat.Matrix) *mat.Matrix {
 // Network is a feed-forward neural network of fully connected layers.
 type Network struct {
 	Layers []*Layer
+
+	// predOnce guards the lazily built default Predictor that Predict
+	// routes through. Workspace shapes depend only on the layer widths,
+	// which are fixed at construction, so the predictor never goes stale.
+	predOnce sync.Once
+	pred     *Predictor
 }
 
 // Arch describes a network architecture: layer widths, hidden activation,
@@ -204,29 +211,22 @@ func (n *Network) Step(opt Optimizer) {
 	}
 }
 
+// Predictor returns the network's shared pooled-inference engine, building
+// it on first use. All callers share one predictor; concurrency is handled
+// by its internal workspace pool.
+func (n *Network) Predictor() *Predictor {
+	n.predOnce.Do(func() { n.pred = newPredictor(n) })
+	return n.pred
+}
+
 // Predict runs inference on a batch of rows and returns one output row per
 // input row. It does not mutate training state and is safe for concurrent
-// callers once training has completed.
+// callers once training has completed. It routes through the shared
+// Predictor, so the per-call intermediates come from a workspace pool; the
+// returned values are bit-identical to the historical allocate-per-call
+// implementation.
 func (n *Network) Predict(rows [][]float64) ([][]float64, error) {
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	x, err := mat.NewFromRows(rows)
-	if err != nil {
-		return nil, err
-	}
-	if x.Cols != n.Layers[0].In {
-		return nil, fmt.Errorf("nn: input has %d features, network expects %d", x.Cols, n.Layers[0].In)
-	}
-	a := x
-	for _, l := range n.Layers {
-		a = l.Infer(a)
-	}
-	out := make([][]float64, a.Rows)
-	for i := range out {
-		out[i] = append([]float64(nil), a.Row(i)...)
-	}
-	return out, nil
+	return n.Predictor().Predict(rows)
 }
 
 // Predict1 is a convenience wrapper for a single input row with a single
@@ -235,6 +235,9 @@ func (n *Network) Predict1(row []float64) (float64, error) {
 	out, err := n.Predict([][]float64{row})
 	if err != nil {
 		return 0, err
+	}
+	if len(out) == 0 {
+		return 0, fmt.Errorf("nn: Predict1 produced no output rows")
 	}
 	if len(out) != 1 || len(out[0]) != 1 {
 		return 0, fmt.Errorf("nn: Predict1 on network with %d outputs", len(out[0]))

@@ -71,7 +71,9 @@ func BenchmarkFitEpochs(b *testing.B) {
 }
 
 // BenchmarkPredictDesignSpace measures the online phase's inference cost:
-// predicting all 61 DVFS configurations in one batch.
+// predicting all 61 DVFS configurations in one batch. Predict now routes
+// through the pooled Predictor, so the remaining allocations are the
+// returned output rows the signature promises.
 func BenchmarkPredictDesignSpace(b *testing.B) {
 	net, _ := NewNetwork(PaperArch(3), 1)
 	_, rows, _ := benchBatch(61, 3)
@@ -79,6 +81,25 @@ func BenchmarkPredictDesignSpace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := net.Predict(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictIntoDesignSpace measures the same sweep through the
+// zero-alloc serving path: pooled workspaces, caller-provided output.
+func BenchmarkPredictIntoDesignSpace(b *testing.B) {
+	net, _ := NewNetwork(PaperArch(3), 1)
+	_, rows, _ := benchBatch(61, 3)
+	p := net.Predictor()
+	dst := make([][]float64, len(rows))
+	for i := range dst {
+		dst[i] = make([]float64, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.PredictInto(dst, rows); err != nil {
 			b.Fatal(err)
 		}
 	}

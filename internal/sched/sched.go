@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
@@ -74,28 +76,77 @@ type Plan struct {
 	FitsBudget bool
 }
 
+// Config configures a Planner.
+type Config struct {
+	// Seed drives the profiling runs' simulated noise.
+	Seed int64
+	// Workers bounds how many jobs are profiled concurrently; 0 means
+	// GOMAXPROCS (the repo-wide convention), 1 means serial. Every job's
+	// profiling run is seeded from its index alone, so the planner's
+	// output is bit-identical for any worker count.
+	Workers int
+}
+
 // Planner profiles jobs and produces budget-constrained frequency plans.
 type Planner struct {
-	arch   gpusim.Arch
-	models *core.Models
-	seed   int64
+	arch    gpusim.Arch
+	models  *core.Models
+	seed    int64
+	workers int
 
 	profiles map[string][]objective.Profile // job name -> predicted curve, ascending freq
 	jobs     []Job
+	clamped  int // clamp count accumulated over the last Profile
 }
 
 // NewPlanner returns a planner for the given architecture using trained
 // models. seed drives the profiling runs' simulated noise.
 func NewPlanner(arch gpusim.Arch, models *core.Models, seed int64) (*Planner, error) {
+	return NewPlannerConfig(arch, models, Config{Seed: seed})
+}
+
+// NewPlannerConfig is NewPlanner with explicit profiling concurrency.
+func NewPlannerConfig(arch gpusim.Arch, models *core.Models, cfg Config) (*Planner, error) {
 	if models == nil {
 		return nil, errors.New("sched: models are required")
 	}
-	return &Planner{arch: arch, models: models, seed: seed, profiles: map[string][]objective.Profile{}}, nil
+	return &Planner{
+		arch:     arch,
+		models:   models,
+		seed:     cfg.Seed,
+		workers:  cfg.Workers,
+		profiles: map[string][]objective.Profile{},
+	}, nil
+}
+
+// profiled is one job's online-phase outcome, produced by profileJob and
+// reduced in index order so results never depend on worker interleaving.
+type profiled struct {
+	curve   []objective.Profile
+	clamped int
+	err     error
+}
+
+// profileJob runs the online phase for job index i. The device and the
+// collection seed derive from the job's index alone — never from which
+// worker ran it — which is what makes parallel profiling deterministic.
+func (p *Planner) profileJob(i int, j Job) profiled {
+	dev := gpusim.NewDevice(p.arch, p.seed+int64(i)*101)
+	on, err := core.OnlinePredict(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1})
+	if err != nil {
+		return profiled{err: fmt.Errorf("sched: profiling job %q: %w", j.Name, err)}
+	}
+	curve := append([]objective.Profile(nil), on.Predicted...)
+	sort.Slice(curve, func(a, b int) bool { return curve[a].FreqMHz < curve[b].FreqMHz })
+	return profiled{curve: curve, clamped: on.Clamped}
 }
 
 // Profile runs the online phase for every job (one profiling run each at
-// the maximum clock) and caches the predicted DVFS curves. Job names must
-// be unique and non-empty.
+// the maximum clock) and caches the predicted DVFS curves, fanning the
+// per-job work over Config.Workers goroutines. Job names must be unique
+// and non-empty. The cached curves are bit-identical for any worker count,
+// and on error the reported failure is the one with the lowest job index,
+// exactly as the serial loop would have surfaced it.
 func (p *Planner) Profile(jobs []Job) error {
 	if len(jobs) == 0 {
 		return errors.New("sched: no jobs")
@@ -110,19 +161,56 @@ func (p *Planner) Profile(jobs []Job) error {
 		}
 		seen[j.Name] = true
 	}
-	for i, j := range jobs {
-		dev := gpusim.NewDevice(p.arch, p.seed+int64(i)*101)
-		on, err := core.OnlinePredict(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1})
-		if err != nil {
-			return fmt.Errorf("sched: profiling job %q: %w", j.Name, err)
+
+	results := make([]profiled, len(jobs))
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = p.profileJob(i, j)
 		}
-		curve := append([]objective.Profile(nil), on.Predicted...)
-		sort.Slice(curve, func(a, b int) bool { return curve[a].FreqMHz < curve[b].FreqMHz })
-		p.profiles[j.Name] = curve
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = p.profileJob(i, jobs[i])
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	p.clamped = 0
+	for i, j := range jobs {
+		p.profiles[j.Name] = results[i].curve
+		p.clamped += results[i].clamped
 	}
 	p.jobs = append([]Job(nil), jobs...)
 	return nil
 }
+
+// Clamped reports how many per-frequency predictions hit the power or
+// slowdown safety floors during the last Profile — non-zero means the
+// models were undertrained for some of the fleet's jobs.
+func (p *Planner) Clamped() int { return p.clamped }
 
 // jobState tracks one job's position on its DVFS curve during planning.
 type jobState struct {

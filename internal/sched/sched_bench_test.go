@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/stats"
+	"gpudvfs/internal/workloads"
+)
+
+// benchModels builds paper-shaped models without paying for training; the
+// planning-path cost is identical for trained and untrained weights.
+func benchModels(b *testing.B) *core.Models {
+	b.Helper()
+	arch := gpusim.GA100()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &core.Models{
+		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
+		Scaler:     &stats.StandardScaler{Means: []float64{0.4, 0.3, 0.7}, Stds: []float64{0.2, 0.15, 0.25}},
+		Power:      power,
+		Time:       tmodel,
+		TrainedOn:  arch.Name,
+		TDPWatts:   arch.TDPWatts,
+		MaxFreqMHz: arch.MaxFreqMHz,
+	}
+}
+
+// benchJobs returns a 32-job fleet cycling through the workload catalog.
+func benchJobs(b *testing.B) []Job {
+	b.Helper()
+	names := workloads.Names()
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		app, err := workloads.ByName(names[i%len(names)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs[i] = Job{Name: fmt.Sprintf("job%02d", i), App: app, GPUs: 1 + i%4}
+	}
+	return jobs
+}
+
+// BenchmarkPlanFleet measures fleet planning end to end — profiling 32 jobs
+// (one online phase each) and fitting the fleet under a power budget.
+func BenchmarkPlanFleet(b *testing.B) {
+	m := benchModels(b)
+	jobs := benchJobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewPlanner(gpusim.GA100(), m, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Profile(jobs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(6000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanFleetParallel is BenchmarkPlanFleet with the per-job online
+// phases fanned over a worker pool (bit-identical output by construction).
+func BenchmarkPlanFleetParallel(b *testing.B) {
+	m := benchModels(b)
+	jobs := benchJobs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 11, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Profile(jobs); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(6000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

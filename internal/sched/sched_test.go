@@ -252,3 +252,102 @@ func TestGPUCountsScalePower(t *testing.T) {
 		t.Fatalf("8-GPU job power %v != 8×%v", eight.TotalPowerWatts, one.TotalPowerWatts)
 	}
 }
+
+// bigFleet returns a fleet wide enough to exercise real worker contention.
+func bigFleet(t *testing.T) []Job {
+	t.Helper()
+	names := workloads.Names()
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		app, err := workloads.ByName(names[i%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{Name: names[i%len(names)] + "-" + string(rune('a'+i)), App: app, GPUs: 1 + i%3, MaxSlowdown: 0.20}
+	}
+	return jobs
+}
+
+func plansIdentical(a, b Plan) bool {
+	if math.Float64bits(a.TotalPowerWatts) != math.Float64bits(b.TotalPowerWatts) ||
+		a.FitsBudget != b.FitsBudget || len(a.Assignments) != len(b.Assignments) {
+		return false
+	}
+	for i := range a.Assignments {
+		x, y := a.Assignments[i], b.Assignments[i]
+		if x.Job != y.Job || x.GPUs != y.GPUs ||
+			math.Float64bits(x.FreqMHz) != math.Float64bits(y.FreqMHz) ||
+			math.Float64bits(x.PowerWatts) != math.Float64bits(y.PowerWatts) ||
+			math.Float64bits(x.SlowdownPct) != math.Float64bits(y.SlowdownPct) ||
+			math.Float64bits(x.EnergyPct) != math.Float64bits(y.EnergyPct) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanFleetDeterministicAcrossWorkers is the parallel-planning
+// contract: the plan (assignment order included) and the clamp counter are
+// bit-identical whether the per-job online phases ran serially or on a
+// worker pool.
+func TestPlanFleetDeterministicAcrossWorkers(t *testing.T) {
+	m := quickModels(t)
+	jobs := bigFleet(t)
+	const budget = 9000
+
+	var ref Plan
+	var refClamped int
+	for _, workers := range []int{1, 4, 16} {
+		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Profile(jobs); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := p.Plan(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			ref, refClamped = plan, p.Clamped()
+			continue
+		}
+		if !plansIdentical(plan, ref) {
+			t.Fatalf("workers=%d: plan diverged from serial plan", workers)
+		}
+		if p.Clamped() != refClamped {
+			t.Fatalf("workers=%d: clamp count %d, serial %d", workers, p.Clamped(), refClamped)
+		}
+	}
+}
+
+// TestProfileParallelErrorIsLowestIndex pins the error-reduction order: a
+// fleet with several unprofilable jobs reports the lowest-index failure no
+// matter how many workers raced on it.
+func TestProfileParallelErrorIsLowestIndex(t *testing.T) {
+	m := quickModels(t)
+	jobs := bigFleet(t)
+	// Empty kernel profiles make OnlinePredict fail during profiling.
+	jobs[3].App = gpusim.KernelProfile{Name: "broken-low"}
+	jobs[9].App = gpusim.KernelProfile{Name: "broken-high"}
+
+	want := ""
+	for _, workers := range []int{1, 4} {
+		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = p.Profile(jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: broken fleet profiled successfully", workers)
+		}
+		if workers == 1 {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Fatalf("workers=%d error %q, serial error %q", workers, err, want)
+		}
+	}
+}

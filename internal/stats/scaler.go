@@ -13,6 +13,11 @@ type Scaler interface {
 	Fit(x [][]float64) error
 	// Transform returns a scaled copy of the rows of x.
 	Transform(x [][]float64) ([][]float64, error)
+	// TransformInto scales the rows of x into dst without allocating.
+	// dst must have the same shape as x; dst and x may alias (including
+	// dst[i] == x[i] for in-place scaling). The written values are
+	// bit-identical to Transform's.
+	TransformInto(dst, x [][]float64) error
 	// InverseTransform undoes Transform.
 	InverseTransform(x [][]float64) ([][]float64, error)
 }
@@ -78,6 +83,35 @@ func (s *MinMaxScaler) Transform(x [][]float64) ([][]float64, error) {
 		out[i] = o
 	}
 	return out, nil
+}
+
+// TransformInto maps rows onto the fitted [0,1] ranges, writing into dst.
+// dst must match x's shape; dst and x may alias for in-place scaling.
+func (s *MinMaxScaler) TransformInto(dst, x [][]float64) error {
+	if err := s.fitted(); err != nil {
+		return err
+	}
+	if len(dst) != len(x) {
+		return fmt.Errorf("stats: TransformInto dst has %d rows, x has %d: %w", len(dst), len(x), ErrLengthMismatch)
+	}
+	for i, row := range x {
+		if len(row) != len(s.Mins) {
+			return fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Mins), ErrLengthMismatch)
+		}
+		o := dst[i]
+		if len(o) != len(row) {
+			return fmt.Errorf("stats: TransformInto dst row %d has %d cols, want %d: %w", i, len(o), len(row), ErrLengthMismatch)
+		}
+		for j, v := range row {
+			span := s.Maxs[j] - s.Mins[j]
+			if span == 0 {
+				o[j] = 0
+				continue
+			}
+			o[j] = (v - s.Mins[j]) / span
+		}
+	}
+	return nil
 }
 
 // InverseTransform maps scaled rows back to the original ranges.
@@ -155,6 +189,36 @@ func (s *StandardScaler) Transform(x [][]float64) ([][]float64, error) {
 		out[i] = o
 	}
 	return out, nil
+}
+
+// TransformInto standardizes the rows of x into dst without allocating.
+// dst must match x's shape; dst and x may alias (the serving hot path
+// scales its sweep matrix in place). Written values are bit-identical to
+// Transform's.
+func (s *StandardScaler) TransformInto(dst, x [][]float64) error {
+	if err := s.fitted(); err != nil {
+		return err
+	}
+	if len(dst) != len(x) {
+		return fmt.Errorf("stats: TransformInto dst has %d rows, x has %d: %w", len(dst), len(x), ErrLengthMismatch)
+	}
+	for i, row := range x {
+		if len(row) != len(s.Means) {
+			return fmt.Errorf("stats: row %d has %d cols, scaler fitted on %d: %w", i, len(row), len(s.Means), ErrLengthMismatch)
+		}
+		o := dst[i]
+		if len(o) != len(row) {
+			return fmt.Errorf("stats: TransformInto dst row %d has %d cols, want %d: %w", i, len(o), len(row), ErrLengthMismatch)
+		}
+		for j, v := range row {
+			if s.Stds[j] == 0 {
+				o[j] = 0
+				continue
+			}
+			o[j] = (v - s.Means[j]) / s.Stds[j]
+		}
+	}
+	return nil
 }
 
 // InverseTransform undoes standardization.

@@ -149,3 +149,63 @@ func TestScalerTransformDoesNotMutate(t *testing.T) {
 		t.Fatal("Transform mutated its input")
 	}
 }
+
+// TestTransformIntoBitIdentical pins the serving-path contract for both
+// scalers: TransformInto (including fully in-place, dst aliasing x) writes
+// values bit-identical to Transform.
+func TestTransformIntoBitIdentical(t *testing.T) {
+	x := [][]float64{{1, 2, 5}, {3, 4, 5}, {-2, 0.5, 5}} // constant third column
+	for _, sc := range []Scaler{&MinMaxScaler{}, &StandardScaler{}} {
+		if err := sc.Fit(x); err != nil {
+			t.Fatal(err)
+		}
+		want, err := sc.Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := [][]float64{make([]float64, 3), make([]float64, 3), make([]float64, 3)}
+		if err := sc.TransformInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+		inplace := [][]float64{
+			append([]float64(nil), x[0]...),
+			append([]float64(nil), x[1]...),
+			append([]float64(nil), x[2]...),
+		}
+		if err := sc.TransformInto(inplace, inplace); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if math.Float64bits(dst[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("%T: TransformInto differs at (%d,%d)", sc, i, j)
+				}
+				if math.Float64bits(inplace[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("%T: in-place TransformInto differs at (%d,%d)", sc, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestTransformIntoValidation pins the error cases: unfitted scaler, row
+// count mismatch, ragged source row, short destination row.
+func TestTransformIntoValidation(t *testing.T) {
+	var un StandardScaler
+	if err := un.TransformInto([][]float64{{1}}, [][]float64{{1}}); err == nil {
+		t.Error("want error for unfitted scaler")
+	}
+	s := &StandardScaler{}
+	if err := s.Fit([][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TransformInto([][]float64{{0, 0}}, [][]float64{{1, 2}, {3, 4}}); err == nil {
+		t.Error("want error for row-count mismatch")
+	}
+	if err := s.TransformInto([][]float64{{0, 0}}, [][]float64{{1}}); err == nil {
+		t.Error("want error for ragged source row")
+	}
+	if err := s.TransformInto([][]float64{{0}}, [][]float64{{1, 2}}); err == nil {
+		t.Error("want error for short destination row")
+	}
+}
