@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor
 
 .PHONY: all build test race bench-smoke fuzz-smoke vet check
 
@@ -28,11 +28,13 @@ race:
 # bench-smoke compiles and runs each hot-path benchmark once, catching
 # benchmark bit-rot without paying for stable measurements. The mi run
 # covers the BENCH_mi.json scaling table (tree and brute, n up to 12k);
-# the core/sched run covers the BENCH_serve.json serving-path table.
+# the core/sched run covers the BENCH_serve.json serving-path table; the
+# replay run covers the BENCH_backend.json trace-serving overhead table.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
 	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet' -benchtime=1x ./internal/core ./internal/sched
+	$(GO) test -run '^$$' -bench ReplayProfile -benchtime=1x ./internal/backend/replay
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in estimator exactness or plan-cache key aliasing surface
@@ -40,5 +42,6 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEstimateMatchesBrute -fuzztime=5s ./internal/mi
 	$(GO) test -run '^$$' -fuzz FuzzPlanKeyQuantizer -fuzztime=5s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzReplayRoundTrip -fuzztime=5s ./internal/backend/replay
 
 check: vet build test race bench-smoke fuzz-smoke

@@ -1,13 +1,15 @@
 // Command dvfs-collect is the launch module of the data-collection
 // framework (§4.1): it sweeps workloads across DVFS configurations on a
-// simulated GPU, sampling the 12 utilization metrics at a fixed interval,
-// and writes the telemetry as CSV.
+// device backend, sampling the 12 utilization metrics at a fixed interval,
+// and writes the telemetry as CSV. The default backend is the simulated
+// GPU; -backend replay re-serves a previous recording deterministically.
 //
 // Examples:
 //
 //	dvfs-collect -arch GA100 -workloads training -out train.csv
 //	dvfs-collect -arch GV100 -workloads LAMMPS,NAMD -runs 5 -out sweep.csv
 //	dvfs-collect -arch GA100 -workloads DGEMM -max-only -out profile.csv
+//	dvfs-collect -backend replay -trace train.csv -workloads trace -out replayed.csv
 package main
 
 import (
@@ -17,37 +19,43 @@ import (
 	"strings"
 	"time"
 
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/open"
+	"gpudvfs/internal/backend/replay"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
 	var (
-		archName   = flag.String("arch", "GA100", "GPU architecture: GA100 or GV100")
-		list       = flag.String("workloads", "training", `comma-separated workload names, or "training", "real", "all"`)
-		runs       = flag.Int("runs", 3, "runs per DVFS configuration")
-		interval   = flag.Duration("interval", dcgm.DefaultSampleInterval, "metric sampling interval")
-		inputScale = flag.Float64("input-scale", 1, "problem-size factor relative to each workload's reference size")
-		maxOnly    = flag.Bool("max-only", false, "profile at the maximum clock only (online-phase acquisition)")
-		seed       = flag.Int64("seed", 42, "simulation noise seed")
-		workers    = flag.Int("workers", 0, "concurrent workload sweeps (0 = GOMAXPROCS); results are identical for any value")
-		out        = flag.String("out", "", "output CSV path (default stdout)")
+		backendName = flag.String("backend", "sim", "device backend: sim or replay")
+		archName    = flag.String("arch", "GA100", "GPU architecture: GA100 or GV100 (sim backend)")
+		trace       = flag.String("trace", "", "CSV recording to serve (replay backend)")
+		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
+		list        = flag.String("workloads", "training", `comma-separated workload names, or "training", "real", "all", or "trace" (replay: every recorded workload)`)
+		runs        = flag.Int("runs", 3, "runs per DVFS configuration")
+		interval    = flag.Duration("interval", dcgm.DefaultSampleInterval, "metric sampling interval")
+		inputScale  = flag.Float64("input-scale", 1, "problem-size factor relative to each workload's reference size")
+		maxOnly     = flag.Bool("max-only", false, "profile at the maximum clock only (online-phase acquisition)")
+		seed        = flag.Int64("seed", 42, "simulation noise seed")
+		workers     = flag.Int("workers", 0, "concurrent workload sweeps (0 = GOMAXPROCS); results are identical for any value")
+		out         = flag.String("out", "", "output CSV path (default stdout)")
 	)
 	flag.Parse()
 
-	if err := run(*archName, *list, *runs, *interval, *inputScale, *maxOnly, *seed, *workers, *out); err != nil {
+	cfg := open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression}
+	if err := run(cfg, *list, *runs, *interval, *inputScale, *maxOnly, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-collect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(archName, list string, runs int, interval time.Duration, inputScale float64, maxOnly bool, seed int64, workers int, out string) error {
-	arch, err := gpusim.ArchByName(archName)
+func run(devCfg open.Config, list string, runs int, interval time.Duration, inputScale float64, maxOnly bool, seed int64, workers int, out string) error {
+	dev, err := open.Device(devCfg)
 	if err != nil {
 		return err
 	}
-	ws, err := resolveWorkloads(list)
+	ws, err := resolveWorkloads(dev, list)
 	if err != nil {
 		return err
 	}
@@ -63,7 +71,6 @@ func run(archName, list string, runs int, interval time.Duration, inputScale flo
 	if maxOnly {
 		// Online-phase acquisition profiles one run per workload on a
 		// single device, matching deployment; stays serial.
-		dev := gpusim.NewDevice(arch, seed)
 		coll := dcgm.NewCollector(dev, cfg)
 		for _, w := range ws {
 			r, err := coll.ProfileAtMax(w)
@@ -73,10 +80,10 @@ func run(archName, list string, runs int, interval time.Duration, inputScale flo
 			collected = append(collected, r)
 		}
 	} else {
-		// Full sweeps fan out one simulated device per workload, each
-		// seeded from the workload name — output is bit-identical for any
+		// Full sweeps fan out one forked device per workload, each seeded
+		// from the workload name — output is bit-identical for any
 		// -workers value.
-		if collected, err = dcgm.CollectAllParallel(arch, ws, cfg, workers); err != nil {
+		if collected, err = dcgm.CollectAllParallel(dev, ws, cfg, workers); err != nil {
 			return err
 		}
 	}
@@ -96,16 +103,26 @@ func run(archName, list string, runs int, interval time.Duration, inputScale flo
 	return nil
 }
 
-func resolveWorkloads(list string) ([]gpusim.KernelProfile, error) {
+func resolveWorkloads(dev backend.Device, list string) ([]backend.Workload, error) {
 	switch list {
 	case "training":
-		return workloads.TrainingSet(), nil
+		return backend.Workloads(workloads.TrainingSet()), nil
 	case "real":
-		return workloads.RealApps(), nil
+		return backend.Workloads(workloads.RealApps()), nil
 	case "all":
-		return workloads.All(), nil
+		return backend.Workloads(workloads.All()), nil
+	case "trace":
+		rd, ok := dev.(*replay.Device)
+		if !ok {
+			return nil, fmt.Errorf(`-workloads trace needs -backend replay`)
+		}
+		var out []backend.Workload
+		for _, name := range rd.Workloads() {
+			out = append(out, backend.Named(name))
+		}
+		return out, nil
 	}
-	var out []gpusim.KernelProfile
+	var out []backend.Workload
 	for _, name := range strings.Split(list, ",") {
 		w, err := workloads.ByName(strings.TrimSpace(name))
 		if err != nil {

@@ -5,8 +5,17 @@ import (
 	"testing"
 	"time"
 
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/open"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dcgm"
 )
+
+func simDev() backend.Device { return sim.New(sim.GA100(), 0) }
+
+func simCfg(arch string, seed int64) open.Config {
+	return open.Config{Backend: "sim", Arch: arch, Seed: seed}
+}
 
 func TestResolveWorkloadsGroups(t *testing.T) {
 	cases := []struct {
@@ -20,7 +29,7 @@ func TestResolveWorkloadsGroups(t *testing.T) {
 		{" LAMMPS , NAMD ", 2},
 	}
 	for _, c := range cases {
-		ws, err := resolveWorkloads(c.list)
+		ws, err := resolveWorkloads(simDev(), c.list)
 		if err != nil {
 			t.Fatalf("%q: %v", c.list, err)
 		}
@@ -28,14 +37,14 @@ func TestResolveWorkloadsGroups(t *testing.T) {
 			t.Fatalf("%q: %d workloads, want %d", c.list, len(ws), c.want)
 		}
 	}
-	if _, err := resolveWorkloads("NOPE"); err == nil {
+	if _, err := resolveWorkloads(simDev(), "NOPE"); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
 
 func TestRunWritesCSV(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "runs.csv")
-	err := run("GA100", "DGEMM", 1, 20*time.Millisecond, 1, true /*maxOnly*/, 1, 1, out)
+	err := run(simCfg("GA100", 1), "DGEMM", 1, 20*time.Millisecond, 1, true /*maxOnly*/, 1, 1, out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +59,7 @@ func TestRunWritesCSV(t *testing.T) {
 
 func TestRunSweep(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "sweep.csv")
-	if err := run("GV100", "STREAM", 2, 20*time.Millisecond, 1, false, 1, 2, out); err != nil {
+	if err := run(simCfg("GV100", 1), "STREAM", 2, 20*time.Millisecond, 1, false, 1, 2, out); err != nil {
 		t.Fatal(err)
 	}
 	runs, err := dcgm.ReadRunsFile(out)
@@ -63,10 +72,10 @@ func TestRunSweep(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("H100", "DGEMM", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
+	if err := run(simCfg("H100", 1), "DGEMM", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run("GA100", "NOPE", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
+	if err := run(simCfg("GA100", 1), "NOPE", 1, time.Millisecond, 1, true, 1, 1, ""); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

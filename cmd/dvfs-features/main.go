@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"os"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/mi"
 )
 
@@ -43,7 +43,7 @@ func run(in, archName string, top int, opts mi.Options, w *os.File) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	arch, err := gpusim.ArchByName(archName)
+	arch, err := backend.ArchByName(archName)
 	if err != nil {
 		return err
 	}
@@ -98,7 +98,7 @@ func run(in, archName string, top int, opts mi.Options, w *os.File) error {
 
 // featureColumns extracts the 10 candidate feature columns plus the two
 // predictands from per-run mean samples.
-func featureColumns(runs []dcgm.Run, arch gpusim.Arch) (cols map[string][]float64, power, execTime []float64) {
+func featureColumns(runs []dcgm.Run, arch backend.Arch) (cols map[string][]float64, power, execTime []float64) {
 	cols = map[string][]float64{}
 	for _, r := range runs {
 		m := r.MeanSample()

@@ -7,16 +7,17 @@ import (
 	"testing"
 
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/mi"
 	"gpudvfs/internal/workloads"
 )
 
 func collectCSV(t *testing.T) string {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 81)
+	dev := sim.New(sim.GA100(), 81)
 	coll := dcgm.NewCollector(dev, dcgm.Config{Runs: 2, MaxSamplesPerRun: 4, Seed: 82})
-	runs, err := coll.CollectAll(workloads.MicroBenchmarks())
+	runs, err := coll.CollectAll(backend.Workloads(workloads.MicroBenchmarks()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +78,13 @@ func TestRunBruteIdenticalOutput(t *testing.T) {
 }
 
 func TestFeatureColumnsShape(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 83)
+	dev := sim.New(sim.GA100(), 83)
 	coll := dcgm.NewCollector(dev, dcgm.Config{Freqs: []float64{900, 1410}, Runs: 1, MaxSamplesPerRun: 3, Seed: 84})
 	runs, err := coll.CollectWorkload(workloads.DGEMM())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cols, power, execTime := featureColumns(runs, gpusim.GA100())
+	cols, power, execTime := featureColumns(runs, sim.GA100().Spec())
 	if len(cols) != 10 {
 		t.Fatalf("%d feature columns, want 10", len(cols))
 	}

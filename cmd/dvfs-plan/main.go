@@ -24,8 +24,8 @@ import (
 	"fmt"
 	"os"
 
+	"gpudvfs/internal/backend/open"
 	"gpudvfs/internal/core"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/sched"
 	"gpudvfs/internal/workloads"
 )
@@ -40,29 +40,33 @@ type jobSpec struct {
 
 func main() {
 	var (
-		modelsDir = flag.String("models", "models", "directory with models saved by dvfs-train")
-		jobsPath  = flag.String("jobs", "", "JSON job list (see command doc)")
-		budget    = flag.Float64("budget", 0, "fleet power budget in watts")
-		archName  = flag.String("arch", "GA100", "target GPU architecture")
-		seed      = flag.Int64("seed", 11, "profiling noise seed")
-		workers   = flag.Int("workers", 0, "concurrent per-job profiling workers; 0 = all cores (output is identical for any value)")
+		modelsDir   = flag.String("models", "models", "directory with models saved by dvfs-train")
+		jobsPath    = flag.String("jobs", "", "JSON job list (see command doc)")
+		budget      = flag.Float64("budget", 0, "fleet power budget in watts")
+		backendName = flag.String("backend", "sim", "device backend: sim or replay")
+		archName    = flag.String("arch", "GA100", "target GPU architecture (sim backend)")
+		trace       = flag.String("trace", "", "CSV recording with max-clock profiles of the jobs' apps (replay backend)")
+		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
+		seed        = flag.Int64("seed", 11, "profiling noise seed")
+		workers     = flag.Int("workers", 0, "concurrent per-job profiling workers; 0 = all cores (output is identical for any value)")
 	)
 	flag.Parse()
 
-	if err := run(*modelsDir, *jobsPath, *budget, *archName, *seed, *workers, os.Stdout); err != nil {
+	cfg := open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression}
+	if err := run(*modelsDir, *jobsPath, *budget, cfg, *seed, *workers, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelsDir, jobsPath string, budget float64, archName string, seed int64, workers int, w *os.File) error {
+func run(modelsDir, jobsPath string, budget float64, devCfg open.Config, seed int64, workers int, w *os.File) error {
 	if jobsPath == "" {
 		return fmt.Errorf("-jobs is required")
 	}
 	if budget <= 0 {
 		return fmt.Errorf("-budget must be positive")
 	}
-	arch, err := gpusim.ArchByName(archName)
+	dev, err := open.Device(devCfg)
 	if err != nil {
 		return err
 	}
@@ -75,7 +79,7 @@ func run(modelsDir, jobsPath string, budget float64, archName string, seed int64
 		return err
 	}
 
-	planner, err := sched.NewPlannerConfig(arch, models, sched.Config{Seed: seed, Workers: workers})
+	planner, err := sched.NewPlannerConfig(dev, models, sched.Config{Seed: seed, Workers: workers})
 	if err != nil {
 		return err
 	}

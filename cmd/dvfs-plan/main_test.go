@@ -8,15 +8,21 @@ import (
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/open"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
+func simCfg(arch string, seed int64) open.Config {
+	return open.Config{Backend: "sim", Arch: arch, Seed: seed}
+}
+
 func trainSmallModels(t *testing.T) string {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 71)
+	dev := sim.New(sim.GA100(), 71)
 	coll := dcgm.NewCollector(dev, dcgm.Config{
-		Freqs:            gpusim.GA100().DesignClocks(),
+		Freqs:            sim.GA100().DesignClocks(),
 		Runs:             1,
 		MaxSamplesPerRun: 3,
 		Seed:             72,
@@ -25,15 +31,15 @@ func trainSmallModels(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+	runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+	ds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+	sds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{PerSample: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +73,7 @@ func TestLoadJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(jobs) != 2 || jobs[0].Name != "md" || jobs[0].App.Name != "LAMMPS" || jobs[0].GPUs != 2 {
+	if len(jobs) != 2 || jobs[0].Name != "md" || jobs[0].App.WorkloadName() != "LAMMPS" || jobs[0].GPUs != 2 {
 		t.Fatalf("jobs = %+v", jobs)
 	}
 }
@@ -90,11 +96,11 @@ func TestLoadJobsErrors(t *testing.T) {
 func TestRunPlans(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, jobs, 5000, "GA100", 1, 4, os.Stdout); err != nil {
+	if err := run(models, jobs, 5000, simCfg("GA100", 1), 1, 4, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	// A tiny budget still plans (reporting infeasibility), it must not error.
-	if err := run(models, jobs, 10, "GA100", 1, 1, os.Stdout); err != nil {
+	if err := run(models, jobs, 10, simCfg("GA100", 1), 1, 1, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -102,16 +108,16 @@ func TestRunPlans(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, "", 1000, "GA100", 1, 1, os.Stdout); err == nil {
+	if err := run(models, "", 1000, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
 		t.Fatal("missing jobs accepted")
 	}
-	if err := run(models, jobs, 0, "GA100", 1, 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 0, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
 		t.Fatal("zero budget accepted")
 	}
-	if err := run(models, jobs, 1000, "H100", 1, 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 1000, simCfg("H100", 1), 1, 1, os.Stdout); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, "GA100", 1, 1, os.Stdout); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
 		t.Fatal("missing models accepted")
 	}
 }

@@ -16,23 +16,26 @@ import (
 	"fmt"
 	"os"
 
+	"gpudvfs/internal/backend/open"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
 	var (
-		modelsDir = flag.String("models", "models", "directory with models saved by dvfs-train")
-		archName  = flag.String("arch", "GA100", "target GPU architecture")
-		app       = flag.String("app", "", "application to predict (see -list)")
-		objName   = flag.String("objective", "ED2P", "multi-objective function: EDP or ED2P")
-		threshold = flag.Float64("threshold", -1, "performance-degradation threshold (fraction, e.g. 0.05); negative disables")
-		seed      = flag.Int64("seed", 7, "simulation noise seed for the profiling run")
-		list      = flag.Bool("list", false, "list available applications and exit")
-		verbose   = flag.Bool("v", false, "print the full predicted profile")
+		modelsDir   = flag.String("models", "models", "directory with models saved by dvfs-train")
+		backendName = flag.String("backend", "sim", "device backend: sim or replay")
+		archName    = flag.String("arch", "GA100", "target GPU architecture (sim backend)")
+		trace       = flag.String("trace", "", "CSV recording with a max-clock profile of the app (replay backend)")
+		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
+		app         = flag.String("app", "", "application to predict (see -list)")
+		objName     = flag.String("objective", "ED2P", "multi-objective function: EDP or ED2P")
+		threshold   = flag.Float64("threshold", -1, "performance-degradation threshold (fraction, e.g. 0.05); negative disables")
+		seed        = flag.Int64("seed", 7, "simulation noise seed for the profiling run")
+		list        = flag.Bool("list", false, "list available applications and exit")
+		verbose     = flag.Bool("v", false, "print the full predicted profile")
 	)
 	flag.Parse()
 
@@ -42,19 +45,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*modelsDir, *archName, *app, *objName, *threshold, *seed, *verbose); err != nil {
+	cfg := open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression}
+	if err := run(*modelsDir, cfg, *app, *objName, *threshold, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-predict:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelsDir, archName, app, objName string, threshold float64, seed int64, verbose bool) error {
+func run(modelsDir string, devCfg open.Config, app, objName string, threshold float64, seed int64, verbose bool) error {
 	if app == "" {
 		return fmt.Errorf("-app is required (try -list)")
-	}
-	arch, err := gpusim.ArchByName(archName)
-	if err != nil {
-		return err
 	}
 	w, err := workloads.ByName(app)
 	if err != nil {
@@ -69,13 +69,16 @@ func run(modelsDir, archName, app, objName string, threshold float64, seed int64
 		return err
 	}
 
-	dev := gpusim.NewDevice(arch, seed)
+	dev, err := open.Device(devCfg)
+	if err != nil {
+		return err
+	}
 	res, err := core.OnlinePredict(dev, models, w, dcgm.Config{Seed: seed + 1})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("profiled %s once at %v MHz on %s: exec %.3f s, avg power %.1f W\n",
-		app, res.ProfileRun.FreqMHz, arch.Name, res.ProfileRun.ExecTimeSec, res.ProfileRun.AvgPowerWatts)
+		app, res.ProfileRun.FreqMHz, dev.Arch().Name, res.ProfileRun.ExecTimeSec, res.ProfileRun.AvgPowerWatts)
 
 	if verbose {
 		fmt.Printf("%10s %10s %10s %12s %12s\n", "freq_mhz", "power_w", "time_s", "energy_j", obj.Name())

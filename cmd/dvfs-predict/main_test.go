@@ -7,14 +7,20 @@ import (
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/open"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
+
+func simCfg(arch string, seed int64) open.Config {
+	return open.Config{Backend: "sim", Arch: arch, Seed: seed}
+}
 
 // trainSmallModels produces a quick model directory for the predict tests.
 func trainSmallModels(t *testing.T) string {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	dev := sim.New(sim.GA100(), 7)
 	coll := dcgm.NewCollector(dev, dcgm.Config{
 		Freqs:            []float64{510, 750, 1050, 1410},
 		Runs:             2,
@@ -25,15 +31,15 @@ func trainSmallModels(t *testing.T) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+	runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+	ds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+	sds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{PerSample: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,30 +56,30 @@ func trainSmallModels(t *testing.T) string {
 
 func TestRunPredicts(t *testing.T) {
 	dir := trainSmallModels(t)
-	if err := run(dir, "GA100", "LAMMPS", "ED2P", -1, 9, false); err != nil {
+	if err := run(dir, simCfg("GA100", 9), "LAMMPS", "ED2P", -1, 9, false); err != nil {
 		t.Fatal(err)
 	}
 	// Cross-architecture prediction with the same models.
-	if err := run(dir, "GV100", "LAMMPS", "EDP", 0.05, 9, true); err != nil {
+	if err := run(dir, simCfg("GV100", 9), "LAMMPS", "EDP", 0.05, 9, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := trainSmallModels(t)
-	if err := run(dir, "GA100", "", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "", "EDP", -1, 1, false); err == nil {
 		t.Fatal("missing app accepted")
 	}
-	if err := run(dir, "H100", "LAMMPS", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("H100", 1), "LAMMPS", "EDP", -1, 1, false); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run(dir, "GA100", "NOPE", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "NOPE", "EDP", -1, 1, false); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if err := run(dir, "GA100", "LAMMPS", "EDDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "LAMMPS", "EDDP", -1, 1, false); err == nil {
 		t.Fatal("unknown objective accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope"), "GA100", "LAMMPS", "EDP", -1, 1, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope"), simCfg("GA100", 1), "LAMMPS", "EDP", -1, 1, false); err == nil {
 		t.Fatal("missing models dir accepted")
 	}
 }

@@ -37,6 +37,9 @@ func main() {
 }
 
 func run(out string, seed int64, runs int, compare, checksOnly bool) error {
+	if runs < 1 {
+		return fmt.Errorf("-runs must be at least 1 (got %d)", runs)
+	}
 	ctx := experiments.NewContext(experiments.Config{Seed: seed, Runs: runs})
 
 	if checksOnly {

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRunChecksOnly is the happy path: the shape-check verdicts over the
+// full regenerated evaluation must all pass at the default configuration.
+// It regenerates every experiment, so it is skipped in -short runs.
+func TestRunChecksOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full evaluation; skipped in -short mode")
+	}
+	if err := run("", 42, 3, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", 42, 0, false, true); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+	if err := run("", 42, -3, false, false); err == nil {
+		t.Fatal("negative runs accepted")
+	}
+	// An unwritable output path must fail before any experiment runs.
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "report.md")
+	if err := run(bad, 42, 3, false, false); err == nil {
+		t.Fatal("unwritable -out accepted")
+	}
+}

@@ -15,10 +15,11 @@ import (
 	"fmt"
 	"os"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -45,12 +46,13 @@ func main() {
 }
 
 func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs int, activation, optimizer string, seed int64, runsPer, workers int) error {
-	arch, err := gpusim.ArchByName(archName)
+	arch, err := backend.ArchByName(archName)
 	if err != nil {
 		return err
 	}
 
 	var runs []dcgm.Run
+	trainedVia := "" // backend provenance; set only when we produced the telemetry ourselves
 	switch {
 	case collect:
 		cfg := dcgm.Config{
@@ -58,7 +60,12 @@ func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs 
 			Seed:             seed + 42,
 			MaxSamplesPerRun: core.OfflineTrainSamplesPerRun,
 		}
-		if runs, err = dcgm.CollectAllParallel(arch, workloads.TrainingSet(), cfg, workers); err != nil {
+		dev, err := sim.NewByName(archName, seed)
+		if err != nil {
+			return err
+		}
+		trainedVia = dev.Kind()
+		if runs, err = dcgm.CollectAllParallel(dev, backend.Workloads(workloads.TrainingSet()), cfg, workers); err != nil {
 			return err
 		}
 		fmt.Printf("collected %d runs for %d training workloads on %s\n",
@@ -94,6 +101,10 @@ func run(in string, collect bool, archName, out string, powerEpochs, timeEpochs 
 	if err != nil {
 		return err
 	}
+	// Stamp provenance: the DVFS table the telemetry swept, plus the
+	// producing backend when the telemetry was collected inline.
+	models.Backend = trainedVia
+	models.DVFS = core.DVFSTableOf(arch)
 	fmt.Printf("power model:  %d epochs, final train MSE %.5f, val MSE %.5f\n",
 		len(models.PowerHist.TrainLoss),
 		last(models.PowerHist.TrainLoss), last(models.PowerHist.ValLoss))

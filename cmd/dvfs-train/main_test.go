@@ -6,7 +6,8 @@ import (
 
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -14,14 +15,14 @@ import (
 // writes it as a dvfs-collect-style CSV.
 func writeSmallCampaign(t *testing.T) string {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	dev := sim.New(sim.GA100(), 5)
 	coll := dcgm.NewCollector(dev, dcgm.Config{
 		Freqs:            []float64{510, 900, 1410},
 		Runs:             2,
 		MaxSamplesPerRun: 4,
 		Seed:             6,
 	})
-	runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()})
+	runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM()}))
 	if err != nil {
 		t.Fatal(err)
 	}

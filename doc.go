@@ -10,14 +10,17 @@
 // frequency with EDP/ED²P multi-objective functions.
 //
 // Because the paper's substrate is real hardware (A100/V100 nodes, DCGM,
-// CUDA workloads), this repository ships a full simulated substrate: an
-// analytical GPU device model with DVFS (internal/gpusim), synthetic
-// workload profiles for all 27 applications in the paper (internal/
-// workloads), a DCGM-style telemetry framework (internal/dcgm), a neural-
-// network library (internal/nn), a KSG mutual-information estimator
-// (internal/mi), and the multi-learner baselines of the paper's comparison
-// (internal/mlbase). The paper's pipeline itself lives in internal/core,
-// and internal/experiments regenerates every table and figure.
+// CUDA workloads), this repository ships a full simulated substrate behind
+// a pluggable device-backend seam (internal/backend): an analytical GPU
+// device model with DVFS (internal/gpusim, wrapped by backend/sim), a
+// deterministic trace-replay backend over recorded campaigns
+// (backend/replay), synthetic workload profiles for all 27 applications in
+// the paper (internal/workloads), a DCGM-style telemetry framework
+// (internal/dcgm), a neural-network library (internal/nn), a KSG mutual-
+// information estimator (internal/mi), and the multi-learner baselines of
+// the paper's comparison (internal/mlbase). The paper's pipeline itself
+// lives in internal/core, and internal/experiments regenerates every table
+// and figure.
 //
 // See README.md for the tour, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results.

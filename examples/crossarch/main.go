@@ -16,17 +16,18 @@ import (
 	"fmt"
 	"log"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
-	ga, gv := gpusim.GA100(), gpusim.GV100()
+	ga, gv := sim.GA100(), sim.GV100()
 
 	fmt.Printf("training on %s only (%d DVFS configs)...\n", ga.Name, len(ga.DesignClocks()))
-	offline, err := core.OfflineTrain(gpusim.NewDevice(ga, 42), workloads.TrainingSet(),
+	offline, err := core.OfflineTrain(sim.New(ga, 42), backend.Workloads(workloads.TrainingSet()),
 		dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +35,7 @@ func main() {
 
 	fmt.Printf("evaluating the same models on both architectures:\n\n")
 	fmt.Printf("%-7s %-10s %12s %12s\n", "gpu", "app", "power_acc", "time_acc")
-	for _, arch := range []gpusim.Arch{ga, gv} {
+	for _, arch := range []sim.Arch{ga, gv} {
 		var sumP, sumT float64
 		apps := workloads.RealApps()
 		for i, app := range apps {
@@ -43,7 +44,7 @@ func main() {
 				seed += 500
 			}
 			// Measured ground truth: a full sweep on this architecture.
-			coll := dcgm.NewCollector(gpusim.NewDevice(arch, seed), dcgm.Config{Seed: seed + 1})
+			coll := dcgm.NewCollector(sim.New(arch, seed), dcgm.Config{Seed: seed + 1})
 			runs, err := coll.CollectWorkload(app)
 			if err != nil {
 				log.Fatal(err)
@@ -51,7 +52,7 @@ func main() {
 			measured := core.MeasuredProfiles(runs)
 
 			// Online phase on this architecture with the GA100 models.
-			online, err := core.OnlinePredict(gpusim.NewDevice(arch, seed+2), offline.Models, app,
+			online, err := core.OnlinePredict(sim.New(arch, seed+2), offline.Models, app,
 				dcgm.Config{Seed: seed + 3})
 			if err != nil {
 				log.Fatal(err)

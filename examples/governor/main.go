@@ -13,23 +13,24 @@ import (
 	"fmt"
 	"log"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/governor"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	fmt.Println("training models on the benchmark suite...")
-	offline, err := core.OfflineTrain(gpusim.NewDevice(arch, 42), workloads.TrainingSet(),
+	offline, err := core.OfflineTrain(sim.New(arch, 42), backend.Workloads(workloads.TrainingSet()),
 		dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	dev := gpusim.NewDevice(arch, 7)
+	dev := sim.New(arch, 7)
 	cfg := governor.DefaultConfig()
 	cfg.ReprofileAfter = 2
 	gov, err := governor.New(dev, offline.Models, cfg)
@@ -48,7 +49,7 @@ func main() {
 	post := workloads.STREAM()
 	stream := []struct {
 		label string
-		app   gpusim.KernelProfile
+		app   sim.KernelProfile
 	}{
 		{"MD", md}, {"MD", md}, {"MD", md}, {"MD", md},
 		{"MD(2x input)", mdBig}, {"MD(2x input)", mdBig},

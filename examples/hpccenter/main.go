@@ -15,18 +15,19 @@ import (
 	"fmt"
 	"log"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/sched"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 
 	fmt.Println("training power/performance models on the benchmark suite...")
-	offline, err := core.OfflineTrain(gpusim.NewDevice(arch, 42), workloads.TrainingSet(),
+	offline, err := core.OfflineTrain(sim.New(arch, 42), backend.Workloads(workloads.TrainingSet()),
 		dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -41,7 +42,7 @@ func main() {
 		{Name: "ml-resnet", App: workloads.ResNet50(), GPUs: 1, MaxSlowdown: 0.15},
 	}
 
-	planner, err := sched.NewPlanner(arch, offline.Models, 7)
+	planner, err := sched.NewPlanner(sim.New(arch, 7), offline.Models, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

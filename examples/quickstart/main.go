@@ -13,21 +13,22 @@ import (
 	"fmt"
 	"log"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
 
 func main() {
 	// --- Offline phase: collect benchmark telemetry and train models. ---
-	arch := gpusim.GA100()
-	trainDev := gpusim.NewDevice(arch, 42)
+	arch := sim.GA100()
+	trainDev := sim.New(arch, 42)
 	fmt.Printf("offline phase: collecting %d training workloads across %d DVFS configs on %s...\n",
 		len(workloads.TrainingSet()), len(arch.DesignClocks()), arch.Name)
 
-	offline, err := core.OfflineTrain(trainDev, workloads.TrainingSet(),
+	offline, err := core.OfflineTrain(trainDev, backend.Workloads(workloads.TrainingSet()),
 		dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +39,7 @@ func main() {
 
 	// --- Online phase: one profiling run of an unseen application. ---
 	app := workloads.LAMMPS()
-	appDev := gpusim.NewDevice(arch, 7)
+	appDev := sim.New(arch, 7)
 	online, err := core.OnlinePredict(appDev, offline.Models, app, dcgm.Config{Seed: 8})
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +57,7 @@ func main() {
 		arch.MaxFreqMHz, sel.EnergyPct, sel.TimePct)
 
 	// Sanity-check the choice against measured data.
-	coll := dcgm.NewCollector(gpusim.NewDevice(arch, 9), dcgm.Config{Seed: 10})
+	coll := dcgm.NewCollector(sim.New(arch, 9), dcgm.Config{Seed: 10})
 	runs, err := coll.CollectWorkload(app)
 	if err != nil {
 		log.Fatal(err)

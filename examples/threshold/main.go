@@ -14,9 +14,10 @@ import (
 	"log"
 	"os"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
@@ -30,20 +31,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 
 	fmt.Println("training models on the benchmark suite...")
-	offline, err := core.OfflineTrain(gpusim.NewDevice(arch, 42), workloads.TrainingSet(),
+	offline, err := core.OfflineTrain(sim.New(arch, 42), backend.Workloads(workloads.TrainingSet()),
 		dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	online, err := core.OnlinePredict(gpusim.NewDevice(arch, 7), offline.Models, app, dcgm.Config{Seed: 8})
+	online, err := core.OnlinePredict(sim.New(arch, 7), offline.Models, app, dcgm.Config{Seed: 8})
 	if err != nil {
 		log.Fatal(err)
 	}
-	coll := dcgm.NewCollector(gpusim.NewDevice(arch, 9), dcgm.Config{Seed: 10})
+	coll := dcgm.NewCollector(sim.New(arch, 9), dcgm.Config{Seed: 10})
 	runs, err := coll.CollectWorkload(app)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,112 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+)
+
+// Arch is one GPU architecture as the pipeline sees it: the public
+// specifications of the paper's Table 1, most importantly the DVFS table
+// (clock range and step). Backend implementations attach whatever private
+// calibration they need to their own types; nothing above the backend
+// boundary sees it.
+type Arch struct {
+	Name string
+
+	// Table 1 specifications.
+	MinFreqMHz        float64 // lowest supported core clock
+	MaxFreqMHz        float64 // highest supported core clock (default clock)
+	StepMHz           float64 // DVFS step
+	DesignMinFreqMHz  float64 // lowest clock in the paper's design space (510 MHz: below this, heavy degradation)
+	MemFreqMHz        float64
+	MemoryGB          int
+	PeakBandwidthGBps float64
+	TDPWatts          float64
+}
+
+// GA100 returns the NVIDIA A100 80GB (Ampere) specification used for
+// training and primary evaluation. Values follow the paper's Table 1.
+func GA100() Arch {
+	return Arch{
+		Name:              "GA100",
+		MinFreqMHz:        210,
+		MaxFreqMHz:        1410,
+		StepMHz:           15,
+		DesignMinFreqMHz:  510,
+		MemFreqMHz:        1597,
+		MemoryGB:          80,
+		PeakBandwidthGBps: 2039,
+		TDPWatts:          500,
+	}
+}
+
+// GV100 returns the NVIDIA V100 40GB (Volta) specification used for the
+// portability evaluation. Values follow the paper's Table 1.
+func GV100() Arch {
+	return Arch{
+		Name:              "GV100",
+		MinFreqMHz:        135,
+		MaxFreqMHz:        1380,
+		StepMHz:           7.5,
+		DesignMinFreqMHz:  510,
+		MemFreqMHz:        877,
+		MemoryGB:          40,
+		PeakBandwidthGBps: 900,
+		TDPWatts:          250,
+	}
+}
+
+// ArchByName returns the named architecture specification.
+func ArchByName(name string) (Arch, error) {
+	switch name {
+	case "GA100", "ga100", "A100", "a100":
+		return GA100(), nil
+	case "GV100", "gv100", "V100", "v100":
+		return GV100(), nil
+	}
+	return Arch{}, fmt.Errorf("backend: unknown architecture %q (have GA100, GV100)", name)
+}
+
+// SupportedClocks returns every DVFS configuration the hardware exposes,
+// ascending, from MinFreqMHz to MaxFreqMHz inclusive. On GA100 this yields
+// 81 configurations; on GV100, 167.
+func (a Arch) SupportedClocks() []float64 {
+	return clockRange(a.MinFreqMHz, a.MaxFreqMHz, a.StepMHz)
+}
+
+// DesignClocks returns the paper's DVFS design space: the supported clocks
+// at or above DesignMinFreqMHz. On GA100 this yields the 61 configurations
+// in [510, 1410]; on GV100, the 117 configurations in [510, 1380].
+func (a Arch) DesignClocks() []float64 {
+	return clockRange(a.DesignMinFreqMHz, a.MaxFreqMHz, a.StepMHz)
+}
+
+func clockRange(lo, hi, step float64) []float64 {
+	var out []float64
+	for f := lo; f <= hi+1e-9; f += step {
+		out = append(out, f)
+	}
+	return out
+}
+
+// IsSupported reports whether f is one of the architecture's DVFS
+// configurations (within floating-point tolerance of a step).
+func (a Arch) IsSupported(f float64) bool {
+	if f < a.MinFreqMHz-1e-9 || f > a.MaxFreqMHz+1e-9 {
+		return false
+	}
+	steps := (f - a.MinFreqMHz) / a.StepMHz
+	return math.Abs(steps-math.Round(steps)) < 1e-6
+}
+
+// NearestSupported snaps f to the closest supported clock.
+func (a Arch) NearestSupported(f float64) float64 {
+	if f <= a.MinFreqMHz {
+		return a.MinFreqMHz
+	}
+	if f >= a.MaxFreqMHz {
+		return a.MaxFreqMHz
+	}
+	steps := math.Round((f - a.MinFreqMHz) / a.StepMHz)
+	return a.MinFreqMHz + steps*a.StepMHz
+}

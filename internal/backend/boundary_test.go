@@ -1,0 +1,66 @@
+package backend
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGpusimImportBoundary enforces the backend abstraction: the
+// simulator is an implementation detail of the sim backend, so no package
+// outside internal/backend/sim (and gpusim itself) may import it. A new
+// import anywhere else punches a hole in the Device/Sampler seam and
+// fails here.
+func TestGpusimImportBoundary(t *testing.T) {
+	root := filepath.Join("..", "..") // module root, from internal/backend
+	allowed := map[string]bool{
+		filepath.Join("internal", "gpusim"):         true,
+		filepath.Join("internal", "backend", "sim"): true,
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		checked++
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(rel)
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if p == "gpudvfs/internal/gpusim" && !allowed[dir] {
+				t.Errorf("%s imports gpusim directly; use internal/backend (or backend/sim) instead", rel)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 50 {
+		t.Fatalf("only parsed %d Go files; the walk is not covering the module", checked)
+	}
+}

@@ -1,0 +1,167 @@
+package backend
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// csvHeader is the fixed column layout of the collection framework's
+// output files: run identity, the 11 sampled metrics, and the run-level
+// exec_time — together the 12 metrics of §4.1.
+var csvHeader = []string{
+	"workload", "arch", "freq_mhz", "run",
+	"t_sec",
+	"fp64_active", "fp32_active", "sm_app_clock", "dram_active",
+	"gr_engine_active", "gpu_utilization", "power_usage",
+	"sm_active", "sm_occupancy", "pcie_tx_mbps", "pcie_rx_mbps",
+	"exec_time",
+}
+
+// WriteRuns writes runs in CSV form, one row per telemetry sample. Floats
+// are formatted at full precision ('g', -1), so a write/read round trip
+// reproduces every value exactly.
+func WriteRuns(w io.Writer, runs []Run) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("backend: writing header: %w", err)
+	}
+	for _, r := range runs {
+		for _, s := range r.Samples {
+			row := []string{
+				r.Workload,
+				r.Arch,
+				ftoa(r.FreqMHz),
+				strconv.Itoa(r.RunIndex),
+				ftoa(s.TimeSec),
+				ftoa(s.FP64Active),
+				ftoa(s.FP32Active),
+				ftoa(s.SMAppClockMHz),
+				ftoa(s.DRAMActive),
+				ftoa(s.GrEngineActive),
+				ftoa(s.GPUUtilization),
+				ftoa(s.PowerUsage),
+				ftoa(s.SMActive),
+				ftoa(s.SMOccupancy),
+				ftoa(s.PCIeTxMBps),
+				ftoa(s.PCIeRxMBps),
+				ftoa(r.ExecTimeSec),
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("backend: writing row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadRuns parses CSV previously written by WriteRuns, reassembling the
+// sample rows into runs. Rows belonging to the same (workload, arch, freq,
+// run) tuple must be contiguous, which WriteRuns guarantees.
+func ReadRuns(r io.Reader) ([]Run, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("backend: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("backend: header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range header {
+		if h != csvHeader[i] {
+			return nil, fmt.Errorf("backend: column %d is %q, want %q", i, h, csvHeader[i])
+		}
+	}
+
+	var runs []Run
+	var cur *Run
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("backend: reading row: %w", err)
+		}
+		line++
+		f := make([]float64, len(rec))
+		for i := 2; i < len(rec); i++ {
+			if i == 3 {
+				continue // run index parsed as int below
+			}
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("backend: line %d column %q: %w", line, csvHeader[i], err)
+			}
+			f[i] = v
+		}
+		runIdx, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("backend: line %d run index: %w", line, err)
+		}
+		if cur == nil || cur.Workload != rec[0] || cur.Arch != rec[1] || cur.FreqMHz != f[2] || cur.RunIndex != runIdx {
+			runs = append(runs, Run{
+				Workload:    rec[0],
+				Arch:        rec[1],
+				FreqMHz:     f[2],
+				RunIndex:    runIdx,
+				ExecTimeSec: f[16],
+			})
+			cur = &runs[len(runs)-1]
+		}
+		cur.Samples = append(cur.Samples, Sample{
+			TimeSec:        f[4],
+			FP64Active:     f[5],
+			FP32Active:     f[6],
+			SMAppClockMHz:  f[7],
+			DRAMActive:     f[8],
+			GrEngineActive: f[9],
+			GPUUtilization: f[10],
+			PowerUsage:     f[11],
+			SMActive:       f[12],
+			SMOccupancy:    f[13],
+			PCIeTxMBps:     f[14],
+			PCIeRxMBps:     f[15],
+		})
+	}
+	// Reconstruct run-level power/energy from samples (the CSV stores only
+	// per-sample power and run exec_time).
+	for i := range runs {
+		var p float64
+		for _, s := range runs[i].Samples {
+			p += s.PowerUsage
+		}
+		runs[i].AvgPowerWatts = p / float64(len(runs[i].Samples))
+		runs[i].EnergyJoules = runs[i].AvgPowerWatts * runs[i].ExecTimeSec
+	}
+	return runs, nil
+}
+
+// WriteRunsFile writes runs as CSV to path, creating or truncating it.
+func WriteRunsFile(path string, runs []Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRuns(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRunsFile reads a CSV file written by WriteRunsFile.
+func ReadRunsFile(path string) ([]Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRuns(f)
+}

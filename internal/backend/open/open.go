@@ -1,0 +1,46 @@
+// Package open turns CLI-level backend flags (-backend, -arch, -trace,
+// -time-compression) into a backend.Device, so every command resolves
+// backends with the same semantics and error messages.
+package open
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/replay"
+	sim "gpudvfs/internal/backend/sim"
+)
+
+// Config mirrors the command-line backend flags.
+type Config struct {
+	// Backend selects the implementation: "sim" (default) or "replay".
+	Backend string
+	// Arch is the architecture name for the sim backend. Replay derives
+	// the architecture from the trace's arch column and ignores this.
+	Arch string
+	// Seed drives the sim backend's telemetry noise; replay is
+	// deterministic and ignores it.
+	Seed int64
+	// Trace is the replay backend's CSV recording (required for replay,
+	// rejected for sim).
+	Trace string
+	// TimeCompression paces replay in real time (0 serves instantly).
+	TimeCompression float64
+}
+
+// Device opens the configured backend.
+func Device(cfg Config) (backend.Device, error) {
+	switch cfg.Backend {
+	case "", "sim":
+		if cfg.Trace != "" {
+			return nil, fmt.Errorf("open: the sim backend takes no -trace (did you mean -backend replay?)")
+		}
+		return sim.NewByName(cfg.Arch, cfg.Seed)
+	case "replay":
+		if cfg.Trace == "" {
+			return nil, fmt.Errorf("open: the replay backend requires -trace (a CSV recording from dvfs-collect)")
+		}
+		return replay.LoadFile(cfg.Trace, replay.Options{TimeCompression: cfg.TimeCompression})
+	}
+	return nil, fmt.Errorf("open: unknown backend %q (have sim, replay)", cfg.Backend)
+}

@@ -1,0 +1,60 @@
+package open
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/workloads"
+)
+
+func TestDeviceSim(t *testing.T) {
+	for _, name := range []string{"", "sim"} {
+		dev, err := Device(Config{Backend: name, Arch: "GV100", Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dev.Kind() != "sim" || dev.Arch().Name != "GV100" {
+			t.Fatalf("backend %q opened %s/%s", name, dev.Kind(), dev.Arch().Name)
+		}
+	}
+}
+
+func TestDeviceReplay(t *testing.T) {
+	coll := dcgm.NewCollector(sim.New(sim.GA100(), 1), dcgm.Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: 2, Seed: 2})
+	runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := backend.WriteRunsFile(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Device(Config{Backend: "replay", Trace: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Kind() != "replay" || dev.Arch().Name != "GA100" {
+		t.Fatalf("opened %s/%s", dev.Kind(), dev.Arch().Name)
+	}
+}
+
+func TestDeviceErrors(t *testing.T) {
+	if _, err := Device(Config{Backend: "sim", Arch: "GA100", Trace: "x.csv"}); err == nil {
+		t.Fatal("sim with a trace accepted")
+	}
+	if _, err := Device(Config{Backend: "sim", Arch: "H100"}); err == nil {
+		t.Fatal("unknown arch accepted")
+	}
+	if _, err := Device(Config{Backend: "replay"}); err == nil {
+		t.Fatal("replay without a trace accepted")
+	}
+	if _, err := Device(Config{Backend: "replay", Trace: filepath.Join(t.TempDir(), "nope.csv")}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if _, err := Device(Config{Backend: "cuda"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

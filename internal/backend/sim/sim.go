@@ -1,0 +1,119 @@
+// Package sim implements the backend interfaces over the analytical GPU
+// simulator in internal/gpusim. It is the only package besides gpusim
+// itself allowed to import gpusim (enforced by a test in internal/backend):
+// everything above the boundary reaches the simulator through here.
+//
+// The telemetry sampler reproduces, draw for draw, the sampling noise
+// stream the dcgm collection framework used before the backend split, so
+// every output of the pipeline is bit-identical to the pre-refactor code
+// for equal seeds.
+package sim
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/gpusim"
+)
+
+// Aliases and forwarders for the simulator's calibrated types, so tests
+// and experiment code can model-check against the analytical ground truth
+// without importing gpusim directly.
+type (
+	// KernelProfile is the sim backend's concrete workload type.
+	KernelProfile = gpusim.KernelProfile
+	// Arch is the calibrated architecture model (spec + analytical
+	// calibration); its Spec() is what crosses the backend boundary.
+	Arch = gpusim.Arch
+	// Steady is the simulator's noiseless steady state at one clock.
+	Steady = gpusim.Steady
+	// Execution is one realized simulated run.
+	Execution = gpusim.Execution
+)
+
+// GA100 returns the calibrated A100 model.
+func GA100() Arch { return gpusim.GA100() }
+
+// GV100 returns the calibrated V100 model.
+func GV100() Arch { return gpusim.GV100() }
+
+// ArchByName returns the named calibrated architecture model.
+func ArchByName(name string) (Arch, error) { return gpusim.ArchByName(name) }
+
+// Evaluate returns the simulator's noiseless steady state for kernel k on
+// architecture a at clock freqMHz — the analytical ground truth tests
+// compare telemetry against.
+func Evaluate(a Arch, k KernelProfile, freqMHz float64) (Steady, error) {
+	return gpusim.Evaluate(a, k, freqMHz)
+}
+
+// UndervoltSavings forwards the simulator's voltage-exploration primitive.
+func UndervoltSavings(a Arch, k KernelProfile, freqMHz, dv float64) (float64, error) {
+	return gpusim.UndervoltSavings(a, k, freqMHz, dv)
+}
+
+// Device implements backend.Device over a simulated GPU.
+type Device struct {
+	arch Arch
+	dev  *gpusim.Device
+}
+
+// New returns a simulated device over the calibrated architecture at its
+// default (maximum) clock. The same seed reproduces the same sequence of
+// runs exactly.
+func New(arch Arch, seed int64) *Device {
+	return &Device{arch: arch, dev: gpusim.NewDevice(arch, seed)}
+}
+
+// NewByName is New over ArchByName.
+func NewByName(name string, seed int64) (*Device, error) {
+	arch, err := ArchByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return New(arch, seed), nil
+}
+
+// Arch returns the device's architecture specification.
+func (d *Device) Arch() backend.Arch { return d.arch.Spec() }
+
+// SimArch returns the full calibrated architecture model backing the
+// device, for tests that compare telemetry against the analytical form.
+func (d *Device) SimArch() Arch { return d.arch }
+
+// Kind identifies the backend implementation.
+func (d *Device) Kind() string { return "sim" }
+
+// Clock returns the current core clock in MHz.
+func (d *Device) Clock() float64 { return d.dev.Clock() }
+
+// SetClock pins the core clock to f MHz.
+func (d *Device) SetClock(f float64) error { return d.dev.SetClock(f) }
+
+// ResetClock restores the default (maximum) core clock.
+func (d *Device) ResetClock() { d.dev.ResetClock() }
+
+// Fork returns a fresh simulated device over the same architecture with
+// its run-to-run noise stream seeded by seed — exactly the device a
+// pre-refactor caller would have minted with gpusim.NewDevice(arch, seed).
+func (d *Device) Fork(seed int64) backend.Device { return New(d.arch, seed) }
+
+// Execute runs kernel k at the device's current clock, bypassing
+// telemetry sampling — the raw simulator primitive, exposed for tests.
+func (d *Device) Execute(k KernelProfile) (Execution, error) { return d.dev.Execute(k) }
+
+// NewSampler returns a telemetry sampler whose noise stream is seeded by
+// cfg.Seed.
+func (d *Device) NewSampler(cfg backend.SampleConfig) backend.Sampler {
+	return newSampler(d.dev, cfg.WithDefaults())
+}
+
+// asKernelProfile unwraps the backend workload handle to the simulator's
+// concrete type.
+func asKernelProfile(w backend.Workload) (KernelProfile, error) {
+	k, ok := w.(KernelProfile)
+	if !ok {
+		return KernelProfile{}, fmt.Errorf("sim: workload %q is a %T, not a sim kernel profile", w.WorkloadName(), w)
+	}
+	return k, nil
+}

@@ -1,0 +1,75 @@
+package backend
+
+// Sample is one telemetry interval: the 11 instantaneous utilization
+// metrics of §4.1 (the twelfth metric, exec_time, is a run-level value on
+// Run).
+type Sample struct {
+	TimeSec        float64
+	FP64Active     float64
+	FP32Active     float64
+	SMAppClockMHz  float64
+	DRAMActive     float64
+	GrEngineActive float64
+	GPUUtilization float64
+	PowerUsage     float64 // watts
+	SMActive       float64
+	SMOccupancy    float64
+	PCIeTxMBps     float64
+	PCIeRxMBps     float64
+}
+
+// FPActive returns the combined floating-point pipe activity, the
+// aggregate feature the paper calls fp_active.
+func (s Sample) FPActive() float64 { return s.FP64Active + s.FP32Active }
+
+// Run is one profiled execution: identity, run-level outcomes, and the
+// sampled telemetry.
+type Run struct {
+	Workload string
+	Arch     string
+	FreqMHz  float64
+	RunIndex int
+
+	ExecTimeSec   float64
+	AvgPowerWatts float64
+	EnergyJoules  float64
+
+	Samples []Sample
+}
+
+// MeanSample averages the run's telemetry samples; it panics if the run
+// has none (samplers always produce at least one).
+func (r Run) MeanSample() Sample {
+	if len(r.Samples) == 0 {
+		panic("backend: MeanSample on run without samples")
+	}
+	var m Sample
+	for _, s := range r.Samples {
+		m.TimeSec += s.TimeSec
+		m.FP64Active += s.FP64Active
+		m.FP32Active += s.FP32Active
+		m.SMAppClockMHz += s.SMAppClockMHz
+		m.DRAMActive += s.DRAMActive
+		m.GrEngineActive += s.GrEngineActive
+		m.GPUUtilization += s.GPUUtilization
+		m.PowerUsage += s.PowerUsage
+		m.SMActive += s.SMActive
+		m.SMOccupancy += s.SMOccupancy
+		m.PCIeTxMBps += s.PCIeTxMBps
+		m.PCIeRxMBps += s.PCIeRxMBps
+	}
+	n := float64(len(r.Samples))
+	m.TimeSec /= n
+	m.FP64Active /= n
+	m.FP32Active /= n
+	m.SMAppClockMHz /= n
+	m.DRAMActive /= n
+	m.GrEngineActive /= n
+	m.GPUUtilization /= n
+	m.PowerUsage /= n
+	m.SMActive /= n
+	m.SMOccupancy /= n
+	m.PCIeTxMBps /= n
+	m.PCIeRxMBps /= n
+	return m
+}

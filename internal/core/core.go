@@ -26,9 +26,9 @@ import (
 	"path/filepath"
 	"sync"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
@@ -111,10 +111,60 @@ type Models struct {
 	TDPWatts   float64 // TDP of the trained-on architecture
 	MaxFreqMHz float64 // maximum clock of the trained-on architecture
 
+	// Backend records which device backend ("sim", "replay", ...) produced
+	// the training telemetry. Informational; empty for models saved before
+	// provenance was recorded.
+	Backend string
+	// DVFS is the trained-on architecture's DVFS table. A zero table means
+	// unknown provenance (pre-provenance model files); otherwise serving
+	// refuses a target claiming the same architecture name with a
+	// different table (see CheckDVFS).
+	DVFS DVFSTable
+
 	// swMu guards the memoized per-target sweepers PredictProfile routes
 	// through (see sweeper.go). Models must not be copied by value.
 	swMu     sync.Mutex
 	sweepers map[string]*Sweeper
+}
+
+// DVFSTable is the provenance record of a device's frequency design
+// space: the bounds and step of the supported-clock ladder plus the floor
+// of the paper's design-space subset.
+type DVFSTable struct {
+	MinMHz       float64 `json:"min_mhz"`
+	MaxMHz       float64 `json:"max_mhz"`
+	StepMHz      float64 `json:"step_mhz"`
+	DesignMinMHz float64 `json:"design_min_mhz"`
+}
+
+// IsZero reports whether the table carries no provenance.
+func (t DVFSTable) IsZero() bool { return t == DVFSTable{} }
+
+// DVFSTableOf extracts the provenance table from an architecture spec.
+func DVFSTableOf(a backend.Arch) DVFSTable {
+	return DVFSTable{
+		MinMHz:       a.MinFreqMHz,
+		MaxMHz:       a.MaxFreqMHz,
+		StepMHz:      a.StepMHz,
+		DesignMinMHz: a.DesignMinFreqMHz,
+	}
+}
+
+// CheckDVFS guards against serving a model on a device that claims the
+// trained-on architecture but exposes a different DVFS table (a
+// misconfigured replay trace, a renamed arch). Cross-architecture
+// prediction — a target with a *different* name — is a supported feature
+// and always passes; so do models without recorded provenance.
+func (m *Models) CheckDVFS(target backend.Arch) error {
+	if m.DVFS.IsZero() || target.Name != m.TrainedOn {
+		return nil
+	}
+	got := DVFSTableOf(target)
+	if got != m.DVFS {
+		return fmt.Errorf("core: target %s DVFS table %+v does not match the table the model was trained on %+v",
+			target.Name, got, m.DVFS)
+	}
+	return nil
 }
 
 // Train fits the power and time models on a dataset built by
@@ -222,7 +272,7 @@ func TrainSplit(powerDS, timeDS *dataset.Dataset, opts TrainOptions) (*Models, e
 // bit-identical to the historical build-everything-per-call formulation.
 // Callers that need the clamp count or an allocation-free path should use
 // NewSweeper / Sweeper.PredictProfileInto directly.
-func (m *Models) PredictProfile(target gpusim.Arch, maxRun dcgm.Run, freqs []float64) ([]objective.Profile, error) {
+func (m *Models) PredictProfile(target backend.Arch, maxRun dcgm.Run, freqs []float64) ([]objective.Profile, error) {
 	if len(maxRun.Samples) == 0 {
 		return nil, errors.New("core: profiling run has no samples")
 	}

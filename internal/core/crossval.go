@@ -7,9 +7,9 @@ import (
 	"sort"
 	"sync"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 )
 
 // CrossValidate performs leave-one-workload-out cross-validation over a
@@ -27,7 +27,7 @@ import (
 // returned order lists workloads sorted by name for deterministic
 // iteration. Each fold trains from scratch; expect roughly one training
 // cost per workload.
-func CrossValidate(arch gpusim.Arch, runs []dcgm.Run, opts TrainOptions) (map[string]Accuracy, []string, error) {
+func CrossValidate(arch backend.Arch, runs []dcgm.Run, opts TrainOptions) (map[string]Accuracy, []string, error) {
 	if len(runs) == 0 {
 		return nil, nil, errors.New("core: no runs")
 	}
@@ -87,7 +87,7 @@ func CrossValidate(arch gpusim.Arch, runs []dcgm.Run, opts TrainOptions) (map[st
 
 // crossValidateFold trains on every workload except names[fold] and
 // evaluates on the held-out one.
-func crossValidateFold(arch gpusim.Arch, names []string, fold int, byWorkload map[string][]dcgm.Run, opts TrainOptions) (Accuracy, error) {
+func crossValidateFold(arch backend.Arch, names []string, fold int, byWorkload map[string][]dcgm.Run, opts TrainOptions) (Accuracy, error) {
 	held := names[fold]
 	var trainRuns []dcgm.Run
 	for _, w := range names {
@@ -122,7 +122,7 @@ func crossValidateFold(arch gpusim.Arch, names []string, fold int, byWorkload ma
 
 // maxClockRun returns one run of the set taken at the architecture's
 // maximum clock, to serve as the online profile.
-func maxClockRun(arch gpusim.Arch, runs []dcgm.Run) (dcgm.Run, error) {
+func maxClockRun(arch backend.Arch, runs []dcgm.Run) (dcgm.Run, error) {
 	for _, r := range runs {
 		if r.FreqMHz == arch.MaxFreqMHz {
 			return r, nil

@@ -3,14 +3,15 @@ package core
 import (
 	"testing"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
 func cvRuns(t *testing.T) []dcgm.Run {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 91)
+	dev := sim.New(sim.GA100(), 91)
 	coll := dcgm.NewCollector(dev, dcgm.Config{
 		Freqs:            []float64{510, 750, 990, 1200, 1410},
 		Runs:             2,
@@ -19,7 +20,7 @@ func cvRuns(t *testing.T) []dcgm.Run {
 	})
 	// A spectrum-covering campaign: each fold still retains compute-bound,
 	// memory-bound, mixed, and host-heavy training coverage.
-	var ks []gpusim.KernelProfile
+	var ks []sim.KernelProfile
 	ks = append(ks, workloads.DGEMM(), workloads.STREAM())
 	for _, name := range []string{"MRIQ", "LBM", "HOTSPOT", "GE", "NW", "BPLUSTREE"} {
 		w, err := workloads.ByName(name)
@@ -28,7 +29,7 @@ func cvRuns(t *testing.T) []dcgm.Run {
 		}
 		ks = append(ks, w)
 	}
-	runs, err := coll.CollectAll(ks)
+	runs, err := coll.CollectAll(backend.Workloads(ks))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func cvRuns(t *testing.T) []dcgm.Run {
 
 func TestCrossValidate(t *testing.T) {
 	runs := cvRuns(t)
-	accs, order, err := CrossValidate(gpusim.GA100(), runs,
+	accs, order, err := CrossValidate(sim.GA100().Spec(), runs,
 		TrainOptions{PowerEpochs: 150, TimeEpochs: 250, Hidden: []int{24, 24}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestCrossValidate(t *testing.T) {
 }
 
 func TestCrossValidateErrors(t *testing.T) {
-	if _, _, err := CrossValidate(gpusim.GA100(), nil, quickOpts()); err == nil {
+	if _, _, err := CrossValidate(sim.GA100().Spec(), nil, quickOpts()); err == nil {
 		t.Fatal("no runs accepted")
 	}
 	runs := cvRuns(t)
@@ -79,14 +80,14 @@ func TestCrossValidateErrors(t *testing.T) {
 			single = append(single, r)
 		}
 	}
-	if _, _, err := CrossValidate(gpusim.GA100(), single, quickOpts()); err == nil {
+	if _, _, err := CrossValidate(sim.GA100().Spec(), single, quickOpts()); err == nil {
 		t.Fatal("single-workload campaign accepted")
 	}
 }
 
 func TestMaxClockRunMissing(t *testing.T) {
 	runs := []dcgm.Run{{FreqMHz: 900}}
-	if _, err := maxClockRun(gpusim.GA100(), runs); err == nil {
+	if _, err := maxClockRun(sim.GA100().Spec(), runs); err == nil {
 		t.Fatal("missing max-clock run accepted")
 	}
 }

@@ -4,8 +4,9 @@ import (
 	"math"
 	"testing"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -14,7 +15,7 @@ import (
 // repeatedly.
 func quickCampaign(t *testing.T) []dcgm.Run {
 	t.Helper()
-	ks := []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()}
+	ks := []sim.KernelProfile{workloads.DGEMM(), workloads.STREAM()}
 	for _, name := range []string{"HOTSPOT", "NW"} {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -22,7 +23,7 @@ func quickCampaign(t *testing.T) []dcgm.Run {
 		}
 		ks = append(ks, w)
 	}
-	runs, err := dcgm.CollectAllParallel(gpusim.GA100(), ks, dcgm.Config{
+	runs, err := dcgm.CollectAllParallel(sim.New(sim.GA100(), 0), backend.Workloads(ks), dcgm.Config{
 		Freqs:            []float64{510, 990, 1410},
 		Runs:             1,
 		MaxSamplesPerRun: 3,
@@ -44,12 +45,12 @@ func quickCVOpts(workers int) TrainOptions {
 // its own data with its own deterministic seed.
 func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
 	runs := quickCampaign(t)
-	base, baseOrder, err := CrossValidate(gpusim.GA100(), runs, quickCVOpts(1))
+	base, baseOrder, err := CrossValidate(sim.GA100().Spec(), runs, quickCVOpts(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, 9} {
-		got, order, err := CrossValidate(gpusim.GA100(), runs, quickCVOpts(workers))
+		got, order, err := CrossValidate(sim.GA100().Spec(), runs, quickCVOpts(workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,9 +78,9 @@ func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
 // bit-identical whether collected serially or in parallel.
 func TestOfflineTrainDeterministicAcrossWorkers(t *testing.T) {
 	train := func(workers int) *OfflineResult {
-		dev := gpusim.NewDevice(gpusim.GA100(), 1)
+		dev := sim.New(sim.GA100(), 1)
 		opts := quickCVOpts(workers)
-		off, err := OfflineTrain(dev, []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM()},
+		off, err := OfflineTrain(dev, backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM()}),
 			dcgm.Config{Freqs: []float64{510, 1410}, Runs: 1, Seed: 5}, opts)
 		if err != nil {
 			t.Fatal(err)
@@ -100,12 +101,12 @@ func TestOfflineTrainDeterministicAcrossWorkers(t *testing.T) {
 	}
 	// Same runs + same training seed ⇒ identical model predictions.
 	profile := base.Runs[len(base.Runs)-1]
-	freqs := gpusim.GA100().DesignClocks()
-	pb, err := base.Models.PredictProfile(gpusim.GA100(), profile, freqs)
+	freqs := sim.GA100().DesignClocks()
+	pb, err := base.Models.PredictProfile(sim.GA100().Spec(), profile, freqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pp, err := par.Models.PredictProfile(gpusim.GA100(), profile, freqs)
+	pp, err := par.Models.PredictProfile(sim.GA100().Spec(), profile, freqs)
 	if err != nil {
 		t.Fatal(err)
 	}

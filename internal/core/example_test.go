@@ -4,9 +4,10 @@ import (
 	"fmt"
 	"log"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
@@ -15,19 +16,19 @@ import (
 // offline phase trains two networks, which is too slow for an executed
 // documentation example; run examples/quickstart for the live version.)
 func Example() {
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 
 	// Offline: collect the benchmark suite across the DVFS space and
 	// train the power and time models.
-	offline, err := core.OfflineTrain(gpusim.NewDevice(arch, 42),
-		workloads.TrainingSet(), dcgm.Config{Seed: 1}, core.TrainOptions{})
+	offline, err := core.OfflineTrain(sim.New(arch, 42),
+		backend.Workloads(workloads.TrainingSet()), dcgm.Config{Seed: 1}, core.TrainOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Online: one profiling run of an unseen application at the maximum
 	// clock seeds predictions across all 61 configurations.
-	online, err := core.OnlinePredict(gpusim.NewDevice(arch, 7),
+	online, err := core.OnlinePredict(sim.New(arch, 7),
 		offline.Models, workloads.BERT(), dcgm.Config{Seed: 8})
 	if err != nil {
 		log.Fatal(err)

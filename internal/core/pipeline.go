@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"os"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
 )
@@ -35,7 +35,7 @@ const OfflineTrainSamplesPerRun = 6
 // OfflineTrain runs the complete offline phase on a device: collect
 // telemetry for the training workloads across the DVFS design space, build
 // the per-run and per-sample datasets, and train both models.
-func OfflineTrain(dev *gpusim.Device, training []gpusim.KernelProfile, collect dcgm.Config, opts TrainOptions) (*OfflineResult, error) {
+func OfflineTrain(dev backend.Device, training []backend.Workload, collect dcgm.Config, opts TrainOptions) (*OfflineResult, error) {
 	if collect.MaxSamplesPerRun == 0 {
 		collect.MaxSamplesPerRun = OfflineTrainSamplesPerRun
 	}
@@ -43,7 +43,7 @@ func OfflineTrain(dev *gpusim.Device, training []gpusim.KernelProfile, collect d
 	// returns are bit-identical for any worker count (including 1), so the
 	// trained models depend only on the campaign config, never on how many
 	// cores collected it.
-	runs, err := dcgm.CollectAllParallel(dev.Arch(), training, collect, opts.Workers)
+	runs, err := dcgm.CollectAllParallel(dev, training, collect, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: offline collection: %w", err)
 	}
@@ -59,6 +59,10 @@ func OfflineTrain(dev *gpusim.Device, training []gpusim.KernelProfile, collect d
 	if err != nil {
 		return nil, err
 	}
+	// Record provenance: which backend produced the telemetry and the DVFS
+	// table it swept, so serving can refuse a mismatched deployment.
+	models.Backend = dev.Kind()
+	models.DVFS = DVFSTableOf(dev.Arch())
 	return &OfflineResult{Models: models, Dataset: ds, SampleDataset: sds, Runs: runs}, nil
 }
 
@@ -76,21 +80,21 @@ type OnlineResult struct {
 // OnlinePredict runs the online phase for one application on a device:
 // profile once at the maximum clock, then predict power/time/energy across
 // the architecture's DVFS design space.
-func OnlinePredict(dev *gpusim.Device, m *Models, app gpusim.KernelProfile, collect dcgm.Config) (*OnlineResult, error) {
+func OnlinePredict(dev backend.Device, m *Models, app backend.Workload, collect dcgm.Config) (*OnlineResult, error) {
 	coll := dcgm.NewCollector(dev, collect)
 	run, err := coll.ProfileAtMax(app)
 	if err != nil {
-		return nil, fmt.Errorf("core: profiling %s: %w", app.Name, err)
+		return nil, fmt.Errorf("core: profiling %s: %w", app.WorkloadName(), err)
 	}
 	sw, err := m.sweeperFor(dev.Arch(), dev.Arch().DesignClocks())
 	if err != nil {
-		return nil, fmt.Errorf("core: predicting %s: %w", app.Name, err)
+		return nil, fmt.Errorf("core: predicting %s: %w", app.WorkloadName(), err)
 	}
 	profiles, clamped, err := sw.PredictProfile(run)
 	if err != nil {
-		return nil, fmt.Errorf("core: predicting %s: %w", app.Name, err)
+		return nil, fmt.Errorf("core: predicting %s: %w", app.WorkloadName(), err)
 	}
-	return &OnlineResult{Workload: app.Name, ProfileRun: run, Predicted: profiles, Clamped: clamped}, nil
+	return &OnlineResult{Workload: app.WorkloadName(), ProfileRun: run, Predicted: profiles, Clamped: clamped}, nil
 }
 
 // Selection is a chosen frequency with its objective and trade-off against
@@ -130,13 +134,15 @@ func SelectFrequency(profiles []objective.Profile, obj objective.Objective, thre
 
 // manifest is the on-disk metadata companion to the two model files.
 type manifest struct {
-	Format       string    `json:"format"`
-	Features     []string  `json:"features"`
-	TrainedOn    string    `json:"trained_on"`
-	TDPWatts     float64   `json:"tdp_watts"`
-	MaxFreqMHz   float64   `json:"max_freq_mhz"`
-	FeatureMeans []float64 `json:"feature_means,omitempty"`
-	FeatureStds  []float64 `json:"feature_stds,omitempty"`
+	Format       string     `json:"format"`
+	Features     []string   `json:"features"`
+	TrainedOn    string     `json:"trained_on"`
+	TDPWatts     float64    `json:"tdp_watts"`
+	MaxFreqMHz   float64    `json:"max_freq_mhz"`
+	Backend      string     `json:"backend,omitempty"`
+	DVFS         *DVFSTable `json:"dvfs,omitempty"`
+	FeatureMeans []float64  `json:"feature_means,omitempty"`
+	FeatureStds  []float64  `json:"feature_stds,omitempty"`
 }
 
 const manifestFormat = "gpudvfs-models/1"
@@ -152,6 +158,11 @@ func saveManifest(path string, m *Models) error {
 		TrainedOn:  m.TrainedOn,
 		TDPWatts:   m.TDPWatts,
 		MaxFreqMHz: m.MaxFreqMHz,
+		Backend:    m.Backend,
+	}
+	if !m.DVFS.IsZero() {
+		dvfs := m.DVFS
+		man.DVFS = &dvfs
 	}
 	if m.Scaler != nil {
 		man.FeatureMeans = m.Scaler.Means
@@ -185,6 +196,10 @@ func loadManifest(path string) (*Models, error) {
 		TrainedOn:  man.TrainedOn,
 		TDPWatts:   man.TDPWatts,
 		MaxFreqMHz: man.MaxFreqMHz,
+		Backend:    man.Backend,
+	}
+	if man.DVFS != nil {
+		m.DVFS = *man.DVFS
 	}
 	if len(man.FeatureMeans) > 0 {
 		if len(man.FeatureMeans) != len(man.FeatureStds) {

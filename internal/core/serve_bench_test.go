@@ -3,8 +3,8 @@ package core
 import (
 	"testing"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
@@ -16,7 +16,7 @@ import (
 // weights.
 func benchModels(b *testing.B) *Models {
 	b.Helper()
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -38,7 +38,7 @@ func benchModels(b *testing.B) *Models {
 
 func benchProfileRun(b *testing.B) dcgm.Run {
 	b.Helper()
-	coll := dcgm.NewCollector(gpusim.NewDevice(gpusim.GA100(), 3), dcgm.Config{Seed: 9})
+	coll := dcgm.NewCollector(sim.New(sim.GA100(), 3), dcgm.Config{Seed: 9})
 	run, err := coll.ProfileAtMax(workloads.DGEMM())
 	if err != nil {
 		b.Fatal(err)
@@ -52,7 +52,7 @@ func benchProfileRun(b *testing.B) dcgm.Run {
 func BenchmarkPredictProfile(b *testing.B) {
 	m := benchModels(b)
 	run := benchProfileRun(b)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	freqs := arch.DesignClocks()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -69,7 +69,7 @@ func BenchmarkPredictProfile(b *testing.B) {
 func BenchmarkPredictProfileInto(b *testing.B) {
 	m := benchModels(b)
 	run := benchProfileRun(b)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	sw, err := m.NewSweeper(arch, arch.DesignClocks())
 	if err != nil {
 		b.Fatal(err)
@@ -89,7 +89,7 @@ func BenchmarkPredictProfileInto(b *testing.B) {
 func BenchmarkPlanCacheSelect(b *testing.B) {
 	m := benchModels(b)
 	run := benchProfileRun(b)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	sw, err := m.NewSweeper(arch, arch.DesignClocks())
 	if err != nil {
 		b.Fatal(err)

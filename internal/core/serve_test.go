@@ -6,9 +6,10 @@ import (
 	"sync"
 	"testing"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
@@ -20,7 +21,7 @@ import (
 // keeps the test fast.
 func serveModels(t *testing.T) *Models {
 	t.Helper()
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -40,9 +41,9 @@ func serveModels(t *testing.T) *Models {
 	}
 }
 
-func serveRun(t *testing.T, seed int64, w gpusim.KernelProfile) dcgm.Run {
+func serveRun(t *testing.T, seed int64, w sim.KernelProfile) dcgm.Run {
 	t.Helper()
-	coll := dcgm.NewCollector(gpusim.NewDevice(gpusim.GA100(), 3), dcgm.Config{Seed: seed})
+	coll := dcgm.NewCollector(sim.New(sim.GA100(), 3), dcgm.Config{Seed: seed})
 	run, err := coll.ProfileAtMax(w)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +54,7 @@ func serveRun(t *testing.T, seed int64, w gpusim.KernelProfile) dcgm.Run {
 // oracleProfile is the seed's build-everything-per-call PredictProfile
 // formulation, kept verbatim as the reference the pooled sweeper must match
 // bitwise.
-func oracleProfile(t *testing.T, m *Models, target gpusim.Arch, maxRun dcgm.Run, freqs []float64) []objective.Profile {
+func oracleProfile(t *testing.T, m *Models, target backend.Arch, maxRun dcgm.Run, freqs []float64) []objective.Profile {
 	t.Helper()
 	mean := maxRun.MeanSample()
 	rows := make([][]float64, len(freqs))
@@ -114,13 +115,13 @@ func profilesIdentical(a, b []objective.Profile) bool {
 
 func TestSweeperMatchesPredictProfile(t *testing.T) {
 	m := serveModels(t)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	freqs := arch.DesignClocks()
 	sw, err := m.NewSweeper(arch, freqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, w := range []gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), workloads.LAMMPS()} {
+	for i, w := range []sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), workloads.LAMMPS()} {
 		run := serveRun(t, int64(40+i), w)
 		want := oracleProfile(t, m, arch, run, freqs)
 
@@ -145,7 +146,7 @@ func TestSweeperMatchesPredictProfile(t *testing.T) {
 
 func TestSweeperConcurrentDeterministic(t *testing.T) {
 	m := serveModels(t)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	freqs := arch.DesignClocks()
 	sw, err := m.NewSweeper(arch, freqs)
 	if err != nil {
@@ -208,7 +209,7 @@ func TestClampCountSurfaced(t *testing.T) {
 	m := serveModels(t)
 	zeroWeights(m.Power)
 	zeroWeights(m.Time)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	freqs := arch.DesignClocks()
 	sw, err := m.NewSweeper(arch, freqs)
 	if err != nil {
@@ -230,7 +231,7 @@ func TestClampCountSurfaced(t *testing.T) {
 	}
 
 	// And the counter reaches OnlineResult through the online pipeline.
-	dev := gpusim.NewDevice(arch, 61)
+	dev := sim.New(sim.GA100(), 61)
 	res, err := OnlinePredict(dev, m, workloads.DGEMM(), dcgm.Config{Seed: 62})
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +258,7 @@ func TestClampCountSurfaced(t *testing.T) {
 
 func planCacheFor(t *testing.T, m *Models, cfg PlanCacheConfig) *PlanCache {
 	t.Helper()
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	sw, err := m.NewSweeper(arch, arch.DesignClocks())
 	if err != nil {
 		t.Fatal(err)
@@ -421,7 +422,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 
 func TestPlanCacheConfigValidation(t *testing.T) {
 	m := serveModels(t)
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	sw, err := m.NewSweeper(arch, arch.DesignClocks())
 	if err != nil {
 		t.Fatal(err)

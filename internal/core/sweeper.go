@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/mat"
 	"gpudvfs/internal/objective"
 )
@@ -28,7 +28,7 @@ import (
 // guarantee for the forward passes.
 type Sweeper struct {
 	models    *Models
-	target    gpusim.Arch
+	target    backend.Arch
 	freqs     []float64
 	clockIdx  int       // index of sm_app_clock in the feature layout, -1 if absent
 	clockVals []float64 // freqs[i]/target.MaxFreqMHz, precomputed
@@ -47,12 +47,15 @@ type sweepWS struct {
 // NewSweeper builds a sweeper for predicting m's profiles on target across
 // freqs. The feature layout and model shapes are validated once here so
 // the per-call path cannot fail on them.
-func (m *Models) NewSweeper(target gpusim.Arch, freqs []float64) (*Sweeper, error) {
+func (m *Models) NewSweeper(target backend.Arch, freqs []float64) (*Sweeper, error) {
 	if m.Power == nil || m.Time == nil {
 		return nil, errors.New("core: sweeper needs trained power and time models")
 	}
 	if target.MaxFreqMHz <= 0 {
 		return nil, fmt.Errorf("core: target %q has non-positive max clock %v", target.Name, target.MaxFreqMHz)
+	}
+	if err := m.CheckDVFS(target); err != nil {
+		return nil, err
 	}
 	// Resolve the feature layout once; FeatureVectorInto can only fail on
 	// unknown names, so surfacing that here keeps the hot path error-free.
@@ -99,11 +102,11 @@ func (m *Models) NewSweeper(target gpusim.Arch, freqs []float64) (*Sweeper, erro
 func (s *Sweeper) Freqs() []float64 { return s.freqs }
 
 // Target returns the architecture the sweeper predicts for.
-func (s *Sweeper) Target() gpusim.Arch { return s.target }
+func (s *Sweeper) Target() backend.Arch { return s.target }
 
 // matches reports whether the sweeper was built for exactly this target
 // and frequency list (the fields prediction depends on).
-func (s *Sweeper) matches(target gpusim.Arch, freqs []float64) bool {
+func (s *Sweeper) matches(target backend.Arch, freqs []float64) bool {
 	if s.target.Name != target.Name || s.target.MaxFreqMHz != target.MaxFreqMHz || s.target.TDPWatts != target.TDPWatts {
 		return false
 	}
@@ -214,7 +217,7 @@ func (s *Sweeper) PredictProfile(maxRun dcgm.Run) ([]objective.Profile, int, err
 // only when the target identity or frequency list changes. One slot per
 // architecture name: the common serving pattern is a stable design-space
 // sweep per target.
-func (m *Models) sweeperFor(target gpusim.Arch, freqs []float64) (*Sweeper, error) {
+func (m *Models) sweeperFor(target backend.Arch, freqs []float64) (*Sweeper, error) {
 	m.swMu.Lock()
 	defer m.swMu.Unlock()
 	if sw := m.sweepers[target.Name]; sw != nil && sw.matches(target, freqs) {

@@ -16,7 +16,7 @@ import (
 	"sort"
 
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 )
 
 // PaperFeatures is the feature set the paper selects via mutual
@@ -94,7 +94,7 @@ type Options struct {
 // Build assembles a dataset from collected runs. Every workload present
 // must include at least one run at the architecture's maximum clock: that
 // run's mean execution time is the slowdown reference.
-func Build(arch gpusim.Arch, runs []dcgm.Run, opts Options) (*Dataset, error) {
+func Build(arch backend.Arch, runs []dcgm.Run, opts Options) (*Dataset, error) {
 	if len(runs) == 0 {
 		return nil, errors.New("dataset: no runs")
 	}
@@ -153,7 +153,7 @@ func Build(arch gpusim.Arch, runs []dcgm.Run, opts Options) (*Dataset, error) {
 	return ds, nil
 }
 
-func referenceTimes(arch gpusim.Arch, runs []dcgm.Run) (map[string]float64, error) {
+func referenceTimes(arch backend.Arch, runs []dcgm.Run) (map[string]float64, error) {
 	sum := map[string]float64{}
 	cnt := map[string]int{}
 	names := map[string]bool{}

@@ -7,7 +7,7 @@ import (
 	"testing/quick"
 
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 )
 
 func sampleAt(freq, fp, dram float64) dcgm.Sample {
@@ -44,7 +44,7 @@ func makeRuns() []dcgm.Run {
 }
 
 func TestBuildPerRun(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestBuildPerRun(t *testing.T) {
 }
 
 func TestBuildPerSample(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{PerSample: true})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{PerSample: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestBuildPerSample(t *testing.T) {
 }
 
 func TestSlowdownReference(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestSlowdownReference(t *testing.T) {
 }
 
 func TestPowerNormalizedByTDP(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestPowerNormalizedByTDP(t *testing.T) {
 }
 
 func TestClockFeatureNormalized(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,27 +124,27 @@ func TestClockFeatureNormalized(t *testing.T) {
 
 func TestBuildMissingMaxClockReference(t *testing.T) {
 	runs := makeRuns()[2:3] // only the 705 MHz run of A
-	if _, err := Build(gpusim.GA100(), runs, Options{}); err == nil {
+	if _, err := Build(backend.GA100(), runs, Options{}); err == nil {
 		t.Fatal("missing max-clock reference accepted")
 	}
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, err := Build(gpusim.GA100(), nil, Options{}); err == nil {
+	if _, err := Build(backend.GA100(), nil, Options{}); err == nil {
 		t.Fatal("no runs accepted")
 	}
-	if _, err := Build(gpusim.GA100(), makeRuns(), Options{Features: []string{"bogus"}}); err == nil {
+	if _, err := Build(backend.GA100(), makeRuns(), Options{Features: []string{"bogus"}}); err == nil {
 		t.Fatal("unknown feature accepted")
 	}
 	empty := makeRuns()
 	empty[0].Samples = nil
-	if _, err := Build(gpusim.GA100(), empty, Options{}); err == nil {
+	if _, err := Build(backend.GA100(), empty, Options{}); err == nil {
 		t.Fatal("run without samples accepted")
 	}
 }
 
 func TestCustomFeatures(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{Features: []string{"sm_active", "fp64_active"}})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{Features: []string{"sm_active", "fp64_active"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestCustomFeatures(t *testing.T) {
 }
 
 func TestAccessors(t *testing.T) {
-	ds, err := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, err := Build(backend.GA100(), makeRuns(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestAccessors(t *testing.T) {
 }
 
 func TestFilter(t *testing.T) {
-	ds, _ := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, _ := Build(backend.GA100(), makeRuns(), Options{})
 	onlyA := ds.Filter(func(p Point) bool { return p.Workload == "A" })
 	if len(onlyA.Points) != 3 {
 		t.Fatalf("filtered points = %d, want 3", len(onlyA.Points))
@@ -179,7 +179,7 @@ func TestFilter(t *testing.T) {
 }
 
 func TestColumn(t *testing.T) {
-	ds, _ := Build(gpusim.GA100(), makeRuns(), Options{})
+	ds, _ := Build(backend.GA100(), makeRuns(), Options{})
 	col, err := ds.Column("fp_active")
 	if err != nil {
 		t.Fatal(err)
@@ -257,14 +257,14 @@ func TestBuildPerSampleCountProperty(t *testing.T) {
 			}
 			runs = append(runs, r)
 		}
-		ds, err := Build(gpusim.GA100(), runs, Options{PerSample: true})
+		ds, err := Build(backend.GA100(), runs, Options{PerSample: true})
 		if err != nil {
 			return false
 		}
 		if len(ds.Points) != total {
 			return false
 		}
-		perRun, err := Build(gpusim.GA100(), runs, Options{})
+		perRun, err := Build(backend.GA100(), runs, Options{})
 		if err != nil {
 			return false
 		}

@@ -7,12 +7,12 @@ import (
 	"strings"
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 func collectSome(t *testing.T) []Run {
 	t.Helper()
-	dev := gpusim.NewDevice(gpusim.GA100(), 21)
+	dev := sim.New(sim.GA100(), 21)
 	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 2, MaxSamplesPerRun: 5, Seed: 22})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {

@@ -1,6 +1,6 @@
 // Package dcgm reimplements the paper's transparent data-collection
-// framework (§4.1) against the simulated GPU. Like the original, it is
-// split into three modules:
+// framework (§4.1) against a pluggable device backend. Like the original,
+// it is split into three modules:
 //
 //   - the launch module (Collector) orchestrates collection: which DVFS
 //     configurations, how many runs, the sampling interval, and where
@@ -11,107 +11,43 @@
 //     (20 ms by default, the interval the paper uses to obtain a
 //     statistically significant dataset from short-running workloads).
 //
-// Output is written in comma-separated-values form, one row per sample,
-// mirroring the original framework's CSV files.
+// The profile module lives behind the backend.Sampler interface: the
+// simulator's noisy telemetry, a replayed recording, or (one day) real
+// DCGM all serve it identically. Output is written in
+// comma-separated-values form, one row per sample, mirroring the original
+// framework's CSV files.
 package dcgm
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"time"
 
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 )
 
 // DefaultSampleInterval is the paper's 20 ms metric sampling interval.
-const DefaultSampleInterval = 20 * time.Millisecond
+const DefaultSampleInterval = backend.DefaultSampleInterval
 
 // DefaultMaxSamplesPerRun caps how many telemetry samples one run
 // contributes, bounding dataset size for long workloads.
-const DefaultMaxSamplesPerRun = 60
+const DefaultMaxSamplesPerRun = backend.DefaultMaxSamplesPerRun
 
 // Sample is one telemetry interval: the 11 instantaneous utilization
 // metrics of §4.1 (the twelfth metric, exec_time, is a run-level value on
 // Run).
-type Sample struct {
-	TimeSec        float64
-	FP64Active     float64
-	FP32Active     float64
-	SMAppClockMHz  float64
-	DRAMActive     float64
-	GrEngineActive float64
-	GPUUtilization float64
-	PowerUsage     float64 // watts
-	SMActive       float64
-	SMOccupancy    float64
-	PCIeTxMBps     float64
-	PCIeRxMBps     float64
-}
-
-// FPActive returns the combined floating-point pipe activity, the
-// aggregate feature the paper calls fp_active.
-func (s Sample) FPActive() float64 { return s.FP64Active + s.FP32Active }
+type Sample = backend.Sample
 
 // Run is one profiled execution: identity, run-level outcomes, and the
 // sampled telemetry.
-type Run struct {
-	Workload string
-	Arch     string
-	FreqMHz  float64
-	RunIndex int
-
-	ExecTimeSec   float64
-	AvgPowerWatts float64
-	EnergyJoules  float64
-
-	Samples []Sample
-}
-
-// MeanSample averages the run's telemetry samples; it panics if the run
-// has none (Collector always produces at least one).
-func (r Run) MeanSample() Sample {
-	if len(r.Samples) == 0 {
-		panic("dcgm: MeanSample on run without samples")
-	}
-	var m Sample
-	for _, s := range r.Samples {
-		m.TimeSec += s.TimeSec
-		m.FP64Active += s.FP64Active
-		m.FP32Active += s.FP32Active
-		m.SMAppClockMHz += s.SMAppClockMHz
-		m.DRAMActive += s.DRAMActive
-		m.GrEngineActive += s.GrEngineActive
-		m.GPUUtilization += s.GPUUtilization
-		m.PowerUsage += s.PowerUsage
-		m.SMActive += s.SMActive
-		m.SMOccupancy += s.SMOccupancy
-		m.PCIeTxMBps += s.PCIeTxMBps
-		m.PCIeRxMBps += s.PCIeRxMBps
-	}
-	n := float64(len(r.Samples))
-	m.TimeSec /= n
-	m.FP64Active /= n
-	m.FP32Active /= n
-	m.SMAppClockMHz /= n
-	m.DRAMActive /= n
-	m.GrEngineActive /= n
-	m.GPUUtilization /= n
-	m.PowerUsage /= n
-	m.SMActive /= n
-	m.SMOccupancy /= n
-	m.PCIeTxMBps /= n
-	m.PCIeRxMBps /= n
-	return m
-}
+type Run = backend.Run
 
 // Controller is the control module: it pins and restores the device clock.
 type Controller struct {
-	dev *gpusim.Device
+	dev backend.Device
 }
 
 // NewController returns a controller for dev.
-func NewController(dev *gpusim.Device) *Controller { return &Controller{dev: dev} }
+func NewController(dev backend.Device) *Controller { return &Controller{dev: dev} }
 
 // Apply pins the core clock to freqMHz.
 func (c *Controller) Apply(freqMHz float64) error { return c.dev.SetClock(freqMHz) }
@@ -130,9 +66,9 @@ type Config struct {
 	Seed             int64         // telemetry sampling noise seed
 }
 
-func (c Config) withDefaults(dev *gpusim.Device) Config {
+func (c Config) withDefaults(arch backend.Arch) Config {
 	if c.Freqs == nil {
-		c.Freqs = dev.Arch().DesignClocks()
+		c.Freqs = arch.DesignClocks()
 	}
 	if c.Runs == 0 {
 		c.Runs = 3
@@ -149,159 +85,51 @@ func (c Config) withDefaults(dev *gpusim.Device) Config {
 	return c
 }
 
+// sampleConfig is the per-run sampling subset of the campaign config.
+func (c Config) sampleConfig() backend.SampleConfig {
+	return backend.SampleConfig{
+		Interval:         c.SampleInterval,
+		MaxSamplesPerRun: c.MaxSamplesPerRun,
+		InputScale:       c.InputScale,
+		Seed:             c.Seed,
+	}
+}
+
 // Collector is the launch module: it orchestrates clock control, workload
 // execution, and telemetry sampling across a campaign.
 type Collector struct {
-	dev  *gpusim.Device
+	dev  backend.Device
 	ctrl *Controller
 	cfg  Config
-	rng  *rand.Rand
+	smp  backend.Sampler
 }
 
 // NewCollector returns a collector over dev with the given campaign
 // configuration.
-func NewCollector(dev *gpusim.Device, cfg Config) *Collector {
-	cfg = cfg.withDefaults(dev)
+func NewCollector(dev backend.Device, cfg Config) *Collector {
+	cfg = cfg.withDefaults(dev.Arch())
 	return &Collector{
 		dev:  dev,
 		ctrl: NewController(dev),
 		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		smp:  dev.NewSampler(cfg.sampleConfig()),
 	}
-}
-
-// Sampling noise sigmas for telemetry: activities jitter more than the
-// power sensor.
-const (
-	activityNoise = 0.04
-	powerNoise    = 0.02
-	clockNoise    = 0.002
-)
-
-// idleActivityFloor is the residual activity telemetry reports during
-// host-bound intervals (driver housekeeping keeps counters slightly warm).
-const idleActivityFloor = 0.01
-
-// profile executes k once at the current clock and samples its telemetry —
-// the profile module. Sampling is phase resolved, as real 20 ms DCGM
-// telemetry is: intervals that land on GPU-busy stretches report the
-// undiluted kernel activities and the active power draw, intervals on
-// host-bound stretches report a near-idle GPU. Phases are interleaved with
-// Bresenham accumulation so the sample mix matches the run's busy fraction
-// exactly; the mean over samples therefore reproduces the whole-run
-// averages.
-func (c *Collector) profile(k gpusim.KernelProfile, runIndex int) (Run, error) {
-	exec, err := c.dev.Execute(k)
-	if err != nil {
-		return Run{}, err
-	}
-	run := Run{
-		Workload:      exec.Workload,
-		Arch:          exec.Arch,
-		FreqMHz:       exec.FreqMHz,
-		RunIndex:      runIndex,
-		ExecTimeSec:   exec.TimeSec,
-		AvgPowerWatts: exec.AvgPowerWatts,
-		EnergyJoules:  exec.EnergyJoules,
-	}
-	interval := c.cfg.SampleInterval.Seconds()
-	n := int(exec.TimeSec / interval)
-	if n < 1 {
-		n = 1
-	}
-	stride := 1
-	if c.cfg.MaxSamplesPerRun > 0 && n > c.cfg.MaxSamplesPerRun {
-		stride = (n + c.cfg.MaxSamplesPerRun - 1) / c.cfg.MaxSamplesPerRun
-	}
-	st := exec.Steady
-	// Power ripple scales active power so that run-average power stays
-	// consistent with the executed run.
-	powerScale := exec.AvgPowerWatts / st.PowerWatts
-	phase := 0.5 // Bresenham accumulator; 0.5 centers the pattern
-	for i := 0; i < n; i += stride {
-		t := float64(i) * interval
-		// Each emitted sample stands for one 20 ms interval; accumulate
-		// the busy fraction once per sample so the active share of the
-		// emitted samples matches GPUBusyFrac regardless of stride.
-		phase += st.GPUBusyFrac
-		active := phase >= 1
-		if active {
-			phase -= math.Floor(phase)
-		}
-		var s Sample
-		if active {
-			s = Sample{
-				TimeSec:        t,
-				FP64Active:     c.noisyAct(st.ActiveFP64Active),
-				FP32Active:     c.noisyAct(st.ActiveFP32Active),
-				SMAppClockMHz:  exec.FreqMHz * c.factor(clockNoise),
-				DRAMActive:     c.noisyAct(st.ActiveDRAMActive),
-				GrEngineActive: c.noisyAct(1),
-				GPUUtilization: c.noisyAct(1),
-				PowerUsage:     st.ActivePowerWatts * powerScale * c.factor(powerNoise),
-				SMActive:       c.noisyAct(st.ActiveSMActive),
-				SMOccupancy:    c.noisyAct(st.ActiveSMOcc),
-				PCIeTxMBps:     k.PCIeTxMBps * c.factor(activityNoise),
-				PCIeRxMBps:     k.PCIeRxMBps * c.factor(activityNoise),
-			}
-		} else {
-			s = Sample{
-				TimeSec:        t,
-				FP64Active:     c.idleAct(),
-				FP32Active:     c.idleAct(),
-				SMAppClockMHz:  exec.FreqMHz * c.factor(clockNoise),
-				DRAMActive:     c.idleAct(),
-				GrEngineActive: c.idleAct(),
-				GPUUtilization: c.idleAct(),
-				PowerUsage:     st.IdlePowerWatts * powerScale * c.factor(powerNoise),
-				SMActive:       c.idleAct(),
-				SMOccupancy:    c.idleAct(),
-				PCIeTxMBps:     k.PCIeTxMBps * c.factor(activityNoise),
-				PCIeRxMBps:     k.PCIeRxMBps * c.factor(activityNoise),
-			}
-		}
-		run.Samples = append(run.Samples, s)
-	}
-	return run, nil
-}
-
-func (c *Collector) idleAct() float64 {
-	return idleActivityFloor * math.Abs(c.rng.NormFloat64())
-}
-
-func (c *Collector) factor(sigma float64) float64 {
-	return math.Exp(c.rng.NormFloat64()*sigma - sigma*sigma/2)
-}
-
-func (c *Collector) noisyAct(v float64) float64 {
-	out := v * c.factor(activityNoise)
-	if out < 0 {
-		return 0
-	}
-	if out > 1 {
-		return 1
-	}
-	return out
 }
 
 // CollectWorkload sweeps the configured DVFS configurations for one
 // workload, running it cfg.Runs times at each, and returns every run. The
 // device clock is restored afterwards.
-func (c *Collector) CollectWorkload(k gpusim.KernelProfile) ([]Run, error) {
+func (c *Collector) CollectWorkload(k backend.Workload) ([]Run, error) {
 	defer c.ctrl.Restore()
-	scaled, err := k.WithInputScale(c.cfg.InputScale)
-	if err != nil {
-		return nil, err
-	}
 	runs := make([]Run, 0, len(c.cfg.Freqs)*c.cfg.Runs)
 	for _, f := range c.cfg.Freqs {
 		if err := c.ctrl.Apply(f); err != nil {
-			return nil, fmt.Errorf("dcgm: applying %v MHz for %s: %w", f, k.Name, err)
+			return nil, fmt.Errorf("dcgm: applying %v MHz for %s: %w", f, k.WorkloadName(), err)
 		}
 		for r := 0; r < c.cfg.Runs; r++ {
-			run, err := c.profile(scaled, r)
+			run, err := c.smp.Profile(k, r)
 			if err != nil {
-				return nil, fmt.Errorf("dcgm: profiling %s at %v MHz: %w", k.Name, f, err)
+				return nil, fmt.Errorf("dcgm: profiling %s at %v MHz: %w", k.WorkloadName(), f, err)
 			}
 			runs = append(runs, run)
 		}
@@ -311,7 +139,7 @@ func (c *Collector) CollectWorkload(k gpusim.KernelProfile) ([]Run, error) {
 
 // CollectAll runs CollectWorkload for each workload and concatenates the
 // results.
-func (c *Collector) CollectAll(ks []gpusim.KernelProfile) ([]Run, error) {
+func (c *Collector) CollectAll(ks []backend.Workload) ([]Run, error) {
 	var all []Run
 	for _, k := range ks {
 		runs, err := c.CollectWorkload(k)
@@ -326,14 +154,10 @@ func (c *Collector) CollectAll(ks []gpusim.KernelProfile) ([]Run, error) {
 // ProfileAtMax profiles one workload at the maximum clock only — the
 // online-phase acquisition step (§4): a single run whose features seed
 // prediction across the whole DVFS space.
-func (c *Collector) ProfileAtMax(k gpusim.KernelProfile) (Run, error) {
+func (c *Collector) ProfileAtMax(k backend.Workload) (Run, error) {
 	defer c.ctrl.Restore()
-	scaled, err := k.WithInputScale(c.cfg.InputScale)
-	if err != nil {
-		return Run{}, err
-	}
 	if err := c.ctrl.Apply(c.dev.Arch().MaxFreqMHz); err != nil {
 		return Run{}, err
 	}
-	return c.profile(scaled, 0)
+	return c.smp.Profile(k, 0)
 }

@@ -4,14 +4,15 @@ import (
 	"io"
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
 // BenchmarkCollectWorkloadSweep measures one workload's full design-space
 // collection campaign (61 clocks × 3 runs with telemetry sampling).
 func BenchmarkCollectWorkloadSweep(b *testing.B) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	c := NewCollector(dev, Config{Seed: 2})
 	k := workloads.DGEMM()
 	b.ReportAllocs()
@@ -27,11 +28,12 @@ func BenchmarkCollectWorkloadSweep(b *testing.B) {
 // 21-workload training suite.
 func BenchmarkCollectAllParallel(b *testing.B) {
 	cfg := Config{Seed: 3, MaxSamplesPerRun: 6}
-	ks := workloads.TrainingSet()
+	dev := sim.New(sim.GA100(), 0)
+	ks := backend.Workloads(workloads.TrainingSet())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CollectAllParallel(gpusim.GA100(), ks, cfg, 0); err != nil {
+		if _, err := CollectAllParallel(dev, ks, cfg, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +41,7 @@ func BenchmarkCollectAllParallel(b *testing.B) {
 
 // BenchmarkWriteRunsCSV measures CSV serialization of a collected sweep.
 func BenchmarkWriteRunsCSV(b *testing.B) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 4)
+	dev := sim.New(sim.GA100(), 4)
 	c := NewCollector(dev, Config{Seed: 5, MaxSamplesPerRun: 10})
 	runs, err := c.CollectWorkload(workloads.STREAM())
 	if err != nil {

@@ -5,11 +5,11 @@ import (
 	"testing"
 	"time"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
-func testKernel() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func testKernel() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:         "test",
 		ComputeSec:   0.8,
 		MemorySec:    0.4,
@@ -26,7 +26,7 @@ func testKernel() gpusim.KernelProfile {
 }
 
 func TestCollectWorkloadSweep(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	freqs := []float64{510, 900, 1410}
 	c := NewCollector(dev, Config{Freqs: freqs, Runs: 2, Seed: 2})
 	runs, err := c.CollectWorkload(testKernel())
@@ -61,7 +61,7 @@ func TestCollectWorkloadSweep(t *testing.T) {
 }
 
 func TestCollectDefaultsToDesignSpace(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	c := NewCollector(dev, Config{Runs: 1, Seed: 3})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {
@@ -73,7 +73,7 @@ func TestCollectDefaultsToDesignSpace(t *testing.T) {
 }
 
 func TestSampleCap(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: 10, Seed: 4})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {
@@ -85,7 +85,7 @@ func TestSampleCap(t *testing.T) {
 }
 
 func TestUnlimitedSamples(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 4})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {
@@ -98,7 +98,7 @@ func TestUnlimitedSamples(t *testing.T) {
 }
 
 func TestProfileAtMax(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	dev := sim.New(sim.GA100(), 5)
 	c := NewCollector(dev, Config{Seed: 6})
 	run, err := c.ProfileAtMax(testKernel())
 	if err != nil {
@@ -113,13 +113,13 @@ func TestProfileAtMax(t *testing.T) {
 }
 
 func TestSamplesTrackSteadyTruth(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	dev := sim.New(sim.GA100(), 7)
 	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 3, Seed: 8})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := gpusim.Evaluate(gpusim.GA100(), testKernel(), 900)
+	st, err := sim.Evaluate(sim.GA100(), testKernel(), 900)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestActivitySamplesClamped(t *testing.T) {
 	k.FPIntensity, k.MemIntensity, k.SMActive, k.SMOccupancy = 1, 1, 1, 1
 	k.HostSec = 0
 	k.Overlap = 1
-	dev := gpusim.NewDevice(gpusim.GA100(), 9)
+	dev := sim.New(sim.GA100(), 9)
 	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 5, Seed: 10})
 	runs, err := c.CollectWorkload(k)
 	if err != nil {
@@ -165,7 +165,7 @@ func TestActivitySamplesClamped(t *testing.T) {
 }
 
 func TestInputScalePropagates(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 11)
+	dev := sim.New(sim.GA100(), 11)
 	small := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, InputScale: 1, Seed: 12})
 	big := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, InputScale: 4, Seed: 12})
 	rs, err := small.CollectWorkload(testKernel())
@@ -183,7 +183,7 @@ func TestInputScalePropagates(t *testing.T) {
 
 func TestCollectorDeterministicSeed(t *testing.T) {
 	collect := func() []Run {
-		dev := gpusim.NewDevice(gpusim.GA100(), 13)
+		dev := sim.New(sim.GA100(), 13)
 		c := NewCollector(dev, Config{Freqs: []float64{900, 1410}, Runs: 2, Seed: 14})
 		runs, err := c.CollectWorkload(testKernel())
 		if err != nil {
@@ -203,7 +203,7 @@ func TestCollectorDeterministicSeed(t *testing.T) {
 }
 
 func TestControllerApplyRestore(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 15)
+	dev := sim.New(sim.GA100(), 15)
 	ctrl := NewController(dev)
 	if err := ctrl.Apply(765); err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestFPActiveSum(t *testing.T) {
 }
 
 func TestCustomSampleInterval(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 16)
+	dev := sim.New(sim.GA100(), 16)
 	coarse := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, SampleInterval: 200 * time.Millisecond, MaxSamplesPerRun: -1, Seed: 17})
 	fine := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, SampleInterval: 20 * time.Millisecond, MaxSamplesPerRun: -1, Seed: 17})
 	rc, err := coarse.CollectWorkload(testKernel())
@@ -289,7 +289,7 @@ func TestSampleValueByField(t *testing.T) {
 		FieldPCIeTxBytes: 100e6, FieldPCIeRxBytes: 50e6,
 	}
 	for f, want := range cases {
-		got, err := s.Value(f)
+		got, err := f.Value(s)
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
@@ -297,7 +297,7 @@ func TestSampleValueByField(t *testing.T) {
 			t.Fatalf("%s = %v, want %v", f, got, want)
 		}
 	}
-	if _, err := s.Value(FieldID(7)); err == nil {
+	if _, err := FieldID(7).Value(s); err == nil {
 		t.Fatal("unknown field accepted")
 	}
 }

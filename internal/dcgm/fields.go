@@ -62,7 +62,7 @@ func AllFields() []FieldID {
 }
 
 // Value extracts the field's value from a sample.
-func (s Sample) Value(f FieldID) (float64, error) {
+func (f FieldID) Value(s Sample) (float64, error) {
 	switch f {
 	case FieldSMAppClock:
 		return s.SMAppClockMHz, nil

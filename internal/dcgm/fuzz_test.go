@@ -5,14 +5,14 @@ import (
 	"strings"
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 // FuzzReadRuns hardens the CSV parser: arbitrary input must either parse
 // into runs that re-serialize cleanly or return an error — never panic.
 func FuzzReadRuns(f *testing.F) {
 	// Seed with a valid file, a truncation, and assorted malformed inputs.
-	dev := gpusim.NewDevice(gpusim.GA100(), 41)
+	dev := sim.New(sim.GA100(), 41)
 	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 1, MaxSamplesPerRun: 3, Seed: 42})
 	runs, err := c.CollectWorkload(testKernel())
 	if err != nil {

@@ -5,10 +5,10 @@ import (
 	"runtime"
 	"sync"
 
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 )
 
-// CollectAllParallel sweeps each workload on its own simulated device,
+// CollectAllParallel sweeps each workload on its own forked device,
 // fanning the campaign out over a worker pool. Each workload's noise
 // stream is seeded from cfg.Seed and a stable hash of the workload name,
 // so the result is bit-identical for any worker count (and independent of
@@ -17,7 +17,7 @@ import (
 //
 // workers ≤ 0 selects GOMAXPROCS. Runs are returned grouped by workload
 // in input order.
-func CollectAllParallel(arch gpusim.Arch, ks []gpusim.KernelProfile, cfg Config, workers int) ([]Run, error) {
+func CollectAllParallel(dev backend.Device, ks []backend.Workload, cfg Config, workers int) ([]Run, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -42,11 +42,10 @@ func CollectAllParallel(arch gpusim.Arch, ks []gpusim.KernelProfile, cfg Config,
 			defer wg.Done()
 			for i := range jobs {
 				k := ks[i]
-				seed := cfg.Seed + workloadSeed(k.Name)
-				dev := gpusim.NewDevice(arch, seed)
+				seed := cfg.Seed + workloadSeed(k.WorkloadName())
 				sub := cfg
 				sub.Seed = seed + 1
-				coll := NewCollector(dev, sub)
+				coll := NewCollector(dev.Fork(seed), sub)
 				runs, err := coll.CollectWorkload(k)
 				results[i] = result{idx: i, runs: runs, err: err}
 			}
@@ -61,7 +60,7 @@ func CollectAllParallel(arch gpusim.Arch, ks []gpusim.KernelProfile, cfg Config,
 	var out []Run
 	for i, r := range results {
 		if r.err != nil {
-			return nil, fmt.Errorf("dcgm: collecting %s: %w", ks[i].Name, r.err)
+			return nil, fmt.Errorf("dcgm: collecting %s: %w", ks[i].WorkloadName(), r.err)
 		}
 		out = append(out, r.runs...)
 	}

@@ -3,7 +3,8 @@ package dcgm
 import (
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -20,12 +21,12 @@ func smallParallelConfig() Config {
 // parallel collection safe to adopt: the result is bit-identical whatever
 // the worker count.
 func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
-	arch := gpusim.GA100()
+	dev := sim.New(sim.GA100(), 0)
 	ks := workloads.MicroBenchmarks()
 	ks = append(ks, workloads.SPECACCEL()[:4]...)
 
 	collect := func(workers int) []Run {
-		runs, err := CollectAllParallel(arch, ks, smallParallelConfig(), workers)
+		runs, err := CollectAllParallel(dev, backend.Workloads(ks), smallParallelConfig(), workers)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,12 +57,12 @@ func TestParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 // seeding: a workload's runs are the same whether it is collected alone or
 // as part of a larger campaign.
 func TestParallelIndependentOfCampaignComposition(t *testing.T) {
-	arch := gpusim.GA100()
-	solo, err := CollectAllParallel(arch, []gpusim.KernelProfile{workloads.DGEMM()}, smallParallelConfig(), 2)
+	dev := sim.New(sim.GA100(), 0)
+	solo, err := CollectAllParallel(dev, backend.Workloads([]sim.KernelProfile{workloads.DGEMM()}), smallParallelConfig(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, err := CollectAllParallel(arch, workloads.MicroBenchmarks(), smallParallelConfig(), 2)
+	mixed, err := CollectAllParallel(dev, backend.Workloads(workloads.MicroBenchmarks()), smallParallelConfig(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +83,9 @@ func TestParallelIndependentOfCampaignComposition(t *testing.T) {
 }
 
 func TestParallelOrderGroupedByWorkload(t *testing.T) {
-	arch := gpusim.GA100()
-	ks := []gpusim.KernelProfile{workloads.STREAM(), workloads.DGEMM()}
-	runs, err := CollectAllParallel(arch, ks, smallParallelConfig(), 4)
+	dev := sim.New(sim.GA100(), 0)
+	ks := []sim.KernelProfile{workloads.STREAM(), workloads.DGEMM()}
+	runs, err := CollectAllParallel(dev, backend.Workloads(ks), smallParallelConfig(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,14 +99,14 @@ func TestParallelOrderGroupedByWorkload(t *testing.T) {
 }
 
 func TestParallelEmptyAndErrors(t *testing.T) {
-	arch := gpusim.GA100()
-	runs, err := CollectAllParallel(arch, nil, smallParallelConfig(), 4)
+	dev := sim.New(sim.GA100(), 0)
+	runs, err := CollectAllParallel(dev, nil, smallParallelConfig(), 4)
 	if err != nil || runs != nil {
 		t.Fatalf("empty campaign: %v, %v", runs, err)
 	}
 	bad := workloads.DGEMM()
 	bad.FPIntensity = 2 // invalid
-	if _, err := CollectAllParallel(arch, []gpusim.KernelProfile{bad}, smallParallelConfig(), 2); err == nil {
+	if _, err := CollectAllParallel(dev, backend.Workloads([]sim.KernelProfile{bad}), smallParallelConfig(), 2); err == nil {
 		t.Fatal("invalid workload accepted")
 	}
 }

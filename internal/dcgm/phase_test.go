@@ -4,12 +4,12 @@ import (
 	"math"
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 // hostHeavyKernel spends most of its wall time on the host, so its runs
 // mix GPU-busy and idle telemetry samples.
-func hostHeavyKernel() gpusim.KernelProfile {
+func hostHeavyKernel() sim.KernelProfile {
 	k := testKernel()
 	k.Name = "hosty"
 	k.HostSec = 3
@@ -21,13 +21,13 @@ func hostHeavyKernel() gpusim.KernelProfile {
 // draws).
 func TestPhaseResolvedSampleMix(t *testing.T) {
 	k := hostHeavyKernel()
-	dev := gpusim.NewDevice(gpusim.GA100(), 31)
+	dev := sim.New(sim.GA100(), 31)
 	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 1, MaxSamplesPerRun: -1, Seed: 32})
 	runs, err := c.CollectWorkload(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := gpusim.Evaluate(gpusim.GA100(), k, 900)
+	st, err := sim.Evaluate(sim.GA100(), k, 900)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +50,13 @@ func TestPhaseResolvedSampleMix(t *testing.T) {
 // the property the online feature acquisition relies on.
 func TestMeanSampleReconstructsRunAverages(t *testing.T) {
 	k := hostHeavyKernel()
-	dev := gpusim.NewDevice(gpusim.GA100(), 33)
+	dev := sim.New(sim.GA100(), 33)
 	c := NewCollector(dev, Config{Freqs: []float64{900}, Runs: 3, MaxSamplesPerRun: -1, Seed: 34})
 	runs, err := c.CollectWorkload(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := gpusim.Evaluate(gpusim.GA100(), k, 900)
+	st, err := sim.Evaluate(sim.GA100(), k, 900)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +79,8 @@ func TestMeanSampleReconstructsRunAverages(t *testing.T) {
 // near-idle power at every clock.
 func TestIdleSamplesAnchorPowerFloor(t *testing.T) {
 	k := hostHeavyKernel()
-	arch := gpusim.GA100()
-	dev := gpusim.NewDevice(arch, 35)
+	arch := sim.GA100()
+	dev := sim.New(arch, 35)
 	c := NewCollector(dev, Config{Freqs: []float64{510, 1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 36})
 	runs, err := c.CollectWorkload(k)
 	if err != nil {
@@ -110,13 +110,13 @@ func TestIdleSamplesAnchorPowerFloor(t *testing.T) {
 // per-phase (undiluted) activities rather than run averages.
 func TestActiveSamplesUndiluted(t *testing.T) {
 	k := hostHeavyKernel()
-	dev := gpusim.NewDevice(gpusim.GA100(), 37)
+	dev := sim.New(sim.GA100(), 37)
 	c := NewCollector(dev, Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 38})
 	runs, err := c.CollectWorkload(k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := gpusim.Evaluate(gpusim.GA100(), k, 1410)
+	st, err := sim.Evaluate(sim.GA100(), k, 1410)
 	if err != nil {
 		t.Fatal(err)
 	}

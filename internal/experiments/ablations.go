@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
-	"gpudvfs/internal/gpusim"
 )
 
 // AblationActivations are the §4.3 candidate activation functions.
@@ -41,7 +41,7 @@ func (c *Context) variantAccuracy(opts core.TrainOptions, features []string) (po
 	if err != nil {
 		return 0, 0, err
 	}
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	apps := RealAppNames()
 	for _, app := range apps {
 		measured, err := c.MeasuredProfiles("GA100", app)

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 )
 
 // CrossValidationTable runs leave-one-workload-out cross-validation over
@@ -22,7 +22,7 @@ func (c *Context) CrossValidationTable() (*Table, error) {
 		return nil, err
 	}
 	thinned := thinRuns(off.Runs, 2)
-	accs, order, err := core.CrossValidate(gpusim.GA100(), thinned, core.TrainOptions{
+	accs, order, err := core.CrossValidate(sim.GA100().Spec(), thinned, core.TrainOptions{
 		PowerEpochs: 40,
 		TimeEpochs:  25,
 		Seed:        1,

@@ -16,10 +16,11 @@ import (
 	"strings"
 	"sync"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
@@ -145,7 +146,7 @@ type Context struct {
 
 	offline cacheEntry[*core.OfflineResult]
 
-	mu       sync.Mutex // guards the maps below, never held during builds
+	mu       sync.Mutex                                 // guards the maps below, never held during builds
 	measured map[string]*cacheEntry[[]dcgm.Run]         // arch/app -> sweep runs
 	online   map[string]*cacheEntry[*core.OnlineResult] // arch/app -> online result
 }
@@ -176,8 +177,8 @@ func entryFor[T any](mu *sync.Mutex, m map[string]*cacheEntry[T], key string) *c
 // telemetry, dataset, trained models), building it on first use.
 func (c *Context) Offline() (*core.OfflineResult, error) {
 	c.offline.once.Do(func() {
-		dev := gpusim.NewDevice(gpusim.GA100(), c.cfg.Seed)
-		c.offline.val, c.offline.err = core.OfflineTrain(dev, workloads.TrainingSet(),
+		dev := sim.New(sim.GA100(), c.cfg.Seed)
+		c.offline.val, c.offline.err = core.OfflineTrain(dev, backend.Workloads(workloads.TrainingSet()),
 			dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + 1},
 			core.TrainOptions{Seed: 1, Workers: c.cfg.Workers})
 	})
@@ -193,7 +194,7 @@ func (c *Context) Models() (*core.Models, error) {
 	return off.Models, nil
 }
 
-func archFor(name string) (gpusim.Arch, error) { return gpusim.ArchByName(name) }
+func archFor(name string) (sim.Arch, error) { return sim.ArchByName(name) }
 
 // MeasuredRuns returns the measured DVFS sweep (design space × Runs) for
 // one application on one architecture, collecting it on first use. The
@@ -214,7 +215,7 @@ func (c *Context) MeasuredRuns(archName, app string) ([]dcgm.Run, error) {
 			e.err = err
 			return
 		}
-		dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key))
+		dev := sim.New(arch, c.cfg.Seed+hashString(key))
 		coll := dcgm.NewCollector(dev, dcgm.Config{Runs: c.cfg.Runs, Seed: c.cfg.Seed + hashString(key) + 1})
 		e.val, e.err = coll.CollectWorkload(w)
 	})
@@ -254,7 +255,7 @@ func (c *Context) Online(archName, app string) (*core.OnlineResult, error) {
 			e.err = err
 			return
 		}
-		dev := gpusim.NewDevice(arch, c.cfg.Seed+hashString(key)+2)
+		dev := sim.New(arch, c.cfg.Seed+hashString(key)+2)
 		e.val, e.err = core.OnlinePredict(dev, off.Models, w, dcgm.Config{Seed: c.cfg.Seed + hashString(key) + 3})
 	})
 	return e.val, e.err
@@ -351,5 +352,5 @@ func hashString(s string) int64 {
 // buildDataset is a shared helper for generators that need a dataset with
 // non-default features built from arbitrary runs on GA100.
 func buildDataset(runs []dcgm.Run, features []string, perSample bool) (*dataset.Dataset, error) {
-	return dataset.Build(gpusim.GA100(), runs, dataset.Options{Features: features, PerSample: perSample})
+	return dataset.Build(sim.GA100().Spec(), runs, dataset.Options{Features: features, PerSample: perSample})
 }

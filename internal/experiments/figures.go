@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/mi"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
@@ -26,7 +26,7 @@ func (c *Context) Figure1() (*Table, error) {
 			"dgemm_power_w", "dgemm_time_s", "dgemm_energy_j", "dgemm_gflops",
 			"stream_power_w", "stream_time_s", "stream_energy_j", "stream_gbps"},
 	}
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	type series struct {
 		prof map[float64]objective.Profile
 		work float64 // total GFLOP (DGEMM) or GB (STREAM), frequency-invariant
@@ -44,7 +44,7 @@ func (c *Context) Figure1() (*Table, error) {
 		if err != nil {
 			return series{}, err
 		}
-		st, err := gpusim.Evaluate(arch, w, arch.MaxFreqMHz)
+		st, err := sim.Evaluate(arch, w, arch.MaxFreqMHz)
 		if err != nil {
 			return series{}, err
 		}
@@ -87,7 +87,7 @@ func (c *Context) fig3Columns() (cols map[string][]float64, power, execTime []fl
 		}
 	}
 	cols = map[string][]float64{}
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	for _, r := range runs {
 		m := r.MeanSample()
 		cols["fp_active"] = append(cols["fp_active"], m.FPActive())
@@ -179,7 +179,7 @@ func (c *Context) Figure4() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range gpusim.GA100().DesignClocks() {
+	for _, f := range sim.GA100().DesignClocks() {
 		t.AddRow(f0(f), f3(dg[f].fp), f3(dg[f].dram), f3(st[f].fp), f3(st[f].dram))
 	}
 	return t, nil
@@ -199,7 +199,7 @@ func (c *Context) Figure5() (*Table, error) {
 		Title:   "fp_active and dram_active vs input-size scale at 1410 MHz (DGEMM, STREAM) on GA100",
 		Columns: []string{"input_scale", "dgemm_fp", "dgemm_dram", "stream_fp", "stream_dram"},
 	}
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	for _, scale := range Figure5Scales {
 		row := []string{f2(scale)}
 		for _, name := range []string{"DGEMM", "STREAM"} {
@@ -207,7 +207,7 @@ func (c *Context) Figure5() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			dev := gpusim.NewDevice(arch, c.cfg.Seed+int64(scale*100))
+			dev := sim.New(arch, c.cfg.Seed+int64(scale*100))
 			coll := dcgm.NewCollector(dev, dcgm.Config{
 				InputScale: scale,
 				Seed:       c.cfg.Seed + int64(scale*100) + 1,
@@ -274,7 +274,7 @@ func (c *Context) predVsMeas(id, title string, metric func(objective.Profile) fl
 		cols = append(cols, a+"_meas", a+"_pred")
 	}
 	t := &Table{ID: id, Title: title, Columns: cols}
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	freqs := arch.DesignClocks()
 	series := map[string]map[float64][2]float64{}
 	for _, app := range apps {

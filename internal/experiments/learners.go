@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/mlbase"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
@@ -50,7 +50,7 @@ func (c *Context) LearnerAccuracies() (map[string]map[string]float64, error) {
 		fitted[name] = reg
 	}
 
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	out := map[string]map[string]float64{}
 	for _, l := range Figure11Learners {
 		out[l] = map[string]float64{}

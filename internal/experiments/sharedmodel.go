@@ -3,9 +3,9 @@ package experiments
 import (
 	"fmt"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/stats"
@@ -58,7 +58,7 @@ func (c *Context) AblationSharedModelTable() (*Table, error) {
 		return nil, err
 	}
 
-	arch := gpusim.GA100()
+	arch := sim.GA100().Spec()
 	t := &Table{
 		ID:      "abl-shared",
 		Title:   "Shared two-output model vs the paper's separate models (per-run training data)",

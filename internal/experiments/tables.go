@@ -4,15 +4,15 @@ import (
 	"fmt"
 	"sort"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/workloads"
 )
 
 // Table1 reproduces the GPU specification table.
 func (c *Context) Table1() (*Table, error) {
-	ga, gv := gpusim.GA100(), gpusim.GV100()
+	ga, gv := sim.GA100(), sim.GV100()
 	t := &Table{
 		ID:      "tab1",
 		Title:   "Specifications of the GPUs used in this study",

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -18,7 +18,7 @@ var VoltageOffsets = []float64{-0.025, -0.05}
 // scales with V², even tens of millivolts are material — and the saving is
 // larger at high clocks, where the voltage curve sits above its floor.
 func (c *Context) FutureVoltageTable() (*Table, error) {
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	cols := []string{"workload", "ed2p_freq_mhz"}
 	for _, dv := range VoltageOffsets {
 		cols = append(cols,
@@ -43,11 +43,11 @@ func (c *Context) FutureVoltageTable() (*Table, error) {
 		}
 		row := []string{name, f0(sel)}
 		for _, dv := range VoltageOffsets {
-			atMax, err := gpusim.UndervoltSavings(arch, w, arch.MaxFreqMHz, dv)
+			atMax, err := sim.UndervoltSavings(arch, w, arch.MaxFreqMHz, dv)
 			if err != nil {
 				return nil, err
 			}
-			atOpt, err := gpusim.UndervoltSavings(arch, w, sel, dv)
+			atOpt, err := sim.UndervoltSavings(arch, w, sel, dv)
 			if err != nil {
 				return nil, err
 			}

@@ -19,7 +19,7 @@ import (
 
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/objective"
 )
 
@@ -81,7 +81,7 @@ type Stats struct {
 
 // Governor applies model-selected frequencies and re-tunes on drift.
 type Governor struct {
-	dev    *gpusim.Device
+	dev    backend.Device
 	models *core.Models
 	cfg    Config
 
@@ -99,7 +99,7 @@ type Governor struct {
 }
 
 // New returns a governor over dev using the given trained models.
-func New(dev *gpusim.Device, models *core.Models, cfg Config) (*Governor, error) {
+func New(dev backend.Device, models *core.Models, cfg Config) (*Governor, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -132,11 +132,11 @@ func (g *Governor) sweeper() (*core.Sweeper, error) {
 
 // profileAtMax runs one profiling run at the maximum clock with the same
 // seed schedule every tune path uses.
-func (g *Governor) profileAtMax(app gpusim.KernelProfile) (dcgm.Run, error) {
+func (g *Governor) profileAtMax(app backend.Workload) (dcgm.Run, error) {
 	coll := dcgm.NewCollector(g.dev, dcgm.Config{Seed: g.cfg.ProfileSeed + int64(g.stats.Tunes)})
 	run, err := coll.ProfileAtMax(app)
 	if err != nil {
-		return dcgm.Run{}, fmt.Errorf("governor: profiling %s: %w", app.Name, err)
+		return dcgm.Run{}, fmt.Errorf("governor: profiling %s: %w", app.WorkloadName(), err)
 	}
 	return run, nil
 }
@@ -146,7 +146,7 @@ func (g *Governor) profileAtMax(app gpusim.KernelProfile) (dcgm.Run, error) {
 // objective, and pins the device clock to it. Predictions go through the
 // governor's reused sweeper and buffer; the selection is bit-identical to
 // the allocating core.OnlinePredict + SelectFrequency formulation.
-func (g *Governor) Tune(app gpusim.KernelProfile) (core.Selection, error) {
+func (g *Governor) Tune(app backend.Workload) (core.Selection, error) {
 	sw, err := g.sweeper()
 	if err != nil {
 		return core.Selection{}, err
@@ -157,7 +157,7 @@ func (g *Governor) Tune(app gpusim.KernelProfile) (core.Selection, error) {
 	}
 	clamped, err := sw.PredictProfileInto(g.profBuf, run)
 	if err != nil {
-		return core.Selection{}, fmt.Errorf("governor: predicting %s: %w", app.Name, err)
+		return core.Selection{}, fmt.Errorf("governor: predicting %s: %w", app.WorkloadName(), err)
 	}
 	g.stats.Clamped += clamped
 	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
@@ -214,7 +214,7 @@ type RunOutcome struct {
 // drift has persisted for ReprofileAfter consecutive runs. The app passed
 // here may differ from the one last tuned for — that is exactly the
 // situation the governor exists to notice.
-func (g *Governor) ProcessRun(app gpusim.KernelProfile) (RunOutcome, error) {
+func (g *Governor) ProcessRun(app backend.Workload) (RunOutcome, error) {
 	if !g.tuned {
 		if _, err := g.Tune(app); err != nil {
 			return RunOutcome{}, err

@@ -7,7 +7,8 @@ import (
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/trace"
 	"gpudvfs/internal/workloads"
@@ -23,7 +24,7 @@ var (
 func quickModels(t *testing.T) *core.Models {
 	t.Helper()
 	modelsOnce.Do(func() {
-		dev := gpusim.NewDevice(gpusim.GA100(), 51)
+		dev := sim.New(sim.GA100(), 51)
 		coll := dcgm.NewCollector(dev, dcgm.Config{
 			Freqs:            []float64{510, 705, 900, 1095, 1290, 1410},
 			Runs:             2,
@@ -35,17 +36,17 @@ func quickModels(t *testing.T) *core.Models {
 			modelsErr = err
 			return
 		}
-		runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+		runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw}))
 		if err != nil {
 			modelsErr = err
 			return
 		}
-		ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+		ds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{})
 		if err != nil {
 			modelsErr = err
 			return
 		}
-		sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+		sds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{PerSample: true})
 		if err != nil {
 			modelsErr = err
 			return
@@ -61,7 +62,7 @@ func quickModels(t *testing.T) *core.Models {
 }
 
 func TestNewValidation(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 1)
+	dev := sim.New(sim.GA100(), 1)
 	m := quickModels(t)
 	if _, err := New(nil, m, DefaultConfig()); err == nil {
 		t.Fatal("nil device accepted")
@@ -81,7 +82,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestTuneAppliesClock(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 2)
+	dev := sim.New(sim.GA100(), 2)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestTuneAppliesClock(t *testing.T) {
 	if dev.Clock() != sel.FreqMHz {
 		t.Fatalf("device at %v MHz, selection %v", dev.Clock(), sel.FreqMHz)
 	}
-	if !gpusim.GA100().IsSupported(sel.FreqMHz) {
+	if !sim.GA100().IsSupported(sel.FreqMHz) {
 		t.Fatalf("selected unsupported clock %v", sel.FreqMHz)
 	}
 	if g.Stats().Tunes != 1 {
@@ -102,7 +103,7 @@ func TestTuneAppliesClock(t *testing.T) {
 }
 
 func TestStableWorkloadDoesNotRetune(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 3)
+	dev := sim.New(sim.GA100(), 3)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +129,7 @@ func TestStableWorkloadDoesNotRetune(t *testing.T) {
 // TestInputSizeChangeDoesNotRetune pins the paper's size-invariance claim
 // at the governor level: a 4× larger input is not drift.
 func TestInputSizeChangeDoesNotRetune(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 4)
+	dev := sim.New(sim.GA100(), 4)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -156,7 +157,7 @@ func TestInputSizeChangeDoesNotRetune(t *testing.T) {
 // compute-bound phase for a memory-bound one is drift and triggers a
 // re-tune after the hysteresis window.
 func TestCharacterChangeRetunes(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 5)
+	dev := sim.New(sim.GA100(), 5)
 	cfg := DefaultConfig()
 	cfg.ReprofileAfter = 2
 	g, err := New(dev, quickModels(t), cfg)
@@ -189,7 +190,7 @@ func TestCharacterChangeRetunes(t *testing.T) {
 }
 
 func TestProcessRunAutoTunes(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 6)
+	dev := sim.New(sim.GA100(), 6)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +208,7 @@ func TestProcessRunAutoTunes(t *testing.T) {
 }
 
 func TestStatsAccumulate(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	dev := sim.New(sim.GA100(), 7)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +245,7 @@ func TestRelDiff(t *testing.T) {
 }
 
 func TestTunePhased(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 8)
+	dev := sim.New(sim.GA100(), 8)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -253,7 +254,7 @@ func TestTunePhased(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !gpusim.GA100().IsSupported(res.Selection.FreqMHz) {
+	if !sim.GA100().IsSupported(res.Selection.FreqMHz) {
 		t.Fatalf("unsupported clock %v", res.Selection.FreqMHz)
 	}
 	if len(res.Segments) == 0 {
@@ -274,7 +275,7 @@ func TestTunePhased(t *testing.T) {
 // host-heavy application the profiling stream splits into GPU-busy and
 // idle phases, and the dominant-phase share reflects the mix.
 func TestTunePhasedHostHeavy(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 9)
+	dev := sim.New(sim.GA100(), 9)
 	g, err := New(dev, quickModels(t), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +300,7 @@ func TestTuneMatchesOnlinePredictSelection(t *testing.T) {
 	m := quickModels(t)
 	cfg := Config{Objective: objective.ED2P{}, Threshold: -1, ProfileSeed: 90}
 
-	devRef := gpusim.NewDevice(gpusim.GA100(), 91)
+	devRef := sim.New(sim.GA100(), 91)
 	on, err := core.OnlinePredict(devRef, m, workloads.LAMMPS(), dcgm.Config{Seed: cfg.ProfileSeed})
 	if err != nil {
 		t.Fatal(err)
@@ -309,7 +310,7 @@ func TestTuneMatchesOnlinePredictSelection(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	devGov := gpusim.NewDevice(gpusim.GA100(), 91)
+	devGov := sim.New(sim.GA100(), 91)
 	g, err := New(devGov, m, cfg)
 	if err != nil {
 		t.Fatal(err)

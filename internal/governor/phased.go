@@ -5,7 +5,7 @@ import (
 
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/trace"
 )
 
@@ -28,7 +28,7 @@ type PhasedTune struct {
 // whole-stream mean mixes phases into a feature point no real phase
 // occupies; the dominant-phase features describe the behaviour the
 // selected frequency will actually govern most of the time.
-func (g *Governor) TunePhased(app gpusim.KernelProfile, opts trace.Options) (PhasedTune, error) {
+func (g *Governor) TunePhased(app backend.Workload, opts trace.Options) (PhasedTune, error) {
 	sw, err := g.sweeper()
 	if err != nil {
 		return PhasedTune{}, err

@@ -22,29 +22,25 @@
 //
 // Nothing downstream of this package sees the analytical form: the data
 // collection framework samples noisy telemetry from simulated runs exactly
-// as DCGM would from hardware, and the DNN learns from those samples.
+// as DCGM would from hardware, and the DNN learns from those samples. The
+// rest of the pipeline reaches this package only through the
+// backend.Device interface, implemented by backend/sim.
 package gpusim
 
 import (
 	"fmt"
 	"math"
+
+	"gpudvfs/internal/backend"
 )
 
-// Arch describes one GPU architecture. The public spec fields mirror the
-// paper's Table 1; the calibration fields parameterize the analytical
-// power/performance model.
+// Arch describes one GPU architecture: the public backend.Arch
+// specification (the paper's Table 1, including the DVFS table) plus the
+// calibration that parameterizes the analytical power/performance model.
+// The spec's fields and clock-table methods are promoted, so an Arch is
+// used exactly as before the spec/calibration split.
 type Arch struct {
-	Name string
-
-	// Table 1 specifications.
-	MinFreqMHz        float64 // lowest supported core clock
-	MaxFreqMHz        float64 // highest supported core clock (default clock)
-	StepMHz           float64 // DVFS step
-	DesignMinFreqMHz  float64 // lowest clock in the paper's design space (510 MHz: below this, heavy degradation)
-	MemFreqMHz        float64
-	MemoryGB          int
-	PeakBandwidthGBps float64
-	TDPWatts          float64
+	backend.Arch
 
 	// Calibration of the analytical model.
 	IdleWatts     float64 // static + fan + HBM standby power
@@ -59,19 +55,15 @@ type Arch struct {
 	PeakFP64GFLOP float64 // peak FP64 throughput at fmax, GFLOP/s
 }
 
+// Spec returns the architecture's public specification — the part the
+// backend boundary exposes to the rest of the pipeline.
+func (a Arch) Spec() backend.Arch { return a.Arch }
+
 // GA100 returns the NVIDIA A100 80GB (Ampere) model used for training and
 // primary evaluation. Spec values follow the paper's Table 1.
 func GA100() Arch {
 	return Arch{
-		Name:              "GA100",
-		MinFreqMHz:        210,
-		MaxFreqMHz:        1410,
-		StepMHz:           15,
-		DesignMinFreqMHz:  510,
-		MemFreqMHz:        1597,
-		MemoryGB:          80,
-		PeakBandwidthGBps: 2039,
-		TDPWatts:          500,
+		Arch: backend.GA100(),
 
 		IdleWatts:     40,
 		CoreDynWatts:  440,
@@ -89,15 +81,7 @@ func GA100() Arch {
 // portability evaluation. Spec values follow the paper's Table 1.
 func GV100() Arch {
 	return Arch{
-		Name:              "GV100",
-		MinFreqMHz:        135,
-		MaxFreqMHz:        1380,
-		StepMHz:           7.5,
-		DesignMinFreqMHz:  510,
-		MemFreqMHz:        877,
-		MemoryGB:          40,
-		PeakBandwidthGBps: 900,
-		TDPWatts:          250,
+		Arch: backend.GV100(),
 
 		IdleWatts:     20,
 		CoreDynWatts:  215,
@@ -120,50 +104,6 @@ func ArchByName(name string) (Arch, error) {
 		return GV100(), nil
 	}
 	return Arch{}, fmt.Errorf("gpusim: unknown architecture %q (have GA100, GV100)", name)
-}
-
-// SupportedClocks returns every DVFS configuration the hardware exposes,
-// ascending, from MinFreqMHz to MaxFreqMHz inclusive. On GA100 this yields
-// 81 configurations; on GV100, 167.
-func (a Arch) SupportedClocks() []float64 {
-	return clockRange(a.MinFreqMHz, a.MaxFreqMHz, a.StepMHz)
-}
-
-// DesignClocks returns the paper's DVFS design space: the supported clocks
-// at or above DesignMinFreqMHz. On GA100 this yields the 61 configurations
-// in [510, 1410]; on GV100, the 117 configurations in [510, 1380].
-func (a Arch) DesignClocks() []float64 {
-	return clockRange(a.DesignMinFreqMHz, a.MaxFreqMHz, a.StepMHz)
-}
-
-func clockRange(lo, hi, step float64) []float64 {
-	var out []float64
-	for f := lo; f <= hi+1e-9; f += step {
-		out = append(out, f)
-	}
-	return out
-}
-
-// IsSupported reports whether f is one of the architecture's DVFS
-// configurations (within floating-point tolerance of a step).
-func (a Arch) IsSupported(f float64) bool {
-	if f < a.MinFreqMHz-1e-9 || f > a.MaxFreqMHz+1e-9 {
-		return false
-	}
-	steps := (f - a.MinFreqMHz) / a.StepMHz
-	return math.Abs(steps-math.Round(steps)) < 1e-6
-}
-
-// NearestSupported snaps f to the closest supported clock.
-func (a Arch) NearestSupported(f float64) float64 {
-	if f <= a.MinFreqMHz {
-		return a.MinFreqMHz
-	}
-	if f >= a.MaxFreqMHz {
-		return a.MaxFreqMHz
-	}
-	steps := math.Round((f - a.MinFreqMHz) / a.StepMHz)
-	return a.MinFreqMHz + steps*a.StepMHz
 }
 
 // Voltage returns the modeled core operating voltage at clock f (MHz): the

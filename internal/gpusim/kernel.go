@@ -59,6 +59,10 @@ type KernelProfile struct {
 	SizeMemoryExp  float64
 }
 
+// WorkloadName implements backend.Workload: a kernel profile is what the
+// sim backend accepts as a runnable workload.
+func (k KernelProfile) WorkloadName() string { return k.Name }
+
 // Validate checks that the profile's fields are physically meaningful.
 func (k KernelProfile) Validate() error {
 	if k.Name == "" {

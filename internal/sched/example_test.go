@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"log"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/sched"
 	"gpudvfs/internal/workloads"
 )
@@ -16,7 +16,7 @@ import (
 func Example() {
 	var models *core.Models // from core.OfflineTrain or core.LoadModels
 
-	planner, err := sched.NewPlanner(gpusim.GA100(), models, 7)
+	planner, err := sched.NewPlanner(sim.New(sim.GA100(), 0), models, 7)
 	if err != nil {
 		log.Fatal(err)
 	}

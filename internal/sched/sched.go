@@ -20,16 +20,16 @@ import (
 	"sort"
 	"sync"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/objective"
 )
 
 // Job is one entry in the fleet plan.
 type Job struct {
 	Name string
-	App  gpusim.KernelProfile
+	App  backend.Workload
 	// GPUs is how many GPUs the job occupies (its power counts that many
 	// times toward the budget). 0 means 1.
 	GPUs int
@@ -89,7 +89,7 @@ type Config struct {
 
 // Planner profiles jobs and produces budget-constrained frequency plans.
 type Planner struct {
-	arch    gpusim.Arch
+	dev     backend.Device
 	models  *core.Models
 	seed    int64
 	workers int
@@ -99,19 +99,23 @@ type Planner struct {
 	clamped  int // clamp count accumulated over the last Profile
 }
 
-// NewPlanner returns a planner for the given architecture using trained
-// models. seed drives the profiling runs' simulated noise.
-func NewPlanner(arch gpusim.Arch, models *core.Models, seed int64) (*Planner, error) {
-	return NewPlannerConfig(arch, models, Config{Seed: seed})
+// NewPlanner returns a planner over dev using trained models. seed
+// drives the profiling runs' telemetry noise (each job profiles on its
+// own fork of dev).
+func NewPlanner(dev backend.Device, models *core.Models, seed int64) (*Planner, error) {
+	return NewPlannerConfig(dev, models, Config{Seed: seed})
 }
 
 // NewPlannerConfig is NewPlanner with explicit profiling concurrency.
-func NewPlannerConfig(arch gpusim.Arch, models *core.Models, cfg Config) (*Planner, error) {
+func NewPlannerConfig(dev backend.Device, models *core.Models, cfg Config) (*Planner, error) {
 	if models == nil {
 		return nil, errors.New("sched: models are required")
 	}
+	if dev == nil {
+		return nil, errors.New("sched: device is required")
+	}
 	return &Planner{
-		arch:     arch,
+		dev:      dev,
 		models:   models,
 		seed:     cfg.Seed,
 		workers:  cfg.Workers,
@@ -131,7 +135,7 @@ type profiled struct {
 // collection seed derive from the job's index alone — never from which
 // worker ran it — which is what makes parallel profiling deterministic.
 func (p *Planner) profileJob(i int, j Job) profiled {
-	dev := gpusim.NewDevice(p.arch, p.seed+int64(i)*101)
+	dev := p.dev.Fork(p.seed + int64(i)*101)
 	on, err := core.OnlinePredict(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1})
 	if err != nil {
 		return profiled{err: fmt.Errorf("sched: profiling job %q: %w", j.Name, err)}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/stats"
 	"gpudvfs/internal/workloads"
@@ -15,7 +15,7 @@ import (
 // planning-path cost is identical for trained and untrained weights.
 func benchModels(b *testing.B) *core.Models {
 	b.Helper()
-	arch := gpusim.GA100()
+	arch := sim.GA100()
 	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
 	if err != nil {
 		b.Fatal(err)
@@ -58,7 +58,7 @@ func BenchmarkPlanFleet(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := NewPlanner(gpusim.GA100(), m, 11)
+		p, err := NewPlanner(sim.New(sim.GA100(), 0), m, 11)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func BenchmarkPlanFleetParallel(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 11, Workers: 4})
+		p, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 11, Workers: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

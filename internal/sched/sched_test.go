@@ -5,10 +5,11 @@ import (
 	"sync"
 	"testing"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -21,9 +22,9 @@ var (
 func quickModels(t *testing.T) *core.Models {
 	t.Helper()
 	modelsOnce.Do(func() {
-		dev := gpusim.NewDevice(gpusim.GA100(), 61)
+		dev := sim.New(sim.GA100(), 61)
 		coll := dcgm.NewCollector(dev, dcgm.Config{
-			Freqs:            gpusim.GA100().DesignClocks(),
+			Freqs:            sim.GA100().DesignClocks(),
 			Runs:             1,
 			MaxSamplesPerRun: 4,
 			Seed:             62,
@@ -33,17 +34,17 @@ func quickModels(t *testing.T) *core.Models {
 			modelsErr = err
 			return
 		}
-		runs, err := coll.CollectAll([]gpusim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw})
+		runs, err := coll.CollectAll(backend.Workloads([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), nw}))
 		if err != nil {
 			modelsErr = err
 			return
 		}
-		ds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{})
+		ds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{})
 		if err != nil {
 			modelsErr = err
 			return
 		}
-		sds, err := dataset.Build(gpusim.GA100(), runs, dataset.Options{PerSample: true})
+		sds, err := dataset.Build(sim.GA100().Spec(), runs, dataset.Options{PerSample: true})
 		if err != nil {
 			modelsErr = err
 			return
@@ -68,7 +69,7 @@ func fleet() []Job {
 
 func profiledPlanner(t *testing.T) *Planner {
 	t.Helper()
-	p, err := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	p, err := NewPlanner(sim.New(sim.GA100(), 0), quickModels(t), 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,13 +80,13 @@ func profiledPlanner(t *testing.T) *Planner {
 }
 
 func TestNewPlannerRequiresModels(t *testing.T) {
-	if _, err := NewPlanner(gpusim.GA100(), nil, 1); err == nil {
+	if _, err := NewPlanner(sim.New(sim.GA100(), 0), nil, 1); err == nil {
 		t.Fatal("nil models accepted")
 	}
 }
 
 func TestProfileValidation(t *testing.T) {
-	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 1)
+	p, _ := NewPlanner(sim.New(sim.GA100(), 0), quickModels(t), 1)
 	if err := p.Profile(nil); err == nil {
 		t.Fatal("empty fleet accepted")
 	}
@@ -101,7 +102,7 @@ func TestProfileValidation(t *testing.T) {
 }
 
 func TestPlanBeforeProfileFails(t *testing.T) {
-	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 1)
+	p, _ := NewPlanner(sim.New(sim.GA100(), 0), quickModels(t), 1)
 	if _, err := p.Plan(1000); err == nil {
 		t.Fatal("plan before profile accepted")
 	}
@@ -237,13 +238,13 @@ func TestJobDefaults(t *testing.T) {
 }
 
 func TestGPUCountsScalePower(t *testing.T) {
-	p, _ := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	p, _ := NewPlanner(sim.New(sim.GA100(), 0), quickModels(t), 7)
 	if err := p.Profile([]Job{{Name: "one", App: workloads.LAMMPS(), GPUs: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	one, _ := p.Plan(1e6)
 
-	p2, _ := NewPlanner(gpusim.GA100(), quickModels(t), 7)
+	p2, _ := NewPlanner(sim.New(sim.GA100(), 0), quickModels(t), 7)
 	if err := p2.Profile([]Job{{Name: "eight", App: workloads.LAMMPS(), GPUs: 8}}); err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestPlanFleetDeterministicAcrossWorkers(t *testing.T) {
 	var ref Plan
 	var refClamped int
 	for _, workers := range []int{1, 4, 16} {
-		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 7, Workers: workers})
+		p, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 7, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -329,12 +330,12 @@ func TestProfileParallelErrorIsLowestIndex(t *testing.T) {
 	m := quickModels(t)
 	jobs := bigFleet(t)
 	// Empty kernel profiles make OnlinePredict fail during profiling.
-	jobs[3].App = gpusim.KernelProfile{Name: "broken-low"}
-	jobs[9].App = gpusim.KernelProfile{Name: "broken-high"}
+	jobs[3].App = sim.KernelProfile{Name: "broken-low"}
+	jobs[9].App = sim.KernelProfile{Name: "broken-high"}
 
 	want := ""
 	for _, workers := range []int{1, 4} {
-		p, err := NewPlannerConfig(gpusim.GA100(), m, Config{Seed: 7, Workers: workers})
+		p, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 7, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

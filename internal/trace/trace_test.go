@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/workloads"
 )
 
@@ -153,7 +153,7 @@ func TestDominantSegment(t *testing.T) {
 // concatenating samples from a compute-bound and a memory-bound run yields
 // two phases at the seam.
 func TestDetectOnCollectedTelemetry(t *testing.T) {
-	dev := gpusim.NewDevice(gpusim.GA100(), 7)
+	dev := sim.New(sim.GA100(), 7)
 	coll := dcgm.NewCollector(dev, dcgm.Config{Freqs: []float64{1410}, Runs: 1, MaxSamplesPerRun: -1, Seed: 8})
 	dgemm, err := coll.CollectWorkload(workloads.DGEMM())
 	if err != nil {

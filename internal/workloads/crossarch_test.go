@@ -3,7 +3,7 @@ package workloads
 import (
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 // TestWorkloadShapesPortAcrossArchitectures pins the premise behind the
@@ -11,13 +11,13 @@ import (
 // (normalized power level, slowdown behaviour, feature signature) is the
 // same on GA100 and GV100.
 func TestWorkloadShapesPortAcrossArchitectures(t *testing.T) {
-	ga, gv := gpusim.GA100(), gpusim.GV100()
+	ga, gv := sim.GA100(), sim.GV100()
 	for _, w := range All() {
-		gaMax, err := gpusim.Evaluate(ga, w, ga.MaxFreqMHz)
+		gaMax, err := sim.Evaluate(ga, w, ga.MaxFreqMHz)
 		if err != nil {
 			t.Fatalf("%s on GA100: %v", w.Name, err)
 		}
-		gvMax, err := gpusim.Evaluate(gv, w, gv.MaxFreqMHz)
+		gvMax, err := sim.Evaluate(gv, w, gv.MaxFreqMHz)
 		if err != nil {
 			t.Fatalf("%s on GV100: %v", w.Name, err)
 		}
@@ -35,11 +35,11 @@ func TestWorkloadShapesPortAcrossArchitectures(t *testing.T) {
 			t.Errorf("%s: dram_active %0.3f vs %0.3f", w.Name, gaMax.DRAMActive, gvMax.DRAMActive)
 		}
 		// Slowdown at ~510 MHz agrees within 20% relative.
-		gaLow, err := gpusim.Evaluate(ga, w, 510)
+		gaLow, err := sim.Evaluate(ga, w, 510)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gvLow, err := gpusim.Evaluate(gv, w, 510)
+		gvLow, err := sim.Evaluate(gv, w, 510)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,12 +55,12 @@ func TestWorkloadShapesPortAcrossArchitectures(t *testing.T) {
 // interior energy optimum on both architectures — the condition that makes
 // frequency selection worthwhile at all.
 func TestWorkloadEnergyOptimaInterior(t *testing.T) {
-	for _, arch := range []gpusim.Arch{gpusim.GA100(), gpusim.GV100()} {
+	for _, arch := range []sim.Arch{sim.GA100(), sim.GV100()} {
 		clocks := arch.DesignClocks()
 		for _, w := range All() {
 			best, bestE := -1, 1e300
 			for i, f := range clocks {
-				s, err := gpusim.Evaluate(arch, w, f)
+				s, err := sim.Evaluate(arch, w, f)
 				if err != nil {
 					t.Fatalf("%s@%v on %s: %v", w.Name, f, arch.Name, err)
 				}
@@ -79,13 +79,13 @@ func TestWorkloadEnergyOptimaInterior(t *testing.T) {
 // is the most frequency-sensitive workload and STREAM among the least,
 // with the suite spread in between.
 func TestComputeCharacterOrdering(t *testing.T) {
-	arch := gpusim.GA100()
-	slowdown := func(w gpusim.KernelProfile) float64 {
-		lo, err := gpusim.Evaluate(arch, w, 510)
+	arch := sim.GA100()
+	slowdown := func(w sim.KernelProfile) float64 {
+		lo, err := sim.Evaluate(arch, w, 510)
 		if err != nil {
 			t.Fatal(err)
 		}
-		hi, err := gpusim.Evaluate(arch, w, arch.MaxFreqMHz)
+		hi, err := sim.Evaluate(arch, w, arch.MaxFreqMHz)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,15 +22,15 @@ import (
 	"fmt"
 	"sort"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 // DGEMM returns the compute-intensive micro-benchmark profile (CUDA
 // cuBLAS matrix multiply in the paper). Compute demand scales with n³ and
 // memory demand with n², so dram_active drifts slightly with input size
 // while fp_active does not (paper §4.2.3).
-func DGEMM() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func DGEMM() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "DGEMM",
 		ComputeSec:     2.0,
 		MemorySec:      0.5,
@@ -52,8 +52,8 @@ func DGEMM() gpusim.KernelProfile {
 // STREAM returns the memory-intensive micro-benchmark profile (GPU-STREAM
 // triad in the paper). Both demands scale linearly with input size, so its
 // features are size-invariant (paper §4.2.3).
-func STREAM() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func STREAM() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "STREAM",
 		ComputeSec:     0.12,
 		MemorySec:      1.5,
@@ -106,8 +106,8 @@ var specSpecs = []specSpec{
 	{"BPLUSTREE", 0.25, 0.35, 4.0, 0.79, 0.83, 0.80, 0.45, 0.85, 0.55, 240, 110, 0.018},
 }
 
-func (s specSpec) profile() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func (s specSpec) profile() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           s.name,
 		ComputeSec:     s.tc,
 		MemorySec:      s.tm,
@@ -135,8 +135,8 @@ var specHostOverlap = map[string]float64{
 }
 
 // SPECACCEL returns the 19 SPEC ACCEL benchmark profiles.
-func SPECACCEL() []gpusim.KernelProfile {
-	out := make([]gpusim.KernelProfile, 0, len(specSpecs))
+func SPECACCEL() []sim.KernelProfile {
+	out := make([]sim.KernelProfile, 0, len(specSpecs))
 	for _, s := range specSpecs {
 		p := s.profile()
 		p.HostOverlap = specHostOverlap[p.Name]
@@ -147,8 +147,8 @@ func SPECACCEL() []gpusim.KernelProfile {
 
 // LAMMPS returns the Lennard-Jones 3D melt profile: a compute-leaning
 // molecular-dynamics particle simulation.
-func LAMMPS() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func LAMMPS() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "LAMMPS",
 		ComputeSec:     5.2,
 		MemorySec:      2.3,
@@ -169,8 +169,8 @@ func LAMMPS() gpusim.KernelProfile {
 
 // NAMD returns the ApoA1 (92,224 atoms) biomolecular simulation profile:
 // strongly compute-bound with good overlap.
-func NAMD() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func NAMD() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "NAMD",
 		ComputeSec:     6.0,
 		MemorySec:      2.0,
@@ -194,8 +194,8 @@ func NAMD() gpusim.KernelProfile {
 // to the CPU in this configuration) makes its wall time nearly insensitive
 // to GPU DVFS — the behaviour the paper reports in §5.1 and plans to
 // address in future work.
-func GROMACS() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func GROMACS() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "GROMACS",
 		ComputeSec:     1.6,
 		MemorySec:      1.2,
@@ -218,8 +218,8 @@ func GROMACS() gpusim.KernelProfile {
 // LSTM returns the TensorFlow sentiment-classification training profile: a
 // low-utilization workload (small kernels, input pipeline on the host)
 // with substantial energy headroom, per the paper's §7 discussion.
-func LSTM() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func LSTM() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "LSTM",
 		ComputeSec:     0.45,
 		MemorySec:      0.65,
@@ -241,8 +241,8 @@ func LSTM() gpusim.KernelProfile {
 
 // BERT returns the movie-review language-model training profile:
 // compute-heavy transformer layers with healthy memory traffic.
-func BERT() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func BERT() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "BERT",
 		ComputeSec:     6.5,
 		MemorySec:      3.2,
@@ -264,8 +264,8 @@ func BERT() gpusim.KernelProfile {
 // ResNet50 returns the CIFAR-10 training profile. Its high run-to-run
 // variability (input pipeline jitter, cuDNN autotuning) makes it the
 // outlier of the evaluation set, as the paper observes around Table 5.
-func ResNet50() gpusim.KernelProfile {
-	return gpusim.KernelProfile{
+func ResNet50() sim.KernelProfile {
+	return sim.KernelProfile{
 		Name:           "ResNet50",
 		ComputeSec:     3.6,
 		MemorySec:      3.1,
@@ -285,36 +285,36 @@ func ResNet50() gpusim.KernelProfile {
 }
 
 // MicroBenchmarks returns DGEMM and STREAM.
-func MicroBenchmarks() []gpusim.KernelProfile {
-	return []gpusim.KernelProfile{DGEMM(), STREAM()}
+func MicroBenchmarks() []sim.KernelProfile {
+	return []sim.KernelProfile{DGEMM(), STREAM()}
 }
 
 // TrainingSet returns the 21 profiles the paper trains on: DGEMM, STREAM,
 // and the SPEC ACCEL suite.
-func TrainingSet() []gpusim.KernelProfile {
+func TrainingSet() []sim.KernelProfile {
 	return append(MicroBenchmarks(), SPECACCEL()...)
 }
 
 // RealApps returns the six real-world evaluation applications, in the
 // paper's order.
-func RealApps() []gpusim.KernelProfile {
-	return []gpusim.KernelProfile{LAMMPS(), NAMD(), GROMACS(), LSTM(), BERT(), ResNet50()}
+func RealApps() []sim.KernelProfile {
+	return []sim.KernelProfile{LAMMPS(), NAMD(), GROMACS(), LSTM(), BERT(), ResNet50()}
 }
 
 // All returns every workload profile defined by this package.
-func All() []gpusim.KernelProfile {
+func All() []sim.KernelProfile {
 	return append(TrainingSet(), RealApps()...)
 }
 
 // ByName returns the named workload profile (case-sensitive, as printed by
 // Names).
-func ByName(name string) (gpusim.KernelProfile, error) {
+func ByName(name string) (sim.KernelProfile, error) {
 	for _, w := range All() {
 		if w.Name == name {
 			return w, nil
 		}
 	}
-	return gpusim.KernelProfile{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	return sim.KernelProfile{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
 }
 
 // Names lists every defined workload name, sorted.

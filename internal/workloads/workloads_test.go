@@ -3,7 +3,7 @@ package workloads
 import (
 	"testing"
 
-	"gpudvfs/internal/gpusim"
+	sim "gpudvfs/internal/backend/sim"
 )
 
 func TestRegistryCounts(t *testing.T) {
@@ -106,10 +106,10 @@ func TestWorkloadCharacters(t *testing.T) {
 // spectrum the paper's models must cover: at max clock, the most and least
 // power-hungry training workloads differ by at least 3×.
 func TestTrainingSetPowerSpread(t *testing.T) {
-	a := gpusim.GA100()
+	a := sim.GA100()
 	lo, hi := a.TDPWatts*10, 0.0
 	for _, w := range TrainingSet() {
-		s, err := gpusim.Evaluate(a, w, a.MaxFreqMHz)
+		s, err := sim.Evaluate(a, w, a.MaxFreqMHz)
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
@@ -129,10 +129,10 @@ func TestTrainingSetPowerSpread(t *testing.T) {
 // models rely on: each real app's (fp_active, dram_active) at max clock is
 // within the bounding box of the training set's features (with margin).
 func TestRealAppsInsideTrainingFeatureHull(t *testing.T) {
-	a := gpusim.GA100()
+	a := sim.GA100()
 	var loFP, hiFP, loDR, hiDR = 2.0, -1.0, 2.0, -1.0
 	for _, w := range TrainingSet() {
-		s, err := gpusim.Evaluate(a, w, a.MaxFreqMHz)
+		s, err := sim.Evaluate(a, w, a.MaxFreqMHz)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,7 +151,7 @@ func TestRealAppsInsideTrainingFeatureHull(t *testing.T) {
 	}
 	const margin = 0.03
 	for _, w := range RealApps() {
-		s, err := gpusim.Evaluate(a, w, a.MaxFreqMHz)
+		s, err := sim.Evaluate(a, w, a.MaxFreqMHz)
 		if err != nil {
 			t.Fatal(err)
 		}
