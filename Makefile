@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve
 
 .PHONY: all build test race bench-smoke fuzz-smoke vet check
 
@@ -22,19 +22,22 @@ vet:
 # new concurrent paths) are included.
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
-	$(GO) test -race -count=1 -run 'Deterministic|Concurrent|Singleflight|PlanCache' ./internal/core
+	$(GO) test -race -count=1 -run 'Deterministic|Concurrent|Singleflight|PlanCache|BatchSweep' ./internal/core
 	$(GO) test -race -count=1 -run 'Singleflight' ./internal/experiments
 
 # bench-smoke compiles and runs each hot-path benchmark once, catching
 # benchmark bit-rot without paying for stable measurements. The mi run
 # covers the BENCH_mi.json scaling table (tree and brute, n up to 12k);
 # the core/sched run covers the BENCH_serve.json serving-path table; the
-# replay run covers the BENCH_backend.json trace-serving overhead table.
+# replay run covers the BENCH_backend.json trace-serving overhead table;
+# the core miss/batch and serve runs cover the BENCH_concurrency.json
+# concurrent-serving table.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
-	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet' -benchtime=1x ./internal/core ./internal/sched
+	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet|BatchSweep' -benchtime=1x ./internal/core ./internal/sched
 	$(GO) test -run '^$$' -bench ReplayProfile -benchtime=1x ./internal/backend/replay
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/serve
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in estimator exactness or plan-cache key aliasing surface

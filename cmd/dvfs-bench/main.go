@@ -8,6 +8,14 @@
 //	dvfs-bench -only fig7,tab3      # a subset
 //	dvfs-bench -ablations           # the ablation studies too
 //	dvfs-bench -out results/        # also write one .txt per artifact
+//
+// It also carries the concurrent-serving load generator (-load): closed-loop
+// workers drive the sharded-cache/micro-batch serving stack (or, with
+// -load-url, a running dvfs-served daemon) and report throughput with
+// p50/p99 latency per concurrency level:
+//
+//	dvfs-bench -load -load-out BENCH_concurrency.json
+//	dvfs-bench -load -load-url http://localhost:8080 -load-concurrency 4,16
 package main
 
 import (
@@ -31,9 +39,23 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent artifact builds (0 = GOMAXPROCS); output is identical for any value")
 		out       = flag.String("out", "", "directory to also write one .txt file per artifact")
 		markdown  = flag.Bool("md", false, "write .md (markdown tables) instead of .txt into -out")
+
+		load        = flag.Bool("load", false, "run the concurrent-serving load generator instead of the paper artifacts")
+		loadURL     = flag.String("load-url", "", "drive a running dvfs-served daemon at this base URL (default: in-process serving stack)")
+		loadConc    = flag.String("load-concurrency", "1,4,16", "comma-separated closed-loop worker counts")
+		loadReqs    = flag.Int("load-requests", 2000, "requests per scenario per concurrency level")
+		loadApps    = flag.String("load-apps", "DGEMM,STREAM,NW,LAMMPS,GROMACS,NAMD", "workload names cycled in -load-url mode")
+		loadOutPath = flag.String("load-out", "", "write the load report as JSON to this path (BENCH_serve.json shape)")
 	)
 	flag.Parse()
 
+	if *load {
+		if err := runLoad(*loadURL, *loadConc, *loadApps, *loadReqs, *loadOutPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*only, *ablations, *compare, *cv, *markdown, *seed, *runs, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
 		os.Exit(1)

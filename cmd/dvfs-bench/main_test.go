@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,5 +53,73 @@ func TestRunMarkdownOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "| study |") && !strings.Contains(string(data), "|---|") {
 		t.Fatalf("not markdown:\n%s", data)
+	}
+}
+
+func TestParseConcurrency(t *testing.T) {
+	got, err := parseConcurrency(" 16, 1 ,4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parsed %v", got)
+	}
+	for _, bad := range []string{"", "0", "-2", "x", "1,,y"} {
+		if _, err := parseConcurrency(bad); err == nil {
+			t.Fatalf("concurrency %q accepted", bad)
+		}
+	}
+}
+
+func TestRunLoadValidation(t *testing.T) {
+	var sink strings.Builder
+	if err := runLoad("", "nope", "", 10, "", &sink); err == nil {
+		t.Fatal("bad concurrency accepted")
+	}
+	if err := runLoad("", "1", "", 0, "", &sink); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+}
+
+// TestRunLoadLocal is the load generator end to end at toy sizes: all three
+// local scenarios run, the table prints, and the JSON report parses with
+// one result per scenario × concurrency level.
+func TestRunLoadLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	outPath := filepath.Join(t.TempDir(), "load.json")
+	var sink strings.Builder
+	if err := runLoad("", "1,2", "", 8, outPath, &sink); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Description string `json:"description"`
+		Machine     string `json:"machine"`
+		Results     []struct {
+			Scenario      string  `json:"scenario"`
+			Concurrency   int     `json:"concurrency"`
+			Requests      int     `json:"requests"`
+			ThroughputRPS float64 `json:"throughput_rps"`
+			P99Ms         float64 `json:"p99_ms"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if len(report.Results) != 6 { // 3 scenarios x 2 concurrency levels
+		t.Fatalf("got %d results, want 6", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.ThroughputRPS <= 0 || r.P99Ms <= 0 || r.Requests != 8 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+	}
+	if !strings.Contains(sink.String(), "p99_ms") {
+		t.Fatal("table header missing from output")
 	}
 }

@@ -1,0 +1,173 @@
+// Command dvfs-served is the online phase as a daemon: a long-running
+// HTTP/JSON service that profiles a workload once at the maximum clock and
+// answers with the paper's performance-aware energy-optimal frequency.
+// Selections ride the concurrent serving stack — sharded plan cache,
+// micro-batched fused sweeps — and are bit-identical to what dvfs-select
+// computes for the same profiling run.
+//
+// Endpoints:
+//
+//	POST /v1/select  {"workload": "LAMMPS"}  → {"freq_mhz": 1005, ...}
+//	POST /v1/profile {"workload": "LAMMPS"}  → full predicted DVFS table
+//	GET  /v1/stats                           → cache/batcher/HTTP counters
+//
+// Overload is explicit: the sweep queue is bounded and a full queue answers
+// 429 with Retry-After rather than buffering without limit.
+//
+// Examples:
+//
+//	dvfs-served -models models/ -addr :8080
+//	dvfs-served -models models/ -backend replay -trace trace.csv -addr :8080
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpudvfs/internal/backend/open"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/serve"
+)
+
+// config mirrors the command-line flags.
+type config struct {
+	modelsDir string
+	objective string
+	threshold float64
+	quantum   float64
+	capacity  int
+	shards    int
+	maxBatch  int
+	maxWait   time.Duration
+	queue     int
+	device    open.Config
+	seed      int64
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		modelsDir   = flag.String("models", "models", "directory with models saved by dvfs-train")
+		backendName = flag.String("backend", "sim", "device backend: sim or replay")
+		archName    = flag.String("arch", "GA100", "target GPU architecture (sim backend)")
+		trace       = flag.String("trace", "", "CSV recording with max-clock profiles (replay backend)")
+		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
+		seed        = flag.Int64("seed", 11, "profiling noise seed (sim backend)")
+		objName     = flag.String("objective", "edp", "selection objective: edp or ed2p")
+		threshold   = flag.Float64("threshold", -1, "max slowdown fraction (e.g. 0.05); negative = unconstrained")
+		quantum     = flag.Float64("quantum", 0, "plan-cache feature quantum (0 = default)")
+		capacity    = flag.Int("capacity", 0, "plan-cache entry bound (0 = default)")
+		shards      = flag.Int("shards", 0, "plan-cache shard count, rounded up to a power of two (0 = default)")
+		maxBatch    = flag.Int("max-batch", 0, "most sweeps fused into one forward pass (0 = default)")
+		maxWait     = flag.Duration("max-wait", 0, "how long a forming batch waits for company (0 = default, negative = never wait)")
+		queue       = flag.Int("queue", 0, "pending-sweep bound; beyond it requests shed with 429 (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := config{
+		modelsDir: *modelsDir,
+		objective: *objName,
+		threshold: *threshold,
+		quantum:   *quantum,
+		capacity:  *capacity,
+		shards:    *shards,
+		maxBatch:  *maxBatch,
+		maxWait:   *maxWait,
+		queue:     *queue,
+		device:    open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression},
+		seed:      *seed,
+	}
+	if err := run(*addr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfs-served:", err)
+		os.Exit(1)
+	}
+}
+
+// buildHandler assembles the serving stack from flag-level config. The
+// cleanup stops the batcher; call it when the listener is done.
+func buildHandler(cfg config) (http.Handler, func(), error) {
+	dev, err := open.Device(cfg.device)
+	if err != nil {
+		return nil, nil, err
+	}
+	models, err := core.LoadModels(cfg.modelsDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, err := objective.ByName(cfg.objective)
+	if err != nil {
+		return nil, nil, err
+	}
+	arch := dev.Arch()
+	sw, err := models.SweeperFor(arch, arch.DesignClocks())
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := serve.NewServer(sw, serve.ServerConfig{
+		Cache: core.PlanCacheConfig{
+			Objective: obj,
+			Threshold: cfg.threshold,
+			Quantum:   cfg.quantum,
+			Capacity:  cfg.capacity,
+			Shards:    cfg.shards,
+		},
+		Batch: serve.BatcherConfig{
+			MaxBatch:   cfg.maxBatch,
+			MaxWait:    cfg.maxWait,
+			QueueDepth: cfg.queue,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := serve.NewHandler(srv, serve.HTTPConfig{Device: dev, ProfileSeed: cfg.seed})
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	return h, srv.Close, nil
+}
+
+func run(addr string, cfg config) error {
+	handler, cleanup, err := buildHandler(cfg)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dvfs-served: listening on %s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/backend/open"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/stats"
+)
+
+// saveTestModels writes paper-shaped random-weight models to a tempdir —
+// the daemon's contracts (routing, caching, shedding) hold for any weights.
+func saveTestModels(t *testing.T) string {
+	t.Helper()
+	arch := sim.GA100().Spec()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &core.Models{
+		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
+		Scaler:     &stats.StandardScaler{Means: []float64{0.4, 0.3, 0.7}, Stds: []float64{0.2, 0.15, 0.25}},
+		Power:      power,
+		Time:       tmodel,
+		TrainedOn:  arch.Name,
+		TDPWatts:   arch.TDPWatts,
+		MaxFreqMHz: arch.MaxFreqMHz,
+	}
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func baseConfig(modelsDir string) config {
+	return config{
+		modelsDir: modelsDir,
+		objective: "edp",
+		threshold: -1,
+		device:    open.Config{Backend: "sim", Arch: "GA100", Seed: 3},
+		seed:      11,
+	}
+}
+
+func TestBuildHandlerValidation(t *testing.T) {
+	models := saveTestModels(t)
+
+	missing := baseConfig(filepath.Join(t.TempDir(), "nope"))
+	if _, _, err := buildHandler(missing); err == nil {
+		t.Fatal("missing models dir accepted")
+	}
+
+	simTrace := baseConfig(models)
+	simTrace.device.Trace = "trace.csv"
+	if _, _, err := buildHandler(simTrace); err == nil {
+		t.Fatal("sim backend with -trace accepted")
+	}
+
+	badObj := baseConfig(models)
+	badObj.objective = "speed"
+	if _, _, err := buildHandler(badObj); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+
+	badBatch := baseConfig(models)
+	badBatch.maxBatch = -1
+	if _, _, err := buildHandler(badBatch); err == nil {
+		t.Fatal("negative max-batch accepted")
+	}
+
+	badShards := baseConfig(models)
+	badShards.shards = -4
+	if _, _, err := buildHandler(badShards); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+func TestServedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test")
+	}
+	cfg := baseConfig(saveTestModels(t))
+	cfg.maxWait = -1 * time.Microsecond
+	handler, cleanup, err := buildHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp, m
+	}
+
+	resp, body := post(`{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: status %d, body %v", resp.StatusCode, body)
+	}
+	freq, ok := body["freq_mhz"].(float64)
+	if !ok || freq <= 0 {
+		t.Fatalf("select body %v", body)
+	}
+	clocks := sim.GA100().Spec().DesignClocks()
+	found := false
+	for _, f := range clocks {
+		if f == freq {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("selected %v MHz is not a design clock", freq)
+	}
+	if hit, _ := body["cache_hit"].(bool); hit {
+		t.Fatal("first request reported a cache hit")
+	}
+
+	resp, body = post(`{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat select: status %d", resp.StatusCode)
+	}
+	if hit, _ := body["cache_hit"].(bool); !hit {
+		t.Fatal("repeat request missed the cache")
+	}
+	if body["freq_mhz"].(float64) != freq {
+		t.Fatalf("repeat selection changed: %v → %v", freq, body["freq_mhz"])
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

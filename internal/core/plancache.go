@@ -2,16 +2,27 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/objective"
 )
+
+// SweepFunc computes one design-space sweep for a profiling run, writing
+// one profile per sweep frequency into dst and returning the clamp count —
+// the contract of Sweeper.PredictProfileInto lifted into a function value
+// so serving layers can reroute cache misses (e.g. through a micro-batcher)
+// without the cache knowing. Any replacement must be bit-identical to the
+// direct sweeper path, or cached selections stop matching the unbatched
+// formulation.
+type SweepFunc func(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error)
 
 // PlanCacheConfig configures a PlanCache.
 type PlanCacheConfig struct {
@@ -26,9 +37,19 @@ type PlanCacheConfig struct {
 	// any dimension never do. Pick a value at or below the workload-drift
 	// tolerance you consider "the same workload". Default 0.1.
 	Quantum float64
-	// Capacity bounds the number of memoized selections (LRU eviction).
-	// Default 1024.
+	// Capacity bounds the total number of memoized selections across all
+	// shards; each shard holds an LRU-bounded ceil(Capacity/Shards) slice
+	// of it. Default 1024.
 	Capacity int
+	// Shards is the number of lock-striped shards the cache is split into,
+	// rounded up to a power of two. Concurrent Selects whose keys hash to
+	// different shards never contend on a mutex. Default 16; set 1 to
+	// restore a single global LRU order (exact-capacity eviction).
+	Shards int
+	// Sweep overrides how a cache miss computes its profile sweep; nil uses
+	// the cache's sweeper directly (PredictProfileInto). internal/serve
+	// injects its micro-batched sweep here.
+	Sweep SweepFunc
 }
 
 func (c PlanCacheConfig) withDefaults() (PlanCacheConfig, error) {
@@ -47,6 +68,21 @@ func (c PlanCacheConfig) withDefaults() (PlanCacheConfig, error) {
 	if c.Capacity < 1 {
 		return c, fmt.Errorf("core: plan-cache capacity %d < 1", c.Capacity)
 	}
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("core: plan-cache shard count %d < 1", c.Shards)
+	}
+	if c.Shards > 1<<16 {
+		return c, fmt.Errorf("core: plan-cache shard count %d > %d", c.Shards, 1<<16)
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
 	return c, nil
 }
 
@@ -68,22 +104,36 @@ type planEntry struct {
 	err     error
 }
 
+// planShard is one lock stripe: a bounded LRU slice of the key space with
+// its own counters. The counters are atomics so aggregate Stats() reads
+// never take (or wait on) a shard mutex.
+type planShard struct {
+	mu      sync.Mutex // guards entries/lru, never held during prediction
+	entries map[string]*planEntry
+	lru     *list.List // of *planEntry, front = most recent
+
+	hits, misses, evictions atomic.Uint64
+}
+
 // PlanCache memoizes online frequency selections for a fixed (target,
 // frequency list, objective, threshold), keyed by the profiling run's
 // quantized mean feature vector. Workloads of the same computational
 // character — features within one quantization bucket — resolve to one
 // cached Selection; the underlying sweep+selection runs once per bucket,
-// guarded by a per-key singleflight. The cache is bounded (LRU) and safe
-// for concurrent use.
+// guarded by a per-key singleflight. The key space is split across
+// lock-striped shards (key hash → shard), so concurrent Selects on
+// distinct applications contend only when their keys share a shard; each
+// shard is independently LRU-bounded. The cache is safe for concurrent
+// use, and all counters are atomic: Stats() never blocks the serve path.
 type PlanCache struct {
 	sweeper *Sweeper
 	cfg     PlanCacheConfig
+	sweep   SweepFunc
 	prefix  string // arch + objective + threshold, shared by every key
 
-	mu      sync.Mutex // guards entries/lru/stats, never held during prediction
-	entries map[string]*planEntry
-	lru     *list.List // of *planEntry, front = most recent
-	stats   PlanCacheStats
+	shards   []planShard
+	mask     uint64 // len(shards)-1, shard count is a power of two
+	shardCap int    // per-shard LRU bound, ceil(Capacity/Shards)
 }
 
 // NewPlanCache builds a plan cache over a sweeper.
@@ -95,13 +145,25 @@ func NewPlanCache(s *Sweeper, cfg PlanCacheConfig) (*PlanCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PlanCache{
-		sweeper: s,
-		cfg:     cfg,
-		prefix:  s.target.Name + "|" + cfg.Objective.Name() + "|" + strconv.FormatFloat(cfg.Threshold, 'g', -1, 64) + "|",
-		entries: map[string]*planEntry{},
-		lru:     list.New(),
-	}, nil
+	c := &PlanCache{
+		sweeper:  s,
+		cfg:      cfg,
+		sweep:    cfg.Sweep,
+		prefix:   s.target.Name + "|" + cfg.Objective.Name() + "|" + strconv.FormatFloat(cfg.Threshold, 'g', -1, 64) + "|",
+		shards:   make([]planShard, cfg.Shards),
+		mask:     uint64(cfg.Shards - 1),
+		shardCap: (cfg.Capacity + cfg.Shards - 1) / cfg.Shards,
+	}
+	if c.sweep == nil {
+		c.sweep = func(_ context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error) {
+			return s.PredictProfileInto(dst, maxRun)
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*planEntry{}
+		c.shards[i].lru = list.New()
+	}
+	return c, nil
 }
 
 // quantizeFeature maps a feature value to its bucket index under quantum q.
@@ -140,11 +202,33 @@ func (c *PlanCache) keyFor(mean dcgm.Sample) (string, error) {
 	return string(buf), nil
 }
 
+// shardFor hashes a key (FNV-1a 64) onto its lock stripe. The quantized
+// feature digits at the key's tail carry the workload identity, so
+// same-prefix keys still spread across shards.
+func (c *PlanCache) shardFor(key string) *planShard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&c.mask]
+}
+
 // Select returns the frequency selection for a profiling run, serving
 // repeated queries for same-character workloads from the cache. hit
 // reports whether the selection was memoized. The returned Selection on a
 // hit is identical to the one the original computation produced.
 func (c *PlanCache) Select(maxRun dcgm.Run) (sel Selection, hit bool, err error) {
+	return c.SelectCtx(context.Background(), maxRun)
+}
+
+// SelectCtx is Select with a context that is handed to the cache's sweep
+// function on a miss. A batched sweep uses it to abandon a request that
+// is still queued; callers that lose the per-key singleflight race wait
+// for the winning computation regardless (its duration is bounded by one
+// sweep plus the batcher's max wait).
+func (c *PlanCache) SelectCtx(ctx context.Context, maxRun dcgm.Run) (sel Selection, hit bool, err error) {
 	if err := c.sweeper.validateRun(maxRun); err != nil {
 		return Selection{}, false, err
 	}
@@ -153,29 +237,30 @@ func (c *PlanCache) Select(maxRun dcgm.Run) (sel Selection, hit bool, err error)
 		return Selection{}, false, err
 	}
 
-	c.mu.Lock()
-	e, hit := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, hit := sh.entries[key]
 	if hit {
-		c.lru.MoveToFront(e.elem)
-		c.stats.Hits++
+		sh.lru.MoveToFront(e.elem)
+		sh.hits.Add(1)
 	} else {
 		e = &planEntry{key: key}
-		e.elem = c.lru.PushFront(e)
-		c.entries[key] = e
-		c.stats.Misses++
-		for c.lru.Len() > c.cfg.Capacity {
-			back := c.lru.Back()
+		e.elem = sh.lru.PushFront(e)
+		sh.entries[key] = e
+		sh.misses.Add(1)
+		for sh.lru.Len() > c.shardCap {
+			back := sh.lru.Back()
 			old := back.Value.(*planEntry)
-			c.lru.Remove(back)
-			delete(c.entries, old.key)
-			c.stats.Evictions++
+			sh.lru.Remove(back)
+			delete(sh.entries, old.key)
+			sh.evictions.Add(1)
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	e.once.Do(func() {
 		profiles := make([]objective.Profile, len(c.sweeper.freqs))
-		clamped, perr := c.sweeper.PredictProfileInto(profiles, maxRun)
+		clamped, perr := c.sweep(ctx, profiles, maxRun)
 		if perr != nil {
 			e.err = perr
 			return
@@ -184,14 +269,15 @@ func (c *PlanCache) Select(maxRun dcgm.Run) (sel Selection, hit bool, err error)
 		e.sel, e.err = SelectFrequency(profiles, c.cfg.Objective, c.cfg.Threshold)
 	})
 	if e.err != nil {
-		// Drop the failed entry so a transient error does not poison the
-		// bucket for later callers.
-		c.mu.Lock()
-		if cur, ok := c.entries[key]; ok && cur == e {
-			c.lru.Remove(e.elem)
-			delete(c.entries, key)
+		// Drop the failed entry so a transient error (including an
+		// overloaded or canceled batched sweep) does not poison the bucket
+		// for later callers.
+		sh.mu.Lock()
+		if cur, ok := sh.entries[key]; ok && cur == e {
+			sh.lru.Remove(e.elem)
+			delete(sh.entries, key)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return Selection{}, false, e.err
 	}
 	return e.sel, hit, nil
@@ -204,24 +290,51 @@ func (c *PlanCache) Clamped(maxRun dcgm.Run) (int, bool) {
 	if err != nil {
 		return 0, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[key]; ok {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
 		return e.clamped, true
 	}
 	return 0, false
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the aggregate cache counters. It reads only
+// atomics — no shard mutex is taken — so a Stats poller can never block
+// (or be blocked by) the serve path.
 func (c *PlanCache) Stats() PlanCacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var s PlanCacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
+	}
+	return s
 }
 
-// Len returns the number of memoized selections.
+// ShardStats returns one counter snapshot per shard, in shard order —
+// visibility into key-space skew across the lock stripes.
+func (c *PlanCache) ShardStats() []PlanCacheStats {
+	out := make([]PlanCacheStats, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		out[i] = PlanCacheStats{Hits: sh.hits.Load(), Misses: sh.misses.Load(), Evictions: sh.evictions.Load()}
+	}
+	return out
+}
+
+// Shards returns the cache's shard count (after power-of-two rounding).
+func (c *PlanCache) Shards() int { return len(c.shards) }
+
+// Len returns the number of memoized selections across all shards.
 func (c *PlanCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }

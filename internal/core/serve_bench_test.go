@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"testing"
 
 	sim "gpudvfs/internal/backend/sim"
@@ -79,6 +80,87 @@ func BenchmarkPredictProfileInto(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sw.PredictProfileInto(dst, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchMissRuns pregenerates profiling runs whose quantized feature
+// vectors never collide, so a capacity-starved cache treats every request
+// as a miss — the contended path the sharded cache exists for.
+func benchMissRuns(n int) []dcgm.Run {
+	runs := make([]dcgm.Run, n)
+	for i := range runs {
+		runs[i] = dcgm.Run{
+			FreqMHz:     1410,
+			ExecTimeSec: 1,
+			Samples: []dcgm.Sample{{
+				FP32Active:    0.05 + 0.17*float64(i%257),
+				DRAMActive:    0.10 + 0.19*float64(i/257),
+				SMAppClockMHz: 1410,
+			}},
+		}
+	}
+	return runs
+}
+
+// benchSelectMiss drives concurrent all-miss Selects through a cache with
+// the given shard count. Capacity 1 keeps every shard permanently full, so
+// each Select recomputes its sweep — isolating map/LRU lock contention plus
+// sweep cost under parallel load.
+func benchSelectMiss(b *testing.B, shards int) {
+	m := benchModels(b)
+	arch := sim.GA100().Spec()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Capacity: 1, Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs := benchMissRuns(1024)
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := runs[next.Add(1)%uint64(len(runs))]
+			if _, _, err := pc.Select(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCacheSelectMissSingleShard is the PR 3 baseline shape: one
+// global mutex in front of every miss.
+func BenchmarkPlanCacheSelectMissSingleShard(b *testing.B) { benchSelectMiss(b, 1) }
+
+// BenchmarkPlanCacheSelectMissSharded is the lock-striped cache at its
+// default 16 shards.
+func BenchmarkPlanCacheSelectMissSharded(b *testing.B) { benchSelectMiss(b, 16) }
+
+// BenchmarkBatchSweep8 measures the fused 8-run sweep — one (8·61)×3
+// forward pass per model instead of eight 61×3 passes.
+func BenchmarkBatchSweep8(b *testing.B) {
+	m := benchModels(b)
+	arch := sim.GA100().Spec()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	runs := benchMissRuns(batch)
+	dsts := make([][]objective.Profile, batch)
+	for i := range dsts {
+		dsts[i] = make([]objective.Profile, len(sw.Freqs()))
+	}
+	clamped := make([]int, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sw.PredictProfilesInto(dsts, clamped, runs); err != nil {
 			b.Fatal(err)
 		}
 	}

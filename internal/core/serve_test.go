@@ -361,7 +361,9 @@ func TestPlanCacheQuantizationNeverAliasesBeyondTolerance(t *testing.T) {
 
 func TestPlanCacheEviction(t *testing.T) {
 	m := serveModels(t)
-	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Quantum: 0.1, Capacity: 2})
+	// One shard pins the original exact global-LRU eviction order; with
+	// several stripes the bound becomes per-shard (see the sharded tests).
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Quantum: 0.1, Capacity: 2, Shards: 1})
 	runs := []dcgm.Run{
 		syntheticRun(0.15, 0.20),
 		syntheticRun(0.45, 0.20),
@@ -417,6 +419,217 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	// Singleflight: all concurrent callers shared one computation/bucket.
 	if s := pc.Stats(); s.Misses != 1 {
 		t.Fatalf("stats %+v, want exactly 1 miss", s)
+	}
+}
+
+// TestBatchSweepMatchesSingle is the fused-batch differential: stacking B
+// runs into one forward pass must reproduce the per-run sweep bit for bit
+// at every batch size the serving layer can produce.
+func TestBatchSweepMatchesSingle(t *testing.T) {
+	m := serveModels(t)
+	arch := sim.GA100().Spec()
+	freqs := arch.DesignClocks()
+	sw, err := m.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 64} {
+		runs := make([]dcgm.Run, batch)
+		want := make([][]objective.Profile, batch)
+		wantClamped := make([]int, batch)
+		for i := range runs {
+			runs[i] = syntheticRun(0.05+0.013*float64(i%60), 0.10+0.011*float64(i%70))
+			want[i] = make([]objective.Profile, len(freqs))
+			wantClamped[i], err = sw.PredictProfileInto(want[i], runs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		dsts := make([][]objective.Profile, batch)
+		for i := range dsts {
+			dsts[i] = make([]objective.Profile, len(freqs))
+		}
+		clamped := make([]int, batch)
+		if err := sw.PredictProfilesInto(dsts, clamped, runs); err != nil {
+			t.Fatal(err)
+		}
+		for i := range runs {
+			if !profilesIdentical(dsts[i], want[i]) {
+				t.Fatalf("batch %d: run %d diverged from the per-run sweep", batch, i)
+			}
+			if clamped[i] != wantClamped[i] {
+				t.Fatalf("batch %d: run %d clamp count %d, want %d", batch, i, clamped[i], wantClamped[i])
+			}
+		}
+	}
+}
+
+func TestBatchSweepValidation(t *testing.T) {
+	m := serveModels(t)
+	arch := sim.GA100().Spec()
+	freqs := arch.DesignClocks()
+	sw, err := m.NewSweeper(arch, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := syntheticRun(0.4, 0.3)
+	dst := [][]objective.Profile{make([]objective.Profile, len(freqs))}
+	// Mismatched slice lengths.
+	if err := sw.PredictProfilesInto(dst, []int{0, 0}, []dcgm.Run{good}); err == nil {
+		t.Fatal("mismatched clamp slots accepted")
+	}
+	// Invalid run (wrong clock) is named by index.
+	bad := good
+	bad.FreqMHz = 500
+	if err := sw.PredictProfilesInto(dst, []int{0}, []dcgm.Run{bad}); err == nil {
+		t.Fatal("off-max profiling run accepted")
+	}
+	// Short profile buffer.
+	short := [][]objective.Profile{make([]objective.Profile, 3)}
+	if err := sw.PredictProfilesInto(short, []int{0}, []dcgm.Run{good}); err == nil {
+		t.Fatal("short profile buffer accepted")
+	}
+	// Empty batch is a no-op.
+	if err := sw.PredictProfilesInto(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.ValidateRun(bad); err == nil {
+		t.Fatal("ValidateRun accepted an off-max run")
+	}
+}
+
+// TestPlanCacheShardedDifferential: for the same request stream, every
+// shard count must produce byte-identical selections (shards only change
+// who contends on which mutex, never what is computed).
+func TestPlanCacheShardedDifferential(t *testing.T) {
+	m := serveModels(t)
+	runs := make([]dcgm.Run, 40)
+	for i := range runs {
+		runs[i] = syntheticRun(0.05+0.17*float64(i%20), 0.10+0.19*float64(i/20))
+	}
+	var want []Selection
+	for _, shards := range []int{1, 16} {
+		pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Shards: shards})
+		if got := pc.Shards(); got != shards {
+			t.Fatalf("Shards() = %d, want %d", got, shards)
+		}
+		sels := make([]Selection, len(runs))
+		for i, r := range runs {
+			var err error
+			sels[i], _, err = pc.Select(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want == nil {
+			want = sels
+			continue
+		}
+		for i := range sels {
+			if !selectionsIdentical(sels[i], want[i]) {
+				t.Fatalf("shard count %d: selection %d diverged from the 1-shard cache", shards, i)
+			}
+		}
+		// Aggregate and per-shard counters agree.
+		agg := pc.Stats()
+		var sum PlanCacheStats
+		for _, s := range pc.ShardStats() {
+			sum.Hits += s.Hits
+			sum.Misses += s.Misses
+			sum.Evictions += s.Evictions
+		}
+		if agg != sum {
+			t.Fatalf("aggregate stats %+v != shard sum %+v", agg, sum)
+		}
+		if agg.Misses != uint64(len(runs)) {
+			t.Fatalf("stats %+v, want %d misses", agg, len(runs))
+		}
+	}
+}
+
+// TestPlanCacheShardRounding: shard counts round up to powers of two and
+// invalid values are rejected.
+func TestPlanCacheShardRounding(t *testing.T) {
+	m := serveModels(t)
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Shards: 5})
+	if got := pc.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d, want 8 (5 rounded up)", got)
+	}
+	arch := sim.GA100().Spec()
+	sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Shards: -2}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if _, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}, Shards: 1 << 20}); err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+}
+
+// TestPlanCacheConcurrentStatsNoTornReads hammers Select from many
+// goroutines while a reader polls Stats/ShardStats/Len continuously; under
+// -race this asserts the lock-free counters never produce a torn read, and
+// the final counts must balance exactly.
+func TestPlanCacheConcurrentStatsNoTornReads(t *testing.T) {
+	m := serveModels(t)
+	pc := planCacheFor(t, m, PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Shards: 16})
+	runs := make([]dcgm.Run, 8)
+	for i := range runs {
+		runs[i] = syntheticRun(0.05+0.17*float64(i), 0.3)
+	}
+
+	const goroutines, iters = 8, 30
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := pc.Stats()
+			// Monotone totals: a snapshot can never see more hits+misses
+			// than requests issued overall.
+			if s.Hits+s.Misses > goroutines*iters {
+				panic(fmt.Sprintf("impossible snapshot %+v", s))
+			}
+			pc.ShardStats()
+			pc.Len()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if _, _, err := pc.Select(runs[(g+it)%len(runs)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := pc.Stats()
+	if s.Hits+s.Misses != goroutines*iters {
+		t.Fatalf("stats %+v, want hits+misses = %d", s, goroutines*iters)
+	}
+	if s.Misses != uint64(len(runs)) {
+		t.Fatalf("stats %+v, want %d misses (singleflight per bucket)", s, len(runs))
 	}
 }
 

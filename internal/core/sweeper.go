@@ -33,6 +33,7 @@ type Sweeper struct {
 	clockIdx  int       // index of sm_app_clock in the feature layout, -1 if absent
 	clockVals []float64 // freqs[i]/target.MaxFreqMHz, precomputed
 	pool      sync.Pool // *sweepWS
+	batchPool sync.Pool // *batchWS, grow-only over batch size
 }
 
 // sweepWS is one in-flight call's workspace.
@@ -42,6 +43,30 @@ type sweepWS struct {
 	rows [][]float64 // row views into x, for the in-place scaler
 	pP   *mat.Matrix // power predictions, len(freqs) × 1
 	tP   *mat.Matrix // time predictions, len(freqs) × 1
+}
+
+// batchWS is one in-flight fused-batch call's workspace: the stacked
+// (B·len(freqs)) × len(features) sweep matrix and its prediction columns.
+// All buffers are grow-only, so a workspace that has served the largest
+// batch once serves every later batch without allocating.
+type batchWS struct {
+	base []float64
+	x    *mat.Matrix
+	rows [][]float64
+	pP   *mat.Matrix
+	tP   *mat.Matrix
+}
+
+// reshapeMat resizes *m to rows×cols, reusing its backing array when it is
+// large enough (the same grow-only contract nn's workspaces use).
+func reshapeMat(m **mat.Matrix, rows, cols int) *mat.Matrix {
+	if *m == nil || cap((*m).Data) < rows*cols {
+		*m = mat.New(rows, cols)
+	} else {
+		(*m).Rows, (*m).Cols = rows, cols
+		(*m).Data = (*m).Data[:rows*cols]
+	}
+	return *m
 }
 
 // NewSweeper builds a sweeper for predicting m's profiles on target across
@@ -94,6 +119,7 @@ func (m *Models) NewSweeper(target backend.Arch, freqs []float64) (*Sweeper, err
 		}
 		return ws
 	}
+	s.batchPool.New = func() any { return &batchWS{} }
 	return s, nil
 }
 
@@ -203,6 +229,110 @@ func (s *Sweeper) PredictProfileInto(dst []objective.Profile, maxRun dcgm.Run) (
 	return clamped, nil
 }
 
+// ValidateRun applies the online phase's profiling-run preconditions
+// without predicting anything. Serving layers use it to reject a bad
+// request before it is queued, keeping the fused batch path error-free.
+func (s *Sweeper) ValidateRun(maxRun dcgm.Run) error { return s.validateRun(maxRun) }
+
+// PredictProfilesInto runs the online phase for a batch of profiling runs
+// through ONE fused forward pass per model: the runs' sweep rows are
+// stacked into a single (len(runs)·len(Freqs())) × features matrix, scaled
+// in place, and pushed through the power and time networks once, so the
+// per-layer traversal cost is amortized across the whole batch. dsts[i]
+// receives run i's profiles (each buffer must have len(Freqs()) entries)
+// and clamped[i] its safety-floor clamp count.
+//
+// Every output value is bit-identical to calling PredictProfileInto once
+// per run, at any batch size: the feature fill, the scaler, and the
+// forward-pass kernels are all row-independent with an unchanged
+// per-row summation order. Workspaces are pooled and grow-only, so
+// steady-state batches of a stable size allocate nothing. Safe for
+// concurrent use like PredictProfileInto.
+func (s *Sweeper) PredictProfilesInto(dsts [][]objective.Profile, clamped []int, runs []dcgm.Run) error {
+	if len(dsts) != len(runs) || len(clamped) != len(runs) {
+		return fmt.Errorf("core: batch sweep has %d runs but %d profile buffers and %d clamp slots", len(runs), len(dsts), len(clamped))
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	nF := len(s.freqs)
+	for i, r := range runs {
+		if err := s.validateRun(r); err != nil {
+			return fmt.Errorf("core: batch run %d: %w", i, err)
+		}
+		if len(dsts[i]) != nF {
+			return fmt.Errorf("core: batch profile buffer %d has %d entries, sweep has %d frequencies", i, len(dsts[i]), nF)
+		}
+	}
+	m := s.models
+	nf := len(m.Features)
+	rows := len(runs) * nF
+	ws := s.batchPool.Get().(*batchWS)
+	defer s.batchPool.Put(ws)
+	x := reshapeMat(&ws.x, rows, nf)
+	if cap(ws.rows) < rows {
+		ws.rows = make([][]float64, rows)
+	}
+	ws.rows = ws.rows[:rows]
+	for i := range ws.rows {
+		// Refresh the views every call: reshapeMat may have reallocated.
+		ws.rows[i] = x.Row(i)
+	}
+	if cap(ws.base) < nf {
+		ws.base = make([]float64, nf)
+	}
+	base := ws.base[:nf]
+
+	for bi := range runs {
+		mean := runs[bi].MeanSample()
+		if err := dataset.FeatureVectorInto(base, m.Features, mean, s.target.MaxFreqMHz, s.target.MaxFreqMHz); err != nil {
+			return err
+		}
+		for i := range s.freqs {
+			row := x.Row(bi*nF + i)
+			copy(row, base)
+			if s.clockIdx >= 0 {
+				row[s.clockIdx] = s.clockVals[i]
+			}
+		}
+	}
+	if m.Scaler != nil {
+		if err := m.Scaler.TransformInto(ws.rows, ws.rows); err != nil {
+			return fmt.Errorf("core: scaling features: %w", err)
+		}
+	}
+	pP := reshapeMat(&ws.pP, rows, 1)
+	tP := reshapeMat(&ws.tP, rows, 1)
+	if err := m.Power.Predictor().PredictMatInto(pP, x); err != nil {
+		return fmt.Errorf("core: power prediction: %w", err)
+	}
+	if err := m.Time.Predictor().PredictMatInto(tP, x); err != nil {
+		return fmt.Errorf("core: time prediction: %w", err)
+	}
+	for bi, run := range runs {
+		n := 0
+		for i, f := range s.freqs {
+			power := pP.At(bi*nF+i, 0) * s.target.TDPWatts
+			slow := tP.At(bi*nF+i, 0)
+			if power < 1 {
+				power = 1
+				n++
+			}
+			if slow < 1e-6 {
+				slow = 1e-6
+				n++
+			}
+			dsts[bi][i] = objective.Profile{
+				FreqMHz:    f,
+				PowerWatts: power,
+				TimeSec:    run.ExecTimeSec * slow,
+			}
+		}
+		clamped[bi] = n
+	}
+	return nil
+}
+
 // PredictProfile is the allocating convenience form of PredictProfileInto.
 func (s *Sweeper) PredictProfile(maxRun dcgm.Run) ([]objective.Profile, int, error) {
 	out := make([]objective.Profile, len(s.freqs))
@@ -211,6 +341,14 @@ func (s *Sweeper) PredictProfile(maxRun dcgm.Run) ([]objective.Profile, int, err
 		return nil, 0, err
 	}
 	return out, clamped, nil
+}
+
+// SweeperFor returns the memoized serving sweeper for (target, freqs):
+// every caller asking for the same target and frequency list shares one
+// Sweeper (and therefore one workspace pool), which is the concurrency
+// model the serving layer and multi-governor deployments rely on.
+func (m *Models) SweeperFor(target backend.Arch, freqs []float64) (*Sweeper, error) {
+	return m.sweeperFor(target, freqs)
 }
 
 // sweeperFor returns a memoized sweeper for (target, freqs), rebuilding

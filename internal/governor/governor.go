@@ -116,11 +116,14 @@ func (g *Governor) Selection() core.Selection { return g.selection }
 // Stats returns a snapshot of the governor's counters.
 func (g *Governor) Stats() Stats { return g.stats }
 
-// sweeper lazily builds the design-space sweeper and the governor-owned
-// profile buffer the tune paths predict into.
+// sweeper lazily resolves the design-space sweeper and the governor-owned
+// profile buffer the tune paths predict into. It goes through the models'
+// memoized SweeperFor, so every governor (and the serving layer) over the
+// same models and target shares one workspace-pooled sweeper — the profile
+// buffer stays per-governor.
 func (g *Governor) sweeper() (*core.Sweeper, error) {
 	if g.sw == nil {
-		sw, err := g.models.NewSweeper(g.dev.Arch(), g.dev.Arch().DesignClocks())
+		sw, err := g.models.SweeperFor(g.dev.Arch(), g.dev.Arch().DesignClocks())
 		if err != nil {
 			return nil, err
 		}

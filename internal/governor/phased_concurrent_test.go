@@ -1,0 +1,97 @@
+package governor
+
+import (
+	"sync"
+	"testing"
+
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/trace"
+	"gpudvfs/internal/workloads"
+)
+
+// TestTunePhasedConcurrentSharedSweeper pins the shared-sweeper concurrency
+// contract: governors built over one *core.Models share a single memoized
+// Sweeper (Models.SweeperFor), so concurrent TunePhased calls exercise the
+// same pooled inference workspaces. Run under -race, every concurrent
+// result must be bit-identical to a serial governor tuning the same
+// workload on an identically seeded device.
+func TestTunePhasedConcurrentSharedSweeper(t *testing.T) {
+	m := quickModels(t)
+	cases := []struct {
+		app  sim.KernelProfile
+		seed int64
+	}{
+		{workloads.LAMMPS(), 101},
+		{workloads.GROMACS(), 102},
+		{workloads.DGEMM(), 103},
+		{workloads.STREAM(), 104},
+		{workloads.NAMD(), 105},
+		{workloads.LAMMPS(), 106}, // same app, different telemetry seed
+	}
+
+	type outcome struct {
+		freq     float64
+		energy   float64
+		timePct  float64
+		share    float64
+		segments int
+	}
+	serial := make([]outcome, len(cases))
+	for i, c := range cases {
+		g, err := New(sim.New(sim.GA100(), c.seed), m, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.TunePhased(c.app, trace.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = outcome{
+			freq:     res.Selection.FreqMHz,
+			energy:   res.Selection.EnergyPct,
+			timePct:  res.Selection.TimePct,
+			share:    res.DominantShare,
+			segments: len(res.Segments),
+		}
+	}
+
+	// Several passes widen the interleaving space the race detector sees.
+	for pass := 0; pass < 3; pass++ {
+		got := make([]outcome, len(cases))
+		errs := make([]error, len(cases))
+		var wg sync.WaitGroup
+		for i, c := range cases {
+			wg.Add(1)
+			go func(i int, app sim.KernelProfile, seed int64) {
+				defer wg.Done()
+				g, err := New(sim.New(sim.GA100(), seed), m, DefaultConfig())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				res, err := g.TunePhased(app, trace.Options{})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				got[i] = outcome{
+					freq:     res.Selection.FreqMHz,
+					energy:   res.Selection.EnergyPct,
+					timePct:  res.Selection.TimePct,
+					share:    res.DominantShare,
+					segments: len(res.Segments),
+				}
+			}(i, c.app, c.seed)
+		}
+		wg.Wait()
+		for i := range cases {
+			if errs[i] != nil {
+				t.Fatalf("pass %d, tuner %d: %v", pass, i, errs[i])
+			}
+			if got[i] != serial[i] {
+				t.Fatalf("pass %d, tuner %d (%s): concurrent %+v != serial %+v",
+					pass, i, cases[i].app.WorkloadName(), got[i], serial[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/workloads"
+)
+
+// HTTPConfig wires a Server to a device for the JSON API.
+type HTTPConfig struct {
+	// Device profiles workloads at the maximum clock for /v1/select and
+	// /v1/profile. Any backend works: sim synthesizes telemetry, replay
+	// serves a recorded trace.
+	Device backend.Device
+	// ProfileSeed offsets the per-request profiling noise seed. The
+	// effective seed is ProfileSeed plus a stable hash of the workload
+	// name, so repeat queries for one workload reproduce identical
+	// telemetry (and therefore hit the plan cache) while distinct
+	// workloads stay decorrelated.
+	ProfileSeed int64
+}
+
+// httpAPI is the handler state behind NewHandler.
+type httpAPI struct {
+	srv  *Server
+	dev  backend.Device
+	seed int64
+
+	selects  atomic.Uint64
+	profiles atomic.Uint64
+	shed     atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// NewHandler returns the dvfs-served HTTP/JSON API over a Server:
+//
+//	POST /v1/select  {"workload": "LAMMPS"}  → frequency selection
+//	POST /v1/profile {"workload": "LAMMPS"}  → predicted DVFS profile table
+//	GET  /v1/stats                           → cache/batcher/HTTP counters
+//
+// Overload from the bounded sweep queue maps to 429 with a Retry-After
+// hint; the daemon never queues without bound.
+func NewHandler(s *Server, cfg HTTPConfig) (http.Handler, error) {
+	if s == nil {
+		return nil, errors.New("serve: handler needs a server")
+	}
+	if cfg.Device == nil {
+		return nil, errors.New("serve: handler needs a device")
+	}
+	a := &httpAPI{srv: s, dev: cfg.Device, seed: cfg.ProfileSeed}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", a.handleSelect)
+	mux.HandleFunc("POST /v1/profile", a.handleProfile)
+	mux.HandleFunc("GET /v1/stats", a.handleStats)
+	return mux, nil
+}
+
+// apiError is every error body's shape.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+type selectRequest struct {
+	Workload string `json:"workload"`
+}
+
+type selectResponse struct {
+	Workload  string  `json:"workload"`
+	Objective string  `json:"objective"`
+	FreqMHz   float64 `json:"freq_mhz"`
+	EnergyPct float64 `json:"energy_pct"`
+	TimePct   float64 `json:"time_pct"`
+	CacheHit  bool    `json:"cache_hit"`
+}
+
+type profilePoint struct {
+	FreqMHz      float64 `json:"freq_mhz"`
+	PowerWatts   float64 `json:"power_watts"`
+	TimeSec      float64 `json:"time_sec"`
+	EnergyJoules float64 `json:"energy_joules"`
+}
+
+type profileResponse struct {
+	Workload    string         `json:"workload"`
+	ExecTimeSec float64        `json:"exec_time_sec"`
+	Clamped     int            `json:"clamped"`
+	Profiles    []profilePoint `json:"profiles"`
+}
+
+type statsResponse struct {
+	Cache struct {
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Evictions uint64 `json:"evictions"`
+		Entries   int    `json:"entries"`
+		Shards    int    `json:"shards"`
+	} `json:"cache"`
+	Batch struct {
+		Requests uint64 `json:"requests"`
+		Batches  uint64 `json:"batches"`
+		Batched  uint64 `json:"batched"`
+		Shed     uint64 `json:"shed"`
+		Canceled uint64 `json:"canceled"`
+		MaxBatch int    `json:"max_batch"`
+	} `json:"batch"`
+	HTTP struct {
+		Selects  uint64 `json:"selects"`
+		Profiles uint64 `json:"profiles"`
+		Shed     uint64 `json:"shed"`
+		Failed   uint64 `json:"failed"`
+	} `json:"http"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+// writeErr maps serving errors to status codes: shedding is 429 (the
+// load-generator acceptance contract), closed is 503, everything else 500.
+func (a *httpAPI) writeErr(w http.ResponseWriter, code int, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		a.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		code = http.StatusServiceUnavailable
+	default:
+		a.failed.Add(1)
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// nameSeed folds a workload name into a stable non-negative seed offset.
+func nameSeed(name string) int64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h &^ (1 << 63))
+}
+
+// resolve turns a request's workload name into something the backend can
+// run: a registered kernel profile when the name is known, a bare Named
+// handle on trace-serving backends (which look workloads up by name).
+func (a *httpAPI) resolve(name string) (backend.Workload, error) {
+	if name == "" {
+		return nil, errors.New("missing workload name")
+	}
+	if kp, err := workloads.ByName(name); err == nil {
+		return kp, nil
+	}
+	if a.dev.Kind() != "sim" {
+		return backend.Named(name), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// profileAtMax runs the online phase's single max-clock profiling run for
+// the named workload on a per-request fork of the device, deterministically
+// seeded per workload name.
+func (a *httpAPI) profileAtMax(name string) (dcgm.Run, error) {
+	w, err := a.resolve(name)
+	if err != nil {
+		return dcgm.Run{}, err
+	}
+	seed := a.seed + nameSeed(name)
+	coll := dcgm.NewCollector(a.dev.Fork(seed), dcgm.Config{Seed: seed})
+	return coll.ProfileAtMax(w)
+}
+
+func decodeWorkload(w http.ResponseWriter, r *http.Request) (string, bool) {
+	var req selectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return "", false
+	}
+	return req.Workload, true
+}
+
+func (a *httpAPI) handleSelect(w http.ResponseWriter, r *http.Request) {
+	name, ok := decodeWorkload(w, r)
+	if !ok {
+		return
+	}
+	run, err := a.profileAtMax(name)
+	if err != nil {
+		a.failed.Add(1)
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	sel, hit, err := a.srv.Select(r.Context(), run)
+	if err != nil {
+		a.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	a.selects.Add(1)
+	writeJSON(w, http.StatusOK, selectResponse{
+		Workload:  name,
+		Objective: sel.Objective,
+		FreqMHz:   sel.FreqMHz,
+		EnergyPct: sel.EnergyPct,
+		TimePct:   sel.TimePct,
+		CacheHit:  hit,
+	})
+}
+
+func (a *httpAPI) handleProfile(w http.ResponseWriter, r *http.Request) {
+	name, ok := decodeWorkload(w, r)
+	if !ok {
+		return
+	}
+	run, err := a.profileAtMax(name)
+	if err != nil {
+		a.failed.Add(1)
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	profiles, clamped, err := a.srv.Predict(r.Context(), run)
+	if err != nil {
+		a.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := profileResponse{Workload: name, ExecTimeSec: run.ExecTimeSec, Clamped: clamped}
+	resp.Profiles = make([]profilePoint, len(profiles))
+	for i, p := range profiles {
+		resp.Profiles[i] = profilePoint{
+			FreqMHz:      p.FreqMHz,
+			PowerWatts:   p.PowerWatts,
+			TimeSec:      p.TimeSec,
+			EnergyJoules: p.Energy(),
+		}
+	}
+	a.profiles.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *httpAPI) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	var resp statsResponse
+	resp.Cache.Hits = st.Cache.Hits
+	resp.Cache.Misses = st.Cache.Misses
+	resp.Cache.Evictions = st.Cache.Evictions
+	resp.Cache.Entries = st.CacheLen
+	resp.Cache.Shards = a.srv.Cache().Shards()
+	resp.Batch.Requests = st.Batch.Requests
+	resp.Batch.Batches = st.Batch.Batches
+	resp.Batch.Batched = st.Batch.Batched
+	resp.Batch.Shed = st.Batch.Shed
+	resp.Batch.Canceled = st.Batch.Canceled
+	resp.Batch.MaxBatch = st.Batch.MaxBatch
+	resp.HTTP.Selects = a.selects.Load()
+	resp.HTTP.Profiles = a.profiles.Load()
+	resp.HTTP.Shed = a.shed.Load()
+	resp.HTTP.Failed = a.failed.Load()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/objective"
+)
+
+func testHandler(t *testing.T, batch BatcherConfig) (http.Handler, *Server) {
+	t.Helper()
+	sw := testSweeper(t)
+	srv, err := NewServer(sw, ServerConfig{
+		Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1},
+		Batch: batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h, err := NewHandler(srv, HTTPConfig{Device: sim.New(sim.GA100(), 3), ProfileSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, srv
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPSelectAndStats(t *testing.T) {
+	h, _ := testHandler(t, BatcherConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	arch := sim.GA100().Spec()
+	clocks := arch.DesignClocks()
+
+	resp, body := postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: status %d, body %s", resp.StatusCode, body)
+	}
+	var sel selectResponse
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatalf("select body %s: %v", body, err)
+	}
+	if sel.Workload != "DGEMM" || sel.Objective == "" {
+		t.Fatalf("select response: %+v", sel)
+	}
+	found := false
+	for _, f := range clocks {
+		if f == sel.FreqMHz {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("selected %v MHz is not a design clock", sel.FreqMHz)
+	}
+	if sel.CacheHit {
+		t.Fatal("first select reported a cache hit")
+	}
+
+	// Same workload → same deterministic profiling run → cache hit.
+	resp, body = postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat select: status %d", resp.StatusCode)
+	}
+	var sel2 selectResponse
+	if err := json.Unmarshal(body, &sel2); err != nil {
+		t.Fatal(err)
+	}
+	if !sel2.CacheHit {
+		t.Fatal("repeat select missed the cache")
+	}
+	if sel2.FreqMHz != sel.FreqMHz {
+		t.Fatalf("repeat select changed frequency: %v → %v", sel.FreqMHz, sel2.FreqMHz)
+	}
+
+	resp, body = postJSON(t, ts, "/v1/select", `{"workload": "no-such-kernel"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload: status %d, body %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts, "/v1/select", `{not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: status %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(ts.URL + "/v1/select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET select: status %d", getResp.StatusCode)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Fatalf("stats cache: %+v", st.Cache)
+	}
+	if st.HTTP.Selects != 2 || st.HTTP.Failed == 0 {
+		t.Fatalf("stats http: %+v", st.HTTP)
+	}
+	if st.Cache.Shards == 0 || st.Batch.MaxBatch == 0 {
+		t.Fatalf("stats missing config echoes: %+v", st)
+	}
+}
+
+func TestHTTPProfile(t *testing.T) {
+	h, srv := testHandler(t, BatcherConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/profile", `{"workload": "STREAM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: status %d, body %s", resp.StatusCode, body)
+	}
+	var prof profileResponse
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatal(err)
+	}
+	nF := len(srv.Sweeper().Freqs())
+	if len(prof.Profiles) != nF {
+		t.Fatalf("profile rows %d, want %d", len(prof.Profiles), nF)
+	}
+	if prof.ExecTimeSec <= 0 {
+		t.Fatalf("exec time %v", prof.ExecTimeSec)
+	}
+	for i, p := range prof.Profiles {
+		if p.PowerWatts <= 0 || p.TimeSec <= 0 || p.FreqMHz <= 0 {
+			t.Fatalf("row %d not positive: %+v", i, p)
+		}
+		if want := p.PowerWatts * p.TimeSec; p.EnergyJoules != want {
+			t.Fatalf("row %d energy %v != power·time %v", i, p.EnergyJoules, want)
+		}
+	}
+}
+
+// TestHTTPOverloadSheds is the acceptance-criterion load test: with the
+// dispatcher stalled, fire 10× the queue bound in concurrent requests.
+// Every response must be 200 or 429 (zero panics / hangs / 5xx), at least
+// one request must be shed with 429 + Retry-After, and the server must
+// still serve normally afterwards.
+func TestHTTPOverloadSheds(t *testing.T) {
+	const depth = 4
+	release := make(chan struct{})
+	var hookOnce sync.Once
+	started := make(chan struct{})
+	testHookBeforeBatch = func(int) {
+		hookOnce.Do(func() { close(started) })
+		select {
+		case <-release:
+		case <-time.After(10 * time.Second):
+		}
+	}
+	defer func() { testHookBeforeBatch = nil }()
+
+	h, srv := testHandler(t, BatcherConfig{MaxBatch: 1, MaxWait: -1, QueueDepth: depth})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Distinct workloads profile to distinct runs, so every request is a
+	// cache miss that needs the (stalled) batcher.
+	names := []string{"DGEMM", "STREAM", "NW", "LAMMPS", "GROMACS", "NAMD"}
+
+	// Prime: one request occupies the dispatcher inside the hook.
+	primeDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", strings.NewReader(`{"workload": "DGEMM"}`))
+		if err != nil {
+			primeDone <- 0
+			return
+		}
+		resp.Body.Close()
+		primeDone <- resp.StatusCode
+	}()
+	<-started
+
+	const total = 10 * depth
+	codes := make(chan int, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"workload": %q}`, names[1+i%(len(names)-1)])
+			resp, err := http.Post(ts.URL+"/v1/select", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				codes <- 0
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Errorf("request %d: 429 without Retry-After", i)
+			}
+			codes <- resp.StatusCode
+		}(i)
+	}
+	// With the dispatcher stalled the queue cannot drain, so once more
+	// sweep buckets have submitted than QueueDepth one must shed. Wait for
+	// that before releasing — queued requests block until the release, so
+	// releasing must precede wg.Wait().
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().Batch.Shed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no shed observed with the dispatcher stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if code := <-primeDone; code != http.StatusOK {
+		t.Fatalf("prime request: status %d", code)
+	}
+
+	shed := 0
+	for i := 0; i < total; i++ {
+		switch code := <-codes; code {
+		case http.StatusOK, http.StatusTooManyRequests:
+			if code == http.StatusTooManyRequests {
+				shed++
+			}
+		default:
+			t.Fatalf("unexpected status %d under overload", code)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request shed at 10x the queue bound")
+	}
+
+	// The server survived: a fresh request completes normally.
+	resp, body := postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload select: status %d, body %s", resp.StatusCode, body)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.HTTP.Shed == 0 || st.Batch.Shed == 0 {
+		t.Fatalf("shed not counted: %+v", st)
+	}
+}
+
+func TestNewHandlerValidation(t *testing.T) {
+	sw := testSweeper(t)
+	srv, err := NewServer(sw, ServerConfig{Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := NewHandler(nil, HTTPConfig{Device: sim.New(sim.GA100(), 1)}); err == nil {
+		t.Fatal("nil server accepted")
+	}
+	if _, err := NewHandler(srv, HTTPConfig{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/objective"
+)
+
+func benchServer(b *testing.B, cache core.PlanCacheConfig, batch BatcherConfig) *Server {
+	b.Helper()
+	srv, err := NewServer(testSweeper(b), ServerConfig{Cache: cache, Batch: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkServeSelectHit is the steady-state serving fast path: every
+// request hits the sharded cache, never touching the batcher.
+func BenchmarkServeSelectHit(b *testing.B) {
+	srv := benchServer(b, core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1}, BatcherConfig{})
+	run := syntheticRun(0.42, 0.3)
+	ctx := context.Background()
+	if _, _, err := srv.Select(ctx, run); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := srv.Select(ctx, run); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeSelectMiss drives all-miss concurrent Selects through the
+// full stack — sharded cache, singleflight, micro-batched fused sweeps. A
+// capacity-1 cache keeps every request on the miss path.
+func BenchmarkServeSelectMiss(b *testing.B) {
+	srv := benchServer(b,
+		core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Capacity: 1},
+		BatcherConfig{MaxWait: -1})
+	runs := uniqueRuns(1024)
+	ctx := context.Background()
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := runs[next.Add(1)%uint64(len(runs))]
+			if _, _, err := srv.Select(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatcherPredict routes single sweeps through the batcher with no
+// coalescing opportunity — the per-request overhead floor of the queue,
+// handoff, and dispatcher round trip relative to a direct sweeper call.
+func BenchmarkBatcherPredict(b *testing.B) {
+	sw := testSweeper(b)
+	bt, err := NewBatcher(sw, BatcherConfig{MaxWait: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(bt.Close)
+	run := syntheticRun(0.42, 0.3)
+	dst := make([]objective.Profile, len(sw.Freqs()))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.PredictProfileInto(ctx, dst, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
