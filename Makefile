@@ -22,7 +22,7 @@ vet:
 # new concurrent paths) are included.
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
-	$(GO) test -race -count=1 -run 'Deterministic|Concurrent|Singleflight|PlanCache|BatchSweep' ./internal/core
+	$(GO) test -race -count=1 -run 'Deterministic|Concurrent|Singleflight|PlanCache|BatchSweep|Grid' ./internal/core
 	$(GO) test -race -count=1 -run 'Singleflight' ./internal/experiments
 
 # bench-smoke compiles and runs each hot-path benchmark once, catching
@@ -31,20 +31,24 @@ race:
 # the core/sched run covers the BENCH_serve.json serving-path table; the
 # replay run covers the BENCH_backend.json trace-serving overhead table;
 # the core miss/batch and serve runs cover the BENCH_concurrency.json
-# concurrent-serving table.
+# concurrent-serving table; the Sweep1D/Sweep2D arms plus the mat
+# MulTB61x64 blocked/naive split cover the BENCH_sweep2d.json 1-D vs 2-D
+# sweep-cost table.
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
-	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet|BatchSweep' -benchtime=1x ./internal/core ./internal/sched
+	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet|BatchSweep|Sweep1D|Sweep2D' -benchtime=1x ./internal/core ./internal/sched
 	$(GO) test -run '^$$' -bench ReplayProfile -benchtime=1x ./internal/backend/replay
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/serve
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
-# regressions in estimator exactness or plan-cache key aliasing surface
-# here first.
+# regressions in kernel exactness, estimator exactness, or plan-cache key
+# aliasing (including the mem-axis-extended keys) surface here first.
 fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMulTBBlockedMatchesNaive -fuzztime=5s ./internal/mat
 	$(GO) test -run '^$$' -fuzz FuzzEstimateMatchesBrute -fuzztime=5s ./internal/mi
 	$(GO) test -run '^$$' -fuzz FuzzPlanKeyQuantizer -fuzztime=5s ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzPlanKeyGrid$$' -fuzztime=5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzReplayRoundTrip -fuzztime=5s ./internal/backend/replay
 
 check: vet build test race bench-smoke fuzz-smoke

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpudvfs/internal/backend/open"
 	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
@@ -31,6 +33,8 @@ type loadResult struct {
 	Concurrency   int     `json:"concurrency"`
 	Requests      int     `json:"requests"`
 	Shed          int     `json:"shed"`
+	Hits          int     `json:"hits"`
+	Misses        int     `json:"misses"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	P50Ms         float64 `json:"p50_ms"`
 	P99Ms         float64 `json:"p99_ms"`
@@ -46,9 +50,40 @@ type loadReport struct {
 }
 
 // selectFunc abstracts one closed-loop request so local scenarios and the
-// URL mode share the measurement loop. shed reports a deliberate 429-style
-// rejection (counted, not failed).
-type selectFunc func(i int) (shed bool, err error)
+// URL mode share the measurement loop. hit reports a plan-cache hit, shed a
+// deliberate 429-style rejection (counted, not failed).
+type selectFunc func(i int) (hit, shed bool, err error)
+
+// scenario is one serving configuration under test. mk builds a fresh
+// selectFunc (and its cleanup) per concurrency level, so each level starts
+// from a cold cache and the reported hit/miss split is per-level, not
+// cumulative across the sweep of levels.
+type scenario struct {
+	name string
+	mk   func() (selectFunc, func(), error)
+}
+
+// loadKeys pregenerates the per-request workload-key index sequence.
+// "uniform" returns nil: request i touches key i mod the key space, so a
+// capacity-starved cache treats every request as a miss (the contended
+// sweep path this harness was built to isolate). "zipf" draws one
+// Zipf(s=1.1) sample per request over the same space from a fixed seed:
+// a hot head of keys repeats, the realistic skew a plan cache exists for,
+// and the hit/miss split becomes the interesting number.
+func loadKeys(dist string, n, space int) ([]int, error) {
+	switch dist {
+	case "", "uniform":
+		return nil, nil
+	case "zipf":
+		z := rand.NewZipf(rand.New(rand.NewSource(1)), 1.1, 1, uint64(space-1))
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = int(z.Uint64())
+		}
+		return keys, nil
+	}
+	return nil, fmt.Errorf("unknown -load-dist %q (have uniform, zipf)", dist)
+}
 
 // parseConcurrency turns "1,4,16" into sorted positive worker counts.
 func parseConcurrency(s string) ([]int, error) {
@@ -120,6 +155,7 @@ func measure(scenario string, workers, requests int, call selectFunc) (loadResul
 	var (
 		next    atomic.Int64
 		shed    atomic.Int64
+		hits    atomic.Int64
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		lats    = make([]float64, 0, requests)
@@ -137,7 +173,7 @@ func measure(scenario string, workers, requests int, call selectFunc) (loadResul
 					break
 				}
 				t0 := time.Now()
-				wasShed, err := call(i)
+				wasHit, wasShed, err := call(i)
 				if err != nil {
 					callErr.Store(err)
 					return
@@ -145,6 +181,9 @@ func measure(scenario string, workers, requests int, call selectFunc) (loadResul
 				if wasShed {
 					shed.Add(1)
 					continue
+				}
+				if wasHit {
+					hits.Add(1)
 				}
 				local = append(local, float64(time.Since(t0).Nanoseconds())/1e6)
 			}
@@ -163,8 +202,10 @@ func measure(scenario string, workers, requests int, call selectFunc) (loadResul
 		Concurrency:   workers,
 		Requests:      requests,
 		Shed:          int(shed.Load()),
+		Hits:          int(hits.Load()),
 		ThroughputRPS: float64(requests) / elapsed.Seconds(),
 	}
+	res.Misses = res.Requests - res.Shed - res.Hits
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		res.P50Ms = lats[len(lats)/2]
@@ -175,85 +216,93 @@ func measure(scenario string, workers, requests int, call selectFunc) (loadResul
 
 // localScenarios builds the three serving configurations the report
 // contrasts: the PR 3 baseline shape (one global mutex), lock striping
-// alone, and striping plus the micro-batched miss path. Capacity 1 starves
-// the cache so every request exercises the sweep path.
-func localScenarios(m *core.Models, runs []dcgm.Run) ([]struct {
-	name string
-	call selectFunc
-}, func(), error) {
+// alone, and striping plus the micro-batched miss path. Under the uniform
+// distribution, capacity 1 starves the cache so every request exercises the
+// sweep path; under zipf, capacity 64 holds the hot head of the key
+// distribution and the tail misses. mems widens each sweeper to a
+// (core × mem) grid; nil keeps the 1-D sweep.
+func localScenarios(m *core.Models, runs []dcgm.Run, keys []int, mems []float64, capacity int, label string) []scenario {
 	arch := sim.GA100().Spec()
-	cleanup := func() {}
-	mkCache := func(shards int) (selectFunc, error) {
-		sw, err := m.NewSweeper(arch, arch.DesignClocks())
+	idx := func(i int) int {
+		if keys != nil {
+			return keys[i%len(keys)] % len(runs)
+		}
+		return i % len(runs)
+	}
+	mkCache := func(shards int) (selectFunc, func(), error) {
+		sw, err := m.NewGridSweeper(arch, arch.DesignClocks(), mems)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pc, err := core.NewPlanCache(sw, core.PlanCacheConfig{
-			Objective: objective.EDP{}, Threshold: -1, Capacity: 1, Shards: shards,
+			Objective: objective.EDP{}, Threshold: -1, Capacity: capacity, Shards: shards,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func(i int) (bool, error) {
-			_, _, err := pc.Select(runs[i%len(runs)])
-			return false, err
-		}, nil
+		return func(i int) (bool, bool, error) {
+			_, hit, err := pc.Select(runs[idx(i)])
+			return hit, false, err
+		}, func() {}, nil
 	}
-	single, err := mkCache(1)
-	if err != nil {
-		return nil, nil, err
-	}
-	sharded, err := mkCache(16)
-	if err != nil {
-		return nil, nil, err
-	}
-	sw, err := m.NewSweeper(arch, arch.DesignClocks())
-	if err != nil {
-		return nil, nil, err
-	}
-	srv, err := serve.NewServer(sw, serve.ServerConfig{
-		Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Capacity: 1, Shards: 16},
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	cleanup = srv.Close
-	batched := func(i int) (bool, error) {
-		_, _, err := srv.Select(context.Background(), runs[i%len(runs)])
-		if errors.Is(err, serve.ErrOverloaded) {
-			return true, nil
+	mkBatched := func() (selectFunc, func(), error) {
+		sw, err := m.NewGridSweeper(arch, arch.DesignClocks(), mems)
+		if err != nil {
+			return nil, nil, err
 		}
-		return false, err
+		srv, err := serve.NewServer(sw, serve.ServerConfig{
+			Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1, Capacity: capacity, Shards: 16},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(i int) (bool, bool, error) {
+			_, hit, err := srv.Select(context.Background(), runs[idx(i)])
+			if errors.Is(err, serve.ErrOverloaded) {
+				return false, true, nil
+			}
+			return hit, false, err
+		}, srv.Close, nil
 	}
-	return []struct {
-		name string
-		call selectFunc
-	}{
-		{"select-miss, single shard (PR 3 baseline shape)", single},
-		{"select-miss, 16 shards", sharded},
-		{"select-miss, 16 shards + micro-batched sweep", batched},
-	}, cleanup, nil
+	return []scenario{
+		{label + ", single shard (PR 3 baseline shape)", func() (selectFunc, func(), error) { return mkCache(1) }},
+		{label + ", 16 shards", func() (selectFunc, func(), error) { return mkCache(16) }},
+		{label + ", 16 shards + micro-batched sweep", mkBatched},
+	}
 }
 
-// urlScenario drives an external dvfs-served daemon, cycling workload
-// names. 429 responses count as shed; anything else non-200 is an error.
-func urlScenario(url string, apps []string) selectFunc {
+// urlScenario drives an external dvfs-served daemon, picking workload
+// names by the pregenerated key sequence (or round-robin when keys is
+// nil). 429 responses count as shed; anything else non-200 is an error.
+// Cache hits come from the response's cache_hit field — note the daemon's
+// cache stays warm across concurrency levels, unlike local scenarios.
+func urlScenario(url string, apps []string, keys []int) selectFunc {
 	client := &http.Client{Timeout: 30 * time.Second}
-	return func(i int) (bool, error) {
-		body := fmt.Sprintf(`{"workload": %q}`, apps[i%len(apps)])
+	return func(i int) (bool, bool, error) {
+		app := apps[i%len(apps)]
+		if keys != nil {
+			app = apps[keys[i%len(keys)]%len(apps)]
+		}
+		body := fmt.Sprintf(`{"workload": %q}`, app)
 		resp, err := client.Post(url+"/v1/select", "application/json", strings.NewReader(body))
 		if err != nil {
-			return false, err
+			return false, false, err
 		}
 		defer resp.Body.Close()
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
 		switch resp.StatusCode {
 		case http.StatusOK:
-			return false, nil
+			var sel struct {
+				CacheHit bool `json:"cache_hit"`
+			}
+			err := json.NewDecoder(resp.Body).Decode(&sel)
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			return sel.CacheHit, false, err
 		case http.StatusTooManyRequests:
-			return true, nil
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			return false, true, nil
 		}
-		return false, fmt.Errorf("POST /v1/select: status %d", resp.StatusCode)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return false, false, fmt.Errorf("POST /v1/select: status %d", resp.StatusCode)
 	}
 }
 
@@ -267,7 +316,7 @@ func machineString() string {
 
 // runLoad is the closed-loop load-generator mode: local serving-stack
 // scenarios by default, or an external daemon when url is set.
-func runLoad(url, concStr, appsStr string, requests int, outPath string, w io.Writer) error {
+func runLoad(url, concStr, appsStr, dist, memSpec string, requests int, outPath string, w io.Writer) error {
 	levels, err := parseConcurrency(concStr)
 	if err != nil {
 		return err
@@ -276,47 +325,72 @@ func runLoad(url, concStr, appsStr string, requests int, outPath string, w io.Wr
 		return fmt.Errorf("-load-requests must be positive, got %d", requests)
 	}
 
-	type scenario struct {
-		name string
-		call selectFunc
-	}
 	var scenarios []scenario
 	if url != "" {
+		if memSpec != "" {
+			return errors.New("-mem-freqs has no effect with -load-url; pass it to the dvfs-served daemon instead")
+		}
 		apps := strings.Split(appsStr, ",")
 		for i := range apps {
 			apps[i] = strings.TrimSpace(apps[i])
 		}
-		scenarios = []scenario{{fmt.Sprintf("dvfs-served at %s", url), urlScenario(strings.TrimRight(url, "/"), apps)}}
+		keys, err := loadKeys(dist, requests, len(apps))
+		if err != nil {
+			return err
+		}
+		call := urlScenario(strings.TrimRight(url, "/"), apps, keys)
+		scenarios = []scenario{{
+			fmt.Sprintf("dvfs-served at %s", url),
+			func() (selectFunc, func(), error) { return call, func() {}, nil },
+		}}
 	} else {
 		m, err := loadModels()
 		if err != nil {
 			return err
 		}
-		local, cleanup, err := localScenarios(m, loadRuns(1024))
+		mems, err := open.ParseMemFreqs(memSpec, sim.GA100().Spec())
 		if err != nil {
 			return err
 		}
-		defer cleanup()
-		for _, s := range local {
-			scenarios = append(scenarios, scenario{s.name, s.call})
+		runs := loadRuns(1024)
+		keys, err := loadKeys(dist, requests, len(runs))
+		if err != nil {
+			return err
 		}
+		capacity, label := 1, "select-miss"
+		if keys != nil {
+			capacity, label = 64, "select-zipf"
+		}
+		scenarios = localScenarios(m, runs, keys, mems, capacity, label)
 	}
 
+	desc := "Closed-loop concurrent frequency-selection load test. "
+	if dist == "zipf" {
+		desc += "Workload keys follow a Zipf(s=1.1) distribution over the key space, so the plan cache (capacity 64 locally) holds the hot head and misses the tail; the hit/miss split per concurrency level is the headline number. Local scenario caches start cold at every concurrency level."
+	} else {
+		desc += "Every request is a cache miss (capacity-starved cache over non-colliding synthetic runs), isolating the contended sweep path the sharded cache and micro-batcher exist for."
+	}
+	desc += " Scenarios contrast the PR 3 baseline shape (one global mutex), lock striping alone, and striping plus micro-batched fused sweeps."
 	report := loadReport{
-		Description: "Closed-loop concurrent frequency-selection load test. Every request is a cache miss (capacity-starved cache over non-colliding synthetic runs), isolating the contended sweep path the sharded cache and micro-batcher exist for. Scenarios contrast the PR 3 baseline shape (one global mutex), lock striping alone, and striping plus micro-batched fused sweeps.",
+		Description: desc,
 		Machine:     machineString(),
 		Go:          runtime.Version(),
 	}
-	fmt.Fprintf(w, "%-50s %12s %9s %6s %14s %9s %9s\n", "scenario", "concurrency", "requests", "shed", "throughput", "p50_ms", "p99_ms")
+	fmt.Fprintf(w, "%-50s %12s %9s %6s %7s %7s %14s %9s %9s\n", "scenario", "concurrency", "requests", "shed", "hits", "misses", "throughput", "p50_ms", "p99_ms")
 	for _, s := range scenarios {
 		for _, c := range levels {
-			res, err := measure(s.name, c, requests, s.call)
+			call, cleanup, err := s.mk()
+			if err != nil {
+				return err
+			}
+			res, err := measure(s.name, c, requests, call)
+			cleanup()
 			if err != nil {
 				return err
 			}
 			report.Results = append(report.Results, res)
-			fmt.Fprintf(w, "%-50s %12d %9d %6d %11.1f/s %9.3f %9.3f\n",
-				res.Scenario, res.Concurrency, res.Requests, res.Shed, res.ThroughputRPS, res.P50Ms, res.P99Ms)
+			fmt.Fprintf(w, "%-50s %12d %9d %6d %7d %7d %11.1f/s %9.3f %9.3f\n",
+				res.Scenario, res.Concurrency, res.Requests, res.Shed, res.Hits, res.Misses, res.ThroughputRPS, res.P50Ms, res.P99Ms)
 		}
 	}
 

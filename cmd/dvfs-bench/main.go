@@ -45,12 +45,14 @@ func main() {
 		loadConc    = flag.String("load-concurrency", "1,4,16", "comma-separated closed-loop worker counts")
 		loadReqs    = flag.Int("load-requests", 2000, "requests per scenario per concurrency level")
 		loadApps    = flag.String("load-apps", "DGEMM,STREAM,NW,LAMMPS,GROMACS,NAMD", "workload names cycled in -load-url mode")
+		loadDist    = flag.String("load-dist", "uniform", `workload-key distribution: "uniform" (all-miss, isolates the sweep path) or "zipf" (skewed repeats; reports the cache hit/miss split)`)
+		loadMems    = flag.String("mem-freqs", "", `memory P-states the local load scenarios sweep alongside core clocks: "all", or a comma-separated MHz list; empty sweeps the core axis only`)
 		loadOutPath = flag.String("load-out", "", "write the load report as JSON to this path (BENCH_serve.json shape)")
 	)
 	flag.Parse()
 
 	if *load {
-		if err := runLoad(*loadURL, *loadConc, *loadApps, *loadReqs, *loadOutPath, os.Stdout); err != nil {
+		if err := runLoad(*loadURL, *loadConc, *loadApps, *loadDist, *loadMems, *loadReqs, *loadOutPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
 			os.Exit(1)
 		}

@@ -73,11 +73,48 @@ func TestParseConcurrency(t *testing.T) {
 
 func TestRunLoadValidation(t *testing.T) {
 	var sink strings.Builder
-	if err := runLoad("", "nope", "", 10, "", &sink); err == nil {
+	if err := runLoad("", "nope", "", "uniform", "", 10, "", &sink); err == nil {
 		t.Fatal("bad concurrency accepted")
 	}
-	if err := runLoad("", "1", "", 0, "", &sink); err == nil {
+	if err := runLoad("", "1", "", "uniform", "", 0, "", &sink); err == nil {
 		t.Fatal("zero requests accepted")
+	}
+	if err := runLoad("", "1", "", "pareto", "", 10, "", &sink); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if err := runLoad("", "1", "", "uniform", "999", 10, "", &sink); err == nil {
+		t.Fatal("unsupported memory clock accepted")
+	}
+	if err := runLoad("http://localhost:0", "1", "DGEMM", "uniform", "all", 10, "", &sink); err == nil {
+		t.Fatal("-mem-freqs with -load-url accepted")
+	}
+}
+
+func TestLoadKeys(t *testing.T) {
+	if keys, err := loadKeys("uniform", 100, 64); err != nil || keys != nil {
+		t.Fatalf("uniform: keys=%v err=%v, want nil, nil", keys, err)
+	}
+	keys, err := loadKeys("zipf", 1000, 64)
+	if err != nil || len(keys) != 1000 {
+		t.Fatalf("zipf: len=%d err=%v", len(keys), err)
+	}
+	// The sequence is deterministic and skewed: key 0 dominates.
+	again, _ := loadKeys("zipf", 1000, 64)
+	zeros := 0
+	for i, k := range keys {
+		if k != again[i] {
+			t.Fatal("zipf key sequence is not deterministic")
+		}
+		if k < 0 || k >= 64 {
+			t.Fatalf("key %d out of range [0,64)", k)
+		}
+		if k == 0 {
+			zeros++
+		}
+	}
+	// Uniform would give ~16/1000 per key; the Zipf head must dominate that.
+	if zeros < 100 {
+		t.Fatalf("zipf head key appears %d/1000 times, want clear skew over uniform's ~16", zeros)
 	}
 }
 
@@ -90,7 +127,7 @@ func TestRunLoadLocal(t *testing.T) {
 	}
 	outPath := filepath.Join(t.TempDir(), "load.json")
 	var sink strings.Builder
-	if err := runLoad("", "1,2", "", 8, outPath, &sink); err != nil {
+	if err := runLoad("", "1,2", "", "uniform", "", 8, outPath, &sink); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -104,6 +141,8 @@ func TestRunLoadLocal(t *testing.T) {
 			Scenario      string  `json:"scenario"`
 			Concurrency   int     `json:"concurrency"`
 			Requests      int     `json:"requests"`
+			Hits          int     `json:"hits"`
+			Misses        int     `json:"misses"`
 			ThroughputRPS float64 `json:"throughput_rps"`
 			P99Ms         float64 `json:"p99_ms"`
 		} `json:"results"`
@@ -118,8 +157,57 @@ func TestRunLoadLocal(t *testing.T) {
 		if r.ThroughputRPS <= 0 || r.P99Ms <= 0 || r.Requests != 8 {
 			t.Fatalf("degenerate result: %+v", r)
 		}
+		// Uniform keys over a capacity-1 cache: all misses, by construction.
+		if r.Hits != 0 || r.Misses != 8 {
+			t.Fatalf("uniform distribution should be all-miss, got %+v", r)
+		}
 	}
 	if !strings.Contains(sink.String(), "p99_ms") {
 		t.Fatal("table header missing from output")
+	}
+}
+
+// TestRunLoadZipf checks the skewed-key mode: the hot head of the Zipf
+// distribution repeats inside the cache's capacity, so every scenario and
+// concurrency level reports a hit/miss split that accounts for all
+// requests, with hits present.
+func TestRunLoadZipf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	outPath := filepath.Join(t.TempDir(), "load.json")
+	var sink strings.Builder
+	if err := runLoad("", "1,2", "", "zipf", "", 32, outPath, &sink); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Results []struct {
+			Scenario string `json:"scenario"`
+			Requests int    `json:"requests"`
+			Shed     int    `json:"shed"`
+			Hits     int    `json:"hits"`
+			Misses   int    `json:"misses"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if len(report.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if r.Hits+r.Misses+r.Shed != r.Requests {
+			t.Fatalf("hit/miss/shed split does not account for all requests: %+v", r)
+		}
+		if r.Hits == 0 {
+			t.Fatalf("zipf head should produce cache hits: %+v", r)
+		}
+		if r.Misses == 0 {
+			t.Fatalf("zipf tail should produce cache misses: %+v", r)
+		}
 	}
 }

@@ -49,17 +49,18 @@ func main() {
 		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
 		seed        = flag.Int64("seed", 11, "profiling noise seed")
 		workers     = flag.Int("workers", 0, "concurrent per-job profiling workers; 0 = all cores (output is identical for any value)")
+		memFreqs    = flag.String("mem-freqs", "", `memory P-states to plan over alongside core clocks: "all", or a comma-separated MHz list; empty plans the core axis only`)
 	)
 	flag.Parse()
 
 	cfg := open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression}
-	if err := run(*modelsDir, *jobsPath, *budget, cfg, *seed, *workers, os.Stdout); err != nil {
+	if err := run(*modelsDir, *jobsPath, *budget, cfg, *seed, *workers, *memFreqs, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-plan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelsDir, jobsPath string, budget float64, devCfg open.Config, seed int64, workers int, w *os.File) error {
+func run(modelsDir, jobsPath string, budget float64, devCfg open.Config, seed int64, workers int, memSpec string, w *os.File) error {
 	if jobsPath == "" {
 		return fmt.Errorf("-jobs is required")
 	}
@@ -78,8 +79,12 @@ func run(modelsDir, jobsPath string, budget float64, devCfg open.Config, seed in
 	if err != nil {
 		return err
 	}
+	mems, err := open.ParseMemFreqs(memSpec, dev.Arch())
+	if err != nil {
+		return err
+	}
 
-	planner, err := sched.NewPlannerConfig(dev, models, sched.Config{Seed: seed, Workers: workers})
+	planner, err := sched.NewPlannerConfig(dev, models, sched.Config{Seed: seed, Workers: workers, MemFreqs: mems})
 	if err != nil {
 		return err
 	}
@@ -95,13 +100,24 @@ func run(modelsDir, jobsPath string, budget float64, devCfg open.Config, seed in
 		return err
 	}
 
-	fmt.Fprintf(w, "%-12s %5s %10s %12s %12s %12s\n", "job", "gpus", "freq_mhz", "power_w/gpu", "slowdown", "energy_chg")
-	for _, a := range plan.Assignments {
-		fmt.Fprintf(w, "%-12s %5d %10.0f %12.1f %+11.1f%% %+11.1f%%\n",
-			a.Job, a.GPUs, a.FreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+	if mems != nil {
+		fmt.Fprintf(w, "%-12s %5s %10s %9s %12s %12s %12s\n", "job", "gpus", "freq_mhz", "mem_mhz", "power_w/gpu", "slowdown", "energy_chg")
+		for _, a := range plan.Assignments {
+			fmt.Fprintf(w, "%-12s %5d %10.0f %9.0f %12.1f %+11.1f%% %+11.1f%%\n",
+				a.Job, a.GPUs, a.FreqMHz, a.MemFreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+		}
+	} else {
+		fmt.Fprintf(w, "%-12s %5s %10s %12s %12s %12s\n", "job", "gpus", "freq_mhz", "power_w/gpu", "slowdown", "energy_chg")
+		for _, a := range plan.Assignments {
+			fmt.Fprintf(w, "%-12s %5d %10.0f %12.1f %+11.1f%% %+11.1f%%\n",
+				a.Job, a.GPUs, a.FreqMHz, a.PowerWatts, -a.SlowdownPct, a.EnergyPct)
+		}
 	}
 	if c := planner.Clamped(); c > 0 {
 		fmt.Fprintf(w, "\nwarning: %d predictions hit the safety floors; the models look undertrained for this fleet\n", c)
+		if cc := planner.ClampedCounts(); cc.Mem > 0 {
+			fmt.Fprintf(w, "         (%d of them on the memory axis)\n", cc.Mem)
+		}
 	}
 	fmt.Fprintf(w, "\nfleet power: %.0f W of %.0f W budget", plan.TotalPowerWatts, plan.BudgetWatts)
 	if plan.FitsBudget {

@@ -96,11 +96,15 @@ func TestLoadJobsErrors(t *testing.T) {
 func TestRunPlans(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, jobs, 5000, simCfg("GA100", 1), 1, 4, os.Stdout); err != nil {
+	if err := run(models, jobs, 5000, simCfg("GA100", 1), 1, 4, "", os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	// A tiny budget still plans (reporting infeasibility), it must not error.
-	if err := run(models, jobs, 10, simCfg("GA100", 1), 1, 1, os.Stdout); err != nil {
+	if err := run(models, jobs, 10, simCfg("GA100", 1), 1, 1, "", os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	// 2-D planning over the whole memory P-state table.
+	if err := run(models, jobs, 5000, simCfg("GA100", 1), 1, 2, "all", os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -108,16 +112,19 @@ func TestRunPlans(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	models := trainSmallModels(t)
 	jobs := writeJobs(t, fleetJSON)
-	if err := run(models, "", 1000, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
+	if err := run(models, "", 1000, simCfg("GA100", 1), 1, 1, "", os.Stdout); err == nil {
 		t.Fatal("missing jobs accepted")
 	}
-	if err := run(models, jobs, 0, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 0, simCfg("GA100", 1), 1, 1, "", os.Stdout); err == nil {
 		t.Fatal("zero budget accepted")
 	}
-	if err := run(models, jobs, 1000, simCfg("H100", 1), 1, 1, os.Stdout); err == nil {
+	if err := run(models, jobs, 1000, simCfg("H100", 1), 1, 1, "", os.Stdout); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, simCfg("GA100", 1), 1, 1, os.Stdout); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope"), jobs, 1000, simCfg("GA100", 1), 1, 1, "", os.Stdout); err == nil {
 		t.Fatal("missing models accepted")
+	}
+	if err := run(models, jobs, 1000, simCfg("GA100", 1), 1, 1, "12345", os.Stdout); err == nil {
+		t.Fatal("unsupported memory clock accepted")
 	}
 }

@@ -31,6 +31,7 @@ func main() {
 		trace       = flag.String("trace", "", "CSV recording with a max-clock profile of the app (replay backend)")
 		compression = flag.Float64("time-compression", 0, "replay pacing: recorded-time divisor (0 = serve instantly)")
 		app         = flag.String("app", "", "application to predict (see -list)")
+		memFreqs    = flag.String("mem-freqs", "", `memory P-states to sweep alongside core clocks: "all", or a comma-separated MHz list; empty sweeps the core axis only`)
 		objName     = flag.String("objective", "ED2P", "multi-objective function: EDP or ED2P")
 		threshold   = flag.Float64("threshold", -1, "performance-degradation threshold (fraction, e.g. 0.05); negative disables")
 		seed        = flag.Int64("seed", 7, "simulation noise seed for the profiling run")
@@ -46,13 +47,13 @@ func main() {
 		return
 	}
 	cfg := open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression}
-	if err := run(*modelsDir, cfg, *app, *objName, *threshold, *seed, *verbose); err != nil {
+	if err := run(*modelsDir, cfg, *app, *memFreqs, *objName, *threshold, *seed, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-predict:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelsDir string, devCfg open.Config, app, objName string, threshold float64, seed int64, verbose bool) error {
+func run(modelsDir string, devCfg open.Config, app, memSpec, objName string, threshold float64, seed int64, verbose bool) error {
 	if app == "" {
 		return fmt.Errorf("-app is required (try -list)")
 	}
@@ -73,7 +74,11 @@ func run(modelsDir string, devCfg open.Config, app, objName string, threshold fl
 	if err != nil {
 		return err
 	}
-	res, err := core.OnlinePredict(dev, models, w, dcgm.Config{Seed: seed + 1})
+	mems, err := open.ParseMemFreqs(memSpec, dev.Arch())
+	if err != nil {
+		return err
+	}
+	res, err := core.OnlinePredictGrid(dev, models, w, dcgm.Config{Seed: seed + 1}, mems)
 	if err != nil {
 		return err
 	}
@@ -81,11 +86,23 @@ func run(modelsDir string, devCfg open.Config, app, objName string, threshold fl
 		app, res.ProfileRun.FreqMHz, dev.Arch().Name, res.ProfileRun.ExecTimeSec, res.ProfileRun.AvgPowerWatts)
 
 	if verbose {
-		fmt.Printf("%10s %10s %10s %12s %12s\n", "freq_mhz", "power_w", "time_s", "energy_j", obj.Name())
-		for _, p := range res.Predicted {
-			fmt.Printf("%10.0f %10.1f %10.3f %12.1f %12.1f\n",
-				p.FreqMHz, p.PowerWatts, p.TimeSec, p.Energy(), obj.Score(p.Energy(), p.TimeSec))
+		if mems != nil {
+			fmt.Printf("%10s %10s %10s %10s %12s %12s\n", "freq_mhz", "mem_mhz", "power_w", "time_s", "energy_j", obj.Name())
+			for _, p := range res.Predicted {
+				fmt.Printf("%10.0f %10.0f %10.1f %10.3f %12.1f %12.1f\n",
+					p.FreqMHz, p.MemFreqMHz, p.PowerWatts, p.TimeSec, p.Energy(), obj.Score(p.Energy(), p.TimeSec))
+			}
+		} else {
+			fmt.Printf("%10s %10s %10s %12s %12s\n", "freq_mhz", "power_w", "time_s", "energy_j", obj.Name())
+			for _, p := range res.Predicted {
+				fmt.Printf("%10.0f %10.1f %10.3f %12.1f %12.1f\n",
+					p.FreqMHz, p.PowerWatts, p.TimeSec, p.Energy(), obj.Score(p.Energy(), p.TimeSec))
+			}
 		}
+	}
+	if res.ClampedMem > 0 {
+		fmt.Printf("warning: %d memory-axis predictions hit the safety floors (%d total); the models look untrained along the memory axis\n",
+			res.ClampedMem, res.Clamped)
 	}
 
 	sel, err := core.SelectFrequency(res.Predicted, obj, threshold)
@@ -96,7 +113,11 @@ func run(modelsDir string, devCfg open.Config, app, objName string, threshold fl
 	if threshold >= 0 {
 		fmt.Printf(", threshold %.0f%%", threshold*100)
 	}
-	fmt.Printf("): %.0f MHz\n", sel.FreqMHz)
+	fmt.Printf("): %.0f MHz", sel.FreqMHz)
+	if sel.MemFreqMHz != 0 {
+		fmt.Printf(" @ mem %.0f MHz", sel.MemFreqMHz)
+	}
+	fmt.Println()
 	fmt.Printf("predicted vs max clock: energy %+.1f%%, time %+.1f%%\n", sel.EnergyPct, sel.TimePct)
 	return nil
 }

@@ -56,30 +56,37 @@ func trainSmallModels(t *testing.T) string {
 
 func TestRunPredicts(t *testing.T) {
 	dir := trainSmallModels(t)
-	if err := run(dir, simCfg("GA100", 9), "LAMMPS", "ED2P", -1, 9, false); err != nil {
+	if err := run(dir, simCfg("GA100", 9), "LAMMPS", "", "ED2P", -1, 9, false); err != nil {
 		t.Fatal(err)
 	}
 	// Cross-architecture prediction with the same models.
-	if err := run(dir, simCfg("GV100", 9), "LAMMPS", "EDP", 0.05, 9, true); err != nil {
+	if err := run(dir, simCfg("GV100", 9), "LAMMPS", "", "EDP", 0.05, 9, true); err != nil {
+		t.Fatal(err)
+	}
+	// 2-D prediction over the memory axis, verbose to cover the grid table.
+	if err := run(dir, simCfg("GA100", 9), "LAMMPS", "all", "EDP", -1, 9, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := trainSmallModels(t)
-	if err := run(dir, simCfg("GA100", 1), "", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "", "", "EDP", -1, 1, false); err == nil {
 		t.Fatal("missing app accepted")
 	}
-	if err := run(dir, simCfg("H100", 1), "LAMMPS", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("H100", 1), "LAMMPS", "", "EDP", -1, 1, false); err == nil {
 		t.Fatal("unknown arch accepted")
 	}
-	if err := run(dir, simCfg("GA100", 1), "NOPE", "EDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "NOPE", "", "EDP", -1, 1, false); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if err := run(dir, simCfg("GA100", 1), "LAMMPS", "EDDP", -1, 1, false); err == nil {
+	if err := run(dir, simCfg("GA100", 1), "LAMMPS", "", "EDDP", -1, 1, false); err == nil {
 		t.Fatal("unknown objective accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope"), simCfg("GA100", 1), "LAMMPS", "EDP", -1, 1, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope"), simCfg("GA100", 1), "LAMMPS", "", "EDP", -1, 1, false); err == nil {
 		t.Fatal("missing models dir accepted")
+	}
+	if err := run(dir, simCfg("GA100", 1), "LAMMPS", "999", "EDP", -1, 1, false); err == nil {
+		t.Fatal("unsupported memory clock accepted")
 	}
 }

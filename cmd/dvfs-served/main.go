@@ -51,6 +51,7 @@ type config struct {
 	queue     int
 	device    open.Config
 	seed      int64
+	memFreqs  string
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 0, "most sweeps fused into one forward pass (0 = default)")
 		maxWait     = flag.Duration("max-wait", 0, "how long a forming batch waits for company (0 = default, negative = never wait)")
 		queue       = flag.Int("queue", 0, "pending-sweep bound; beyond it requests shed with 429 (0 = default)")
+		memFreqs    = flag.String("mem-freqs", "", `memory P-states served alongside core clocks: "all", or a comma-separated MHz list; empty serves the core axis only`)
 	)
 	flag.Parse()
 
@@ -85,6 +87,7 @@ func main() {
 		queue:     *queue,
 		device:    open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression},
 		seed:      *seed,
+		memFreqs:  *memFreqs,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-served:", err)
@@ -108,7 +111,11 @@ func buildHandler(cfg config) (http.Handler, func(), error) {
 		return nil, nil, err
 	}
 	arch := dev.Arch()
-	sw, err := models.SweeperFor(arch, arch.DesignClocks())
+	mems, err := open.ParseMemFreqs(cfg.memFreqs, arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	sw, err := models.GridSweeperFor(arch, arch.DesignClocks(), mems)
 	if err != nil {
 		return nil, nil, err
 	}

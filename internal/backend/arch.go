@@ -89,6 +89,45 @@ func clockRange(lo, hi, step float64) []float64 {
 	return out
 }
 
+// MemClocks returns the architecture's memory P-states in MHz, highest
+// (the default state) first. Unlike the fine-grained core DVFS table,
+// memory clocks form a short discrete ladder — a handful of P-states —
+// which is why the 2-D design space is 61×N with small N rather than a
+// full cross product of two dense ranges. Architectures without a known
+// memory clock return nil (no memory axis).
+func (a Arch) MemClocks() []float64 {
+	switch {
+	case a.Name == "GV100":
+		// Volta HBM2 P-states.
+		return []float64{877, 810, 405}
+	case a.MemFreqMHz <= 0:
+		return nil
+	default:
+		// Ampere-style ladder: default state plus two reduced P-states.
+		return []float64{a.MemFreqMHz, 1215, 810}
+	}
+}
+
+// DefaultMemClock returns the default (highest) memory P-state, or 0 when
+// the architecture has no memory axis.
+func (a Arch) DefaultMemClock() float64 {
+	if mc := a.MemClocks(); len(mc) > 0 {
+		return mc[0]
+	}
+	return 0
+}
+
+// IsSupportedMemClock reports whether m is one of the architecture's
+// memory P-states.
+func (a Arch) IsSupportedMemClock(m float64) bool {
+	for _, c := range a.MemClocks() {
+		if c == m {
+			return true
+		}
+	}
+	return false
+}
+
 // IsSupported reports whether f is one of the architecture's DVFS
 // configurations (within floating-point tolerance of a step).
 func (a Arch) IsSupported(f float64) bool {

@@ -100,8 +100,22 @@ type Device interface {
 	// SetClock pins the core clock to f MHz. f must be one of the
 	// architecture's supported DVFS configurations.
 	SetClock(f float64) error
-	// ResetClock restores the default (maximum) core clock.
+	// ResetClock restores the default (maximum) core clock. It does not
+	// touch the memory clock.
 	ResetClock()
+	// MemClock returns the current memory clock in MHz (the default
+	// P-state when nothing is pinned; 0 when the architecture has no
+	// memory axis).
+	MemClock() float64
+	// SetMemClock pins the memory clock to f MHz. f must be one of the
+	// architecture's memory P-states (Arch.MemClocks). Backends that
+	// cannot realize off-default memory states (e.g. trace replay of a
+	// campaign recorded at the default state) return an error for any
+	// target other than the default P-state.
+	SetMemClock(f float64) error
+	// ResetMemClock restores the default (highest) memory P-state. It
+	// does not touch the core clock.
+	ResetMemClock()
 	// Fork returns an independent device over the same architecture and
 	// underlying data, with fresh clock state and, for stochastic
 	// backends, a noise stream seeded by seed. Forks are how parallel

@@ -5,6 +5,8 @@ package open
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"gpudvfs/internal/backend"
 	"gpudvfs/internal/backend/replay"
@@ -26,6 +28,44 @@ type Config struct {
 	Trace string
 	// TimeCompression paces replay in real time (0 serves instantly).
 	TimeCompression float64
+}
+
+// ParseMemFreqs turns a -mem-freqs flag value into the memory-clock list a
+// grid sweeper takes. "" (the default) returns nil — the 1-D core-only
+// design space, bit-identical to commands predating the flag. "all" expands
+// to every memory P-state the architecture supports, highest (default)
+// first. Anything else is a comma-separated MHz list, validated against the
+// architecture's P-state table.
+func ParseMemFreqs(spec string, arch backend.Arch) ([]float64, error) {
+	switch spec {
+	case "":
+		return nil, nil
+	case "all":
+		mems := arch.MemClocks()
+		if mems == nil {
+			return nil, fmt.Errorf("open: architecture %s has no memory P-state table", arch.Name)
+		}
+		return mems, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("open: bad memory clock %q in -mem-freqs", part)
+		}
+		if !arch.IsSupportedMemClock(f) {
+			return nil, fmt.Errorf("open: memory clock %v MHz is not a %s P-state (have %v)", f, arch.Name, arch.MemClocks())
+		}
+		out = append(out, f)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("open: -mem-freqs %q lists no memory clocks", spec)
+	}
+	return out, nil
 }
 
 // Device opens the configured backend.

@@ -145,6 +145,24 @@ func (d *Device) ResetClock() {
 	d.mu.Unlock()
 }
 
+// MemClock returns the memory clock, always the architecture's default
+// P-state: the CSV schema predates the memory axis, so recorded
+// campaigns hold default-state data only.
+func (d *Device) MemClock() float64 { return d.tr.arch.DefaultMemClock() }
+
+// SetMemClock accepts only the default memory P-state. Traces carry no
+// off-default memory data, so any other target is an error rather than a
+// silently wrong replay.
+func (d *Device) SetMemClock(f float64) error {
+	if def := d.tr.arch.DefaultMemClock(); f != def {
+		return fmt.Errorf("replay: trace was recorded at the default memory P-state (%v MHz); cannot replay %v MHz", def, f)
+	}
+	return nil
+}
+
+// ResetMemClock is a no-op: replay always serves default-P-state data.
+func (d *Device) ResetMemClock() {}
+
 // Fork returns a fresh device over the same trace at the default clock.
 // Replay is deterministic, so the seed is ignored — forks exist to give
 // parallel collectors independent clock state, and every fork serves

@@ -58,10 +58,19 @@ func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error)
 	if err != nil {
 		return backend.Run{}, err
 	}
+	// An off-default memory P-state is reported as a constant — P-state
+	// clocks do not wobble like boost clocks — so recording it draws
+	// nothing from the noise stream and leaves default-state telemetry
+	// bit-identical to the pre-memory-axis sampler.
+	memMHz := 0.0
+	if mc := c.dev.MemClock(); mc != c.dev.Arch().MemClocks()[0] {
+		memMHz = mc
+	}
 	run := backend.Run{
 		Workload:      exec.Workload,
 		Arch:          exec.Arch,
 		FreqMHz:       exec.FreqMHz,
+		MemFreqMHz:    memMHz,
 		RunIndex:      runIndex,
 		ExecTimeSec:   exec.TimeSec,
 		AvgPowerWatts: exec.AvgPowerWatts,
@@ -106,6 +115,7 @@ func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error)
 				SMOccupancy:    c.noisyAct(st.ActiveSMOcc),
 				PCIeTxMBps:     k.PCIeTxMBps * c.factor(activityNoise),
 				PCIeRxMBps:     k.PCIeRxMBps * c.factor(activityNoise),
+				MemClockMHz:    memMHz,
 			}
 		} else {
 			s = backend.Sample{
@@ -121,6 +131,7 @@ func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error)
 				SMOccupancy:    c.idleAct(),
 				PCIeTxMBps:     k.PCIeTxMBps * c.factor(activityNoise),
 				PCIeRxMBps:     k.PCIeRxMBps * c.factor(activityNoise),
+				MemClockMHz:    memMHz,
 			}
 		}
 		run.Samples = append(run.Samples, s)

@@ -93,6 +93,16 @@ func (d *Device) SetClock(f float64) error { return d.dev.SetClock(f) }
 // ResetClock restores the default (maximum) core clock.
 func (d *Device) ResetClock() { d.dev.ResetClock() }
 
+// MemClock returns the current memory clock in MHz.
+func (d *Device) MemClock() float64 { return d.dev.MemClock() }
+
+// SetMemClock pins the memory clock to one of the architecture's memory
+// P-states; subsequent runs see the scaled bandwidth and DRAM power.
+func (d *Device) SetMemClock(f float64) error { return d.dev.SetMemClock(f) }
+
+// ResetMemClock restores the default (highest) memory P-state.
+func (d *Device) ResetMemClock() { d.dev.ResetMemClock() }
+
 // Fork returns a fresh simulated device over the same architecture with
 // its run-to-run noise stream seeded by seed — exactly the device a
 // pre-refactor caller would have minted with gpusim.NewDevice(arch, seed).

@@ -16,6 +16,14 @@ type Sample struct {
 	SMOccupancy    float64
 	PCIeTxMBps     float64
 	PCIeRxMBps     float64
+
+	// MemClockMHz is the memory clock during the interval when the run
+	// was pinned to an off-default memory P-state, and 0 at the default
+	// state. P-state clocks hold steady (no boost-clock wobble), so the
+	// value carries no sampling noise. The historical 17-column CSV
+	// schema predates the memory axis and does not persist this field;
+	// recorded campaigns replay at the default P-state only.
+	MemClockMHz float64
 }
 
 // FPActive returns the combined floating-point pipe activity, the
@@ -28,7 +36,11 @@ type Run struct {
 	Workload string
 	Arch     string
 	FreqMHz  float64
-	RunIndex int
+	// MemFreqMHz is the pinned memory P-state for the run, 0 when the
+	// run executed at the architecture's default memory clock. The zero
+	// convention keeps every pre-existing (1-D) run value bit-identical.
+	MemFreqMHz float64
+	RunIndex   int
 
 	ExecTimeSec   float64
 	AvgPowerWatts float64
@@ -57,6 +69,7 @@ func (r Run) MeanSample() Sample {
 		m.SMOccupancy += s.SMOccupancy
 		m.PCIeTxMBps += s.PCIeTxMBps
 		m.PCIeRxMBps += s.PCIeRxMBps
+		m.MemClockMHz += s.MemClockMHz
 	}
 	n := float64(len(r.Samples))
 	m.TimeSec /= n
@@ -71,5 +84,6 @@ func (r Run) MeanSample() Sample {
 	m.SMOccupancy /= n
 	m.PCIeTxMBps /= n
 	m.PCIeRxMBps /= n
+	m.MemClockMHz /= n
 	return m
 }

@@ -1,0 +1,22 @@
+package core
+
+// Clamps counts safety-floor clamp events in a design-space sweep, split
+// by axis: Core counts clamps on grid points at the default memory
+// P-state (every point of a 1-D core-frequency sweep), Mem counts clamps
+// on points pinned to an off-default memory clock. A non-zero Mem with a
+// clean Core is the signature of a model extrapolating badly along the
+// memory axis specifically — e.g. one trained without mem_app_clock data.
+type Clamps struct {
+	Core int
+	Mem  int
+}
+
+// Total returns the combined clamp count across both axes — the single
+// number the 1-D pipeline always reported.
+func (c Clamps) Total() int { return c.Core + c.Mem }
+
+// Add accumulates another count into c.
+func (c *Clamps) Add(o Clamps) {
+	c.Core += o.Core
+	c.Mem += o.Mem
+}

@@ -282,7 +282,7 @@ func (m *Models) PredictProfile(target backend.Arch, maxRun dcgm.Run, freqs []fl
 	if maxRun.ExecTimeSec <= 0 {
 		return nil, fmt.Errorf("core: profiling run has non-positive exec time %v", maxRun.ExecTimeSec)
 	}
-	sw, err := m.sweeperFor(target, freqs)
+	sw, err := m.sweeperFor(target, freqs, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -72,21 +72,37 @@ type OnlineResult struct {
 	ProfileRun dcgm.Run            // the single max-clock profiling run
 	Predicted  []objective.Profile // model predictions across the design space
 	// Clamped counts predictions floored to the 1 W power / 1e-6 slowdown
-	// safety bounds. Non-zero means the models are undertrained for this
-	// workload and the predictions should not be trusted blindly.
+	// safety bounds, across both axes. Non-zero means the models are
+	// undertrained for this workload and the predictions should not be
+	// trusted blindly.
 	Clamped int
+	// ClampedCore and ClampedMem split Clamped by design-space axis: core
+	// counts clamps at the default memory P-state (every point of a 1-D
+	// sweep), mem counts clamps at off-default memory clocks. A clean core
+	// count with a dirty mem count means the models extrapolate badly along
+	// the memory axis specifically.
+	ClampedCore int
+	ClampedMem  int
 }
 
 // OnlinePredict runs the online phase for one application on a device:
 // profile once at the maximum clock, then predict power/time/energy across
-// the architecture's DVFS design space.
+// the architecture's core-frequency design space.
 func OnlinePredict(dev backend.Device, m *Models, app backend.Workload, collect dcgm.Config) (*OnlineResult, error) {
+	return OnlinePredictGrid(dev, m, app, collect, nil)
+}
+
+// OnlinePredictGrid is OnlinePredict over the 2-D (core × memory) design
+// grid: the single max-clock profile seeds predictions for every
+// (core, mem) pair in designClocks × memFreqs. A nil memFreqs degenerates
+// to OnlinePredict's core-only design space, bit for bit.
+func OnlinePredictGrid(dev backend.Device, m *Models, app backend.Workload, collect dcgm.Config, memFreqs []float64) (*OnlineResult, error) {
 	coll := dcgm.NewCollector(dev, collect)
 	run, err := coll.ProfileAtMax(app)
 	if err != nil {
 		return nil, fmt.Errorf("core: profiling %s: %w", app.WorkloadName(), err)
 	}
-	sw, err := m.sweeperFor(dev.Arch(), dev.Arch().DesignClocks())
+	sw, err := m.sweeperFor(dev.Arch(), dev.Arch().DesignClocks(), memFreqs)
 	if err != nil {
 		return nil, fmt.Errorf("core: predicting %s: %w", app.WorkloadName(), err)
 	}
@@ -94,7 +110,14 @@ func OnlinePredict(dev backend.Device, m *Models, app backend.Workload, collect 
 	if err != nil {
 		return nil, fmt.Errorf("core: predicting %s: %w", app.WorkloadName(), err)
 	}
-	return &OnlineResult{Workload: app.WorkloadName(), ProfileRun: run, Predicted: profiles, Clamped: clamped}, nil
+	return &OnlineResult{
+		Workload:    app.WorkloadName(),
+		ProfileRun:  run,
+		Predicted:   profiles,
+		Clamped:     clamped.Total(),
+		ClampedCore: clamped.Core,
+		ClampedMem:  clamped.Mem,
+	}, nil
 }
 
 // Selection is a chosen frequency with its objective and trade-off against
@@ -102,8 +125,11 @@ func OnlinePredict(dev backend.Device, m *Models, app backend.Workload, collect 
 type Selection struct {
 	Objective string
 	FreqMHz   float64
-	EnergyPct float64
-	TimePct   float64
+	// MemFreqMHz is the selected memory P-state, 0 when selection ran over
+	// a core-only (1-D) profile set.
+	MemFreqMHz float64
+	EnergyPct  float64
+	TimePct    float64
 }
 
 // SelectFrequency applies an objective (optionally threshold-constrained;
@@ -125,10 +151,11 @@ func SelectFrequency(profiles []objective.Profile, obj objective.Objective, thre
 		return Selection{}, err
 	}
 	return Selection{
-		Objective: obj.Name(),
-		FreqMHz:   chosen.FreqMHz,
-		EnergyPct: to.EnergyPct,
-		TimePct:   to.TimePct,
+		Objective:  obj.Name(),
+		FreqMHz:    chosen.FreqMHz,
+		MemFreqMHz: to.MemFreqMHz,
+		EnergyPct:  to.EnergyPct,
+		TimePct:    to.TimePct,
 	}, nil
 }
 

@@ -16,13 +16,13 @@ import (
 )
 
 // SweepFunc computes one design-space sweep for a profiling run, writing
-// one profile per sweep frequency into dst and returning the clamp count —
-// the contract of Sweeper.PredictProfileInto lifted into a function value
-// so serving layers can reroute cache misses (e.g. through a micro-batcher)
-// without the cache knowing. Any replacement must be bit-identical to the
-// direct sweeper path, or cached selections stop matching the unbatched
-// formulation.
-type SweepFunc func(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error)
+// one profile per design point into dst and returning the per-axis clamp
+// counts — the contract of Sweeper.PredictProfileInto lifted into a
+// function value so serving layers can reroute cache misses (e.g. through
+// a micro-batcher) without the cache knowing. Any replacement must be
+// bit-identical to the direct sweeper path, or cached selections stop
+// matching the unbatched formulation.
+type SweepFunc func(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (Clamps, error)
 
 // PlanCacheConfig configures a PlanCache.
 type PlanCacheConfig struct {
@@ -100,7 +100,7 @@ type planEntry struct {
 
 	once    sync.Once
 	sel     Selection
-	clamped int
+	clamped Clamps
 	err     error
 }
 
@@ -145,17 +145,29 @@ func NewPlanCache(s *Sweeper, cfg PlanCacheConfig) (*PlanCache, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A grid sweeper's key prefix carries its memory-clock list: two caches
+	// over the same target but different mem axes memoize different plans.
+	// A core-only sweeper (nil mem list) contributes nothing here, keeping
+	// its keys byte-identical to the historical 1-D formulation.
+	prefix := s.target.Name + "|" + cfg.Objective.Name() + "|" + strconv.FormatFloat(cfg.Threshold, 'g', -1, 64) + "|"
+	if mf := s.MemFreqs(); mf != nil {
+		prefix += "mem"
+		for _, m := range mf {
+			prefix += ":" + strconv.FormatFloat(m, 'g', -1, 64)
+		}
+		prefix += "|"
+	}
 	c := &PlanCache{
 		sweeper:  s,
 		cfg:      cfg,
 		sweep:    cfg.Sweep,
-		prefix:   s.target.Name + "|" + cfg.Objective.Name() + "|" + strconv.FormatFloat(cfg.Threshold, 'g', -1, 64) + "|",
+		prefix:   prefix,
 		shards:   make([]planShard, cfg.Shards),
 		mask:     uint64(cfg.Shards - 1),
 		shardCap: (cfg.Capacity + cfg.Shards - 1) / cfg.Shards,
 	}
 	if c.sweep == nil {
-		c.sweep = func(_ context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error) {
+		c.sweep = func(_ context.Context, dst []objective.Profile, maxRun dcgm.Run) (Clamps, error) {
 			return s.PredictProfileInto(dst, maxRun)
 		}
 	}
@@ -259,7 +271,7 @@ func (c *PlanCache) SelectCtx(ctx context.Context, maxRun dcgm.Run) (sel Selecti
 	sh.mu.Unlock()
 
 	e.once.Do(func() {
-		profiles := make([]objective.Profile, len(c.sweeper.freqs))
+		profiles := make([]objective.Profile, c.sweeper.GridSize())
 		clamped, perr := c.sweep(ctx, profiles, maxRun)
 		if perr != nil {
 			e.err = perr
@@ -283,12 +295,12 @@ func (c *PlanCache) SelectCtx(ctx context.Context, maxRun dcgm.Run) (sel Selecti
 	return e.sel, hit, nil
 }
 
-// Clamped returns the clamp count recorded when the given run's bucket was
-// computed, and whether that bucket is currently cached.
-func (c *PlanCache) Clamped(maxRun dcgm.Run) (int, bool) {
+// Clamped returns the per-axis clamp counts recorded when the given run's
+// bucket was computed, and whether that bucket is currently cached.
+func (c *PlanCache) Clamped(maxRun dcgm.Run) (Clamps, bool) {
 	key, err := c.keyFor(maxRun.MeanSample())
 	if err != nil {
-		return 0, false
+		return Clamps{}, false
 	}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
@@ -296,7 +308,7 @@ func (c *PlanCache) Clamped(maxRun dcgm.Run) (int, bool) {
 	if e, ok := sh.entries[key]; ok {
 		return e.clamped, true
 	}
-	return 0, false
+	return Clamps{}, false
 }
 
 // Stats returns a snapshot of the aggregate cache counters. It reads only

@@ -156,7 +156,7 @@ func BenchmarkBatchSweep8(b *testing.B) {
 	for i := range dsts {
 		dsts[i] = make([]objective.Profile, len(sw.Freqs()))
 	}
-	clamped := make([]int, batch)
+	clamped := make([]Clamps, batch)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -21,14 +23,23 @@ import (
 // keeps the test fast.
 func serveModels(t *testing.T) *Models {
 	t.Helper()
-	arch := sim.GA100().Spec()
-	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	m, err := serveModelsErr()
 	if err != nil {
 		t.Fatal(err)
 	}
+	return m
+}
+
+// serveModelsErr is serveModels without the testing.T, for fuzz seed phases.
+func serveModelsErr() (*Models, error) {
+	arch := sim.GA100().Spec()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		return nil, err
+	}
 	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	return &Models{
 		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
@@ -38,7 +49,7 @@ func serveModels(t *testing.T) *Models {
 		TrainedOn:  arch.Name,
 		TDPWatts:   arch.TDPWatts,
 		MaxFreqMHz: arch.MaxFreqMHz,
-	}
+	}, nil
 }
 
 func serveRun(t *testing.T, seed int64, w sim.KernelProfile) dcgm.Run {
@@ -220,9 +231,10 @@ func TestClampCountSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every frequency clamps both power and slowdown.
-	if want := 2 * len(freqs); clamped != want {
-		t.Fatalf("clamped = %d, want %d", clamped, want)
+	// Every frequency clamps both power and slowdown; a 1-D sweep charges
+	// every clamp to the core axis.
+	if want := 2 * len(freqs); clamped.Total() != want || clamped.Core != want || clamped.Mem != 0 {
+		t.Fatalf("clamped = %+v, want Core=%d Mem=0", clamped, want)
 	}
 	for _, p := range profiles {
 		if p.PowerWatts != 1 || p.TimeSec != run.ExecTimeSec*1e-6 {
@@ -236,8 +248,9 @@ func TestClampCountSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 2 * len(arch.DesignClocks()); res.Clamped != want {
-		t.Fatalf("OnlineResult.Clamped = %d, want %d", res.Clamped, want)
+	if want := 2 * len(arch.DesignClocks()); res.Clamped != want || res.ClampedCore != want || res.ClampedMem != 0 {
+		t.Fatalf("OnlineResult clamps = %d (core %d, mem %d), want total=core=%d mem=0",
+			res.Clamped, res.ClampedCore, res.ClampedMem, want)
 	}
 
 	// A healthy (random-weight) model pair rarely clamps everything; just
@@ -251,8 +264,8 @@ func TestClampCountSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clamped2 < 0 || clamped2 > 2*len(freqs) {
-		t.Fatalf("clamp count %d out of range", clamped2)
+	if clamped2.Total() < 0 || clamped2.Total() > 2*len(freqs) || clamped2.Mem != 0 {
+		t.Fatalf("clamp count %+v out of range", clamped2)
 	}
 }
 
@@ -302,8 +315,8 @@ func TestPlanCacheHitReturnsIdenticalSelection(t *testing.T) {
 	if s := pc.Stats(); s.Hits != 1 || s.Misses != 1 {
 		t.Fatalf("stats %+v", s)
 	}
-	if c, ok := pc.Clamped(run); !ok || c < 0 {
-		t.Fatalf("Clamped = %d, %v", c, ok)
+	if c, ok := pc.Clamped(run); !ok || c.Total() < 0 {
+		t.Fatalf("Clamped = %+v, %v", c, ok)
 	}
 }
 
@@ -436,7 +449,7 @@ func TestBatchSweepMatchesSingle(t *testing.T) {
 	for _, batch := range []int{1, 7, 64} {
 		runs := make([]dcgm.Run, batch)
 		want := make([][]objective.Profile, batch)
-		wantClamped := make([]int, batch)
+		wantClamped := make([]Clamps, batch)
 		for i := range runs {
 			runs[i] = syntheticRun(0.05+0.013*float64(i%60), 0.10+0.011*float64(i%70))
 			want[i] = make([]objective.Profile, len(freqs))
@@ -449,7 +462,7 @@ func TestBatchSweepMatchesSingle(t *testing.T) {
 		for i := range dsts {
 			dsts[i] = make([]objective.Profile, len(freqs))
 		}
-		clamped := make([]int, batch)
+		clamped := make([]Clamps, batch)
 		if err := sw.PredictProfilesInto(dsts, clamped, runs); err != nil {
 			t.Fatal(err)
 		}
@@ -458,7 +471,7 @@ func TestBatchSweepMatchesSingle(t *testing.T) {
 				t.Fatalf("batch %d: run %d diverged from the per-run sweep", batch, i)
 			}
 			if clamped[i] != wantClamped[i] {
-				t.Fatalf("batch %d: run %d clamp count %d, want %d", batch, i, clamped[i], wantClamped[i])
+				t.Fatalf("batch %d: run %d clamp count %+v, want %+v", batch, i, clamped[i], wantClamped[i])
 			}
 		}
 	}
@@ -475,18 +488,18 @@ func TestBatchSweepValidation(t *testing.T) {
 	good := syntheticRun(0.4, 0.3)
 	dst := [][]objective.Profile{make([]objective.Profile, len(freqs))}
 	// Mismatched slice lengths.
-	if err := sw.PredictProfilesInto(dst, []int{0, 0}, []dcgm.Run{good}); err == nil {
+	if err := sw.PredictProfilesInto(dst, make([]Clamps, 2), []dcgm.Run{good}); err == nil {
 		t.Fatal("mismatched clamp slots accepted")
 	}
 	// Invalid run (wrong clock) is named by index.
 	bad := good
 	bad.FreqMHz = 500
-	if err := sw.PredictProfilesInto(dst, []int{0}, []dcgm.Run{bad}); err == nil {
+	if err := sw.PredictProfilesInto(dst, make([]Clamps, 1), []dcgm.Run{bad}); err == nil {
 		t.Fatal("off-max profiling run accepted")
 	}
 	// Short profile buffer.
 	short := [][]objective.Profile{make([]objective.Profile, 3)}
-	if err := sw.PredictProfilesInto(short, []int{0}, []dcgm.Run{good}); err == nil {
+	if err := sw.PredictProfilesInto(short, make([]Clamps, 1), []dcgm.Run{good}); err == nil {
 		t.Fatal("short profile buffer accepted")
 	}
 	// Empty batch is a no-op.
@@ -695,6 +708,122 @@ func FuzzPlanKeyQuantizer(f *testing.F) {
 		down := quantizeFeature(math.Nextafter(v, math.Inf(-1)), q)
 		if down != bv && down != bv-1 {
 			t.Fatalf("-1 ulp moved bucket from %d to %d", bv, down)
+		}
+
+		// The (core, mem)-extended key concatenates per-feature buckets, so
+		// the no-alias property must survive composition: treating v as a
+		// core-scaled column and w as the mem-scaled column, two grid points
+		// whose values differ by more than the quantum on EITHER axis must
+		// produce distinct (coreBucket, memBucket) pairs.
+		if math.Abs(v-w) > q*(1+1e-8) {
+			cv, cw := quantizeFeature(v, q), quantizeFeature(w, q)
+			if cv == cw {
+				t.Fatalf("core/mem values %v and %v differ by more than the quantum but compose to the same bucket pair (%d,%d)", v, w, cv, cw)
+			}
+		}
+	})
+}
+
+// planKeyDigits strips a cache's shared prefix off a key and parses the
+// remaining quantized feature digits (base 36, comma-terminated).
+func planKeyDigits(t *testing.T, c *PlanCache, key string) []int64 {
+	t.Helper()
+	if !strings.HasPrefix(key, c.prefix) {
+		t.Fatalf("key %q lacks the cache prefix %q", key, c.prefix)
+	}
+	parts := strings.Split(strings.TrimSuffix(key[len(c.prefix):], ","), ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseInt(p, 36, 64)
+		if err != nil {
+			t.Fatalf("key digit %q does not parse: %v", p, err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// FuzzPlanKeyGrid checks the quantizer contracts at the full plan-key level
+// with the memory axis in the key: a grid cache never aliases a core-only
+// cache for the same telemetry (the mem-clock list is part of the key
+// identity), two different mem lists never alias each other, the feature
+// digits are identical across all three (the mem axis lives in the prefix,
+// not the per-workload digits), and a ±1 ulp telemetry perturbation moves
+// each digit by at most one.
+func FuzzPlanKeyGrid(f *testing.F) {
+	m, err := serveModelsErr()
+	if err != nil {
+		f.Fatal(err)
+	}
+	arch := sim.GA100().Spec()
+	mk := func(mems []float64) *PlanCache {
+		sw, err := m.NewGridSweeper(arch, arch.DesignClocks(), mems)
+		if err != nil {
+			f.Fatal(err)
+		}
+		pc, err := NewPlanCache(sw, PlanCacheConfig{Objective: objective.EDP{}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return pc
+	}
+	pc1d := mk(nil)
+	pc2d := mk([]float64{1597, 1215, 810})
+	pc2b := mk([]float64{1597, 1215})
+
+	f.Add(0.4, 0.3, 1410.0)
+	f.Add(0.0, 0.0, 510.0)
+	f.Add(0.05, 0.99, 1005.0)
+	f.Fuzz(func(t *testing.T, fp, dram, clk float64) {
+		if math.IsNaN(fp) || math.IsNaN(dram) || math.IsNaN(clk) {
+			t.Skip()
+		}
+		if math.Abs(fp) > 1e6 || math.Abs(dram) > 1e6 || math.Abs(clk) > 1e9 {
+			t.Skip()
+		}
+		mean := dcgm.Sample{FP32Active: fp, DRAMActive: dram, SMAppClockMHz: clk}
+		k1, err := pc1d.keyFor(mean)
+		if err != nil {
+			t.Skip() // non-finite feature vector; rejected upstream
+		}
+		k2, err := pc2d.keyFor(mean)
+		if err != nil {
+			t.Fatalf("grid key errored where core-only key did not: %v", err)
+		}
+		kb, err := pc2b.keyFor(mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k1 == k2 || k1 == kb || k2 == kb {
+			t.Fatalf("keys alias across mem axes:\n1d: %q\n2d: %q\n2b: %q", k1, k2, kb)
+		}
+		d1 := planKeyDigits(t, pc1d, k1)
+		d2 := planKeyDigits(t, pc2d, k2)
+		db := planKeyDigits(t, pc2b, kb)
+		if fmt.Sprint(d1) != fmt.Sprint(d2) || fmt.Sprint(d1) != fmt.Sprint(db) {
+			t.Fatalf("feature digits differ across mem axes for identical telemetry: %v vs %v vs %v", d1, d2, db)
+		}
+
+		// ulp-stability with the mem axis in the key: a one-ulp nudge of any
+		// telemetry field moves each quantized digit by at most one bucket.
+		for _, nudged := range []dcgm.Sample{
+			{FP32Active: math.Nextafter(fp, math.Inf(1)), DRAMActive: dram, SMAppClockMHz: clk},
+			{FP32Active: fp, DRAMActive: math.Nextafter(dram, math.Inf(-1)), SMAppClockMHz: clk},
+			{FP32Active: fp, DRAMActive: dram, SMAppClockMHz: math.Nextafter(clk, math.Inf(1))},
+		} {
+			kn, err := pc2d.keyFor(nudged)
+			if err != nil {
+				continue
+			}
+			dn := planKeyDigits(t, pc2d, kn)
+			if len(dn) != len(d2) {
+				t.Fatalf("digit count changed under 1 ulp: %v vs %v", d2, dn)
+			}
+			for i := range dn {
+				if diff := dn[i] - d2[i]; diff < -1 || diff > 1 {
+					t.Fatalf("digit %d moved %d buckets under a 1 ulp nudge (%v -> %v)", i, diff, d2, dn)
+				}
+			}
 		}
 	})
 }

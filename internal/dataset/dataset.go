@@ -33,22 +33,45 @@ var CandidateFeatures = []string{
 	"pcie_tx_mbps", "pcie_rx_mbps", "fp64_active",
 }
 
+// MemFeature is the memory-clock feature name: the memory clock as a
+// fraction of the architecture's default (highest) memory P-state, the
+// normalization that makes a model transfer across architectures with
+// different HBM clocks, mirroring sm_app_clock's treatment. It is not in
+// PaperFeatures — the paper sweeps core frequency only — but models that
+// include it can predict across the 2-D (core × mem) design space.
+const MemFeature = "mem_app_clock"
+
 // extractor pulls one feature value from a sample; clock-like features
-// need the architecture's maximum frequency for normalization.
-type extractor func(s dcgm.Sample, maxFreq float64) float64
+// need the architecture's normalizers (maximum core clock, default memory
+// P-state). defMem ≤ 0 disables memory normalization: samples taken at
+// the default state (MemClockMHz 0) then extract as exactly 1.
+type extractor func(s dcgm.Sample, maxFreq, defMem float64) float64
 
 var extractors = map[string]extractor{
-	"fp_active":        func(s dcgm.Sample, _ float64) float64 { return s.FPActive() },
-	"fp64_active":      func(s dcgm.Sample, _ float64) float64 { return s.FP64Active },
-	"fp32_active":      func(s dcgm.Sample, _ float64) float64 { return s.FP32Active },
-	"sm_app_clock":     func(s dcgm.Sample, maxF float64) float64 { return s.SMAppClockMHz / maxF },
-	"dram_active":      func(s dcgm.Sample, _ float64) float64 { return s.DRAMActive },
-	"gr_engine_active": func(s dcgm.Sample, _ float64) float64 { return s.GrEngineActive },
-	"gpu_utilization":  func(s dcgm.Sample, _ float64) float64 { return s.GPUUtilization },
-	"sm_active":        func(s dcgm.Sample, _ float64) float64 { return s.SMActive },
-	"sm_occupancy":     func(s dcgm.Sample, _ float64) float64 { return s.SMOccupancy },
-	"pcie_tx_mbps":     func(s dcgm.Sample, _ float64) float64 { return s.PCIeTxMBps / 1e4 },
-	"pcie_rx_mbps":     func(s dcgm.Sample, _ float64) float64 { return s.PCIeRxMBps / 1e4 },
+	"fp_active":        func(s dcgm.Sample, _, _ float64) float64 { return s.FPActive() },
+	"fp64_active":      func(s dcgm.Sample, _, _ float64) float64 { return s.FP64Active },
+	"fp32_active":      func(s dcgm.Sample, _, _ float64) float64 { return s.FP32Active },
+	"sm_app_clock":     func(s dcgm.Sample, maxF, _ float64) float64 { return s.SMAppClockMHz / maxF },
+	MemFeature:         func(s dcgm.Sample, _, defMem float64) float64 { return MemRatio(s.MemClockMHz, defMem) },
+	"dram_active":      func(s dcgm.Sample, _, _ float64) float64 { return s.DRAMActive },
+	"gr_engine_active": func(s dcgm.Sample, _, _ float64) float64 { return s.GrEngineActive },
+	"gpu_utilization":  func(s dcgm.Sample, _, _ float64) float64 { return s.GPUUtilization },
+	"sm_active":        func(s dcgm.Sample, _, _ float64) float64 { return s.SMActive },
+	"sm_occupancy":     func(s dcgm.Sample, _, _ float64) float64 { return s.SMOccupancy },
+	"pcie_tx_mbps":     func(s dcgm.Sample, _, _ float64) float64 { return s.PCIeTxMBps / 1e4 },
+	"pcie_rx_mbps":     func(s dcgm.Sample, _, _ float64) float64 { return s.PCIeRxMBps / 1e4 },
+}
+
+// MemRatio normalizes a sampled memory clock against the default P-state.
+// A zero memMHz means the sample was taken at the default state, and a
+// non-positive defMem means the architecture has no memory axis; both
+// resolve to exactly 1, which keeps every pre-memory-axis feature vector
+// bit-identical.
+func MemRatio(memMHz, defMem float64) float64 {
+	if memMHz == 0 || defMem <= 0 {
+		return 1
+	}
+	return memMHz / defMem
 }
 
 // FeatureNames lists every extractable feature, sorted.
@@ -145,7 +168,7 @@ func Build(arch backend.Arch, runs []dcgm.Run, opts Options) (*Dataset, error) {
 				p.Power = r.AvgPowerWatts / arch.TDPWatts
 			}
 			for i, e := range exts {
-				p.Features[i] = e(s, arch.MaxFreqMHz)
+				p.Features[i] = e(s, arch.MaxFreqMHz, arch.DefaultMemClock())
 			}
 			ds.Points = append(ds.Points, p)
 		}
@@ -265,21 +288,37 @@ func FeatureVector(features []string, s dcgm.Sample, freqMHz, maxFreqMHz float64
 
 // FeatureVectorInto fills dst (len(features)) like FeatureVector without
 // allocating — the entry point the serving hot path uses to rebuild sweep
-// rows in place.
+// rows in place. The memory-clock feature, if present, takes the sample's
+// own (default-normalized) value; use FeatureVectorGridInto to override
+// it for 2-D sweeps.
 func FeatureVectorInto(dst []float64, features []string, s dcgm.Sample, freqMHz, maxFreqMHz float64) error {
+	return FeatureVectorGridInto(dst, features, s, freqMHz, maxFreqMHz, MemRatio(s.MemClockMHz, 0))
+}
+
+// FeatureVectorGridInto is FeatureVectorInto with both clock-like columns
+// overridden: sm_app_clock to freqMHz/maxFreqMHz and mem_app_clock to
+// memRatio (the candidate memory clock as a fraction of the default
+// P-state) — the 2-D extension of §4's online trick, where one max-clock
+// profiling run fans out over the whole (core × mem) grid by swapping
+// only the clock features.
+func FeatureVectorGridInto(dst []float64, features []string, s dcgm.Sample, freqMHz, maxFreqMHz, memRatio float64) error {
 	if len(dst) != len(features) {
 		return fmt.Errorf("dataset: FeatureVectorInto dst len %d, want %d", len(dst), len(features))
 	}
 	for i, name := range features {
-		if name == "sm_app_clock" {
+		switch name {
+		case "sm_app_clock":
 			dst[i] = freqMHz / maxFreqMHz
+			continue
+		case MemFeature:
+			dst[i] = memRatio
 			continue
 		}
 		e, ok := extractors[name]
 		if !ok {
 			return fmt.Errorf("dataset: unknown feature %q", name)
 		}
-		dst[i] = e(s, maxFreqMHz)
+		dst[i] = e(s, maxFreqMHz, 0)
 	}
 	return nil
 }

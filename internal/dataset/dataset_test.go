@@ -215,7 +215,7 @@ func TestFeatureVectorClockSwap(t *testing.T) {
 
 func TestFeatureNamesComplete(t *testing.T) {
 	names := FeatureNames()
-	if len(names) != 11 {
+	if len(names) != 12 { // 11 sampled metrics + the mem_app_clock grid axis
 		t.Fatalf("%d extractable features: %v", len(names), names)
 	}
 	for _, f := range CandidateFeatures {

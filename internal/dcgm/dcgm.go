@@ -55,10 +55,19 @@ func (c *Controller) Apply(freqMHz float64) error { return c.dev.SetClock(freqMH
 // Restore returns the device to its default clock.
 func (c *Controller) Restore() { c.dev.ResetClock() }
 
+// ApplyMem pins the memory clock to memMHz (one of the architecture's
+// memory P-states) — the "and memory" half of the paper's §4.1 claim that
+// the framework controls the GPU cores and memory.
+func (c *Controller) ApplyMem(memMHz float64) error { return c.dev.SetMemClock(memMHz) }
+
+// RestoreMem returns the device to its default memory P-state.
+func (c *Controller) RestoreMem() { c.dev.ResetMemClock() }
+
 // Config parameterizes a collection campaign (the launch module's inputs:
 // DVFS configurations, number of runs, sampling interval).
 type Config struct {
 	Freqs            []float64     // DVFS configurations to sweep; nil means the device's full design space
+	MemFreqs         []float64     // memory P-states to sweep; nil means the default state only (no memory control at all)
 	Runs             int           // runs per configuration; 0 means the paper's 3
 	SampleInterval   time.Duration // 0 means DefaultSampleInterval
 	MaxSamplesPerRun int           // 0 means DefaultMaxSamplesPerRun; <0 means unlimited
@@ -117,10 +126,35 @@ func NewCollector(dev backend.Device, cfg Config) *Collector {
 }
 
 // CollectWorkload sweeps the configured DVFS configurations for one
-// workload, running it cfg.Runs times at each, and returns every run. The
-// device clock is restored afterwards.
+// workload, running it cfg.Runs times at each, and returns every run. With
+// MemFreqs set, the sweep covers the (mem × core) grid, memory-outer (one
+// memory P-state transition per core sweep, matching how slow memory
+// retraining is on real hardware); without it, the campaign performs no
+// memory-clock control at all, preserving the historical 1-D behaviour
+// exactly. The device clocks are restored afterwards.
 func (c *Collector) CollectWorkload(k backend.Workload) ([]Run, error) {
 	defer c.ctrl.Restore()
+	if c.cfg.MemFreqs == nil {
+		return c.collectCoreSweep(k)
+	}
+	defer c.ctrl.RestoreMem()
+	runs := make([]Run, 0, len(c.cfg.MemFreqs)*len(c.cfg.Freqs)*c.cfg.Runs)
+	for _, m := range c.cfg.MemFreqs {
+		if err := c.ctrl.ApplyMem(m); err != nil {
+			return nil, fmt.Errorf("dcgm: applying memory clock %v MHz for %s: %w", m, k.WorkloadName(), err)
+		}
+		sweep, err := c.collectCoreSweep(k)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, sweep...)
+	}
+	return runs, nil
+}
+
+// collectCoreSweep sweeps the configured core clocks at the device's
+// current memory state.
+func (c *Collector) collectCoreSweep(k backend.Workload) ([]Run, error) {
 	runs := make([]Run, 0, len(c.cfg.Freqs)*c.cfg.Runs)
 	for _, f := range c.cfg.Freqs {
 		if err := c.ctrl.Apply(f); err != nil {
@@ -151,11 +185,16 @@ func (c *Collector) CollectAll(ks []backend.Workload) ([]Run, error) {
 	return all, nil
 }
 
-// ProfileAtMax profiles one workload at the maximum clock only — the
-// online-phase acquisition step (§4): a single run whose features seed
-// prediction across the whole DVFS space.
+// ProfileAtMax profiles one workload at the maximum core clock and the
+// default memory P-state only — the online-phase acquisition step (§4): a
+// single run whose features seed prediction across the whole design
+// space, including the memory axis (candidate memory clocks are swapped
+// into the feature vector the same way core clocks are). The memory reset
+// draws nothing from any noise stream, so campaigns that never pin the
+// memory clock are unaffected.
 func (c *Collector) ProfileAtMax(k backend.Workload) (Run, error) {
 	defer c.ctrl.Restore()
+	c.ctrl.RestoreMem()
 	if err := c.ctrl.Apply(c.dev.Arch().MaxFreqMHz); err != nil {
 		return Run{}, err
 	}

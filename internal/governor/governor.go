@@ -41,6 +41,11 @@ type Config struct {
 	ReprofileAfter int
 	// ProfileSeed seeds the profiling runs' telemetry noise.
 	ProfileSeed int64
+	// MemFreqs extends the governed design space to the (core × memory)
+	// grid: each tune sweeps every (core, mem) pair and pins both clocks.
+	// Every entry must be a memory P-state the device supports. Nil governs
+	// the core axis only — bit-identical to the historical behaviour.
+	MemFreqs []float64
 }
 
 // DefaultConfig returns a governor configuration with the paper's ED²P
@@ -70,11 +75,16 @@ func (c Config) withDefaults() (Config, error) {
 
 // Stats counts governor activity.
 type Stats struct {
-	Tunes        int // online phases run (initial + re-tunes)
-	Runs         int // workload executions observed
-	DriftedRuns  int // observations flagged as drifted
-	Retunes      int // re-tunes triggered by drift
-	Clamped      int // predictions floored to the safety bounds across all tunes
+	Tunes       int // online phases run (initial + re-tunes)
+	Runs        int // workload executions observed
+	DriftedRuns int // observations flagged as drifted
+	Retunes     int // re-tunes triggered by drift
+	Clamped     int // predictions floored to the safety bounds across all tunes
+	// ClampedCore / ClampedMem split Clamped by design-space axis: core
+	// counts clamps at the default memory P-state (all of Clamped for a
+	// core-only governor), mem counts clamps at off-default memory clocks.
+	ClampedCore  int
+	ClampedMem   int
 	EnergyJoules float64
 	TimeSeconds  float64
 }
@@ -123,14 +133,36 @@ func (g *Governor) Stats() Stats { return g.stats }
 // buffer stays per-governor.
 func (g *Governor) sweeper() (*core.Sweeper, error) {
 	if g.sw == nil {
-		sw, err := g.models.SweeperFor(g.dev.Arch(), g.dev.Arch().DesignClocks())
+		sw, err := g.models.GridSweeperFor(g.dev.Arch(), g.dev.Arch().DesignClocks(), g.cfg.MemFreqs)
 		if err != nil {
 			return nil, err
 		}
 		g.sw = sw
-		g.profBuf = make([]objective.Profile, len(sw.Freqs()))
+		g.profBuf = make([]objective.Profile, sw.GridSize())
 	}
 	return g.sw, nil
+}
+
+// applyClamps folds one sweep's clamp counts into the governor's counters.
+func (g *Governor) applyClamps(c core.Clamps) {
+	g.stats.Clamped += c.Total()
+	g.stats.ClampedCore += c.Core
+	g.stats.ClampedMem += c.Mem
+}
+
+// pin applies a selection to the device: the core clock always, the memory
+// clock only when the selection carries one (2-D governors; a core-only
+// governor never touches the memory P-state).
+func (g *Governor) pin(sel core.Selection) error {
+	if err := g.dev.SetClock(sel.FreqMHz); err != nil {
+		return err
+	}
+	if sel.MemFreqMHz != 0 {
+		if err := g.dev.SetMemClock(sel.MemFreqMHz); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // profileAtMax runs one profiling run at the maximum clock with the same
@@ -162,12 +194,12 @@ func (g *Governor) Tune(app backend.Workload) (core.Selection, error) {
 	if err != nil {
 		return core.Selection{}, fmt.Errorf("governor: predicting %s: %w", app.WorkloadName(), err)
 	}
-	g.stats.Clamped += clamped
+	g.applyClamps(clamped)
 	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
 	if err != nil {
 		return core.Selection{}, err
 	}
-	if err := g.dev.SetClock(sel.FreqMHz); err != nil {
+	if err := g.pin(sel); err != nil {
 		return core.Selection{}, err
 	}
 	g.selection = sel
@@ -232,8 +264,9 @@ func (g *Governor) ProcessRun(app backend.Workload) (RunOutcome, error) {
 	if err != nil {
 		return RunOutcome{}, err
 	}
-	// CollectWorkload restores the default clock; re-pin the governed one.
-	if err := g.dev.SetClock(g.selection.FreqMHz); err != nil {
+	// CollectWorkload restores the default core clock (it never touches the
+	// memory P-state with no MemFreqs configured); re-pin the governed pair.
+	if err := g.pin(g.selection); err != nil {
 		return RunOutcome{}, err
 	}
 	run := runs[0]

@@ -322,8 +322,13 @@ func TestTuneMatchesOnlinePredictSelection(t *testing.T) {
 	if got != want {
 		t.Fatalf("governor selection %+v diverged from OnlinePredict selection %+v", got, want)
 	}
-	if g.Stats().Clamped != on.Clamped {
-		t.Fatalf("governor clamp count %d, OnlinePredict %d", g.Stats().Clamped, on.Clamped)
+	if s := g.Stats(); s.Clamped != on.Clamped || s.ClampedCore != on.ClampedCore || s.ClampedMem != on.ClampedMem {
+		t.Fatalf("governor clamps (%d core %d mem %d), OnlinePredict (%d core %d mem %d)",
+			s.Clamped, s.ClampedCore, s.ClampedMem, on.Clamped, on.ClampedCore, on.ClampedMem)
+	}
+	// A core-only governor attributes every clamp to the core axis.
+	if s := g.Stats(); s.ClampedMem != 0 || s.ClampedCore != s.Clamped {
+		t.Fatalf("core-only governor has memory-axis clamps: %+v", s)
 	}
 
 	// Re-tunes accumulate the counter and keep matching (next tune uses the
@@ -343,7 +348,54 @@ func TestTuneMatchesOnlinePredictSelection(t *testing.T) {
 	if got2 != want2 {
 		t.Fatalf("re-tune selection %+v diverged from reference %+v", got2, want2)
 	}
-	if g.Stats().Clamped != on.Clamped+on2.Clamped {
-		t.Fatalf("clamp counter %d, want %d", g.Stats().Clamped, on.Clamped+on2.Clamped)
+	if s := g.Stats(); s.Clamped != on.Clamped+on2.Clamped || s.ClampedCore != s.Clamped || s.ClampedMem != 0 {
+		t.Fatalf("clamp counters %+v, want %d total, all on the core axis", s, on.Clamped+on2.Clamped)
+	}
+}
+
+// TestTuneGridMemAxis runs the governor over the full (core × mem) grid:
+// the selection must match the OnlinePredictGrid + SelectFrequency
+// formulation bit-for-bit, the device must end up pinned to the selected
+// memory P-state, and the clamp counters must carry the per-axis split.
+func TestTuneGridMemAxis(t *testing.T) {
+	m := quickModels(t)
+	arch := sim.GA100().Spec()
+	cfg := Config{Objective: objective.ED2P{}, Threshold: -1, ProfileSeed: 90, MemFreqs: arch.MemClocks()}
+
+	devRef := sim.New(sim.GA100(), 91)
+	on, err := core.OnlinePredictGrid(devRef, m, workloads.LAMMPS(), dcgm.Config{Seed: cfg.ProfileSeed}, arch.MemClocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.SelectFrequency(on.Predicted, cfg.Objective, cfg.Threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devGov := sim.New(sim.GA100(), 91)
+	g, err := New(devGov, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Tune(workloads.LAMMPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("grid governor selection %+v diverged from OnlinePredictGrid selection %+v", got, want)
+	}
+	if got.MemFreqMHz == 0 {
+		t.Fatal("grid selection carries no memory clock")
+	}
+	if devGov.MemClock() != got.MemFreqMHz {
+		t.Fatalf("device memory clock %v, selection %v", devGov.MemClock(), got.MemFreqMHz)
+	}
+	s := g.Stats()
+	if s.Clamped != s.ClampedCore+s.ClampedMem {
+		t.Fatalf("clamp split %d core + %d mem does not sum to %d", s.ClampedCore, s.ClampedMem, s.Clamped)
+	}
+	if s.Clamped != on.Clamped || s.ClampedCore != on.ClampedCore || s.ClampedMem != on.ClampedMem {
+		t.Fatalf("governor clamps (%d core %d mem %d), OnlinePredictGrid (%d core %d mem %d)",
+			s.Clamped, s.ClampedCore, s.ClampedMem, on.Clamped, on.ClampedCore, on.ClampedMem)
 	}
 }

@@ -56,12 +56,12 @@ func (g *Governor) TunePhased(app backend.Workload, opts trace.Options) (PhasedT
 	if err != nil {
 		return PhasedTune{}, fmt.Errorf("governor: phased prediction: %w", err)
 	}
-	g.stats.Clamped += clamped
+	g.applyClamps(clamped)
 	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
 	if err != nil {
 		return PhasedTune{}, err
 	}
-	if err := g.dev.SetClock(sel.FreqMHz); err != nil {
+	if err := g.pin(sel); err != nil {
 		return PhasedTune{}, err
 	}
 	g.selection = sel

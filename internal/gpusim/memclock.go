@@ -62,6 +62,14 @@ func (d *Device) SetMemClock(memMHz float64) error {
 	return nil
 }
 
+// ResetMemClock restores the default (highest) memory P-state; the core
+// clock is left as pinned (use ResetClocks to restore both).
+func (d *Device) ResetMemClock() {
+	d.mu.Lock()
+	d.memClock = 0
+	d.mu.Unlock()
+}
+
 // MemClock returns the current memory clock in MHz.
 func (d *Device) MemClock() float64 {
 	d.mu.Lock()

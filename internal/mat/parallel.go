@@ -51,16 +51,21 @@ func MulParallel(a, b *Matrix, workers int) *Matrix {
 }
 
 // MulTBParallelInto stores a·bᵀ into dst like MulTBInto, computing disjoint
-// row blocks of the output on separate goroutines. Results are bit-identical
-// to MulTBInto (each output row is produced by exactly one goroutine with the
-// same kernel and summation order), which is itself bit-identical to
-// Mul(a, b.T()) — so callers may switch between the serial, parallel, and
+// row blocks of the output on separate goroutines through the register-tiled
+// kernel. Results are bit-identical to MulTBInto (each output row is produced
+// by exactly one goroutine with the same per-element summation order — see
+// MulTBBlockedInto), which is itself bit-identical to Mul(a, b.T()) — so
+// callers may switch between the serial, blocked, parallel, and
 // transpose-materializing formulations without perturbing a single bit.
 // workers ≤ 0 selects GOMAXPROCS. Small outputs fall back to the serial
-// kernel.
+// blocked kernel.
 func MulTBParallelInto(dst, a, b *Matrix, workers int) *Matrix {
-	if a.Rows*b.Rows < parallelThreshold {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		// Delegate dimension panics to the reference kernel for consistency.
 		return MulTBInto(dst, a, b)
+	}
+	if a.Rows*b.Rows < parallelThreshold {
+		return MulTBBlockedInto(dst, a, b)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -68,9 +73,8 @@ func MulTBParallelInto(dst, a, b *Matrix, workers int) *Matrix {
 	if workers > a.Rows {
 		workers = a.Rows
 	}
-	if workers <= 1 || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
-		// Delegate dimension panics (and the trivial case) to the serial kernel.
-		return MulTBInto(dst, a, b)
+	if workers <= 1 {
+		return MulTBBlockedInto(dst, a, b)
 	}
 	var wg sync.WaitGroup
 	chunk := (a.Rows + workers - 1) / workers
@@ -86,7 +90,7 @@ func MulTBParallelInto(dst, a, b *Matrix, workers int) *Matrix {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mulTBRows(dst, a, b, lo, hi)
+			mulTBBlockedRows(dst, a, b, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -66,7 +66,7 @@ func (p *Predictor) forward(ws *predictWS, x *mat.Matrix) *mat.Matrix {
 		if a.Rows*l.Out >= inferParallelElems {
 			mat.MulTBParallelInto(z, a, l.W, 0)
 		} else {
-			mat.MulTBInto(z, a, l.W)
+			mat.MulTBBlockedInto(z, a, l.W)
 		}
 		z.AddRowVec(l.B)
 		z.Apply(l.Act.Func)

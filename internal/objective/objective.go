@@ -19,7 +19,11 @@ import (
 // Profile is one DVFS configuration's outcome for a workload — measured,
 // or predicted by the models.
 type Profile struct {
-	FreqMHz    float64
+	FreqMHz float64
+	// MemFreqMHz is the memory P-state of the configuration, 0 for the
+	// default state (the 1-D core-only design space). Selection treats
+	// all-equal memory clocks exactly as the historical 1-D path.
+	MemFreqMHz float64
 	TimeSec    float64
 	PowerWatts float64
 }
@@ -83,7 +87,8 @@ var ErrNoProfiles = errors.New("objective: no profiles")
 
 // SelectOptimal returns the profile minimizing obj's score — the paper's
 // unconstrained selection (its evaluation uses no threshold, §4.4). Ties
-// break toward higher frequency.
+// break toward higher core frequency, then higher memory clock — a no-op
+// extension when every candidate shares one memory state.
 func SelectOptimal(profiles []Profile, obj Objective) (Profile, error) {
 	if len(profiles) == 0 {
 		return Profile{}, ErrNoProfiles
@@ -92,7 +97,8 @@ func SelectOptimal(profiles []Profile, obj Objective) (Profile, error) {
 	bestScore := obj.Score(best.Energy(), best.TimeSec)
 	for _, p := range profiles[1:] {
 		s := obj.Score(p.Energy(), p.TimeSec)
-		if s < bestScore || (s == bestScore && p.FreqMHz > best.FreqMHz) {
+		if s < bestScore || (s == bestScore && (p.FreqMHz > best.FreqMHz ||
+			(p.FreqMHz == best.FreqMHz && p.MemFreqMHz > best.MemFreqMHz))) {
 			best, bestScore = p, s
 		}
 	}
@@ -130,14 +136,26 @@ func SelectWithThreshold(profiles []Profile, obj Objective, threshold float64) (
 	if threshold < 0 {
 		return Profile{}, fmt.Errorf("objective: negative threshold %v", threshold)
 	}
+	// Candidates walk in (core, mem) lexicographic order — identical to the
+	// historical by-frequency order whenever all memory clocks are equal.
 	sorted := append([]Profile(nil), profiles...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FreqMHz < sorted[j].FreqMHz })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].FreqMHz != sorted[j].FreqMHz {
+			return sorted[i].FreqMHz < sorted[j].FreqMHz
+		}
+		return sorted[i].MemFreqMHz < sorted[j].MemFreqMHz
+	})
 
 	opt, err := SelectOptimal(sorted, obj)
 	if err != nil {
 		return Profile{}, err
 	}
-	start := sort.Search(len(sorted), func(i int) bool { return sorted[i].FreqMHz >= opt.FreqMHz })
+	start := sort.Search(len(sorted), func(i int) bool {
+		if sorted[i].FreqMHz != opt.FreqMHz {
+			return sorted[i].FreqMHz > opt.FreqMHz
+		}
+		return sorted[i].MemFreqMHz >= opt.MemFreqMHz
+	})
 	for i := start; i < len(sorted); i++ {
 		if PerfDegradation(sorted, sorted[i]) < threshold {
 			return sorted[i], nil
@@ -159,20 +177,22 @@ func SelectWithThreshold(profiles []Profile, obj Objective, threshold float64) (
 // reference. Positive EnergyPct is an energy saving; negative TimePct is a
 // performance loss (the paper's sign convention in Table 5).
 type TradeOff struct {
-	FreqMHz   float64
-	EnergyPct float64
-	TimePct   float64
+	FreqMHz    float64
+	MemFreqMHz float64
+	EnergyPct  float64
+	TimePct    float64
 }
 
 // Evaluate computes the trade-off of chosen against the highest-frequency
-// profile in the set.
+// profile in the set (highest core clock; among equals, highest memory
+// clock — the grid's default-state corner).
 func Evaluate(profiles []Profile, chosen Profile) (TradeOff, error) {
 	if len(profiles) == 0 {
 		return TradeOff{}, ErrNoProfiles
 	}
 	ref := profiles[0]
 	for _, p := range profiles[1:] {
-		if p.FreqMHz > ref.FreqMHz {
+		if p.FreqMHz > ref.FreqMHz || (p.FreqMHz == ref.FreqMHz && p.MemFreqMHz > ref.MemFreqMHz) {
 			ref = p
 		}
 	}
@@ -180,8 +200,9 @@ func Evaluate(profiles []Profile, chosen Profile) (TradeOff, error) {
 		return TradeOff{}, fmt.Errorf("objective: degenerate reference profile at %v MHz", ref.FreqMHz)
 	}
 	return TradeOff{
-		FreqMHz:   chosen.FreqMHz,
-		EnergyPct: (ref.Energy() - chosen.Energy()) / ref.Energy() * 100,
-		TimePct:   (ref.TimeSec - chosen.TimeSec) / ref.TimeSec * 100,
+		FreqMHz:    chosen.FreqMHz,
+		MemFreqMHz: chosen.MemFreqMHz,
+		EnergyPct:  (ref.Energy() - chosen.Energy()) / ref.Energy() * 100,
+		TimePct:    (ref.TimeSec - chosen.TimeSec) / ref.TimeSec * 100,
 	}, nil
 }

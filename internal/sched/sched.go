@@ -58,9 +58,12 @@ func (j Job) maxSlowdown() float64 {
 
 // Assignment is one job's planned operating point.
 type Assignment struct {
-	Job         string
-	GPUs        int
-	FreqMHz     float64
+	Job     string
+	GPUs    int
+	FreqMHz float64
+	// MemFreqMHz is the assigned memory P-state, 0 when the planner swept
+	// the core axis only.
+	MemFreqMHz  float64
 	PowerWatts  float64 // predicted per-GPU power at the assigned clock
 	SlowdownPct float64 // predicted slowdown vs max clock, percent (positive = slower)
 	EnergyPct   float64 // predicted energy saving vs max clock, percent
@@ -85,18 +88,24 @@ type Config struct {
 	// profiling run is seeded from its index alone, so the planner's
 	// output is bit-identical for any worker count.
 	Workers int
+	// MemFreqs extends each job's predicted curve to the (core × memory)
+	// grid; the planner then walks the grid's power/time skyline instead of
+	// the core-frequency ladder. Nil plans over the core axis only —
+	// bit-identical to the historical behaviour.
+	MemFreqs []float64
 }
 
 // Planner profiles jobs and produces budget-constrained frequency plans.
 type Planner struct {
-	dev     backend.Device
-	models  *core.Models
-	seed    int64
-	workers int
+	dev      backend.Device
+	models   *core.Models
+	seed     int64
+	workers  int
+	memFreqs []float64
 
-	profiles map[string][]objective.Profile // job name -> predicted curve, ascending freq
+	profiles map[string][]objective.Profile // job name -> plan curve, ascending operating point
 	jobs     []Job
-	clamped  int // clamp count accumulated over the last Profile
+	clamped  core.Clamps // clamp counts accumulated over the last Profile
 }
 
 // NewPlanner returns a planner over dev using trained models. seed
@@ -119,6 +128,7 @@ func NewPlannerConfig(dev backend.Device, models *core.Models, cfg Config) (*Pla
 		models:   models,
 		seed:     cfg.Seed,
 		workers:  cfg.Workers,
+		memFreqs: cfg.MemFreqs,
 		profiles: map[string][]objective.Profile{},
 	}, nil
 }
@@ -127,7 +137,7 @@ func NewPlannerConfig(dev backend.Device, models *core.Models, cfg Config) (*Pla
 // reduced in index order so results never depend on worker interleaving.
 type profiled struct {
 	curve   []objective.Profile
-	clamped int
+	clamped core.Clamps
 	err     error
 }
 
@@ -136,13 +146,67 @@ type profiled struct {
 // worker ran it — which is what makes parallel profiling deterministic.
 func (p *Planner) profileJob(i int, j Job) profiled {
 	dev := p.dev.Fork(p.seed + int64(i)*101)
-	on, err := core.OnlinePredict(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1})
+	on, err := core.OnlinePredictGrid(dev, p.models, j.App, dcgm.Config{Seed: p.seed + int64(i)*101 + 1}, p.memFreqs)
 	if err != nil {
 		return profiled{err: fmt.Errorf("sched: profiling job %q: %w", j.Name, err)}
 	}
-	curve := append([]objective.Profile(nil), on.Predicted...)
-	sort.Slice(curve, func(a, b int) bool { return curve[a].FreqMHz < curve[b].FreqMHz })
-	return profiled{curve: curve, clamped: on.Clamped}
+	return profiled{
+		curve:   planCurve(on.Predicted),
+		clamped: core.Clamps{Core: on.ClampedCore, Mem: on.ClampedMem},
+	}
+}
+
+// planCurve orders a predicted profile set into the ascending operating
+// curve the greedy planner walks. A single-memory-state set (every 1-D
+// sweep) keeps the historical sort by core frequency, bit for bit. A 2-D
+// grid is first reduced to its power/time skyline: the default-state
+// corner (max core, then max mem) is the reference endpoint, and the
+// remaining points are kept only where spending more power actually buys
+// predicted time — stepping down the curve then always trades watts for
+// slowdown, the exchange rate Plan's marginal descent prices.
+func planCurve(profiles []objective.Profile) []objective.Profile {
+	curve := append([]objective.Profile(nil), profiles...)
+	sameMem := true
+	for _, p := range curve[1:] {
+		if p.MemFreqMHz != curve[0].MemFreqMHz {
+			sameMem = false
+			break
+		}
+	}
+	if sameMem {
+		sort.Slice(curve, func(a, b int) bool { return curve[a].FreqMHz < curve[b].FreqMHz })
+		return curve
+	}
+	ref := curve[0]
+	for _, p := range curve[1:] {
+		if p.FreqMHz > ref.FreqMHz || (p.FreqMHz == ref.FreqMHz && p.MemFreqMHz > ref.MemFreqMHz) {
+			ref = p
+		}
+	}
+	cands := curve[:0]
+	for _, p := range curve {
+		if p.PowerWatts < ref.PowerWatts && p.TimeSec > ref.TimeSec {
+			cands = append(cands, p)
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].PowerWatts != cands[b].PowerWatts {
+			return cands[a].PowerWatts < cands[b].PowerWatts
+		}
+		if cands[a].FreqMHz != cands[b].FreqMHz {
+			return cands[a].FreqMHz < cands[b].FreqMHz
+		}
+		return cands[a].MemFreqMHz < cands[b].MemFreqMHz
+	})
+	out := make([]objective.Profile, 0, len(cands)+1)
+	bestT := math.Inf(1)
+	for _, p := range cands {
+		if p.TimeSec < bestT {
+			out = append(out, p)
+			bestT = p.TimeSec
+		}
+	}
+	return append(out, ref)
 }
 
 // Profile runs the online phase for every job (one profiling run each at
@@ -202,19 +266,22 @@ func (p *Planner) Profile(jobs []Job) error {
 			return r.err
 		}
 	}
-	p.clamped = 0
+	p.clamped = core.Clamps{}
 	for i, j := range jobs {
 		p.profiles[j.Name] = results[i].curve
-		p.clamped += results[i].clamped
+		p.clamped.Add(results[i].clamped)
 	}
 	p.jobs = append([]Job(nil), jobs...)
 	return nil
 }
 
-// Clamped reports how many per-frequency predictions hit the power or
+// Clamped reports how many per-point predictions hit the power or
 // slowdown safety floors during the last Profile — non-zero means the
 // models were undertrained for some of the fleet's jobs.
-func (p *Planner) Clamped() int { return p.clamped }
+func (p *Planner) Clamped() int { return p.clamped.Total() }
+
+// ClampedCounts is Clamped split by design-space axis (core vs memory).
+func (p *Planner) ClampedCounts() core.Clamps { return p.clamped }
 
 // jobState tracks one job's position on its DVFS curve during planning.
 type jobState struct {
@@ -297,6 +364,7 @@ func (p *Planner) Plan(budgetWatts float64) (Plan, error) {
 			Job:         st.job.Name,
 			GPUs:        st.job.gpus(),
 			FreqMHz:     cur.FreqMHz,
+			MemFreqMHz:  cur.MemFreqMHz,
 			PowerWatts:  cur.PowerWatts,
 			SlowdownPct: st.slowdown(st.idx) * 100,
 			EnergyPct:   (refE - cur.Energy()) / refE * 100,

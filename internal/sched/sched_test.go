@@ -352,3 +352,116 @@ func TestProfileParallelErrorIsLowestIndex(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanGridDegenerateMatches1D is the fleet-planning half of the N=1
+// acceptance criterion: planning over a single-point [defaultMem] memory
+// axis must produce bit-identical plans to the core-only planner on every
+// pre-existing field (only Assignment.MemFreqMHz is newly reported), at
+// generous and tight budgets alike, with matching clamp counters.
+func TestPlanGridDegenerateMatches1D(t *testing.T) {
+	m := quickModels(t)
+	arch := sim.GA100().Spec()
+
+	p1, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 7, MemFreqs: []float64{arch.DefaultMemClock()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Profile(fleet()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Profile(fleet()); err != nil {
+		t.Fatal(err)
+	}
+	if p1.Clamped() != p2.Clamped() {
+		t.Fatalf("clamp totals differ: 1-D %d, [defaultMem] %d", p1.Clamped(), p2.Clamped())
+	}
+	if cc := p2.ClampedCounts(); cc.Mem != 0 {
+		t.Fatalf("default-mem planning attributed %d clamps to the memory axis", cc.Mem)
+	}
+	min1, err := p1.MinFeasibleBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	min2, err := p2.MinFeasibleBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(min1) != math.Float64bits(min2) {
+		t.Fatalf("minimum feasible budgets differ: %v vs %v", min1, min2)
+	}
+	for _, budget := range []float64{1e6, min1, min1 * 1.1} {
+		plan1, err := p1.Plan(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan2, err := p2.Plan(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansIdentical(plan1, plan2) {
+			t.Fatalf("budget %v: [defaultMem] plan diverged from the 1-D plan", budget)
+		}
+		for i, a := range plan1.Assignments {
+			if a.MemFreqMHz != 0 {
+				t.Fatalf("1-D assignment %d reports memory clock %v, want 0", i, a.MemFreqMHz)
+			}
+			if got := plan2.Assignments[i].MemFreqMHz; got != arch.DefaultMemClock() {
+				t.Fatalf("[defaultMem] assignment %d reports %v, want %v", i, got, arch.DefaultMemClock())
+			}
+		}
+	}
+}
+
+// TestPlanGridMemAxis plans over the full memory ladder: every assignment
+// must carry a memory P-state from the configured list, tight budgets must
+// still respect per-job thresholds, and the per-axis clamp counts must sum
+// to the planner's total.
+func TestPlanGridMemAxis(t *testing.T) {
+	m := quickModels(t)
+	arch := sim.GA100().Spec()
+	mems := arch.MemClocks()
+	p, err := NewPlannerConfig(sim.New(sim.GA100(), 0), m, Config{Seed: 7, MemFreqs: mems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Profile(fleet()); err != nil {
+		t.Fatal(err)
+	}
+	if cc := p.ClampedCounts(); cc.Total() != p.Clamped() {
+		t.Fatalf("clamp split %+v does not sum to total %d", cc, p.Clamped())
+	}
+	min, err := p.MinFeasibleBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, err := p.Plan(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Like the 1-D tight-budget test, stay off the exact minimum: the
+	// descent accumulates power by subtraction, so Plan(min) can sit one
+	// ulp above the freshly summed budget.
+	for _, budget := range []float64{1e6, (min + unlimited.TotalPowerWatts) / 2} {
+		plan, err := p.Plan(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.FitsBudget {
+			t.Fatalf("budget %v reported infeasible", budget)
+		}
+		for _, a := range plan.Assignments {
+			if !arch.IsSupportedMemClock(a.MemFreqMHz) {
+				t.Fatalf("job %s assigned memory clock %v, not in %v", a.Job, a.MemFreqMHz, mems)
+			}
+			for _, j := range fleet() {
+				if j.Name == a.Job && a.SlowdownPct > j.maxSlowdown()*100+1e-9 {
+					t.Fatalf("job %s slowdown %v%% exceeds threshold %v%%", a.Job, a.SlowdownPct, j.maxSlowdown()*100)
+				}
+			}
+		}
+	}
+}

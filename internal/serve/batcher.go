@@ -101,7 +101,7 @@ const (
 type sweepReq struct {
 	run      dcgm.Run
 	profiles []objective.Profile
-	clamped  int
+	clamped  core.Clamps
 	err      error
 	state    atomic.Int32
 	done     chan struct{}
@@ -124,7 +124,7 @@ type Batcher struct {
 	quit      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
-	bufPool   sync.Pool // []objective.Profile of len(sw.Freqs())
+	bufPool   sync.Pool // []objective.Profile of len sw.GridSize()
 
 	requests atomic.Uint64
 	batches  atomic.Uint64
@@ -149,8 +149,8 @@ func NewBatcher(sw *core.Sweeper, cfg BatcherConfig) (*Batcher, error) {
 		q:    make(chan *sweepReq, cfg.QueueDepth),
 		quit: make(chan struct{}),
 	}
-	nF := len(sw.Freqs())
-	b.bufPool.New = func() any { return make([]objective.Profile, nF) }
+	nGrid := sw.GridSize()
+	b.bufPool.New = func() any { return make([]objective.Profile, nGrid) }
 	b.wg.Add(1)
 	go b.dispatch()
 	return b, nil
@@ -179,26 +179,26 @@ func (b *Batcher) Stats() BatcherStats {
 
 // PredictProfileInto queues one design-space sweep for maxRun, waits for
 // the fused pass that includes it, and writes the profiles into dst (which
-// must have len(sw.Freqs()) entries). The written values are bit-identical
+// must have sw.GridSize() entries). The written values are bit-identical
 // to core.Sweeper.PredictProfileInto for the same run.
 //
 // If the queue is full the request is shed immediately with ErrOverloaded.
 // If ctx is done while the request is still queued, the call returns
 // ctx.Err() without waiting; once a pass has claimed the request the call
 // waits for that pass (bounded by one batch) and returns its result.
-func (b *Batcher) PredictProfileInto(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error) {
+func (b *Batcher) PredictProfileInto(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (core.Clamps, error) {
 	if err := b.sw.ValidateRun(maxRun); err != nil {
-		return 0, err
+		return core.Clamps{}, err
 	}
-	if len(dst) != len(b.sw.Freqs()) {
-		return 0, fmt.Errorf("serve: profile buffer has %d entries, sweep has %d frequencies", len(dst), len(b.sw.Freqs()))
+	if len(dst) != b.sw.GridSize() {
+		return core.Clamps{}, fmt.Errorf("serve: profile buffer has %d entries, sweep has %d design points", len(dst), b.sw.GridSize())
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return core.Clamps{}, err
 	}
 	select {
 	case <-b.quit:
-		return 0, ErrClosed
+		return core.Clamps{}, ErrClosed
 	default:
 	}
 	r := &sweepReq{
@@ -211,7 +211,7 @@ func (b *Batcher) PredictProfileInto(ctx context.Context, dst []objective.Profil
 	default:
 		b.bufPool.Put(r.profiles) //nolint:staticcheck // slice header alloc is fine here
 		b.shed.Add(1)
-		return 0, ErrOverloaded
+		return core.Clamps{}, ErrOverloaded
 	}
 	b.requests.Add(1)
 
@@ -222,19 +222,19 @@ func (b *Batcher) PredictProfileInto(ctx context.Context, dst []objective.Profil
 			// Still queued: the dispatcher will see the tombstone and
 			// recycle the buffer.
 			b.canceled.Add(1)
-			return 0, ctx.Err()
+			return core.Clamps{}, ctx.Err()
 		}
 		<-r.done // claimed: the pass is already running, take its result
 	case <-b.quit:
 		if r.state.CompareAndSwap(reqQueued, reqCanceled) {
 			b.canceled.Add(1)
-			return 0, ErrClosed
+			return core.Clamps{}, ErrClosed
 		}
 		<-r.done
 	}
 	if r.err != nil {
 		b.bufPool.Put(r.profiles) //nolint:staticcheck
-		return 0, r.err
+		return core.Clamps{}, r.err
 	}
 	copy(dst, r.profiles)
 	clamped := r.clamped
@@ -261,7 +261,7 @@ func (b *Batcher) dispatch() {
 	batch := make([]*sweepReq, 0, b.cfg.MaxBatch)
 	dsts := make([][]objective.Profile, 0, b.cfg.MaxBatch)
 	runs := make([]dcgm.Run, 0, b.cfg.MaxBatch)
-	clamped := make([]int, b.cfg.MaxBatch)
+	clamped := make([]core.Clamps, b.cfg.MaxBatch)
 	for {
 		var first *sweepReq
 		select {
@@ -313,7 +313,7 @@ func (b *Batcher) gather(batch *[]*sweepReq) {
 }
 
 // process runs one fused pass and completes every request in the batch.
-func (b *Batcher) process(batch []*sweepReq, dsts *[][]objective.Profile, runs *[]dcgm.Run, clamped []int) {
+func (b *Batcher) process(batch []*sweepReq, dsts *[][]objective.Profile, runs *[]dcgm.Run, clamped []core.Clamps) {
 	if hook := testHookBeforeBatch; hook != nil {
 		hook(len(batch))
 	}

@@ -74,23 +74,31 @@ type selectResponse struct {
 	Workload  string  `json:"workload"`
 	Objective string  `json:"objective"`
 	FreqMHz   float64 `json:"freq_mhz"`
-	EnergyPct float64 `json:"energy_pct"`
-	TimePct   float64 `json:"time_pct"`
-	CacheHit  bool    `json:"cache_hit"`
+	// MemFreqMHz is present only when the server sweeps the 2-D
+	// (core × memory) grid; core-only servers emit byte-identical
+	// responses to the pre-grid API.
+	MemFreqMHz float64 `json:"mem_freq_mhz,omitempty"`
+	EnergyPct  float64 `json:"energy_pct"`
+	TimePct    float64 `json:"time_pct"`
+	CacheHit   bool    `json:"cache_hit"`
 }
 
 type profilePoint struct {
 	FreqMHz      float64 `json:"freq_mhz"`
+	MemFreqMHz   float64 `json:"mem_freq_mhz,omitempty"`
 	PowerWatts   float64 `json:"power_watts"`
 	TimeSec      float64 `json:"time_sec"`
 	EnergyJoules float64 `json:"energy_joules"`
 }
 
 type profileResponse struct {
-	Workload    string         `json:"workload"`
-	ExecTimeSec float64        `json:"exec_time_sec"`
-	Clamped     int            `json:"clamped"`
-	Profiles    []profilePoint `json:"profiles"`
+	Workload    string  `json:"workload"`
+	ExecTimeSec float64 `json:"exec_time_sec"`
+	Clamped     int     `json:"clamped"`
+	// ClampedMem is the memory-axis share of Clamped; absent on core-only
+	// servers, whose clamps are all core-axis by construction.
+	ClampedMem int            `json:"clamped_mem,omitempty"`
+	Profiles   []profilePoint `json:"profiles"`
 }
 
 type statsResponse struct {
@@ -207,12 +215,13 @@ func (a *httpAPI) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	a.selects.Add(1)
 	writeJSON(w, http.StatusOK, selectResponse{
-		Workload:  name,
-		Objective: sel.Objective,
-		FreqMHz:   sel.FreqMHz,
-		EnergyPct: sel.EnergyPct,
-		TimePct:   sel.TimePct,
-		CacheHit:  hit,
+		Workload:   name,
+		Objective:  sel.Objective,
+		FreqMHz:    sel.FreqMHz,
+		MemFreqMHz: sel.MemFreqMHz,
+		EnergyPct:  sel.EnergyPct,
+		TimePct:    sel.TimePct,
+		CacheHit:   hit,
 	})
 }
 
@@ -232,11 +241,17 @@ func (a *httpAPI) handleProfile(w http.ResponseWriter, r *http.Request) {
 		a.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := profileResponse{Workload: name, ExecTimeSec: run.ExecTimeSec, Clamped: clamped}
+	resp := profileResponse{
+		Workload:    name,
+		ExecTimeSec: run.ExecTimeSec,
+		Clamped:     clamped.Total(),
+		ClampedMem:  clamped.Mem,
+	}
 	resp.Profiles = make([]profilePoint, len(profiles))
 	for i, p := range profiles {
 		resp.Profiles[i] = profilePoint{
 			FreqMHz:      p.FreqMHz,
+			MemFreqMHz:   p.MemFreqMHz,
 			PowerWatts:   p.PowerWatts,
 			TimeSec:      p.TimeSec,
 			EnergyJoules: p.Energy(),

@@ -291,3 +291,76 @@ func TestNewHandlerValidation(t *testing.T) {
 		t.Fatal("nil device accepted")
 	}
 }
+
+// TestHTTPMemAxisWireCompat pins the JSON wire contract of the 2-D
+// extension: a core-only server's response bytes carry none of the new
+// fields (clients of the pre-grid API see identical payloads), while a
+// grid server reports the selected memory P-state, a memory clock per
+// profile point, and the memory-axis clamp share.
+func TestHTTPMemAxisWireCompat(t *testing.T) {
+	h, _ := testHandler(t, BatcherConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for _, path := range []string{"/v1/select", "/v1/profile"} {
+		resp, body := postJSON(t, ts, path, `{"workload": "DGEMM"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("1-D %s: status %d, body %s", path, resp.StatusCode, body)
+		}
+		for _, key := range []string{"mem_freq_mhz", "clamped_mem"} {
+			if bytes.Contains(body, []byte(key)) {
+				t.Fatalf("core-only %s response leaks the 2-D field %q:\n%s", path, key, body)
+			}
+		}
+	}
+
+	arch := sim.GA100().Spec()
+	sw, err := testModels(t).NewGridSweeper(arch, arch.DesignClocks(), arch.MemClocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sw, ServerConfig{
+		Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	h2, err := NewHandler(srv, HTTPConfig{Device: sim.New(sim.GA100(), 3), ProfileSeed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+
+	resp, body := postJSON(t, ts2, "/v1/select", `{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("2-D select: status %d, body %s", resp.StatusCode, body)
+	}
+	var sel selectResponse
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if !arch.IsSupportedMemClock(sel.MemFreqMHz) {
+		t.Fatalf("2-D select returned memory clock %v, not a P-state in %v", sel.MemFreqMHz, arch.MemClocks())
+	}
+
+	resp, body = postJSON(t, ts2, "/v1/profile", `{"workload": "DGEMM"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("2-D profile: status %d, body %s", resp.StatusCode, body)
+	}
+	var prof profileResponse
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Profiles) != sw.GridSize() {
+		t.Fatalf("2-D profile has %d points, want the full grid %d", len(prof.Profiles), sw.GridSize())
+	}
+	for i, p := range prof.Profiles {
+		if !arch.IsSupportedMemClock(p.MemFreqMHz) {
+			t.Fatalf("profile point %d memory clock %v is not a P-state", i, p.MemFreqMHz)
+		}
+	}
+	if prof.ClampedMem > prof.Clamped {
+		t.Fatalf("memory-axis clamp share %d exceeds total %d", prof.ClampedMem, prof.Clamped)
+	}
+}

@@ -101,7 +101,7 @@ func TestBatcherMatchesDirectSweep(t *testing.T) {
 
 			runs := uniqueRuns(n)
 			want := make([][]objective.Profile, n)
-			wantClamped := make([]int, n)
+			wantClamped := make([]core.Clamps, n)
 			for i, r := range runs {
 				want[i] = make([]objective.Profile, len(sw.Freqs()))
 				if wantClamped[i], err = sw.PredictProfileInto(want[i], r); err != nil {
@@ -110,7 +110,7 @@ func TestBatcherMatchesDirectSweep(t *testing.T) {
 			}
 
 			got := make([][]objective.Profile, n)
-			gotClamped := make([]int, n)
+			gotClamped := make([]core.Clamps, n)
 			errs := make([]error, n)
 			var wg sync.WaitGroup
 			for i := range runs {
@@ -127,7 +127,7 @@ func TestBatcherMatchesDirectSweep(t *testing.T) {
 					t.Fatalf("run %d: %v", i, errs[i])
 				}
 				if gotClamped[i] != wantClamped[i] {
-					t.Fatalf("run %d: clamped %d via batcher, %d direct", i, gotClamped[i], wantClamped[i])
+					t.Fatalf("run %d: clamped %+v via batcher, %+v direct", i, gotClamped[i], wantClamped[i])
 				}
 				if !profilesIdentical(got[i], want[i]) {
 					t.Fatalf("run %d: batched profiles differ from direct sweep", i)
@@ -489,7 +489,7 @@ func TestServerConfigValidation(t *testing.T) {
 		t.Fatal("nil sweeper accepted")
 	}
 	occupied := core.PlanCacheConfig{Objective: objective.EDP{}}
-	occupied.Sweep = func(context.Context, []objective.Profile, dcgm.Run) (int, error) { return 0, nil }
+	occupied.Sweep = func(context.Context, []objective.Profile, dcgm.Run) (core.Clamps, error) { return core.Clamps{}, nil }
 	if _, err := NewServer(sw, ServerConfig{Cache: occupied}); err == nil {
 		t.Fatal("pre-set Sweep accepted")
 	}

@@ -51,7 +51,7 @@ func NewServer(sw *core.Sweeper, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	cc := cfg.Cache
-	cc.Sweep = func(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (int, error) {
+	cc.Sweep = func(ctx context.Context, dst []objective.Profile, maxRun dcgm.Run) (core.Clamps, error) {
 		return b.PredictProfileInto(ctx, dst, maxRun)
 	}
 	cache, err := core.NewPlanCache(sw, cc)
@@ -70,13 +70,13 @@ func (s *Server) Select(ctx context.Context, maxRun dcgm.Run) (core.Selection, b
 }
 
 // Predict runs one design-space sweep through the batcher (no caching) and
-// returns the predicted profiles with the safety-floor clamp count — the
-// /v1/profile endpoint's core.
-func (s *Server) Predict(ctx context.Context, maxRun dcgm.Run) ([]objective.Profile, int, error) {
-	dst := make([]objective.Profile, len(s.sw.Freqs()))
+// returns the predicted profiles with the per-axis safety-floor clamp
+// counts — the /v1/profile endpoint's core.
+func (s *Server) Predict(ctx context.Context, maxRun dcgm.Run) ([]objective.Profile, core.Clamps, error) {
+	dst := make([]objective.Profile, s.sw.GridSize())
 	clamped, err := s.batcher.PredictProfileInto(ctx, dst, maxRun)
 	if err != nil {
-		return nil, 0, err
+		return nil, core.Clamps{}, err
 	}
 	return dst, clamped, nil
 }
