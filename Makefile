@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve ./internal/fleet
 
-.PHONY: all build test race bench-smoke fuzz-smoke vet check
+.PHONY: all build test race bench-smoke fuzz-smoke vet fmt-check check
 
 all: build
 
@@ -15,6 +15,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (and names the offenders) if any tracked Go file is not
+# gofmt-clean. Formatting is a gate, not a suggestion.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # race runs the race detector over every package with a concurrent code
 # path. The experiments/core integration suites are too slow to run fully
@@ -33,13 +38,15 @@ race:
 # the core miss/batch and serve runs cover the BENCH_concurrency.json
 # concurrent-serving table; the Sweep1D/Sweep2D arms plus the mat
 # MulTB61x64 blocked/naive split cover the BENCH_sweep2d.json 1-D vs 2-D
-# sweep-cost table.
+# sweep-cost table; the fleet 100k arms cover the BENCH_fleet.json
+# event-engine table (and re-assert its 0-alloc steady-state invariant).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
 	$(GO) test -run '^$$' -bench 'PredictProfile|PlanCacheSelect|PlanFleet|BatchSweep|Sweep1D|Sweep2D' -benchtime=1x ./internal/core ./internal/sched
 	$(GO) test -run '^$$' -bench ReplayProfile -benchtime=1x ./internal/backend/replay
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/serve
+	$(GO) test -run '^$$' -bench 'Fleet.*100k' -benchtime=1x ./internal/fleet
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in kernel exactness, estimator exactness, or plan-cache key
@@ -51,4 +58,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzPlanKeyGrid$$' -fuzztime=5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzReplayRoundTrip -fuzztime=5s ./internal/backend/replay
 
-check: vet build test race bench-smoke fuzz-smoke
+check: fmt-check vet build test race bench-smoke fuzz-smoke

@@ -16,6 +16,11 @@
 //
 //	dvfs-bench -load -load-out BENCH_concurrency.json
 //	dvfs-bench -load -load-url http://localhost:8080 -load-concurrency 4,16
+//
+// Both modes accept -cpuprofile and -memprofile, which write pprof
+// profiles of the whole run for `go tool pprof`:
+//
+//	dvfs-bench -only tab3 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -23,12 +28,20 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpudvfs/internal/experiments"
 )
 
 func main() {
+	// Exit via a named code so the pprof defers below flush before the
+	// process terminates (os.Exit would skip them).
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		only      = flag.String("only", "", "comma-separated artifact IDs (fig1..fig11, tab1..tab7); empty means all")
 		ablations = flag.Bool("ablations", false, "also run the ablation studies (slow: retrains per variant)")
@@ -48,20 +61,55 @@ func main() {
 		loadDist    = flag.String("load-dist", "uniform", `workload-key distribution: "uniform" (all-miss, isolates the sweep path) or "zipf" (skewed repeats; reports the cache hit/miss split)`)
 		loadMems    = flag.String("mem-freqs", "", `memory P-states the local load scenarios sweep alongside core clocks: "all", or a comma-separated MHz list; empty sweeps the core axis only`)
 		loadOutPath = flag.String("load-out", "", "write the load report as JSON to this path (BENCH_serve.json shape)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
+			}
+		}()
+	}
 
 	if *load {
 		if err := runLoad(*loadURL, *loadConc, *loadApps, *loadDist, *loadMems, *loadReqs, *loadOutPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if err := run(*only, *ablations, *compare, *cv, *markdown, *seed, *runs, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func run(only string, ablations, compare, cv, markdown bool, seed int64, runs, workers int, out string) error {

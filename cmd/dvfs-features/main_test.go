@@ -6,9 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
-	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/backend"
 	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/mi"
 	"gpudvfs/internal/workloads"
 )

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/open"
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/nn"
+	"gpudvfs/internal/stats"
+)
+
+// saveTestModels writes paper-shaped random-weight models to a tempdir —
+// the simulator's contracts (determinism, conservation, reporting) hold
+// for any weights.
+func saveTestModels(t *testing.T) string {
+	t.Helper()
+	arch := sim.GA100().Spec()
+	power, err := nn.NewNetwork(nn.PaperArch(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmodel, err := nn.NewNetwork(nn.PaperArch(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &core.Models{
+		Features:   []string{"fp_active", "dram_active", "sm_app_clock"},
+		Scaler:     &stats.StandardScaler{Means: []float64{0.4, 0.3, 0.7}, Stds: []float64{0.2, 0.15, 0.25}},
+		Power:      power,
+		Time:       tmodel,
+		TrainedOn:  arch.Name,
+		TDPWatts:   arch.TDPWatts,
+		MaxFreqMHz: arch.MaxFreqMHz,
+	}
+	dir := filepath.Join(t.TempDir(), "models")
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func baseConfig(modelsDir string) config {
+	return config{
+		modelsDir: modelsDir,
+		device:    open.Config{Backend: "sim", Arch: "GA100", Seed: 3},
+		seed:      11,
+		objective: "edp",
+		threshold: -1,
+
+		nodes:       4,
+		gpusPerNode: 2,
+		maxGPUs:     1,
+		rate:        2,
+		dist:        "uniform",
+		slack:       20,
+		arrivals:    300,
+		reps:        1,
+		workers:     1,
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	models := saveTestModels(t)
+
+	missing := baseConfig(filepath.Join(t.TempDir(), "nope"))
+	if _, _, err := build(missing); err == nil {
+		t.Fatal("missing models dir accepted")
+	}
+
+	simTrace := baseConfig(models)
+	simTrace.device.Trace = "trace.csv"
+	if _, _, err := build(simTrace); err == nil {
+		t.Fatal("sim backend with -trace accepted")
+	}
+
+	badObj := baseConfig(models)
+	badObj.objective = "speed"
+	if _, _, err := build(badObj); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+
+	noRate := baseConfig(models)
+	noRate.rate = 0
+	if _, _, err := build(noRate); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+
+	badDist := baseConfig(models)
+	badDist.dist = "pareto"
+	if _, _, err := build(badDist); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestRunSimBackend(t *testing.T) {
+	cfg := baseConfig(saveTestModels(t))
+	var out strings.Builder
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fleet: 4 nodes x 2 GPUs",
+		"simulated: 300 arrivals, 600 events",
+		"plan cache:",
+		"energy:",
+		"deadlines:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunWorkerInvariance pins the CLI-level contract from the package
+// docs: -workers parallelizes replications only, so the simulated digest
+// is bit-identical for any worker count.
+func TestRunWorkerInvariance(t *testing.T) {
+	models := saveTestModels(t)
+	digest := func(workers int) uint64 {
+		cfg := baseConfig(models)
+		cfg.reps = 4
+		cfg.workers = workers
+		s, _, err := build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Digest
+	}
+	serial := digest(1)
+	if parallel := digest(4); parallel != serial {
+		t.Fatalf("digest depends on workers: %016x vs %016x", serial, parallel)
+	}
+}
+
+// TestRunReplayBackend drives the CLI end to end from a recorded trace:
+// the catalogue comes from the trace's workload set, not the sim kernels.
+func TestRunReplayBackend(t *testing.T) {
+	rec := make([]backend.Run, 3)
+	for i := range rec {
+		rec[i] = backend.Run{
+			Workload:      fmt.Sprintf("job-%d", i),
+			Arch:          "GA100",
+			FreqMHz:       1410,
+			ExecTimeSec:   1 + 0.1*float64(i),
+			AvgPowerWatts: 250,
+			Samples: []backend.Sample{{
+				FP32Active:    0.3 + 0.1*float64(i),
+				DRAMActive:    0.2,
+				SMAppClockMHz: 1410,
+				PowerUsage:    250,
+			}},
+		}
+	}
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	if err := backend.WriteRunsFile(trace, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := baseConfig(saveTestModels(t))
+	cfg.device = open.Config{Backend: "replay", Trace: trace}
+	var out strings.Builder
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "3 workloads") {
+		t.Errorf("catalogue should come from the trace (3 workloads):\n%s", got)
+	}
+}

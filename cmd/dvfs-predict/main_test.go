@@ -4,12 +4,12 @@ import (
 	"path/filepath"
 	"testing"
 
-	"gpudvfs/internal/core"
-	"gpudvfs/internal/dataset"
-	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/backend"
 	"gpudvfs/internal/backend/open"
 	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dataset"
+	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/workloads"
 )
 

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -89,7 +90,9 @@ func main() {
 		seed:      *seed,
 		memFreqs:  *memFreqs,
 	}
-	if err := run(*addr, cfg); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfs-served:", err)
 		os.Exit(1)
 	}
@@ -144,7 +147,31 @@ func buildHandler(cfg config) (http.Handler, func(), error) {
 	return h, srv.Close, nil
 }
 
-func run(addr string, cfg config) error {
+// drainHandler refuses work once shutdown has begun. http.Server.Shutdown
+// stops the listener but keeps serving requests that arrive on established
+// keep-alive connections until they idle out; without this gate a client
+// pipelining requests over one connection could hold the drain window open
+// indefinitely. Requests already in flight when draining starts finish
+// normally — the gate is checked only at request entry.
+type drainHandler struct {
+	inner    http.Handler
+	draining atomic.Bool
+}
+
+func (d *drainHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d.draining.Load() {
+		w.Header().Set("Connection", "close")
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	d.inner.ServeHTTP(w, r)
+}
+
+// run serves until ctx is cancelled (main wires SIGINT/SIGTERM into ctx),
+// then drains: new requests answer 503, in-flight requests get up to 5s to
+// finish. If ready is non-nil it receives the bound address once the
+// listener is up — tests pass addr ":0" and read the port from here.
+func run(ctx context.Context, addr string, cfg config, ready chan<- net.Addr) error {
 	handler, cleanup, err := buildHandler(cfg)
 	if err != nil {
 		return err
@@ -155,18 +182,21 @@ func run(addr string, cfg config) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+	drain := &drainHandler{inner: handler}
+	hs := &http.Server{Handler: drain, ReadHeaderTimeout: 5 * time.Second}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "dvfs-served: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		drain.draining.Store(true)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -1,16 +1,25 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
-	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/backend/open"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/stats"
@@ -166,5 +175,159 @@ func TestServedEndToEnd(t *testing.T) {
 	}
 	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDrainGateRefusesLateRequests pins the drain contract on the real
+// handler: before shutdown begins requests are served; after the gate
+// flips, new requests get 503 with Connection: close.
+func TestDrainGateRefusesLateRequests(t *testing.T) {
+	cfg := baseConfig(saveTestModels(t))
+	handler, cleanup, err := buildHandler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	drain := &drainHandler{inner: handler}
+	ts := httptest.NewServer(drain)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain stats: status %d", resp.StatusCode)
+	}
+
+	drain.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining stats: status %d, want 503", resp.StatusCode)
+	}
+	if !resp.Close {
+		t.Fatal("draining response should ask the client to close the connection")
+	}
+}
+
+// TestRunShutdownSIGTERMMidTraffic exercises the full daemon lifecycle:
+// run() on a real socket, SIGTERM while a slow profiling request is in
+// flight (a replay trace paced by TimeCompression makes the profile take
+// ~0.4s of wall clock), then assert the in-flight request drains with 200,
+// a pipelined late request is refused, run() exits nil, and the listener
+// is gone.
+func TestRunShutdownSIGTERMMidTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end daemon test")
+	}
+	rec := []backend.Run{{
+		Workload:      "slowjob",
+		Arch:          "GA100",
+		FreqMHz:       1410,
+		ExecTimeSec:   2,
+		AvgPowerWatts: 250,
+		Samples: []backend.Sample{{
+			FP32Active:    0.4,
+			DRAMActive:    0.2,
+			SMAppClockMHz: 1410,
+			PowerUsage:    250,
+		}},
+	}}
+	trace := filepath.Join(t.TempDir(), "trace.csv")
+	if err := backend.WriteRunsFile(trace, rec); err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(saveTestModels(t))
+	cfg.device = open.Config{Backend: "replay", Trace: trace, TimeCompression: 5}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, "127.0.0.1:0", cfg, ready) }()
+	addr := (<-ready).String()
+
+	// One raw connection, two pipelined requests: the slow select is in
+	// flight when the signal lands; the stats request behind it arrives
+	// after draining has begun.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	body := `{"workload": "slowjob"}`
+	pipelined := fmt.Sprintf("POST /v1/select HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(body), body) +
+		"GET /v1/stats HTTP/1.1\r\nHost: t\r\n\r\n"
+	if _, err := conn.Write([]byte(pipelined)); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(100 * time.Millisecond) // select is now mid-profile
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("in-flight request did not drain: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight select: status %d, want 200", resp.StatusCode)
+	}
+
+	// The late request must not be served: either the drain gate answers
+	// 503, or shutdown closed the connection before it was read. Both
+	// refuse the request; neither returns 200.
+	if resp, err := http.ReadResponse(br, nil); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("late request was served: status %d, want 503", resp.StatusCode)
+		}
+	}
+
+	if err := <-runErr; err != nil {
+		t.Fatalf("run returned %v after graceful shutdown", err)
+	}
+	if c, err := net.Dial("tcp", addr); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestRunShutdownOnClose covers the programmatic path: cancelling run's
+// context (what closing the daemon embeds to) drains and returns nil.
+func TestRunShutdownOnClose(t *testing.T) {
+	cfg := baseConfig(saveTestModels(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(ctx, "127.0.0.1:0", cfg, ready) }()
+	addr := (<-ready).String()
+
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run returned %v after close", err)
+	}
+	if c, err := net.Dial("tcp", addr); err == nil {
+		c.Close()
+		t.Fatal("listener still accepting after close")
 	}
 }

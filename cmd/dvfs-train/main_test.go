@@ -4,10 +4,10 @@ import (
 	"path/filepath"
 	"testing"
 
-	"gpudvfs/internal/core"
-	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/backend"
 	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/workloads"
 )
 

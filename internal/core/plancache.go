@@ -50,6 +50,15 @@ type PlanCacheConfig struct {
 	// the cache's sweeper directly (PredictProfileInto). internal/serve
 	// injects its micro-batched sweep here.
 	Sweep SweepFunc
+	// Derive, when set, is called once per miss — after the sweep and
+	// selection succeed — with the predicted profiles and the chosen
+	// selection, and its return value is memoized alongside the entry.
+	// SelectDerived hands the payload back on every hit without recomputing
+	// it, which is how an online planner (the fleet simulator's
+	// deadline-feasibility curve) rides the cache without copying profiles
+	// per request. The profiles slice is owned by the cache entry: Derive
+	// may read it and keep references, but must not modify it.
+	Derive func(profiles []objective.Profile, sel Selection) any
 }
 
 func (c PlanCacheConfig) withDefaults() (PlanCacheConfig, error) {
@@ -93,14 +102,19 @@ type PlanCacheStats struct {
 
 // planEntry is one singleflight-memoized selection: the first caller for a
 // key computes under the entry's once while concurrent callers for the
-// same key wait on it instead of predicting redundantly.
+// same key wait on it instead of predicting redundantly. done flips to
+// true (under the once) when the fields below it are final, so the hit
+// path can skip once.Do entirely — building the once closure would
+// otherwise be the hit path's only heap allocation.
 type planEntry struct {
 	key  string
 	elem *list.Element
 
 	once    sync.Once
+	done    atomic.Bool
 	sel     Selection
 	clamped Clamps
+	derived any // PlanCacheConfig.Derive's payload, nil when unset
 	err     error
 }
 
@@ -134,6 +148,17 @@ type PlanCache struct {
 	shards   []planShard
 	mask     uint64 // len(shards)-1, shard count is a power of two
 	shardCap int    // per-shard LRU bound, ceil(Capacity/Shards)
+
+	keyPool sync.Pool // *keyWS
+}
+
+// keyWS is one in-flight key computation's scratch space: the unquantized
+// feature vector and the grow-only key byte buffer. Pooling it (and looking
+// entries up by the byte form of the key) makes the hit path free of heap
+// allocations; only a miss materializes the key as a string.
+type keyWS struct {
+	base []float64
+	buf  []byte
 }
 
 // NewPlanCache builds a plan cache over a sweeper.
@@ -175,6 +200,13 @@ func NewPlanCache(s *Sweeper, cfg PlanCacheConfig) (*PlanCache, error) {
 		c.shards[i].entries = map[string]*planEntry{}
 		c.shards[i].lru = list.New()
 	}
+	nf := len(s.models.Features)
+	c.keyPool.New = func() any {
+		return &keyWS{
+			base: make([]float64, nf),
+			buf:  make([]byte, 0, len(c.prefix)+16*nf),
+		}
+	}
 	return c, nil
 }
 
@@ -197,27 +229,39 @@ func quantizeFeature(v, q float64) int64 {
 	return int64(r)
 }
 
-// keyFor builds the cache key for a profiling run's mean sample: the shared
-// (arch, objective, threshold) prefix plus the quantized feature vector.
-func (c *PlanCache) keyFor(mean dcgm.Sample) (string, error) {
+// appendKey writes the cache key for a profiling run's mean sample — the
+// shared (arch, objective, threshold) prefix plus the quantized feature
+// vector — into ws.buf and returns it. The byte form is what the hot path
+// hashes and looks up; only a miss copies it into an immutable string.
+func (c *PlanCache) appendKey(ws *keyWS, mean dcgm.Sample) ([]byte, error) {
 	m := c.sweeper.models
-	base := make([]float64, len(m.Features))
-	if err := dataset.FeatureVectorInto(base, m.Features, mean, c.sweeper.target.MaxFreqMHz, c.sweeper.target.MaxFreqMHz); err != nil {
-		return "", err
+	if err := dataset.FeatureVectorInto(ws.base, m.Features, mean, c.sweeper.target.MaxFreqMHz, c.sweeper.target.MaxFreqMHz); err != nil {
+		return nil, err
 	}
-	buf := make([]byte, 0, len(c.prefix)+16*len(base))
-	buf = append(buf, c.prefix...)
-	for _, v := range base {
+	buf := append(ws.buf[:0], c.prefix...)
+	for _, v := range ws.base {
 		buf = strconv.AppendInt(buf, quantizeFeature(v, c.cfg.Quantum), 36)
 		buf = append(buf, ',')
 	}
-	return string(buf), nil
+	ws.buf = buf // keep any growth for the next caller
+	return buf, nil
+}
+
+// keyFor is the allocating convenience form of appendKey (tests, Clamped).
+func (c *PlanCache) keyFor(mean dcgm.Sample) (string, error) {
+	ws := c.keyPool.Get().(*keyWS)
+	defer c.keyPool.Put(ws)
+	key, err := c.appendKey(ws, mean)
+	if err != nil {
+		return "", err
+	}
+	return string(key), nil
 }
 
 // shardFor hashes a key (FNV-1a 64) onto its lock stripe. The quantized
 // feature digits at the key's tail carry the workload identity, so
 // same-prefix keys still spread across shards.
-func (c *PlanCache) shardFor(key string) *planShard {
+func (c *PlanCache) shardFor(key []byte) *planShard {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
 	for i := 0; i < len(key); i++ {
@@ -241,24 +285,48 @@ func (c *PlanCache) Select(maxRun dcgm.Run) (sel Selection, hit bool, err error)
 // for the winning computation regardless (its duration is bounded by one
 // sweep plus the batcher's max wait).
 func (c *PlanCache) SelectCtx(ctx context.Context, maxRun dcgm.Run) (sel Selection, hit bool, err error) {
+	sel, _, hit, err = c.selectEntry(ctx, maxRun)
+	return sel, hit, err
+}
+
+// SelectDerived is Select extended with the Derive payload memoized for the
+// run's bucket: whatever PlanCacheConfig.Derive returned when the bucket was
+// first computed (nil when Derive is unset). An online planner calls this on
+// every arrival and gets its precomputed per-bucket structure back on hits
+// without touching the profiles.
+func (c *PlanCache) SelectDerived(maxRun dcgm.Run) (sel Selection, derived any, hit bool, err error) {
+	return c.selectEntry(context.Background(), maxRun)
+}
+
+// SelectDerivedCtx is SelectDerived with a context for the miss path.
+func (c *PlanCache) SelectDerivedCtx(ctx context.Context, maxRun dcgm.Run) (sel Selection, derived any, hit bool, err error) {
+	return c.selectEntry(ctx, maxRun)
+}
+
+func (c *PlanCache) selectEntry(ctx context.Context, maxRun dcgm.Run) (sel Selection, derived any, hit bool, err error) {
 	if err := c.sweeper.validateRun(maxRun); err != nil {
-		return Selection{}, false, err
+		return Selection{}, nil, false, err
 	}
-	key, err := c.keyFor(maxRun.MeanSample())
+	ws := c.keyPool.Get().(*keyWS)
+	kb, err := c.appendKey(ws, maxRun.MeanSample())
 	if err != nil {
-		return Selection{}, false, err
+		c.keyPool.Put(ws)
+		return Selection{}, nil, false, err
 	}
 
-	sh := c.shardFor(key)
+	sh := c.shardFor(kb)
 	sh.mu.Lock()
-	e, hit := sh.entries[key]
+	// The map index expression over string(kb) does not allocate: the
+	// compiler looks the byte slice up directly. Only a miss pays for the
+	// string conversion.
+	e, hit := sh.entries[string(kb)]
 	if hit {
 		sh.lru.MoveToFront(e.elem)
 		sh.hits.Add(1)
 	} else {
-		e = &planEntry{key: key}
+		e = &planEntry{key: string(kb)}
 		e.elem = sh.lru.PushFront(e)
-		sh.entries[key] = e
+		sh.entries[e.key] = e
 		sh.misses.Add(1)
 		for sh.lru.Len() > c.shardCap {
 			back := sh.lru.Back()
@@ -269,30 +337,40 @@ func (c *PlanCache) SelectCtx(ctx context.Context, maxRun dcgm.Run) (sel Selecti
 		}
 	}
 	sh.mu.Unlock()
+	c.keyPool.Put(ws)
 
-	e.once.Do(func() {
-		profiles := make([]objective.Profile, c.sweeper.GridSize())
-		clamped, perr := c.sweep(ctx, profiles, maxRun)
-		if perr != nil {
-			e.err = perr
-			return
-		}
-		e.clamped = clamped
-		e.sel, e.err = SelectFrequency(profiles, c.cfg.Objective, c.cfg.Threshold)
-	})
+	// done is only stored (under the once) after every entry field is
+	// final, so a true load proves the fields are readable without entering
+	// once.Do — whose closure would be the hit path's only allocation.
+	if !e.done.Load() {
+		e.once.Do(func() {
+			defer e.done.Store(true)
+			profiles := make([]objective.Profile, c.sweeper.GridSize())
+			clamped, perr := c.sweep(ctx, profiles, maxRun)
+			if perr != nil {
+				e.err = perr
+				return
+			}
+			e.clamped = clamped
+			e.sel, e.err = SelectFrequency(profiles, c.cfg.Objective, c.cfg.Threshold)
+			if e.err == nil && c.cfg.Derive != nil {
+				e.derived = c.cfg.Derive(profiles, e.sel)
+			}
+		})
+	}
 	if e.err != nil {
 		// Drop the failed entry so a transient error (including an
 		// overloaded or canceled batched sweep) does not poison the bucket
 		// for later callers.
 		sh.mu.Lock()
-		if cur, ok := sh.entries[key]; ok && cur == e {
+		if cur, ok := sh.entries[e.key]; ok && cur == e {
 			sh.lru.Remove(e.elem)
-			delete(sh.entries, key)
+			delete(sh.entries, e.key)
 		}
 		sh.mu.Unlock()
-		return Selection{}, false, e.err
+		return Selection{}, nil, false, e.err
 	}
-	return e.sel, hit, nil
+	return e.sel, e.derived, hit, nil
 }
 
 // Clamped returns the per-axis clamp counts recorded when the given run's
@@ -302,7 +380,7 @@ func (c *PlanCache) Clamped(maxRun dcgm.Run) (Clamps, bool) {
 	if err != nil {
 		return Clamps{}, false
 	}
-	sh := c.shardFor(key)
+	sh := c.shardFor([]byte(key))
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if e, ok := sh.entries[key]; ok {

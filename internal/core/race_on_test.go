@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its runtime allocates on instrumented paths (including sync.Pool gets),
+// so zero-alloc assertions only hold in non-race builds.
+const raceEnabled = true

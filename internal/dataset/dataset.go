@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"sort"
 
-	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/backend"
+	"gpudvfs/internal/dcgm"
 )
 
 // PaperFeatures is the feature set the paper selects via mutual

@@ -6,8 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/backend"
+	"gpudvfs/internal/dcgm"
 )
 
 func sampleAt(freq, fp, dram float64) dcgm.Sample {

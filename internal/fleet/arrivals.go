@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Arrival distributions. Each combines an interarrival process with a
+// workload-key distribution over the run catalogue:
+//
+//	uniform — Poisson arrivals, uniformly random keys (the synthetic
+//	          all-corners load the concurrency benches used)
+//	zipf    — Poisson arrivals, Zipf(s=1.1) keys: a hot head of popular
+//	          workloads with a long tail, the hit-heavy shape a shared
+//	          cluster actually serves
+//	bursty  — two-state modulated Poisson (an "on" state carrying
+//	          burstFactor× the off-state rate for ~onFraction of the
+//	          time, mean rate preserved), Zipf keys
+const (
+	DistUniform = "uniform"
+	DistZipf    = "zipf"
+	DistBursty  = "bursty"
+)
+
+// Bursty-state shape: the on state runs burstFactor× the off-state rate
+// and covers onFraction of time in expectation, so
+// rate = onFraction·λon + (1-onFraction)·λoff  ⇒  λoff = rate/1.6.
+const (
+	burstOnFraction = 0.2
+	burstFactor     = 4.0
+	// burstMeanOn is the mean on-state duration in expected on-state
+	// arrivals: bursts average ~32 back-to-back jobs.
+	burstMeanOn = 32.0
+)
+
+// arrivalGen produces the arrival stream for one replication. All
+// randomness flows through the one rng in a fixed draw order
+// (interarrival, then key, then GPU count — the engine draws the last),
+// which is what keeps a replication's stream a pure function of its seed.
+type arrivalGen struct {
+	dist  string
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	space int32
+
+	rate float64 // uniform/zipf: the one Poisson rate
+
+	// bursty state machine.
+	onRate, offRate float64
+	onMean, offMean float64 // mean state durations, seconds
+	burstOn         bool
+	stateEnd        float64
+}
+
+func newArrivalGen(dist string, rate float64, space int, rng *rand.Rand) (*arrivalGen, error) {
+	g := &arrivalGen{dist: dist, rng: rng, space: int32(space), rate: rate}
+	switch dist {
+	case DistUniform:
+	case DistZipf, DistBursty:
+		g.zipf = rand.NewZipf(rng, 1.1, 1, uint64(space-1))
+		if dist == DistBursty {
+			g.offRate = rate / (burstOnFraction*burstFactor + (1 - burstOnFraction))
+			g.onRate = burstFactor * g.offRate
+			g.onMean = burstMeanOn / g.onRate
+			g.offMean = g.onMean * (1 - burstOnFraction) / burstOnFraction
+			// Start in the off state, with the first state change drawn
+			// like every later one.
+			g.stateEnd = g.rng.ExpFloat64() * g.offMean
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown arrival distribution %q (want %s, %s or %s)", dist, DistUniform, DistZipf, DistBursty)
+	}
+	return g, nil
+}
+
+// next returns the next arrival's absolute time (after now) and its
+// workload key. It never allocates.
+func (g *arrivalGen) next(now float64) (t float64, key int32) {
+	switch g.dist {
+	case DistUniform:
+		return now + g.rng.ExpFloat64()/g.rate, int32(g.rng.Intn(int(g.space)))
+	case DistZipf:
+		return now + g.rng.ExpFloat64()/g.rate, int32(g.zipf.Uint64())
+	default: // DistBursty
+		for {
+			r := g.offRate
+			if g.burstOn {
+				r = g.onRate
+			}
+			dt := g.rng.ExpFloat64() / r
+			if now+dt <= g.stateEnd {
+				return now + dt, int32(g.zipf.Uint64())
+			}
+			// The candidate falls past the state boundary: discard it,
+			// advance to the boundary, and redraw under the new rate.
+			now = g.stateEnd
+			g.burstOn = !g.burstOn
+			mean := g.offMean
+			if g.burstOn {
+				mean = g.onMean
+			}
+			g.stateEnd = now + g.rng.ExpFloat64()*mean
+		}
+	}
+}

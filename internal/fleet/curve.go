@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/objective"
+	"gpudvfs/internal/sched"
+)
+
+// Curve is one workload bucket's deadline-feasibility index: the plan
+// curve's operating points re-sorted by predicted time, with a prefix
+// minimum-energy index on top. Built once per plan-cache bucket (through
+// PlanCacheConfig.Derive) and consulted on every placement, it answers
+// "the lowest-energy operating point that finishes within budget t" with
+// one binary search and zero allocations.
+type Curve struct {
+	// points is sched.PlanCurve's output re-sorted ascending by predicted
+	// TimeSec (ties broken by energy, then core and memory frequency, so
+	// the index is deterministic for any input order).
+	points []objective.Profile
+	// energy[i] is points[i].Energy(), precomputed.
+	energy []float64
+	// minAt[i] indexes the minimum-energy point within points[:i+1] — the
+	// answer for any time budget that admits exactly points[:i+1].
+	minAt []int
+	// ref is the default-clock reference endpoint (max core, then max
+	// memory): the fallback operating point when no curve point meets the
+	// deadline, and the "always max" baseline energy accounting compares
+	// against.
+	ref objective.Profile
+}
+
+// BuildCurve derives a feasibility index from a predicted profile set.
+// The signature matches core.PlanCacheConfig.Derive so a plan cache can
+// memoize one Curve per workload bucket:
+//
+//	Derive: func(p []objective.Profile, sel core.Selection) any {
+//		return fleet.BuildCurve(p, sel)
+//	}
+//
+// The profiles slice is read, never modified or retained.
+func BuildCurve(profiles []objective.Profile, _ core.Selection) *Curve {
+	pts := sched.PlanCurve(profiles)
+	c := &Curve{
+		points: pts,
+		energy: make([]float64, len(pts)),
+		minAt:  make([]int, len(pts)),
+		ref:    pts[len(pts)-1],
+	}
+	sort.Slice(c.points, func(a, b int) bool {
+		pa, pb := c.points[a], c.points[b]
+		if pa.TimeSec != pb.TimeSec {
+			return pa.TimeSec < pb.TimeSec
+		}
+		ea, eb := pa.Energy(), pb.Energy()
+		if ea != eb {
+			return ea < eb
+		}
+		if pa.FreqMHz != pb.FreqMHz {
+			return pa.FreqMHz < pb.FreqMHz
+		}
+		return pa.MemFreqMHz < pb.MemFreqMHz
+	})
+	best := 0
+	for i, p := range c.points {
+		c.energy[i] = p.Energy()
+		if c.energy[i] < c.energy[best] {
+			best = i
+		}
+		c.minAt[i] = best
+	}
+	return c
+}
+
+// Choose returns the lowest-energy operating point whose predicted time
+// fits within budget seconds. feasible is false when even the fastest
+// point exceeds the budget (or the budget is not positive); the returned
+// point is then the default-clock reference — run flat out and take the
+// deadline miss. Choose never allocates.
+func (c *Curve) Choose(budget float64) (p objective.Profile, feasible bool) {
+	if budget <= 0 || math.IsNaN(budget) || c.points[0].TimeSec > budget {
+		return c.ref, false
+	}
+	// Binary search the last point with TimeSec <= budget; the prefix up
+	// to it is exactly the feasible set.
+	lo, hi := 0, len(c.points)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.points[mid].TimeSec <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return c.points[c.minAt[lo]], true
+}
+
+// Ref returns the default-clock reference point — the always-max baseline.
+func (c *Curve) Ref() objective.Profile { return c.ref }
+
+// Len returns the number of operating points on the curve.
+func (c *Curve) Len() int { return len(c.points) }

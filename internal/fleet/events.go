@@ -1,0 +1,134 @@
+package fleet
+
+// eventKind discriminates the two things that happen in the simulation.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+)
+
+// event is one scheduled occurrence. Events are value types inside the
+// heap's backing slice — no per-event heap object, no interface boxing —
+// and are ordered by (time, seq): seq is a monotone counter assigned at
+// push, so simultaneous events always replay in the order they were
+// scheduled. That pair is the engine's total order, and it is what makes
+// the simulation deterministic.
+type event struct {
+	t    float64
+	seq  uint64
+	kind eventKind
+	job  int32 // job slot for departures; the workload key for arrivals
+}
+
+// eventHeap is a binary min-heap over a value slice. It reimplements the
+// sift operations instead of wrapping container/heap because the interface
+// methods would force the slice header through an interface value and the
+// Pop contract would churn the tail — this version does nothing but move
+// struct values inside one backing array.
+type eventHeap struct {
+	ev  []event
+	seq uint64
+}
+
+func (h *eventHeap) less(a, b int) bool {
+	if h.ev[a].t != h.ev[b].t {
+		return h.ev[a].t < h.ev[b].t
+	}
+	return h.ev[a].seq < h.ev[b].seq
+}
+
+// push schedules an event, stamping its sequence number.
+func (h *eventHeap) push(t float64, kind eventKind, job int32) {
+	h.ev = append(h.ev, event{t: t, seq: h.seq, kind: kind, job: job})
+	h.seq++
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. Callers check len first.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.ev[i], h.ev[c] = h.ev[c], h.ev[i]
+		i = c
+	}
+	return top
+}
+
+// job is one arrival's lifecycle record. Records live in the engine's
+// grow-only jobs slice and are recycled through a free-list of slot
+// indices, so the steady-state loop never allocates one.
+type job struct {
+	id       int64
+	key      int32
+	gpus     int32
+	node     int32
+	missed   bool
+	queued   bool // placed from the backlog rather than on arrival
+	curve    *Curve
+	arrive   float64
+	deadline float64
+	start    float64
+	finish   float64
+	freq     float64
+	memFreq  float64
+	energyJ  float64 // predicted energy at the assigned point, all GPUs
+	refJ     float64 // predicted energy at the always-max reference
+}
+
+// intRing is a FIFO ring buffer of job slots — the global backlog. It
+// grows by doubling when full (warmup-time only under a stable load) and
+// never shrinks.
+type intRing struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (r *intRing) len() int { return r.n }
+
+func (r *intRing) push(v int32) {
+	if r.n == len(r.buf) {
+		grown := make([]int32, 2*len(r.buf)+8)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// peek returns the oldest slot without removing it.
+func (r *intRing) peek() int32 { return r.buf[r.head] }
+
+func (r *intRing) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/replay"
+	"gpudvfs/internal/dcgm"
+)
+
+// benchCatalogue builds the workload catalogue the way a deployment
+// would: a recorded max-clock campaign is mounted behind the replay
+// backend and each workload is profiled through the standard online-phase
+// acquisition (dcgm.ProfileAtMax). The trace carries n distinct workload
+// characters spread over the quantized feature space.
+func benchCatalogue(b *testing.B, n int) []dcgm.Run {
+	b.Helper()
+	rec := make([]backend.Run, n)
+	for i := range rec {
+		rec[i] = backend.Run{
+			Workload:      fmt.Sprintf("wl-%03d", i),
+			Arch:          "GA100",
+			FreqMHz:       1410,
+			ExecTimeSec:   1 + 0.01*float64(i%17),
+			AvgPowerWatts: 250,
+			Samples: []backend.Sample{{
+				FP32Active:    0.05 + 0.17*float64(i%257),
+				DRAMActive:    0.10 + 0.19*float64(i/257),
+				SMAppClockMHz: 1410,
+				PowerUsage:    250,
+			}},
+		}
+	}
+	dev, err := replay.New(rec, replay.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	coll := dcgm.NewCollector(dev, dcgm.Config{})
+	runs := make([]dcgm.Run, n)
+	for i := range rec {
+		run, err := coll.ProfileAtMax(backend.Named(rec[i].Workload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		runs[i] = run
+	}
+	return runs
+}
+
+// benchFleet replays `arrivals` online arrivals through the serving hot
+// path and reports the engine's self-measured metrics. One benchmark
+// iteration is one full simulation; the interesting numbers are the
+// per-iteration ReportMetric series, not ns/op.
+func benchFleet(b *testing.B, dist string, arrivals int) {
+	sw := fleetSweeper(b)
+	runs := benchCatalogue(b, 512)
+	rate := stableRate(b, sw, runs, 256, 4, 4, 1.5, 0.6)
+	s, err := New(sw, runs, Config{
+		Nodes: 256, GPUsPerNode: 4, Rate: rate, Dist: dist,
+		MaxArrivals: arrivals, Warmup: arrivals / 10,
+		Prewarm: true, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.LoopAllocs != 0 {
+			b.Fatalf("steady-state event loop allocated %d times", r.LoopAllocs)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Arrivals)/last.WallSec, "arrivals/sec")
+	b.ReportMetric(last.EventsPerSec, "events/sec")
+	b.ReportMetric(float64(last.LoopAllocs), "loop-allocs")
+	b.ReportMetric(last.HitRatio(), "hit-ratio")
+	b.ReportMetric(last.MissRate(), "miss-rate")
+	b.ReportMetric(last.EnergySavedPct(), "energy-saved-%")
+	b.ReportMetric(float64(last.P50DecisionNs), "p50-decision-ns")
+	b.ReportMetric(float64(last.P99DecisionNs), "p99-decision-ns")
+}
+
+func BenchmarkFleetUniform100k(b *testing.B) { benchFleet(b, DistUniform, 100_000) }
+func BenchmarkFleetZipf100k(b *testing.B)    { benchFleet(b, DistZipf, 100_000) }
+func BenchmarkFleetBursty100k(b *testing.B)  { benchFleet(b, DistBursty, 100_000) }
+
+// BenchmarkFleetZipf1M is the long-haul arm: a million arrivals through
+// one engine, the scale ROADMAP item 1 calls for. Excluded from smoke
+// runs by the benchtime budget, included in BENCH_fleet.json.
+func BenchmarkFleetZipf1M(b *testing.B) { benchFleet(b, DistZipf, 1_000_000) }

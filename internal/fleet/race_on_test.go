@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its runtime allocates inside instrumented loops, so the zero-alloc
+// steady-state assertion only holds in non-race builds.
+const raceEnabled = true

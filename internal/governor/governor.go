@@ -17,9 +17,9 @@ import (
 	"errors"
 	"fmt"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/backend"
 	"gpudvfs/internal/objective"
 )
 

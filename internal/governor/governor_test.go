@@ -4,11 +4,11 @@ import (
 	"sync"
 	"testing"
 
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dataset"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/backend"
-	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/objective"
 	"gpudvfs/internal/trace"
 	"gpudvfs/internal/workloads"

@@ -3,9 +3,9 @@ package governor
 import (
 	"fmt"
 
+	"gpudvfs/internal/backend"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
-	"gpudvfs/internal/backend"
 	"gpudvfs/internal/trace"
 )
 

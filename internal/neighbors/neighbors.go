@@ -39,8 +39,8 @@ const leafSize = 16
 // node is one k-d tree node: its points' bounding box plus either two
 // children or (for leaves) a span into Tree.order.
 type node struct {
-	minX, maxX float64
-	minY, maxY float64
+	minX, maxX  float64
+	minY, maxY  float64
 	left, right int32 // child node indices; -1 marks a leaf
 	start, end  int32 // half-open span into Tree.order
 }

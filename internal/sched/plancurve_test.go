@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gpudvfs/internal/objective"
+)
+
+// TestPlanCurve1DSortsByFrequency pins the single-memory-state contract:
+// the curve is the input sorted ascending by core frequency, bit for bit,
+// with the max-clock reference point last.
+func TestPlanCurve1DSortsByFrequency(t *testing.T) {
+	in := []objective.Profile{
+		{FreqMHz: 1410, TimeSec: 1.0, PowerWatts: 300},
+		{FreqMHz: 510, TimeSec: 2.1, PowerWatts: 120},
+		{FreqMHz: 900, TimeSec: 1.4, PowerWatts: 190},
+	}
+	orig := append([]objective.Profile(nil), in...)
+	got := PlanCurve(in)
+	want := []objective.Profile{in[1], in[2], in[0]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PlanCurve 1-D = %+v, want frequency-ascending %+v", got, want)
+	}
+	if !reflect.DeepEqual(in, orig) {
+		t.Fatal("PlanCurve modified its input slice")
+	}
+	if got[len(got)-1].FreqMHz != 1410 {
+		t.Fatal("reference point (max clock) is not last")
+	}
+}
+
+// TestPlanCurveSkyline pins the 2-D contract: the reference endpoint is
+// the (max core, then max mem) corner, dominated points are dropped, and
+// walking up the curve strictly trades power for predicted time.
+func TestPlanCurveSkyline(t *testing.T) {
+	in := []objective.Profile{
+		{FreqMHz: 1410, MemFreqMHz: 1597, TimeSec: 1.00, PowerWatts: 320}, // reference corner
+		{FreqMHz: 1410, MemFreqMHz: 810, TimeSec: 1.30, PowerWatts: 280},
+		{FreqMHz: 900, MemFreqMHz: 1597, TimeSec: 1.40, PowerWatts: 200},
+		{FreqMHz: 900, MemFreqMHz: 810, TimeSec: 1.80, PowerWatts: 150},
+		{FreqMHz: 510, MemFreqMHz: 1597, TimeSec: 2.30, PowerWatts: 140},
+		// Dominated: more power than the 900/810 point but also slower.
+		{FreqMHz: 510, MemFreqMHz: 810, TimeSec: 2.60, PowerWatts: 160},
+	}
+	got := PlanCurve(in)
+
+	ref := got[len(got)-1]
+	if ref.FreqMHz != 1410 || ref.MemFreqMHz != 1597 {
+		t.Fatalf("reference endpoint = (%v, %v), want the (1410, 1597) corner", ref.FreqMHz, ref.MemFreqMHz)
+	}
+	for _, p := range got {
+		if p.FreqMHz == 510 && p.MemFreqMHz == 810 {
+			t.Fatal("dominated point survived the skyline reduction")
+		}
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a].PowerWatts < got[b].PowerWatts }) {
+		t.Fatalf("skyline is not power-ascending: %+v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].TimeSec >= got[i-1].TimeSec {
+			t.Fatalf("skyline point %d does not improve time: %+v", i, got)
+		}
+	}
+}
+
+// TestPlanCurveEdgeShapes covers the degenerate inputs a caller can feed:
+// a single point, and a grid whose every non-reference point is dominated.
+func TestPlanCurveEdgeShapes(t *testing.T) {
+	one := []objective.Profile{{FreqMHz: 1410, TimeSec: 1, PowerWatts: 300}}
+	if got := PlanCurve(one); len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("single-point curve = %+v", got)
+	}
+
+	allDominated := []objective.Profile{
+		{FreqMHz: 1410, MemFreqMHz: 1597, TimeSec: 1.0, PowerWatts: 300},
+		{FreqMHz: 1410, MemFreqMHz: 810, TimeSec: 1.2, PowerWatts: 310}, // more power, slower
+	}
+	got := PlanCurve(allDominated)
+	if len(got) != 1 || got[0] != allDominated[0] {
+		t.Fatalf("fully dominated grid should collapse to the reference corner, got %+v", got)
+	}
+	if math.IsNaN(got[0].Energy()) {
+		t.Fatal("reference corner energy is NaN")
+	}
+}

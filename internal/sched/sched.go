@@ -151,20 +151,31 @@ func (p *Planner) profileJob(i int, j Job) profiled {
 		return profiled{err: fmt.Errorf("sched: profiling job %q: %w", j.Name, err)}
 	}
 	return profiled{
-		curve:   planCurve(on.Predicted),
+		curve:   PlanCurve(on.Predicted),
 		clamped: core.Clamps{Core: on.ClampedCore, Mem: on.ClampedMem},
 	}
 }
 
-// planCurve orders a predicted profile set into the ascending operating
-// curve the greedy planner walks. A single-memory-state set (every 1-D
-// sweep) keeps the historical sort by core frequency, bit for bit. A 2-D
-// grid is first reduced to its power/time skyline: the default-state
-// corner (max core, then max mem) is the reference endpoint, and the
-// remaining points are kept only where spending more power actually buys
-// predicted time — stepping down the curve then always trades watts for
-// slowdown, the exchange rate Plan's marginal descent prices.
-func planCurve(profiles []objective.Profile) []objective.Profile {
+// PlanCurve orders a predicted profile set into the ascending operating
+// curve a frequency planner walks: index len-1 is the reference point (the
+// default clocks a job runs at absent any plan), and stepping the index
+// down always trades watts for predicted slowdown. A single-memory-state
+// set (every 1-D sweep) keeps the historical sort by core frequency, bit
+// for bit. A 2-D grid is first reduced to its power/time skyline: the
+// default-state corner (max core, then max mem) is the reference endpoint,
+// and the remaining points are kept only where spending more power
+// actually buys predicted time.
+//
+// Two planners share this construction: Plan's greedy marginal descent
+// prices the watts-per-slowdown exchange rate between adjacent indices,
+// and the fleet simulator builds its deadline-feasibility index over the
+// curve's points. On the skyline path predicted time strictly decreases
+// with ascending index; the 1-D sort orders by frequency alone, so a
+// non-monotone model may leave local time inversions, which consumers
+// needing strict time ordering (internal/fleet) re-index themselves. The
+// input slice is not modified; the returned curve is freshly allocated and
+// always non-empty for non-empty input, with the reference point last.
+func PlanCurve(profiles []objective.Profile) []objective.Profile {
 	curve := append([]objective.Profile(nil), profiles...)
 	sameMem := true
 	for _, p := range curve[1:] {

@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"gpudvfs/internal/dcgm"
 	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/workloads"
 )
 
