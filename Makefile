@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve ./internal/fleet
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve ./internal/fleet ./internal/router ./internal/obs
 
-.PHONY: all build test race bench-smoke fuzz-smoke vet fmt-check check
+.PHONY: all build test race bench-smoke bench-router fuzz-smoke vet fmt-check check
 
 all: build
 
@@ -39,7 +39,9 @@ race:
 # concurrent-serving table; the Sweep1D/Sweep2D arms plus the mat
 # MulTB61x64 blocked/naive split cover the BENCH_sweep2d.json 1-D vs 2-D
 # sweep-cost table; the fleet 100k arms cover the BENCH_fleet.json
-# event-engine table (and re-assert its 0-alloc steady-state invariant).
+# event-engine table (and re-assert its 0-alloc steady-state invariant);
+# the router/obs arms cover the ring-lookup and metrics-render hot paths
+# behind BENCH_router.json (and re-assert their 0-alloc invariants).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
@@ -47,6 +49,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench ReplayProfile -benchtime=1x ./internal/backend/replay
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/serve
 	$(GO) test -run '^$$' -bench 'Fleet.*100k' -benchtime=1x ./internal/fleet
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/router ./internal/obs
+
+# bench-router records BENCH_router.json: the 1/2/4-replica scaling sweep
+# behind the dvfs-router front (in-process replicas on loopback sockets,
+# Zipf-skewed keys so the hit/miss split is visible). Not part of check —
+# run on a multi-core host for meaningful scaling numbers.
+bench-router:
+	$(GO) run ./cmd/dvfs-bench -load -load-replicas 1,2,4 -load-dist zipf -load-concurrency 8,16 -load-requests 2000 -load-out BENCH_router.json
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in kernel exactness, estimator exactness, or plan-cache key

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/nn"
 	"gpudvfs/internal/objective"
+	"gpudvfs/internal/router"
 	"gpudvfs/internal/serve"
 	"gpudvfs/internal/stats"
 )
@@ -271,39 +273,140 @@ func localScenarios(m *core.Models, runs []dcgm.Run, keys []int, mems []float64,
 	}
 }
 
-// urlScenario drives an external dvfs-served daemon, picking workload
-// names by the pregenerated key sequence (or round-robin when keys is
-// nil). 429 responses count as shed; anything else non-200 is an error.
-// Cache hits come from the response's cache_hit field — note the daemon's
-// cache stays warm across concurrency levels, unlike local scenarios.
+// doSelect posts one select and classifies the outcome: 200 reports the
+// response's cache_hit, 429 counts as shed, anything else is an error.
+func doSelect(client *http.Client, base, app string) (hit, shed bool, err error) {
+	body := fmt.Sprintf(`{"workload": %q}`, app)
+	resp, err := client.Post(base+"/v1/select", "application/json", strings.NewReader(body))
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sel struct {
+			CacheHit bool `json:"cache_hit"`
+		}
+		err := json.NewDecoder(resp.Body).Decode(&sel)
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return sel.CacheHit, false, err
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		return false, true, nil
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+	return false, false, fmt.Errorf("POST /v1/select: status %d", resp.StatusCode)
+}
+
+// appAt picks request i's workload name: the pregenerated key sequence
+// when present, round-robin otherwise.
+func appAt(apps []string, keys []int, i int) string {
+	if keys != nil {
+		return apps[keys[i%len(keys)]%len(apps)]
+	}
+	return apps[i%len(apps)]
+}
+
+// urlScenario drives an external dvfs-served daemon (or a dvfs-router
+// front). Note the daemon's cache stays warm across concurrency levels,
+// unlike local scenarios.
 func urlScenario(url string, apps []string, keys []int) selectFunc {
 	client := &http.Client{Timeout: 30 * time.Second}
 	return func(i int) (bool, bool, error) {
-		app := apps[i%len(apps)]
-		if keys != nil {
-			app = apps[keys[i%len(keys)]%len(apps)]
-		}
-		body := fmt.Sprintf(`{"workload": %q}`, app)
-		resp, err := client.Post(url+"/v1/select", "application/json", strings.NewReader(body))
-		if err != nil {
-			return false, false, err
-		}
-		defer resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
-			var sel struct {
-				CacheHit bool `json:"cache_hit"`
-			}
-			err := json.NewDecoder(resp.Body).Decode(&sel)
-			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-			return sel.CacheHit, false, err
-		case http.StatusTooManyRequests:
-			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-			return false, true, nil
-		}
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-		return false, false, fmt.Errorf("POST /v1/select: status %d", resp.StatusCode)
+		return doSelect(client, url, appAt(apps, keys, i))
 	}
+}
+
+// fleetScenario drives several dvfs-served daemons with client-side
+// routing: each request's workload name picks its replica through the
+// same consistent-hash ring dvfs-router uses, so per-replica caches see
+// stable key subsets without a router daemon in the path.
+func fleetScenario(urls []string, apps []string, keys []int) (selectFunc, error) {
+	ring, err := router.NewRing(urls, 0)
+	if err != nil {
+		return nil, err
+	}
+	clients := make([]*http.Client, len(urls))
+	for i := range clients {
+		clients[i] = &http.Client{Timeout: 30 * time.Second}
+	}
+	return func(i int) (bool, bool, error) {
+		app := appAt(apps, keys, i)
+		owner := ring.Pick([]byte(app), nil)
+		return doSelect(clients[owner], urls[owner], app)
+	}, nil
+}
+
+// routerScenarios builds the replica-scaling sweep behind BENCH_router.json:
+// for each replica count, a fresh fleet of in-process dvfs-served stacks on
+// loopback listeners fronted by a dvfs-router proxy, driven through real
+// sockets. Every level starts cold (new replicas, new router), so the
+// hit/miss split and throughput are comparable across counts.
+func routerScenarios(m *core.Models, counts []int, apps []string, keys []int) []scenario {
+	arch := sim.GA100().Spec()
+	mkFleet := func(n int) (selectFunc, func(), error) {
+		var cleanups []func()
+		cleanup := func() {
+			for i := len(cleanups) - 1; i >= 0; i-- {
+				cleanups[i]()
+			}
+		}
+		urls := make([]string, n)
+		for i := 0; i < n; i++ {
+			sw, err := m.NewSweeper(arch, arch.DesignClocks())
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			srv, err := serve.NewServer(sw, serve.ServerConfig{
+				Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1},
+			})
+			if err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			h, err := serve.NewHandler(srv, serve.HTTPConfig{Device: sim.New(sim.GA100(), 3), ProfileSeed: 11})
+			if err != nil {
+				srv.Close()
+				cleanup()
+				return nil, nil, err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				srv.Close()
+				cleanup()
+				return nil, nil, err
+			}
+			hs := &http.Server{Handler: h}
+			go hs.Serve(ln) //nolint:errcheck // closed via hs.Close
+			cleanups = append(cleanups, func() { hs.Close(); srv.Close() })
+			urls[i] = "http://" + ln.Addr().String()
+		}
+		p, err := router.New(router.Config{Replicas: urls, HealthInterval: -1})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			p.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		fhs := &http.Server{Handler: p.Handler()}
+		go fhs.Serve(fln) //nolint:errcheck // closed via fhs.Close
+		cleanups = append(cleanups, func() { fhs.Close(); p.Close() })
+		return urlScenario("http://"+fln.Addr().String(), apps, keys), cleanup, nil
+	}
+	out := make([]scenario, len(counts))
+	for i, n := range counts {
+		n := n
+		out[i] = scenario{
+			fmt.Sprintf("dvfs-router over %d replica(s)", n),
+			func() (selectFunc, func(), error) { return mkFleet(n) },
+		}
+	}
+	return out
 }
 
 func machineString() string {
@@ -314,9 +417,22 @@ func machineString() string {
 	return s
 }
 
+// splitList trims a comma-separated flag value into its non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 // runLoad is the closed-loop load-generator mode: local serving-stack
-// scenarios by default, or an external daemon when url is set.
-func runLoad(url, concStr, appsStr, dist, memSpec string, requests int, outPath string, w io.Writer) error {
+// scenarios by default, an external daemon when url is set, a client-routed
+// external fleet when urls is set, or an in-process router-fronted replica
+// scaling sweep when replicas is set.
+func runLoad(url, urls, replicas, concStr, appsStr, dist, memSpec string, requests int, outPath string, w io.Writer) error {
 	levels, err := parseConcurrency(concStr)
 	if err != nil {
 		return err
@@ -324,26 +440,69 @@ func runLoad(url, concStr, appsStr, dist, memSpec string, requests int, outPath 
 	if requests < 1 {
 		return fmt.Errorf("-load-requests must be positive, got %d", requests)
 	}
+	modes := 0
+	for _, set := range []bool{url != "", urls != "", replicas != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return errors.New("-load-url, -load-urls, and -load-replicas are mutually exclusive")
+	}
+
+	apps := splitList(appsStr)
+	if modes > 0 && len(apps) == 0 {
+		return errors.New("-load-apps is empty")
+	}
 
 	var scenarios []scenario
-	if url != "" {
+	switch {
+	case url != "" || urls != "":
 		if memSpec != "" {
-			return errors.New("-mem-freqs has no effect with -load-url; pass it to the dvfs-served daemon instead")
-		}
-		apps := strings.Split(appsStr, ",")
-		for i := range apps {
-			apps[i] = strings.TrimSpace(apps[i])
+			return errors.New("-mem-freqs has no effect with -load-url/-load-urls; pass it to the dvfs-served daemon instead")
 		}
 		keys, err := loadKeys(dist, requests, len(apps))
 		if err != nil {
 			return err
 		}
-		call := urlScenario(strings.TrimRight(url, "/"), apps, keys)
+		if url != "" {
+			call := urlScenario(strings.TrimRight(url, "/"), apps, keys)
+			scenarios = []scenario{{
+				fmt.Sprintf("dvfs-served at %s", url),
+				func() (selectFunc, func(), error) { return call, func() {}, nil },
+			}}
+			break
+		}
+		bases := splitList(urls)
+		for i := range bases {
+			bases[i] = strings.TrimRight(bases[i], "/")
+		}
+		call, err := fleetScenario(bases, apps, keys)
+		if err != nil {
+			return err
+		}
 		scenarios = []scenario{{
-			fmt.Sprintf("dvfs-served at %s", url),
+			fmt.Sprintf("client-routed fleet of %d dvfs-served", len(bases)),
 			func() (selectFunc, func(), error) { return call, func() {}, nil },
 		}}
-	} else {
+	case replicas != "":
+		if memSpec != "" {
+			return errors.New("-mem-freqs has no effect with -load-replicas")
+		}
+		counts, err := parseConcurrency(replicas)
+		if err != nil {
+			return fmt.Errorf("-load-replicas: %w", err)
+		}
+		keys, err := loadKeys(dist, requests, len(apps))
+		if err != nil {
+			return err
+		}
+		m, err := loadModels()
+		if err != nil {
+			return err
+		}
+		scenarios = routerScenarios(m, counts, apps, keys)
+	default:
 		m, err := loadModels()
 		if err != nil {
 			return err
@@ -370,7 +529,16 @@ func runLoad(url, concStr, appsStr, dist, memSpec string, requests int, outPath 
 	} else {
 		desc += "Every request is a cache miss (capacity-starved cache over non-colliding synthetic runs), isolating the contended sweep path the sharded cache and micro-batcher exist for."
 	}
-	desc += " Scenarios contrast the PR 3 baseline shape (one global mutex), lock striping alone, and striping plus micro-batched fused sweeps."
+	switch {
+	case replicas != "":
+		desc += " Scenarios scale a dvfs-router front over in-process dvfs-served replicas on loopback sockets; every replica count starts cold, so throughput and the hit/miss split are comparable across counts. Consistent hashing keeps each workload on one replica, so aggregate hit rates should match the single-replica run."
+	case urls != "":
+		desc += " One scenario: client-side consistent-hash routing over an external dvfs-served fleet."
+	case url != "":
+		desc += " One scenario: an external dvfs-served daemon (its cache stays warm across concurrency levels)."
+	default:
+		desc += " Scenarios contrast the PR 3 baseline shape (one global mutex), lock striping alone, and striping plus micro-batched fused sweeps."
+	}
 	report := loadReport{
 		Description: desc,
 		Machine:     machineString(),

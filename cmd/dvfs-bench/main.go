@@ -55,6 +55,8 @@ func realMain() int {
 
 		load        = flag.Bool("load", false, "run the concurrent-serving load generator instead of the paper artifacts")
 		loadURL     = flag.String("load-url", "", "drive a running dvfs-served daemon at this base URL (default: in-process serving stack)")
+		loadURLs    = flag.String("load-urls", "", "drive a fleet of running dvfs-served daemons at these comma-separated base URLs with client-side consistent-hash routing")
+		loadReps    = flag.String("load-replicas", "", `replica-scaling sweep: boot each of these comma-separated replica counts (e.g. "1,2,4") as in-process dvfs-served fleets behind a dvfs-router front and load the front`)
 		loadConc    = flag.String("load-concurrency", "1,4,16", "comma-separated closed-loop worker counts")
 		loadReqs    = flag.Int("load-requests", 2000, "requests per scenario per concurrency level")
 		loadApps    = flag.String("load-apps", "DGEMM,STREAM,NW,LAMMPS,GROMACS,NAMD", "workload names cycled in -load-url mode")
@@ -99,7 +101,7 @@ func realMain() int {
 	}
 
 	if *load {
-		if err := runLoad(*loadURL, *loadConc, *loadApps, *loadDist, *loadMems, *loadReqs, *loadOutPath, os.Stdout); err != nil {
+		if err := runLoad(*loadURL, *loadURLs, *loadReps, *loadConc, *loadApps, *loadDist, *loadMems, *loadReqs, *loadOutPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dvfs-bench:", err)
 			return 1
 		}

@@ -73,20 +73,32 @@ func TestParseConcurrency(t *testing.T) {
 
 func TestRunLoadValidation(t *testing.T) {
 	var sink strings.Builder
-	if err := runLoad("", "nope", "", "uniform", "", 10, "", &sink); err == nil {
+	if err := runLoad("", "", "", "nope", "", "uniform", "", 10, "", &sink); err == nil {
 		t.Fatal("bad concurrency accepted")
 	}
-	if err := runLoad("", "1", "", "uniform", "", 0, "", &sink); err == nil {
+	if err := runLoad("", "", "", "1", "", "uniform", "", 0, "", &sink); err == nil {
 		t.Fatal("zero requests accepted")
 	}
-	if err := runLoad("", "1", "", "pareto", "", 10, "", &sink); err == nil {
+	if err := runLoad("", "", "", "1", "", "pareto", "", 10, "", &sink); err == nil {
 		t.Fatal("unknown distribution accepted")
 	}
-	if err := runLoad("", "1", "", "uniform", "999", 10, "", &sink); err == nil {
+	if err := runLoad("", "", "", "1", "", "uniform", "999", 10, "", &sink); err == nil {
 		t.Fatal("unsupported memory clock accepted")
 	}
-	if err := runLoad("http://localhost:0", "1", "DGEMM", "uniform", "all", 10, "", &sink); err == nil {
+	if err := runLoad("http://localhost:0", "", "", "1", "DGEMM", "uniform", "all", 10, "", &sink); err == nil {
 		t.Fatal("-mem-freqs with -load-url accepted")
+	}
+	if err := runLoad("http://localhost:0", "http://localhost:0", "", "1", "DGEMM", "uniform", "", 10, "", &sink); err == nil {
+		t.Fatal("-load-url together with -load-urls accepted")
+	}
+	if err := runLoad("", "http://localhost:0", "1", "1", "DGEMM", "uniform", "", 10, "", &sink); err == nil {
+		t.Fatal("-load-urls together with -load-replicas accepted")
+	}
+	if err := runLoad("", "", "0", "1", "DGEMM", "uniform", "", 10, "", &sink); err == nil {
+		t.Fatal("zero replica count accepted")
+	}
+	if err := runLoad("", "", "1", "1", " , ", "uniform", "", 10, "", &sink); err == nil {
+		t.Fatal("blank -load-apps accepted in replica mode")
 	}
 }
 
@@ -127,7 +139,7 @@ func TestRunLoadLocal(t *testing.T) {
 	}
 	outPath := filepath.Join(t.TempDir(), "load.json")
 	var sink strings.Builder
-	if err := runLoad("", "1,2", "", "uniform", "", 8, outPath, &sink); err != nil {
+	if err := runLoad("", "", "", "1,2", "", "uniform", "", 8, outPath, &sink); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -177,7 +189,7 @@ func TestRunLoadZipf(t *testing.T) {
 	}
 	outPath := filepath.Join(t.TempDir(), "load.json")
 	var sink strings.Builder
-	if err := runLoad("", "1,2", "", "zipf", "", 32, outPath, &sink); err != nil {
+	if err := runLoad("", "", "", "1,2", "", "zipf", "", 32, outPath, &sink); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(outPath)
@@ -208,6 +220,56 @@ func TestRunLoadZipf(t *testing.T) {
 		}
 		if r.Misses == 0 {
 			t.Fatalf("zipf tail should produce cache misses: %+v", r)
+		}
+	}
+}
+
+// TestRunLoadReplicas boots the -load-replicas mode at toy sizes: real
+// loopback sockets, a dvfs-router front per replica count, and a report
+// with one result per count × concurrency level. Each workload name maps
+// to exactly one replica, so per-request outcomes are deterministic and
+// the hit/miss split accounts for every request.
+func TestRunLoadReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real serving fleets")
+	}
+	outPath := filepath.Join(t.TempDir(), "load.json")
+	var sink strings.Builder
+	if err := runLoad("", "", "1,2", "1,2", "DGEMM,STREAM,NW", "uniform", "", 12, outPath, &sink); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Results []struct {
+			Scenario string `json:"scenario"`
+			Requests int    `json:"requests"`
+			Shed     int    `json:"shed"`
+			Hits     int    `json:"hits"`
+			Misses   int    `json:"misses"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if len(report.Results) != 4 { // 2 replica counts x 2 concurrency levels
+		t.Fatalf("got %d results, want 4", len(report.Results))
+	}
+	for _, r := range report.Results {
+		if !strings.Contains(r.Scenario, "dvfs-router over") {
+			t.Fatalf("unexpected scenario name %q", r.Scenario)
+		}
+		if r.Hits+r.Misses+r.Shed != r.Requests {
+			t.Fatalf("hit/miss/shed split does not account for all requests: %+v", r)
+		}
+		// 12 requests round-robin over 3 workloads: consistent hashing
+		// keeps a name on one replica's cache, so misses stay bounded by
+		// the name count regardless of replica count — doubled here
+		// because two closed-loop workers can race the same cold name.
+		if r.Misses > 6 {
+			t.Fatalf("more misses than distinct workloads — routing split a name across replicas: %+v", r)
 		}
 	}
 }

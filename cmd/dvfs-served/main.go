@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -36,23 +37,27 @@ import (
 	"gpudvfs/internal/backend/open"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/objective"
+	"gpudvfs/internal/obs"
 	"gpudvfs/internal/serve"
 )
 
 // config mirrors the command-line flags.
 type config struct {
-	modelsDir string
-	objective string
-	threshold float64
-	quantum   float64
-	capacity  int
-	shards    int
-	maxBatch  int
-	maxWait   time.Duration
-	queue     int
-	device    open.Config
-	seed      int64
-	memFreqs  string
+	modelsDir     string
+	objective     string
+	threshold     float64
+	quantum       float64
+	capacity      int
+	shards        int
+	maxBatch      int
+	maxWait       time.Duration
+	queue         int
+	device        open.Config
+	seed          int64
+	memFreqs      string
+	snapshot      string
+	snapshotEvery time.Duration
+	logSample     int
 }
 
 func main() {
@@ -73,6 +78,9 @@ func main() {
 		maxWait     = flag.Duration("max-wait", 0, "how long a forming batch waits for company (0 = default, negative = never wait)")
 		queue       = flag.Int("queue", 0, "pending-sweep bound; beyond it requests shed with 429 (0 = default)")
 		memFreqs    = flag.String("mem-freqs", "", `memory P-states served alongside core clocks: "all", or a comma-separated MHz list; empty serves the core axis only`)
+		snapshot    = flag.String("snapshot", "", "plan-cache snapshot file: loaded at boot (warm start), saved on shutdown")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "also save the snapshot periodically at this interval (0 = only on shutdown)")
+		logSample   = flag.Int("log-sample", 0, "log 1 in N requests to stderr as logfmt lines (0 = no request log)")
 	)
 	flag.Parse()
 
@@ -89,6 +97,10 @@ func main() {
 		device:    open.Config{Backend: *backendName, Arch: *archName, Seed: *seed, Trace: *trace, TimeCompression: *compression},
 		seed:      *seed,
 		memFreqs:  *memFreqs,
+
+		snapshot:      *snapshot,
+		snapshotEvery: *snapEvery,
+		logSample:     *logSample,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,9 +110,10 @@ func main() {
 	}
 }
 
-// buildHandler assembles the serving stack from flag-level config. The
-// cleanup stops the batcher; call it when the listener is done.
-func buildHandler(cfg config) (http.Handler, func(), error) {
+// buildHandler assembles the serving stack from flag-level config and
+// returns the handler plus the server behind it (snapshot loads and saves
+// go through its cache). Close the server when the listener is done.
+func buildHandler(cfg config) (http.Handler, *serve.Server, error) {
 	dev, err := open.Device(cfg.device)
 	if err != nil {
 		return nil, nil, err
@@ -139,12 +152,16 @@ func buildHandler(cfg config) (http.Handler, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	h, err := serve.NewHandler(srv, serve.HTTPConfig{Device: dev, ProfileSeed: cfg.seed})
+	var logger *obs.Logger
+	if cfg.logSample > 0 {
+		logger = obs.NewLogger(os.Stderr, cfg.logSample)
+	}
+	h, err := serve.NewHandler(srv, serve.HTTPConfig{Device: dev, ProfileSeed: cfg.seed, Logger: logger})
 	if err != nil {
 		srv.Close()
 		return nil, nil, err
 	}
-	return h, srv.Close, nil
+	return h, srv, nil
 }
 
 // drainHandler refuses work once shutdown has begun. http.Server.Shutdown
@@ -172,11 +189,53 @@ func (d *drainHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // finish. If ready is non-nil it receives the bound address once the
 // listener is up — tests pass addr ":0" and read the port from here.
 func run(ctx context.Context, addr string, cfg config, ready chan<- net.Addr) error {
-	handler, cleanup, err := buildHandler(cfg)
+	handler, srv, err := buildHandler(cfg)
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer srv.Close()
+
+	if cfg.snapshot != "" {
+		n, err := srv.Cache().LoadSnapshotFile(cfg.snapshot)
+		if err != nil {
+			// A snapshot that exists but does not match this configuration
+			// would have silently served nothing (or worse); refusing to
+			// boot makes the drift explicit. Delete the file to cold-start.
+			return fmt.Errorf("warm start from -snapshot refused: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "dvfs-served: warm start: %d plans restored from %s\n", n, cfg.snapshot)
+		// Final save on the way out — after the listener has drained, so
+		// late selections are captured, and before the batcher closes.
+		defer func() {
+			if err := srv.Cache().SaveSnapshotFile(cfg.snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "dvfs-served: snapshot save:", err)
+			}
+		}()
+		if cfg.snapshotEvery > 0 {
+			saverDone := make(chan struct{})
+			var saverWG sync.WaitGroup
+			saverWG.Add(1)
+			go func() {
+				defer saverWG.Done()
+				ticker := time.NewTicker(cfg.snapshotEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-saverDone:
+						return
+					case <-ticker.C:
+						// SaveSnapshotFile is crash-safe (temp file +
+						// rename), so a kill mid-save leaves the previous
+						// snapshot intact.
+						if err := srv.Cache().SaveSnapshotFile(cfg.snapshot); err != nil {
+							fmt.Fprintln(os.Stderr, "dvfs-served: snapshot save:", err)
+						}
+					}
+				}
+			}()
+			defer func() { close(saverDone); saverWG.Wait() }()
+		}
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -103,11 +103,11 @@ func TestServedEndToEnd(t *testing.T) {
 	}
 	cfg := baseConfig(saveTestModels(t))
 	cfg.maxWait = -1 * time.Microsecond
-	handler, cleanup, err := buildHandler(cfg)
+	handler, srv, err := buildHandler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cleanup()
+	defer srv.Close()
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
@@ -183,11 +183,11 @@ func TestServedEndToEnd(t *testing.T) {
 // flips, new requests get 503 with Connection: close.
 func TestDrainGateRefusesLateRequests(t *testing.T) {
 	cfg := baseConfig(saveTestModels(t))
-	handler, cleanup, err := buildHandler(cfg)
+	handler, srv, err := buildHandler(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cleanup()
+	defer srv.Close()
 	drain := &drainHandler{inner: handler}
 	ts := httptest.NewServer(drain)
 	defer ts.Close()
@@ -329,5 +329,68 @@ func TestRunShutdownOnClose(t *testing.T) {
 	if c, err := net.Dial("tcp", addr); err == nil {
 		c.Close()
 		t.Fatal("listener still accepting after close")
+	}
+}
+
+// TestRunSnapshotWarmStart covers the daemon-level snapshot lifecycle:
+// the first life serves a cold select and persists the plan cache on
+// shutdown; the second life warm-starts from the file and answers its
+// very first request from the cache; a third boot under a drifted cache
+// configuration is refused with a clear error.
+func TestRunSnapshotWarmStart(t *testing.T) {
+	cfg := baseConfig(saveTestModels(t))
+	cfg.snapshot = filepath.Join(t.TempDir(), "plans.snap")
+
+	boot := func(c config) (string, context.CancelFunc, chan error) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan net.Addr, 1)
+		runErr := make(chan error, 1)
+		go func() { runErr <- run(ctx, "127.0.0.1:0", c, ready) }()
+		return (<-ready).String(), cancel, runErr
+	}
+	selectOnce := func(addr string) (hit bool) {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/v1/select", "application/json", strings.NewReader(`{"workload": "DGEMM"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select: status %d", resp.StatusCode)
+		}
+		var body struct {
+			CacheHit bool `json:"cache_hit"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.CacheHit
+	}
+
+	addr, cancel, runErr := boot(cfg)
+	if selectOnce(addr) {
+		t.Fatal("first life's first select was a hit")
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("first life: %v", err)
+	}
+	if _, err := os.Stat(cfg.snapshot); err != nil {
+		t.Fatalf("no snapshot written on shutdown: %v", err)
+	}
+
+	addr, cancel, runErr = boot(cfg)
+	if !selectOnce(addr) {
+		t.Fatal("warm-started daemon missed the cache on its first select")
+	}
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("second life: %v", err)
+	}
+
+	drifted := cfg
+	drifted.quantum = 0.25
+	if err := run(context.Background(), "127.0.0.1:0", drifted, nil); err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("drifted config booted over a stale snapshot: %v", err)
 	}
 }

@@ -258,17 +258,26 @@ func (c *PlanCache) keyFor(mean dcgm.Sample) (string, error) {
 	return string(key), nil
 }
 
-// shardFor hashes a key (FNV-1a 64) onto its lock stripe. The quantized
-// feature digits at the key's tail carry the workload identity, so
-// same-prefix keys still spread across shards.
-func (c *PlanCache) shardFor(key []byte) *planShard {
+// KeyHash is the FNV-1a 64 hash the plan cache stripes its key space
+// with, exported so key-affine layers above the cache (the scale-out
+// router's consistent-hash ring) place work with the same function the
+// shards use — one hash family from the router ring down to the lock
+// stripe. It allocates nothing.
+func KeyHash(key []byte) uint64 {
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return &c.shards[h&c.mask]
+	return h
+}
+
+// shardFor hashes a key onto its lock stripe. The quantized feature
+// digits at the key's tail carry the workload identity, so same-prefix
+// keys still spread across shards.
+func (c *PlanCache) shardFor(key []byte) *planShard {
+	return &c.shards[KeyHash(key)&c.mask]
 }
 
 // Select returns the frequency selection for a profiling run, serving

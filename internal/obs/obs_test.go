@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dvfs_requests_total", "Requests served.", "")
+	cs := r.Counter("dvfs_shard_hits_total", "Per-shard hits.", Labels("shard", "3"))
+	r.Gauge("dvfs_queue_depth", "Pending sweeps.", "", func() float64 { return 7 })
+	c.Add(41)
+	c.Inc()
+	cs.Inc()
+
+	out := string(r.Render(nil))
+	for _, want := range []string{
+		"# HELP dvfs_requests_total Requests served.",
+		"# TYPE dvfs_requests_total counter",
+		"dvfs_requests_total 42",
+		`dvfs_shard_hits_total{shard="3"} 1`,
+		"# TYPE dvfs_queue_depth gauge",
+		"dvfs_queue_depth 7",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dvfs_latency_seconds", "Request latency.", "", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005) // ≤ 0.001
+	h.Observe(0.005)  // ≤ 0.01
+	h.Observe(0.005)  // ≤ 0.01
+	h.Observe(0.05)   // ≤ 0.1
+	h.Observe(5)      // +Inf
+
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got < 5.05 || got > 5.07 {
+		t.Fatalf("Sum = %v, want ≈5.0605", got)
+	}
+	out := string(r.Render(nil))
+	for _, want := range []string{
+		`dvfs_latency_seconds_bucket{le="0.001"} 1`,
+		`dvfs_latency_seconds_bucket{le="0.01"} 3`,
+		`dvfs_latency_seconds_bucket{le="0.1"} 4`,
+		`dvfs_latency_seconds_bucket{le="+Inf"} 5`,
+		"dvfs_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabeledBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dvfs_proxy_seconds", "Proxy latency.", Labels("route", "select"), []float64{1})
+	h.Observe(0.5)
+	out := string(r.Render(nil))
+	if !strings.Contains(out, `dvfs_proxy_seconds_bucket{route="select",le="1"} 1`) {
+		t.Fatalf("labeled histogram render:\n%s", out)
+	}
+}
+
+// TestHeaderOncePerName pins that labeled series sharing one metric name
+// (per-shard counters) emit a single HELP/TYPE group, as the exposition
+// format requires.
+func TestHeaderOncePerName(t *testing.T) {
+	r := NewRegistry()
+	for _, shard := range []string{"0", "1", "2"} {
+		r.Counter("dvfs_shard_misses_total", "Per-shard misses.", Labels("shard", shard))
+	}
+	out := string(r.Render(nil))
+	if got := strings.Count(out, "# TYPE dvfs_shard_misses_total counter"); got != 1 {
+		t.Fatalf("TYPE header appears %d times, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "dvfs_shard_misses_total{shard="); got != 3 {
+		t.Fatalf("series count %d, want 3:\n%s", got, out)
+	}
+}
+
+// TestInterleavedRegistrationGroups pins the grouping contract: callers
+// may register series of several metrics interleaved (all of one
+// replica's series together), and Render must still emit each metric's
+// series contiguous under exactly one HELP/TYPE header.
+func TestInterleavedRegistrationGroups(t *testing.T) {
+	r := NewRegistry()
+	for _, rep := range []string{"a", "b"} {
+		r.Counter("dvfs_fwd_total", "Forwarded.", Labels("replica", rep))
+		r.Gauge("dvfs_rep_up", "Liveness.", Labels("replica", rep), func() float64 { return 1 })
+	}
+	out := string(r.Render(nil))
+	for _, header := range []string{"# TYPE dvfs_fwd_total counter", "# TYPE dvfs_rep_up gauge"} {
+		if got := strings.Count(out, header); got != 1 {
+			t.Fatalf("header %q appears %d times, want 1:\n%s", header, got, out)
+		}
+	}
+	// Contiguity: both series of a name directly follow its header.
+	for name, n := range map[string]int{"dvfs_fwd_total": 2, "dvfs_rep_up": 2} {
+		i := strings.Index(out, "# HELP "+name)
+		block := out[i:]
+		if j := strings.Index(block[1:], "# HELP "); j >= 0 {
+			block = block[:j+1]
+		}
+		if got := strings.Count(block, name+"{replica="); got != n {
+			t.Fatalf("%s block has %d series, want %d:\n%s", name, got, n, out)
+		}
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dvfs_up", "Up.", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "dvfs_up 1\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if got := Labels("shard", "3"); got != `{shard="3"}` {
+		t.Fatalf("Labels = %q", got)
+	}
+	if got := Labels("a", "1", "b", "2"); got != `{a="1",b="2"}` {
+		t.Fatalf("Labels = %q", got)
+	}
+	if got := Labels(); got != "" {
+		t.Fatalf("Labels() = %q, want empty", got)
+	}
+}
+
+func TestLoggerSamplingAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, 4)
+	l.now = func() time.Time { return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC) }
+	for i := 0; i < 8; i++ {
+		l.Request("POST", "/v1/select", "DGEMM", 200, 152*time.Microsecond, i%2 == 0)
+	}
+	offered, emitted := l.Stats()
+	if offered != 8 || emitted != 2 {
+		t.Fatalf("Stats = (%d, %d), want (8, 2)", offered, emitted)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	want := `ts=2026-08-07T12:00:00.000Z method=POST path=/v1/select workload="DGEMM" status=200 dur_us=152 hit=false`
+	if lines[0] != want {
+		t.Fatalf("line = %q\nwant   %q", lines[0], want)
+	}
+}
+
+func TestLoggerNil(t *testing.T) {
+	var l *Logger
+	l.Request("POST", "/v1/select", "DGEMM", 200, time.Millisecond, false) // must not panic
+	if o, e := l.Stats(); o != 0 || e != 0 {
+		t.Fatalf("nil logger stats (%d, %d)", o, e)
+	}
+	if NewLogger(nil, 1) != nil {
+		t.Fatal("NewLogger(nil, ...) should return nil")
+	}
+}
+
+func TestLoggerConcurrentLinesNotInterleaved(t *testing.T) {
+	var buf syncBuffer
+	l := NewLogger(&buf, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Request("POST", "/v1/select", "STREAM", 200, time.Millisecond, true)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "ts=") || !strings.HasSuffix(line, "hit=true") {
+			t.Fatalf("line %d malformed: %q", i, line)
+		}
+	}
+}
+
+// syncBuffer serializes writes; the logger already holds a mutex around
+// Write, so this only guards the final read against the race detector.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestObservationPathAllocs pins the metrics observation path — what the
+// serving hot path calls per request — at zero heap allocations. The
+// rendering path is exempt: it runs at scrape cadence, not request
+// cadence.
+func TestObservationPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are skipped under -race (instrumentation allocates)")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total", "c", "")
+	h := r.Histogram("h_seconds", "h", "", nil)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		h.Observe(0.004)
+		h.Observe(42) // +Inf bucket
+	}); allocs != 0 {
+		t.Fatalf("observation path allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestLoggerSkipPathAllocs pins the sampled-out path — the common case at
+// high sampling ratios — at zero allocations.
+func TestLoggerSkipPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are skipped under -race (instrumentation allocates)")
+	}
+	l := NewLogger(&bytes.Buffer{}, 1<<30)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		l.Request("POST", "/v1/select", "DGEMM", 200, time.Millisecond, true)
+	}); allocs != 0 {
+		t.Fatalf("logger skip path allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkRegistryRender(b *testing.B) {
+	r := NewRegistry()
+	for i, shard := range []string{"0", "1", "2", "3"} {
+		r.Counter("dvfs_shard_hits_total", "h", Labels("shard", shard)).Add(uint64(i))
+	}
+	h := r.Histogram("dvfs_latency_seconds", "l", "", nil)
+	h.Observe(0.01)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = r.Render(buf[:0])
+	}
+}

@@ -1,0 +1,240 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://127.0.0.1:%d", 8081+i)
+	}
+	return names
+}
+
+func ringKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("workload-%d", i))
+	}
+	return keys
+}
+
+// TestRingPlacementIsNameDeterministic: a key's owner depends on replica
+// names, not on the order they were listed in — two routers configured
+// with the same replica set in different orders agree on every placement.
+func TestRingPlacementIsNameDeterministic(t *testing.T) {
+	names := ringNames(4)
+	reversed := make([]string, len(names))
+	for i, n := range names {
+		reversed[len(names)-1-i] = n
+	}
+	a, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(reversed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(2000) {
+		if got, want := reversed[b.Pick(key, nil)], names[a.Pick(key, nil)]; got != want {
+			t.Fatalf("key %q: order-dependent placement %s vs %s", key, got, want)
+		}
+	}
+}
+
+// TestRingBalance: with DefaultVnodes, no replica's key share collapses or
+// dominates. The hash is deterministic, so the observed shares are fixed —
+// the bounds just document how even the spread is.
+func TestRingBalance(t *testing.T) {
+	names := ringNames(4)
+	r, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	keys := ringKeys(4000)
+	for _, key := range keys {
+		counts[r.Pick(key, nil)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.15 || share > 0.40 {
+			t.Fatalf("replica %d owns %.1f%% of keys (counts %v)", i, 100*share, counts)
+		}
+	}
+}
+
+// TestRingFailoverDeterministic: killing a replica moves exactly its keys,
+// each to one deterministic survivor; bringing it back restores the
+// original placement byte-for-byte.
+func TestRingFailoverDeterministic(t *testing.T) {
+	r, err := NewRing(ringNames(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(1000)
+	before := make([]int, len(keys))
+	for i, key := range keys {
+		before[i] = r.Pick(key, nil)
+	}
+	const dead = 2
+	alive := func(i int) bool { return i != dead }
+	moved := 0
+	for i, key := range keys {
+		got := r.Pick(key, alive)
+		if got == dead {
+			t.Fatalf("key %q placed on the dead replica", key)
+		}
+		if before[i] != dead {
+			if got != before[i] {
+				t.Fatalf("key %q moved (%d → %d) though its owner is alive", key, before[i], got)
+			}
+			continue
+		}
+		moved++
+		// Failover must be stable call over call.
+		for rep := 0; rep < 3; rep++ {
+			if again := r.Pick(key, alive); again != got {
+				t.Fatalf("key %q failover flapped: %d then %d", key, got, again)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead replica owned no keys; balance test should have caught this")
+	}
+	// Recovery: placement returns to the original owner for every key.
+	for i, key := range keys {
+		if got := r.Pick(key, nil); got != before[i] {
+			t.Fatalf("key %q did not return to its owner after recovery", key)
+		}
+	}
+}
+
+// TestRingAllDown: no live replica → -1, not a spin or a panic.
+func TestRingAllDown(t *testing.T) {
+	r, err := NewRing(ringNames(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Pick([]byte("x"), func(int) bool { return false }); got != -1 {
+		t.Fatalf("all-down Pick = %d, want -1", got)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	r, err := NewRing([]string{"only"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Pick([]byte("k"), nil); got != 0 {
+		t.Fatalf("single-replica Pick = %d", got)
+	}
+	if r.Replicas() != 1 {
+		t.Fatalf("Replicas() = %d", r.Replicas())
+	}
+}
+
+// TestRingPickZeroAlloc pins the routing hot path: a ring lookup with a
+// liveness predicate allocates nothing.
+func TestRingPickZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	r, err := NewRing(ringNames(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up = func(i int) bool { return i != 1 }
+	key := []byte("DGEMM")
+	if n := testing.AllocsPerRun(1000, func() {
+		if r.Pick(key, up) < 0 {
+			t.Fatal("no replica")
+		}
+	}); n != 0 {
+		t.Fatalf("Ring.Pick allocates %v per lookup", n)
+	}
+}
+
+// TestWorkloadKeyZeroAlloc pins the request-key extraction: scanning the
+// body for the workload name allocates nothing.
+func TestWorkloadKeyZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	body := []byte(`{"workload": "LAMMPS"}`)
+	if n := testing.AllocsPerRun(1000, func() {
+		if workloadKey(body) == nil {
+			t.Fatal("key not found")
+		}
+	}); n != 0 {
+		t.Fatalf("workloadKey allocates %v per call", n)
+	}
+}
+
+func TestWorkloadKey(t *testing.T) {
+	cases := []struct {
+		body string
+		want string // "" means nil (fall back to whole-body routing)
+	}{
+		{`{"workload": "DGEMM"}`, "DGEMM"},
+		{`{"workload":"STREAM"}`, "STREAM"},
+		{"{\n\t\"workload\" :\r\n\"NW\"\n}", "NW"},
+		{`{"other": 1, "workload": "LAMMPS", "x": 2}`, "LAMMPS"},
+		{`{"workload": ""}`, ""},
+		{`{"other": "DGEMM"}`, ""},
+		{`{"workload": 7}`, ""},
+		{`{"workload": "a\"b"}`, ""}, // escapes take the slow path
+		{`{"workload": "unterminated`, ""},
+		{`{"workload"}`, ""},
+		{``, ""},
+	}
+	for _, tc := range cases {
+		got := workloadKey([]byte(tc.body))
+		if tc.want == "" {
+			// Empty-string value and nil both mean "no usable key" except
+			// for the explicit empty workload, which is a valid (empty) key.
+			if tc.body == `{"workload": ""}` {
+				if got == nil || len(got) != 0 {
+					t.Fatalf("%s: got %q, want empty key", tc.body, got)
+				}
+				continue
+			}
+			if got != nil {
+				t.Fatalf("%s: got %q, want nil", tc.body, got)
+			}
+			continue
+		}
+		if string(got) != tc.want {
+			t.Fatalf("%s: got %q, want %q", tc.body, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkRingPick(b *testing.B) {
+	r, err := NewRing(ringNames(4), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("DGEMM")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Pick(key, nil)
+	}
+}
+
+func BenchmarkWorkloadKey(b *testing.B) {
+	body := []byte(`{"workload": "LAMMPS"}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		workloadKey(body)
+	}
+}

@@ -164,6 +164,12 @@ func (b *Batcher) Close() {
 	b.wg.Wait()
 }
 
+// QueueLen reports how many sweep requests are queued right now — the
+// backlog gauge behind the metrics endpoint. Inherently racy (a request
+// can queue or drain between the read and its use), which is all a gauge
+// promises.
+func (b *Batcher) QueueLen() int { return len(b.q) }
+
 // Stats returns a snapshot of the batcher counters (atomics only; never
 // blocks the dispatch or submit paths).
 func (b *Batcher) Stats() BatcherStats {

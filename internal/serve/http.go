@@ -1,14 +1,19 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpudvfs/internal/backend"
 	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/obs"
 	"gpudvfs/internal/workloads"
 )
 
@@ -24,13 +29,23 @@ type HTTPConfig struct {
 	// telemetry (and therefore hit the plan cache) while distinct
 	// workloads stay decorrelated.
 	ProfileSeed int64
+	// Metrics receives the daemon's series; the registry (a private one
+	// when nil) is served at GET /metrics.
+	Metrics *obs.Registry
+	// Logger, when non-nil, emits one sampled logfmt line per request.
+	Logger *obs.Logger
 }
 
 // httpAPI is the handler state behind NewHandler.
 type httpAPI struct {
-	srv  *Server
-	dev  backend.Device
-	seed int64
+	srv    *Server
+	dev    backend.Device
+	seed   int64
+	logger *obs.Logger
+	start  time.Time
+
+	selectHist  *obs.Histogram
+	profileHist *obs.Histogram
 
 	selects  atomic.Uint64
 	profiles atomic.Uint64
@@ -43,6 +58,7 @@ type httpAPI struct {
 //	POST /v1/select  {"workload": "LAMMPS"}  → frequency selection
 //	POST /v1/profile {"workload": "LAMMPS"}  → predicted DVFS profile table
 //	GET  /v1/stats                           → cache/batcher/HTTP counters
+//	GET  /metrics                            → Prometheus text exposition
 //
 // Overload from the bounded sweep queue maps to 429 with a Retry-After
 // hint; the daemon never queues without bound.
@@ -53,12 +69,103 @@ func NewHandler(s *Server, cfg HTTPConfig) (http.Handler, error) {
 	if cfg.Device == nil {
 		return nil, errors.New("serve: handler needs a device")
 	}
-	a := &httpAPI{srv: s, dev: cfg.Device, seed: cfg.ProfileSeed}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	a := &httpAPI{srv: s, dev: cfg.Device, seed: cfg.ProfileSeed, logger: cfg.Logger, start: time.Now()}
+	a.selectHist = reg.Histogram("dvfs_served_request_seconds", "Request latency by route.", obs.Labels("route", "select"), nil)
+	a.profileHist = reg.Histogram("dvfs_served_request_seconds", "Request latency by route.", obs.Labels("route", "profile"), nil)
+	a.registerMetrics(reg)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/select", a.handleSelect)
-	mux.HandleFunc("POST /v1/profile", a.handleProfile)
+	mux.HandleFunc("POST /v1/select", a.instrument(a.selectHist, a.handleSelect))
+	mux.HandleFunc("POST /v1/profile", a.instrument(a.profileHist, a.handleProfile))
 	mux.HandleFunc("GET /v1/stats", a.handleStats)
+	mux.Handle("GET /metrics", reg.Handler())
 	return mux, nil
+}
+
+// registerMetrics exports the serving counters the stack already keeps —
+// callback-backed, so nothing on the request path is double-counted or
+// mirrored. Per-shard cache series expose key-space skew across the lock
+// stripes; the queue-depth gauge is the batcher's live backlog.
+func (a *httpAPI) registerMetrics(reg *obs.Registry) {
+	cache := a.srv.Cache()
+	reg.CounterFunc("dvfs_served_selects_total", "Completed /v1/select requests.", "",
+		func() float64 { return float64(a.selects.Load()) })
+	reg.CounterFunc("dvfs_served_profiles_total", "Completed /v1/profile requests.", "",
+		func() float64 { return float64(a.profiles.Load()) })
+	reg.CounterFunc("dvfs_served_shed_total", "Requests shed with 429 by the bounded sweep queue.", "",
+		func() float64 { return float64(a.shed.Load()) })
+	reg.CounterFunc("dvfs_served_failed_total", "Requests failed with 4xx/5xx (excluding sheds).", "",
+		func() float64 { return float64(a.failed.Load()) })
+	reg.CounterFunc("dvfs_served_cache_hits_total", "Plan-cache hits.", "",
+		func() float64 { return float64(cache.Stats().Hits) })
+	reg.CounterFunc("dvfs_served_cache_misses_total", "Plan-cache misses.", "",
+		func() float64 { return float64(cache.Stats().Misses) })
+	reg.CounterFunc("dvfs_served_cache_evictions_total", "Plan-cache LRU evictions.", "",
+		func() float64 { return float64(cache.Stats().Evictions) })
+	reg.Gauge("dvfs_served_cache_entries", "Memoized selections resident.", "",
+		func() float64 { return float64(cache.Len()) })
+	reg.Gauge("dvfs_served_batch_queue_depth", "Sweep requests queued on the miss path.", "",
+		func() float64 { return float64(a.srv.QueueLen()) })
+	reg.CounterFunc("dvfs_served_batch_shed_total", "Sweeps shed by the batcher's bounded queue.", "",
+		func() float64 { return float64(a.srv.Stats().Batch.Shed) })
+	reg.Gauge("dvfs_served_uptime_seconds", "Seconds since the handler was assembled.", "",
+		func() float64 { return time.Since(a.start).Seconds() })
+	for i := 0; i < cache.Shards(); i++ {
+		i := i
+		labels := obs.Labels("shard", strconv.Itoa(i))
+		reg.CounterFunc("dvfs_served_cache_shard_hits_total", "Plan-cache hits per shard.", labels,
+			func() float64 { return float64(cache.ShardStats()[i].Hits) })
+		reg.CounterFunc("dvfs_served_cache_shard_misses_total", "Plan-cache misses per shard.", labels,
+			func() float64 { return float64(cache.ShardStats()[i].Misses) })
+	}
+}
+
+// statusWriter captures the response status plus the handler's workload /
+// cache-hit annotations for the latency histogram and the request log.
+// Instances are pooled: instrumentation must not add a per-request heap
+// allocation of its own.
+type statusWriter struct {
+	http.ResponseWriter
+	status   int
+	workload string
+	hit      bool
+}
+
+var statusPool = sync.Pool{New: func() any { return &statusWriter{} }}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// annotate attaches the decoded workload name and cache-hit flag to the
+// in-flight request's log line. Handlers receive the pooled statusWriter
+// as their ResponseWriter; outside instrumented routes this is a no-op.
+func annotate(w http.ResponseWriter, workload string, hit bool) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.workload = workload
+		sw.hit = hit
+	}
+}
+
+// instrument wraps a route handler with latency observation and sampled
+// request logging. The observation itself (histogram add, logger skip
+// path) is allocation-free; the wrapper rides the pool.
+func (a *httpAPI) instrument(hist *obs.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := statusPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status, sw.workload, sw.hit = w, http.StatusOK, "", false
+		h(sw, r)
+		dur := time.Since(t0)
+		hist.Observe(dur.Seconds())
+		a.logger.Request(r.Method, r.URL.Path, sw.workload, sw.status, dur, sw.hit)
+		sw.ResponseWriter = nil
+		statusPool.Put(sw)
+	}
 }
 
 // apiError is every error body's shape.
@@ -101,8 +208,16 @@ type profileResponse struct {
 	Profiles   []profilePoint `json:"profiles"`
 }
 
+// shardStatsJSON is one lock stripe's counters in /v1/stats.
+type shardStatsJSON struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
 type statsResponse struct {
-	Cache struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Cache         struct {
 		Hits      uint64 `json:"hits"`
 		Misses    uint64 `json:"misses"`
 		Evictions uint64 `json:"evictions"`
@@ -123,12 +238,39 @@ type statsResponse struct {
 		Shed     uint64 `json:"shed"`
 		Failed   uint64 `json:"failed"`
 	} `json:"http"`
+	// Shards is the per-stripe cache counter breakdown, in shard order —
+	// the same numbers /metrics exposes as labeled series.
+	Shards []shardStatsJSON `json:"shards"`
 }
 
+// jsonEnc is a pooled buffer+encoder pair: writeJSON reuses both across
+// responses instead of constructing a fresh encoder (and growing a fresh
+// buffer) per call.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := jsonPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Unreachable for the fixed response types; keep the pool clean
+		// and fail loudly rather than emit a torn body.
+		jsonPool.Put(e)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck // nothing to do about a dead client
+	w.Write(e.buf.Bytes()) //nolint:errcheck // nothing to do about a dead client
+	jsonPool.Put(e)
 }
 
 // writeErr maps serving errors to status codes: shedding is 429 (the
@@ -202,6 +344,7 @@ func (a *httpAPI) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	annotate(w, name, false)
 	run, err := a.profileAtMax(name)
 	if err != nil {
 		a.failed.Add(1)
@@ -213,6 +356,7 @@ func (a *httpAPI) handleSelect(w http.ResponseWriter, r *http.Request) {
 		a.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	annotate(w, name, hit)
 	a.selects.Add(1)
 	writeJSON(w, http.StatusOK, selectResponse{
 		Workload:   name,
@@ -230,6 +374,7 @@ func (a *httpAPI) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	annotate(w, name, false)
 	run, err := a.profileAtMax(name)
 	if err != nil {
 		a.failed.Add(1)
@@ -264,6 +409,12 @@ func (a *httpAPI) handleProfile(w http.ResponseWriter, r *http.Request) {
 func (a *httpAPI) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := a.srv.Stats()
 	var resp statsResponse
+	resp.UptimeSeconds = time.Since(a.start).Seconds()
+	per := a.srv.Cache().ShardStats()
+	resp.Shards = make([]shardStatsJSON, len(per))
+	for i, ss := range per {
+		resp.Shards[i] = shardStatsJSON{Hits: ss.Hits, Misses: ss.Misses, Evictions: ss.Evictions}
+	}
 	resp.Cache.Hits = st.Cache.Hits
 	resp.Cache.Misses = st.Cache.Misses
 	resp.Cache.Evictions = st.Cache.Evictions

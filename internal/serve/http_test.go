@@ -14,6 +14,7 @@ import (
 	sim "gpudvfs/internal/backend/sim"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/objective"
+	"gpudvfs/internal/obs"
 )
 
 func testHandler(t *testing.T, batch BatcherConfig) (http.Handler, *Server) {
@@ -363,4 +364,146 @@ func TestHTTPMemAxisWireCompat(t *testing.T) {
 	if prof.ClampedMem > prof.Clamped {
 		t.Fatalf("memory-axis clamp share %d exceeds total %d", prof.ClampedMem, prof.Clamped)
 	}
+}
+
+// TestHTTPStatsShardsAndUptime pins the /v1/stats additions: an
+// uptime_seconds field and a per-shard counter breakdown whose totals
+// reconcile with the aggregate cache counters.
+func TestHTTPStatsShardsAndUptime(t *testing.T) {
+	h, srv := testHandler(t, BatcherConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw := json.RawMessage{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds < 0 {
+		t.Fatalf("uptime %v", st.UptimeSeconds)
+	}
+	if len(st.Shards) != srv.Cache().Shards() {
+		t.Fatalf("shards %d, want %d", len(st.Shards), srv.Cache().Shards())
+	}
+	var hits, misses uint64
+	for _, ss := range st.Shards {
+		hits += ss.Hits
+		misses += ss.Misses
+	}
+	if hits != st.Cache.Hits || misses != st.Cache.Misses {
+		t.Fatalf("per-shard totals (%d hits, %d misses) != aggregate (%d, %d)", hits, misses, st.Cache.Hits, st.Cache.Misses)
+	}
+	// The wire field names are part of the contract.
+	var shape struct {
+		UptimeSeconds *float64          `json:"uptime_seconds"`
+		Shards        []json.RawMessage `json:"shards"`
+	}
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		t.Fatal(err)
+	}
+	if shape.UptimeSeconds == nil || shape.Shards == nil {
+		t.Fatalf("stats body missing uptime_seconds/shards: %s", raw)
+	}
+}
+
+// TestHTTPMetricsEndpoint: the daemon's /metrics scrape carries request
+// histograms, cache counters (aggregate and per-shard), and the batcher
+// queue-depth gauge.
+func TestHTTPMetricsEndpoint(t *testing.T) {
+	h, _ := testHandler(t, BatcherConfig{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	postJSON(t, ts, "/v1/profile", `{"workload": "STREAM"}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, series := range []string{
+		"dvfs_served_selects_total 2",
+		"dvfs_served_profiles_total 1",
+		"dvfs_served_cache_hits_total 1",
+		"dvfs_served_cache_misses_total 1",
+		"dvfs_served_batch_queue_depth 0",
+		"dvfs_served_uptime_seconds",
+		`dvfs_served_request_seconds_count{route="select"} 2`,
+		`dvfs_served_request_seconds_count{route="profile"} 1`,
+		`dvfs_served_cache_shard_hits_total{shard="0"}`,
+		"# TYPE dvfs_served_request_seconds histogram",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("/metrics missing %q:\n%s", series, body)
+		}
+	}
+}
+
+// TestHTTPRequestLogging: a logger wired through HTTPConfig receives one
+// line per request carrying the workload name, status, and hit flag.
+func TestHTTPRequestLogging(t *testing.T) {
+	sw := testSweeper(t)
+	srv, err := NewServer(sw, ServerConfig{
+		Cache: core.PlanCacheConfig{Objective: objective.EDP{}, Threshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	var logBuf bytes.Buffer
+	logger := obs.NewLogger(&logBuf, 1)
+	h, err := NewHandler(srv, HTTPConfig{Device: sim.New(sim.GA100(), 3), ProfileSeed: 11, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+	postJSON(t, ts, "/v1/select", `{"workload": "DGEMM"}`)
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines, want 2:\n%s", len(lines), logBuf.String())
+	}
+	for i, want := range []string{"hit=false", "hit=true"} {
+		if !strings.Contains(lines[i], `workload="DGEMM"`) || !strings.Contains(lines[i], "status=200") || !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d missing fields (want %s): %s", i, want, lines[i])
+		}
+		if !strings.Contains(lines[i], "path=/v1/select") || !strings.Contains(lines[i], "dur_us=") {
+			t.Fatalf("line %d malformed: %s", i, lines[i])
+		}
+	}
+}
+
+// BenchmarkWriteJSON pins the pooled response encoder. The pool removes
+// the per-response json.Encoder construction and output buffer growth;
+// remaining allocations are encoding/json internals.
+func BenchmarkWriteJSON(b *testing.B) {
+	resp := selectResponse{Workload: "DGEMM", Objective: "edp", FreqMHz: 1200, EnergyPct: -12.5, TimePct: 3.1}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec := httptest.NewRecorder()
+			writeJSON(rec, http.StatusOK, &resp)
+		}
+	})
 }

@@ -84,6 +84,10 @@ func (s *Server) Predict(ctx context.Context, maxRun dcgm.Run) ([]objective.Prof
 // Sweeper exposes the underlying design-space sweeper.
 func (s *Server) Sweeper() *core.Sweeper { return s.sw }
 
+// QueueLen reports the miss-path batcher's current backlog — the queue
+// depth gauge the metrics endpoint exports.
+func (s *Server) QueueLen() int { return s.batcher.QueueLen() }
+
 // Cache exposes the sharded plan cache (for stats and tests).
 func (s *Server) Cache() *core.PlanCache { return s.cache }
 
