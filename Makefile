@@ -1,9 +1,9 @@
 GO ?= go
 
 # Packages with dedicated concurrent paths: they get a -race pass in check.
-RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/serve ./internal/fleet ./internal/router ./internal/obs
+RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/trace ./internal/serve ./internal/fleet ./internal/router ./internal/obs
 
-.PHONY: all build test race bench-smoke bench-router fuzz-smoke vet fmt-check check
+.PHONY: all build test race bench-smoke bench-router bench-governor fuzz-smoke vet fmt-check check
 
 all: build
 
@@ -41,7 +41,10 @@ race:
 # sweep-cost table; the fleet 100k arms cover the BENCH_fleet.json
 # event-engine table (and re-assert its 0-alloc steady-state invariant);
 # the router/obs arms cover the ring-lookup and metrics-render hot paths
-# behind BENCH_router.json (and re-assert their 0-alloc invariants).
+# behind BENCH_router.json (and re-assert their 0-alloc invariants); the
+# trace/governor arms cover the online change-point push and the
+# streaming-governor step behind BENCH_governor.json (and re-assert the
+# governor loop's 0-alloc steady-state invariant).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
@@ -50,6 +53,8 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/serve
 	$(GO) test -run '^$$' -bench 'Fleet.*100k' -benchtime=1x ./internal/fleet
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/router ./internal/obs
+	$(GO) test -run '^$$' -bench 'OnlinePush|DetectOffline' -benchtime=1x ./internal/trace
+	$(GO) test -run '^$$' -bench GovernorStep -benchtime=1x ./internal/governor
 
 # bench-router records BENCH_router.json: the 1/2/4-replica scaling sweep
 # behind the dvfs-router front (in-process replicas on loopback sockets,
@@ -57,6 +62,13 @@ bench-smoke:
 # run on a multi-core host for meaningful scaling numbers.
 bench-router:
 	$(GO) run ./cmd/dvfs-bench -load -load-replicas 1,2,4 -load-dist zipf -load-concurrency 8,16 -load-requests 2000 -load-out BENCH_router.json
+
+# bench-governor records BENCH_governor.json: the 4-arm DVFS-policy
+# comparison (always-max / one-shot / phased-static / streaming) on a
+# phase-shifting workload stream. Not part of check — the quick-trained
+# models take a couple of minutes on a laptop.
+bench-governor:
+	$(GO) run ./cmd/dvfs-govern -runs 24 -period 4 -out BENCH_governor.json
 
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in kernel exactness, estimator exactness, or plan-cache key

@@ -136,3 +136,24 @@ type Sampler interface {
 	// serve recorded data use it to pick among recorded repeats.
 	Profile(w Workload, runIndex int) (Run, error)
 }
+
+// StreamSampler is a Sampler whose telemetry can also be consumed
+// incrementally, sample by sample, while the workload runs — the seam an
+// online governor needs: it cannot wait for a completed []Run to notice a
+// phase change that happened twenty samples ago.
+//
+// Profile and ProfileStream are two views of one sample stream: for a
+// given (workload, runIndex, clock state) the yielded samples are exactly
+// Profile's Run.Samples, in order, drawn from the same noise stream for
+// stochastic backends. Batch profiling is therefore implemented on top of
+// the streaming form, never the other way around.
+type StreamSampler interface {
+	Sampler
+	// ProfileStream runs w once at the device's current clocks, invoking
+	// yield for every telemetry sample as it is produced (a nil yield
+	// discards samples). The returned Run carries the run's identity and
+	// run-level outcomes with Samples nil: retention is the caller's
+	// decision, which is what keeps a long-lived control loop free of
+	// per-run allocations.
+	ProfileStream(w Workload, runIndex int, yield func(Sample)) (Run, error)
+}

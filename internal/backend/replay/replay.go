@@ -213,6 +213,47 @@ type sampler struct {
 // wrap around — a 3-run recording serves any campaign length
 // deterministically.
 func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error) {
+	run, err := c.lookup(w, runIndex)
+	if err != nil {
+		return backend.Run{}, err
+	}
+	if tc := c.dev.tr.opts.TimeCompression; tc > 0 {
+		time.Sleep(time.Duration(run.ExecTimeSec / tc * float64(time.Second)))
+	}
+	return run, nil
+}
+
+// ProfileStream serves the recorded run for (w, current clock, runIndex)
+// sample by sample, implementing backend.StreamSampler over a recording:
+// each stored sample is yielded in recorded order, and the returned Run
+// carries the run-level outcomes with Samples nil. Under TimeCompression
+// the recorded execution time is spread evenly across the samples, so a
+// streaming consumer sees telemetry arrive at the recording's (compressed)
+// cadence instead of all at once at the end.
+func (c *sampler) ProfileStream(w backend.Workload, runIndex int, yield func(backend.Sample)) (backend.Run, error) {
+	run, err := c.lookup(w, runIndex)
+	if err != nil {
+		return backend.Run{}, err
+	}
+	var pause time.Duration
+	if tc := c.dev.tr.opts.TimeCompression; tc > 0 && len(run.Samples) > 0 {
+		pause = time.Duration(run.ExecTimeSec / tc / float64(len(run.Samples)) * float64(time.Second))
+	}
+	for i := range run.Samples {
+		if pause > 0 {
+			time.Sleep(pause)
+		}
+		if yield != nil {
+			yield(run.Samples[i])
+		}
+	}
+	run.Samples = nil
+	return run, nil
+}
+
+// lookup resolves the recorded run for (w, current clock, runIndex),
+// without pacing.
+func (c *sampler) lookup(w backend.Workload, runIndex int) (backend.Run, error) {
 	if c.cfg.InputScale != 1 {
 		return backend.Run{}, fmt.Errorf("replay: input scaling (%v) is not supported; recordings fix the problem size", c.cfg.InputScale)
 	}
@@ -229,11 +270,7 @@ func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error)
 	if len(list) == 0 {
 		return backend.Run{}, fmt.Errorf("replay: no recorded runs for %s at %v MHz (have %v)", name, clock, formatFreqs(c.dev.Freqs(name)))
 	}
-	run := list[runIndex%len(list)]
-	if tc := c.dev.tr.opts.TimeCompression; tc > 0 {
-		time.Sleep(time.Duration(run.ExecTimeSec / tc * float64(time.Second)))
-	}
-	return run, nil
+	return list[runIndex%len(list)], nil
 }
 
 func formatFreqs(fs []float64) []string {

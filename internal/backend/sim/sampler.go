@@ -39,13 +39,32 @@ func newSampler(dev *gpusim.Device, cfg backend.SampleConfig) *sampler {
 }
 
 // Profile executes w once at the current clock and samples its telemetry.
-// Sampling is phase resolved, as real 20 ms DCGM telemetry is: intervals
-// that land on GPU-busy stretches report the undiluted kernel activities
-// and the active power draw, intervals on host-bound stretches report a
-// near-idle GPU. Phases are interleaved with Bresenham accumulation so the
-// sample mix matches the run's busy fraction exactly; the mean over
-// samples therefore reproduces the whole-run averages.
+// It is the batch view of ProfileStream: the yielded samples are collected
+// into Run.Samples, so the two forms are byte-identical for equal sampler
+// state.
 func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error) {
+	var samples []backend.Sample
+	run, err := c.ProfileStream(w, runIndex, func(s backend.Sample) {
+		samples = append(samples, s)
+	})
+	if err != nil {
+		return backend.Run{}, err
+	}
+	run.Samples = samples
+	return run, nil
+}
+
+// ProfileStream executes w once at the current clock and yields its
+// telemetry sample by sample. Sampling is phase resolved, as real 20 ms
+// DCGM telemetry is: intervals that land on GPU-busy stretches report the
+// undiluted kernel activities and the active power draw, intervals on
+// host-bound stretches report a near-idle GPU. Phases are interleaved with
+// Bresenham accumulation so the sample mix matches the run's busy fraction
+// exactly; the mean over samples therefore reproduces the whole-run
+// averages. Noise draws happen whether or not yield is nil, so a stream
+// that discards samples leaves the noise schedule identical to one that
+// keeps them.
+func (c *sampler) ProfileStream(w backend.Workload, runIndex int, yield func(backend.Sample)) (backend.Run, error) {
 	raw, err := asKernelProfile(w)
 	if err != nil {
 		return backend.Run{}, err
@@ -134,7 +153,9 @@ func (c *sampler) Profile(w backend.Workload, runIndex int) (backend.Run, error)
 				MemClockMHz:    memMHz,
 			}
 		}
-		run.Samples = append(run.Samples, s)
+		if yield != nil {
+			yield(s)
+		}
 	}
 	return run, nil
 }

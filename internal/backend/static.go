@@ -1,0 +1,43 @@
+package backend
+
+// StaticTraits are a workload's DVFS-invariant static characteristics —
+// what a static analyzer derives from kernel code and launch configuration
+// without running anything: total work volumes, the activity levels those
+// volumes imply at the reference operating point (maximum clock, default
+// memory P-state), and achieved occupancy. DSO (arXiv:2407.13096) shows
+// fusing exactly this kind of static information with dynamic telemetry
+// beats either alone; the governor blends these traits into the profiled
+// feature vector when static fusion is enabled.
+type StaticTraits struct {
+	// GFLOP is the workload's total floating-point work at its reference
+	// input size, in GFLOP.
+	GFLOP float64
+	// GBMoved is the workload's total DRAM traffic at its reference input
+	// size, in GB.
+	GBMoved float64
+	// FPActive is the whole-run fp_active the static model implies at the
+	// reference operating point, [0,1].
+	FPActive float64
+	// DRAMActive is the implied whole-run dram_active at the reference
+	// operating point, [0,1].
+	DRAMActive float64
+	// Occupancy is the implied whole-run achieved SM occupancy, [0,1].
+	Occupancy float64
+}
+
+// IsZero reports whether the traits carry no information (the zero value a
+// workload without a static description returns).
+func (t StaticTraits) IsZero() bool {
+	return t == StaticTraits{}
+}
+
+// StaticProfiler is the optional Workload extension for workloads that can
+// describe themselves statically. Consumers type-assert: a Workload that
+// does not implement it (e.g. a bare Named addressing a recording) simply
+// contributes no static information to fuse.
+type StaticProfiler interface {
+	Workload
+	// Static returns the workload's static characteristics; the zero value
+	// means "unknown" and disables fusion for this workload.
+	Static() StaticTraits
+}

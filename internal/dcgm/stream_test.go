@@ -1,0 +1,119 @@
+package dcgm
+
+import (
+	"reflect"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/replay"
+	sim "gpudvfs/internal/backend/sim"
+)
+
+// TestStreamMatchesProfileSim pins the tentpole contract of the streaming
+// seam on the stochastic backend: collecting a streamed run's yields
+// reproduces the batch Profile byte for byte — same values, same order,
+// same noise draws — for every clock and run index.
+func TestStreamMatchesProfileSim(t *testing.T) {
+	k := testKernel()
+	cfg := Config{Seed: 7, Runs: 2}
+	batch := NewCollector(sim.New(sim.GA100(), 3), cfg)
+	streamColl := NewCollector(sim.New(sim.GA100(), 3), cfg)
+	strm, err := streamColl.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{510, 900, 1410} {
+		for r := 0; r < 2; r++ {
+			if err := batch.ctrl.Apply(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := strm.Device().SetClock(f); err != nil {
+				t.Fatal(err)
+			}
+			want, err := batch.smp.Profile(k, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []Sample
+			run, err := strm.Run(k, r, func(s backend.Sample) { got = append(got, s) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Samples != nil {
+				t.Fatalf("streamed run retained samples: %d", len(run.Samples))
+			}
+			if !reflect.DeepEqual(got, want.Samples) {
+				t.Fatalf("streamed samples diverge from batch at %v MHz run %d", f, r)
+			}
+			run.Samples = want.Samples
+			if !reflect.DeepEqual(run, want) {
+				t.Fatalf("streamed run-level outcomes diverge at %v MHz run %d:\n got %+v\nwant %+v", f, r, run, want)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesProfileReplay pins the same contract on the recorded
+// backend, including run-index wraparound.
+func TestStreamMatchesProfileReplay(t *testing.T) {
+	src := NewCollector(sim.New(sim.GA100(), 5), Config{Freqs: []float64{900, 1410}, Runs: 2, Seed: 6})
+	recorded, err := src.CollectWorkload(testKernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := replay.New(recorded, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := NewCollector(dev, Config{})
+	strm, err := coll.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := backend.Named("test")
+	for _, f := range []float64{900, 1410} {
+		if err := dev.SetClock(f); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 3; r++ { // 3 > recorded Runs: exercises wraparound
+			want, err := coll.smp.Profile(app, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []Sample
+			run, err := strm.Run(app, r, func(s backend.Sample) { got = append(got, s) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want.Samples) {
+				t.Fatalf("replay stream diverges from batch at %v MHz run %d", f, r)
+			}
+			run.Samples = want.Samples
+			if !reflect.DeepEqual(run, want) {
+				t.Fatalf("replay streamed outcomes diverge at %v MHz run %d", f, r)
+			}
+		}
+	}
+}
+
+// batchOnlySampler strips the streaming side of a sampler, standing in for
+// a backend that cannot deliver telemetry incrementally.
+type batchOnlySampler struct{ inner backend.Sampler }
+
+func (b batchOnlySampler) Profile(w backend.Workload, runIndex int) (backend.Run, error) {
+	return b.inner.Profile(w, runIndex)
+}
+
+// batchOnlyDevice wraps a device so its samplers are batch-only.
+type batchOnlyDevice struct{ backend.Device }
+
+func (d batchOnlyDevice) NewSampler(cfg backend.SampleConfig) backend.Sampler {
+	return batchOnlySampler{inner: d.Device.NewSampler(cfg)}
+}
+
+func TestStreamRequiresStreamSampler(t *testing.T) {
+	coll := NewCollector(batchOnlyDevice{sim.New(sim.GA100(), 1)}, Config{})
+	if _, err := coll.Stream(); err == nil {
+		t.Fatal("Stream() over a batch-only sampler should fail")
+	}
+}

@@ -1,0 +1,39 @@
+package governor
+
+import (
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/dcgm"
+)
+
+// FuseSample blends statically derived workload traits into a dynamic
+// telemetry mean: each fused feature is (1-w)·dynamic + w·static. The
+// DNN's input features stay exactly the measured quantities — fusion moves
+// the feature point toward what static analysis says the kernel's work
+// volumes imply, which corrects a profiling run whose telemetry caught the
+// workload in an unrepresentative stretch (warm-up, a host-bound prefix)
+// without changing the models or the selection algorithm.
+//
+// The fused fp_active is distributed over the FP64/FP32 pipe features in
+// the dynamic sample's own proportions, so a double-precision kernel stays
+// double-precision after fusion; with no dynamic FP activity to apportion
+// by, the static activity lands on the FP32 pipe. Static occupancy is
+// blended only when the traits carry one. All other telemetry fields
+// (clocks, power, PCIe) pass through untouched: static analysis has no
+// opinion on them.
+func FuseSample(dyn dcgm.Sample, tr backend.StaticTraits, w float64) dcgm.Sample {
+	out := dyn
+	dynFP := dyn.FPActive()
+	fusedFP := (1-w)*dynFP + w*tr.FPActive
+	if dynFP > 0 {
+		scale := fusedFP / dynFP
+		out.FP64Active = dyn.FP64Active * scale
+		out.FP32Active = dyn.FP32Active * scale
+	} else {
+		out.FP32Active = fusedFP
+	}
+	out.DRAMActive = (1-w)*dyn.DRAMActive + w*tr.DRAMActive
+	if tr.Occupancy > 0 {
+		out.SMOccupancy = (1-w)*dyn.SMOccupancy + w*tr.Occupancy
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package governor
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/workloads"
+)
+
+func close64(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestFuseSample(t *testing.T) {
+	dyn := dcgm.Sample{
+		FP64Active: 0.6, FP32Active: 0.2,
+		DRAMActive: 0.4, SMOccupancy: 0.5,
+		PowerUsage: 200, SMAppClockMHz: 1410,
+	}
+	tr := backend.StaticTraits{FPActive: 1.0, DRAMActive: 0.2, Occupancy: 0.7}
+
+	f := FuseSample(dyn, tr, 0.5)
+	// fp_active: 0.5·0.8 + 0.5·1.0 = 0.9, split 3:1 like the dynamic pipes.
+	if !close64(f.FPActive(), 0.9) || !close64(f.FP64Active, 0.675) || !close64(f.FP32Active, 0.225) {
+		t.Fatalf("fused FP: %+v", f)
+	}
+	if !close64(f.DRAMActive, 0.3) || !close64(f.SMOccupancy, 0.6) {
+		t.Fatalf("fused DRAM/occupancy: %+v", f)
+	}
+	// Non-feature telemetry passes through untouched.
+	if f.PowerUsage != dyn.PowerUsage || f.SMAppClockMHz != dyn.SMAppClockMHz {
+		t.Fatalf("fusion touched non-feature fields: %+v", f)
+	}
+
+	// Zero dynamic FP activity: nothing to apportion by, FP32 carries it.
+	idle := dcgm.Sample{DRAMActive: 0.4}
+	fi := FuseSample(idle, tr, 0.5)
+	if !close64(fi.FP32Active, 0.5) || fi.FP64Active != 0 {
+		t.Fatalf("zero-FP fusion: %+v", fi)
+	}
+
+	// Traits without an occupancy estimate leave the dynamic one alone.
+	noOcc := FuseSample(dyn, backend.StaticTraits{FPActive: 0.9, DRAMActive: 0.3}, 0.5)
+	if noOcc.SMOccupancy != dyn.SMOccupancy {
+		t.Fatalf("occupancy blended from a zero trait: %+v", noOcc)
+	}
+}
+
+// TestGovernorFusedTune runs a fused governor end to end: the workload's
+// static traits move the feature point, the tune must still land on a
+// supported clock, and disabling fusion (weight 0) reproduces the plain
+// Tune exactly — the bit-identity guarantee of the default.
+func TestGovernorFusedTune(t *testing.T) {
+	m := quickModels(t)
+
+	plain, err := New(sim.New(sim.GA100(), 18), m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Tune(workloads.LAMMPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.FuseStatic = 0.4
+	dev := sim.New(sim.GA100(), 18)
+	fused, err := New(dev, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := fused.Tune(workloads.LAMMPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.GA100().IsSupported(sel.FreqMHz) || dev.Clock() != sel.FreqMHz {
+		t.Fatalf("fused tune left device at %v for selection %+v", dev.Clock(), sel)
+	}
+
+	zero, err := New(sim.New(sim.GA100(), 18), m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := zero.Tune(workloads.LAMMPS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != want {
+		t.Fatalf("weight-0 tune diverged: %+v vs %+v", again, want)
+	}
+}
+
+// TestGovernorFusedRun drives the streaming loop with fusion enabled over
+// a shifting stream — the issue's combined scenario.
+func TestGovernorFusedRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FuseStatic = 0.3
+	g, err := New(sim.New(sim.GA100(), 19), quickModels(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Run(context.Background(), workloads.PhaseShifting(4, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 12 || rep.Retunes < 1 {
+		t.Fatalf("fused loop: %+v", rep)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/objective"
+	"gpudvfs/internal/trace"
 )
 
 // Config controls governing behaviour. The zero value is not usable; use
@@ -46,6 +47,30 @@ type Config struct {
 	// Every entry must be a memory P-state the device supports. Nil governs
 	// the core axis only — bit-identical to the historical behaviour.
 	MemFreqs []float64
+
+	// PhaseWindow is the half-window of the streaming change-point detector
+	// (trace.OnlineOptions.Window) the Run loop rides on every telemetry
+	// sample. Default 8 (minimum 2).
+	PhaseWindow int
+	// RetuneCooldown is the minimum number of governed runs between tunes in
+	// the Run loop: drift and phase-shift evidence accumulates but cannot
+	// trigger a re-profile until the cooldown has passed. Default 1 (re-tune
+	// as soon as evidence demands). A cooldown longer than the stream turns
+	// the loop into the paper's one-shot governor.
+	RetuneCooldown int
+	// FuseStatic blends statically derived workload traits into the
+	// prediction features when the workload implements
+	// backend.StaticProfiler: feature = (1-w)·dynamic + w·static. 0 (the
+	// default) disables fusion and keeps every tune bit-identical to the
+	// telemetry-only formulation. Must be in [0, 1).
+	FuseStatic float64
+	// PhasedTuning makes every tune in the Run loop predict from the
+	// dominant phase of the profiling telemetry (the TunePhased strategy)
+	// instead of the whole-stream mean. One-shot Tune is unaffected.
+	PhasedTuning bool
+	// Metrics, when non-nil, receives the governor's observability counters
+	// and latency histograms. Nil disables instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // DefaultConfig returns a governor configuration with the paper's ED²P
@@ -70,6 +95,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ReprofileAfter < 0 {
 		return c, fmt.Errorf("governor: negative reprofile hysteresis %d", c.ReprofileAfter)
 	}
+	if c.PhaseWindow == 0 {
+		c.PhaseWindow = 8
+	}
+	if c.PhaseWindow < 2 {
+		return c, fmt.Errorf("governor: phase window %d < 2", c.PhaseWindow)
+	}
+	if c.RetuneCooldown == 0 {
+		c.RetuneCooldown = 1
+	}
+	if c.RetuneCooldown < 0 {
+		return c, fmt.Errorf("governor: negative retune cooldown %d", c.RetuneCooldown)
+	}
+	if c.FuseStatic < 0 || c.FuseStatic >= 1 {
+		return c, fmt.Errorf("governor: static fusion weight %v out of [0,1)", c.FuseStatic)
+	}
 	return c, nil
 }
 
@@ -79,6 +119,7 @@ type Stats struct {
 	Runs        int // workload executions observed
 	DriftedRuns int // observations flagged as drifted
 	Retunes     int // re-tunes triggered by drift
+	PhaseShifts int // intra-run phase shifts flagged by the streaming detector
 	Clamped     int // predictions floored to the safety bounds across all tunes
 	// ClampedCore / ClampedMem split Clamped by design-space axis: core
 	// counts clamps at the default memory P-state (all of Clamped for a
@@ -87,6 +128,11 @@ type Stats struct {
 	ClampedMem   int
 	EnergyJoules float64
 	TimeSeconds  float64
+	// ProfileEnergyJoules / ProfileTimeSeconds account the profiling runs
+	// themselves (executed at the maximum clock), separately from the
+	// governed executions above — the overhead side of the re-tune ledger.
+	ProfileEnergyJoules float64
+	ProfileTimeSeconds  float64
 }
 
 // Governor applies model-selected frequencies and re-tunes on drift.
@@ -101,11 +147,28 @@ type Governor struct {
 	sw      *core.Sweeper
 	profBuf []objective.Profile
 
+	// fused is the single-sample scratch run the fusion path predicts from;
+	// keeping it on the governor makes fused re-tunes allocation-free too.
+	fused [1]dcgm.Sample
+
 	tuned     bool
 	selection core.Selection
 	baseline  dcgm.Sample // mean profiling sample that justified selection
 	drifted   int
 	stats     Stats
+
+	// Streaming state for the Run loop, built lazily on first use: a
+	// persistent telemetry stream (one sampler, never re-created per run)
+	// and the online change-point detector riding its samples.
+	strm      *dcgm.Stream
+	det       *trace.Online
+	onSample  func(backend.Sample)
+	runShifts int     // shifts flagged during the current governed run
+	obsSumFP  float64 // per-run telemetry accumulators for drift checks
+	obsSumDR  float64
+	obsCount  int
+	sinceTune int  // governed runs since the last tune (cooldown clock)
+	retune    bool // evidence demands a re-profile before the next run
 }
 
 // New returns a governor over dev using the given trained models.
@@ -173,6 +236,9 @@ func (g *Governor) profileAtMax(app backend.Workload) (dcgm.Run, error) {
 	if err != nil {
 		return dcgm.Run{}, fmt.Errorf("governor: profiling %s: %w", app.WorkloadName(), err)
 	}
+	g.stats.ProfileEnergyJoules += run.EnergyJoules
+	g.stats.ProfileTimeSeconds += run.ExecTimeSec
+	g.cfg.Metrics.tuned(run.ExecTimeSec)
 	return run, nil
 }
 
@@ -182,15 +248,39 @@ func (g *Governor) profileAtMax(app backend.Workload) (dcgm.Run, error) {
 // governor's reused sweeper and buffer; the selection is bit-identical to
 // the allocating core.OnlinePredict + SelectFrequency formulation.
 func (g *Governor) Tune(app backend.Workload) (core.Selection, error) {
-	sw, err := g.sweeper()
-	if err != nil {
+	if _, err := g.sweeper(); err != nil {
 		return core.Selection{}, err
 	}
 	run, err := g.profileAtMax(app)
 	if err != nil {
 		return core.Selection{}, err
 	}
-	clamped, err := sw.PredictProfileInto(g.profBuf, run)
+	return g.tuneFrom(app, run)
+}
+
+// tuneFrom completes a tune from an already-collected profiling run:
+// predict across the design space, select under the objective, pin the
+// device, and reset the drift state. With static fusion configured and a
+// workload that exposes static traits, the prediction features are the
+// fused blend; the drift baseline stays the raw dynamic mean, since drift
+// is judged against observed telemetry. With FuseStatic 0 the prediction
+// input is the run itself, bit-identical to the historical Tune.
+func (g *Governor) tuneFrom(app backend.Workload, run dcgm.Run) (core.Selection, error) {
+	sw, err := g.sweeper()
+	if err != nil {
+		return core.Selection{}, err
+	}
+	mean := run.MeanSample()
+	predict := run
+	if w := g.cfg.FuseStatic; w > 0 {
+		if sp, ok := app.(backend.StaticProfiler); ok {
+			if tr := sp.Static(); !tr.IsZero() {
+				g.fused[0] = FuseSample(mean, tr, w)
+				predict.Samples = g.fused[:]
+			}
+		}
+	}
+	clamped, err := sw.PredictProfileInto(g.profBuf, predict)
 	if err != nil {
 		return core.Selection{}, fmt.Errorf("governor: predicting %s: %w", app.WorkloadName(), err)
 	}
@@ -203,7 +293,7 @@ func (g *Governor) Tune(app backend.Workload) (core.Selection, error) {
 		return core.Selection{}, err
 	}
 	g.selection = sel
-	g.baseline = run.MeanSample()
+	g.baseline = mean
 	g.tuned = true
 	g.drifted = 0
 	g.stats.Tunes++
@@ -214,8 +304,28 @@ func (g *Governor) Tune(app backend.Workload) (core.Selection, error) {
 // more than the configured tolerance in fp_active or dram_active — the
 // two features whose invariance justifies keeping the current frequency.
 func (g *Governor) Drifted(s dcgm.Sample) bool {
-	return relDiff(s.FPActive(), g.baseline.FPActive()) > g.cfg.DriftTolerance ||
-		relDiff(s.DRAMActive, g.baseline.DRAMActive) > g.cfg.DriftTolerance
+	return g.driftedFeatures(s.FPActive(), s.DRAMActive)
+}
+
+// driftedFeatures is Drifted on the bare feature pair — what the streaming
+// loop feeds from its per-run telemetry accumulators without materializing
+// a sample.
+func (g *Governor) driftedFeatures(fp, dram float64) bool {
+	return relDiff(fp, g.baseline.FPActive()) > g.cfg.DriftTolerance ||
+		relDiff(dram, g.baseline.DRAMActive) > g.cfg.DriftTolerance
+}
+
+// noteDrift feeds one run's drift verdict into the hysteresis counter and
+// reports whether drift has now persisted for ReprofileAfter consecutive
+// runs — the point where the governor must re-run the online phase.
+func (g *Governor) noteDrift(drifted bool) bool {
+	if drifted {
+		g.drifted++
+		g.stats.DriftedRuns++
+	} else {
+		g.drifted = 0
+	}
+	return g.drifted >= g.cfg.ReprofileAfter
 }
 
 func relDiff(a, b float64) float64 {
@@ -279,14 +389,8 @@ func (g *Governor) ProcessRun(app backend.Workload) (RunOutcome, error) {
 	g.stats.EnergyJoules += run.EnergyJoules
 	g.stats.TimeSeconds += run.ExecTimeSec
 
-	if g.Drifted(run.MeanSample()) {
-		out.Drifted = true
-		g.stats.DriftedRuns++
-		g.drifted++
-	} else {
-		g.drifted = 0
-	}
-	if g.drifted >= g.cfg.ReprofileAfter {
+	out.Drifted = g.Drifted(run.MeanSample())
+	if g.noteDrift(out.Drifted) {
 		if _, err := g.Tune(app); err != nil {
 			return RunOutcome{}, err
 		}

@@ -21,7 +21,7 @@ var (
 	modelsErr  error
 )
 
-func quickModels(t *testing.T) *core.Models {
+func quickModels(t testing.TB) *core.Models {
 	t.Helper()
 	modelsOnce.Do(func() {
 		dev := sim.New(sim.GA100(), 51)

@@ -1,0 +1,78 @@
+package governor
+
+import "gpudvfs/internal/obs"
+
+// Metrics is the governor's observability surface: atomic counters and
+// latency histograms registered on an obs.Registry. Every field is
+// optional; a nil *Metrics (the default) disables instrumentation with no
+// branches beyond a nil check, keeping the steady-state loop allocation-
+// and contention-free.
+type Metrics struct {
+	GovernedRuns *obs.Counter // workload executions at the governed clocks
+	PhaseShifts  *obs.Counter // intra-run shifts flagged by the online detector
+	DriftedRuns  *obs.Counter // runs whose mean features drifted off baseline
+	Retunes      *obs.Counter // mid-stream re-tunes (initial tune excluded)
+	RunSeconds   *obs.Histogram
+	TuneSeconds  *obs.Histogram // profiling-run duration per (re-)tune
+}
+
+// NewMetrics registers the governor series on reg and returns the bundle
+// to hand to Config.Metrics.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		GovernedRuns: reg.Counter("gpudvfs_governor_runs_total",
+			"Workload executions at the governed clocks.", ""),
+		PhaseShifts: reg.Counter("gpudvfs_governor_phase_shifts_total",
+			"Intra-run phase shifts flagged by the streaming detector.", ""),
+		DriftedRuns: reg.Counter("gpudvfs_governor_drifted_runs_total",
+			"Governed runs whose mean features drifted off the profiling baseline.", ""),
+		Retunes: reg.Counter("gpudvfs_governor_retunes_total",
+			"Mid-stream re-profiles triggered by drift or phase shifts.", ""),
+		RunSeconds: reg.Histogram("gpudvfs_governor_run_seconds",
+			"Execution time of governed workload runs.", "", nil),
+		TuneSeconds: reg.Histogram("gpudvfs_governor_tune_seconds",
+			"Profiling-run duration per (re-)tune, at the maximum clock.", "", nil),
+	}
+}
+
+func (m *Metrics) governed(seconds float64) {
+	if m == nil {
+		return
+	}
+	if m.GovernedRuns != nil {
+		m.GovernedRuns.Inc()
+	}
+	if m.RunSeconds != nil {
+		m.RunSeconds.Observe(seconds)
+	}
+}
+
+func (m *Metrics) tuned(seconds float64) {
+	if m == nil {
+		return
+	}
+	if m.TuneSeconds != nil {
+		m.TuneSeconds.Observe(seconds)
+	}
+}
+
+func (m *Metrics) shifts(n int) {
+	if m == nil || m.PhaseShifts == nil || n <= 0 {
+		return
+	}
+	m.PhaseShifts.Add(uint64(n))
+}
+
+func (m *Metrics) drifted() {
+	if m == nil || m.DriftedRuns == nil {
+		return
+	}
+	m.DriftedRuns.Inc()
+}
+
+func (m *Metrics) retuned() {
+	if m == nil || m.Retunes == nil {
+		return
+	}
+	m.Retunes.Inc()
+}

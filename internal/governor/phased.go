@@ -1,8 +1,6 @@
 package governor
 
 import (
-	"fmt"
-
 	"gpudvfs/internal/backend"
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
@@ -29,14 +27,21 @@ type PhasedTune struct {
 // occupies; the dominant-phase features describe the behaviour the
 // selected frequency will actually govern most of the time.
 func (g *Governor) TunePhased(app backend.Workload, opts trace.Options) (PhasedTune, error) {
-	sw, err := g.sweeper()
-	if err != nil {
+	if _, err := g.sweeper(); err != nil {
 		return PhasedTune{}, err
 	}
 	full, err := g.profileAtMax(app)
 	if err != nil {
 		return PhasedTune{}, err
 	}
+	return g.tunePhasedFrom(app, full, opts)
+}
+
+// tunePhasedFrom is the phase-aware half of TunePhased over an
+// already-collected profiling run: find the dominant segment, then tune
+// from a run restricted to its samples. The Run loop calls this for every
+// tune when Config.PhasedTuning is set.
+func (g *Governor) tunePhasedFrom(app backend.Workload, full dcgm.Run, opts trace.Options) (PhasedTune, error) {
 	segs, err := trace.Detect(full.Samples, opts)
 	if err != nil {
 		return PhasedTune{}, err
@@ -47,29 +52,12 @@ func (g *Governor) TunePhased(app backend.Workload, opts trace.Options) (PhasedT
 			dom = s
 		}
 	}
-
-	// Predict from the dominant phase's samples only, through the reused
-	// sweeper — the only prediction this tune needs.
 	run := full
-	run.Samples = append([]dcgm.Sample(nil), full.Samples[dom.Start:dom.End]...)
-	clamped, err := sw.PredictProfileInto(g.profBuf, run)
-	if err != nil {
-		return PhasedTune{}, fmt.Errorf("governor: phased prediction: %w", err)
-	}
-	g.applyClamps(clamped)
-	sel, err := core.SelectFrequency(g.profBuf, g.cfg.Objective, g.cfg.Threshold)
+	run.Samples = full.Samples[dom.Start:dom.End]
+	sel, err := g.tuneFrom(app, run)
 	if err != nil {
 		return PhasedTune{}, err
 	}
-	if err := g.pin(sel); err != nil {
-		return PhasedTune{}, err
-	}
-	g.selection = sel
-	g.baseline = run.MeanSample()
-	g.tuned = true
-	g.drifted = 0
-	g.stats.Tunes++
-
 	return PhasedTune{
 		Selection:     sel,
 		Segments:      segs,

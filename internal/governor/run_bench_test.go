@@ -1,0 +1,45 @@
+package governor
+
+import (
+	"testing"
+
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/workloads"
+)
+
+// BenchmarkGovernorStep measures one steady-state iteration of the
+// streaming control loop — governed execution, telemetry through the
+// online detector, drift check — and pins the loop's zero-allocation
+// contract: after the initial tune and stream setup, governing allocates
+// nothing per run.
+func BenchmarkGovernorStep(b *testing.B) {
+	g, err := New(sim.New(sim.GA100(), 21), quickModels(b), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var app backend.Workload = workloads.DGEMM()
+	var rep RunReport
+	// Warm up: initial tune, then one governed run to build the stream
+	// session and detector.
+	for i := 0; i < 2; i++ {
+		if err := g.step(app, &rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.step(app, &rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := testing.AllocsPerRun(100, func() {
+		if err := g.step(app, &rep); err != nil {
+			b.Fatal(err)
+		}
+	}); n != 0 {
+		b.Fatalf("steady-state governor step allocates %.1f times per run", n)
+	}
+}

@@ -1,0 +1,41 @@
+package gpusim
+
+import (
+	"math"
+
+	"gpudvfs/internal/backend"
+)
+
+// Static implements backend.StaticProfiler: it derives the profile's
+// DVFS-invariant static characteristics the way a static analyzer would
+// from kernel code and launch configuration — total work volumes and the
+// whole-run activity levels those volumes imply at the reference operating
+// point (maximum clock, default memory P-state), with no noise and no
+// execution. These are the traits the governor fuses with dynamic
+// telemetry (DSO-style static+dynamic fusion).
+//
+// Work volumes are reported against the GA100 reference rates the profile
+// library is calibrated for. Consumers of the implied activities use them
+// scale-free, so the choice of reference architecture cancels; the formulas
+// are Evaluate's roofline at frequency ratio 1 and full bandwidth.
+func (k KernelProfile) Static() backend.StaticTraits {
+	if k.Validate() != nil {
+		return backend.StaticTraits{}
+	}
+	ref := GA100()
+	tc, tm := k.ComputeSec, k.MemorySec
+	serial := 1 - k.Overlap
+	tgpu := math.Max(tc, tm) + serial*math.Min(tc, tm)
+	total := (1-k.HostOverlap)*(k.HostSec+tgpu) + k.HostOverlap*math.Max(k.HostSec, tgpu)
+	if total <= 0 {
+		return backend.StaticTraits{}
+	}
+	gpuFrac := tgpu / total
+	return backend.StaticTraits{
+		GFLOP:      tc * ref.PeakFP64GFLOP * k.FPIntensity,
+		GBMoved:    tm * ref.PeakBandwidthGBps * k.MemIntensity,
+		FPActive:   clamp01(k.FPIntensity * tc / total),
+		DRAMActive: clamp01(k.MemIntensity * tm / total),
+		Occupancy:  clamp01(k.SMOccupancy * gpuFrac),
+	}
+}

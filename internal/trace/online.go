@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"fmt"
+
+	"gpudvfs/internal/dcgm"
+)
+
+// OnlineOptions configures the online change-point detector.
+type OnlineOptions struct {
+	// Window is the detector's half-window h in samples: every push scores
+	// a center split of the most recent 2h samples. Larger windows average
+	// out more noise but flag a shift h samples later. Default 8, minimum 2.
+	Window int
+	// Penalty is the minimum total squared-error reduction (summed over the
+	// two features) the center split must achieve to flag a shift — the
+	// same gain criterion, on the same scale, as Options.Penalty in the
+	// offline Detect. 0 means 0.5.
+	Penalty float64
+	// Spacing is the minimum number of samples between flagged shifts.
+	// A step change keeps the center-split gain above the penalty while it
+	// marches through the window, so the spacing must cover the window for
+	// one transition to flag exactly once. 0 means 2·Window.
+	Spacing int
+}
+
+func (o OnlineOptions) withDefaults() OnlineOptions {
+	if o.Window == 0 {
+		o.Window = 8
+	}
+	if o.Penalty == 0 {
+		o.Penalty = 0.5
+	}
+	if o.Spacing == 0 {
+		o.Spacing = 2 * o.Window
+	}
+	return o
+}
+
+// Online is the incremental counterpart of Detect: a change-point detector
+// over the (fp_active, dram_active) feature stream that costs O(1) per
+// sample and allocates nothing after construction, so it can ride a
+// governor's telemetry callback at the 20 ms sampling cadence.
+//
+// Where Detect places splits globally by binary segmentation over prefix
+// sums, Online evaluates one candidate split — the center of a sliding
+// 2h-sample window — using the identical SSE-gain criterion: a shift is
+// flagged when splitting the window at its center reduces the summed
+// within-half squared error by more than the penalty. A phase flip
+// therefore flags within h samples of crossing the window's center, and a
+// homogeneous stream under the offline penalty stays quiet under the same
+// online penalty.
+type Online struct {
+	opts OnlineOptions
+	fp   halves
+	dr   halves
+	n    int // samples pushed
+	last int // n at the last flagged shift; -1 before any
+
+	shifts int
+	cp     int // estimated stream index of the last shift's boundary
+}
+
+// NewOnline returns a detector with preallocated window state.
+func NewOnline(opts OnlineOptions) (*Online, error) {
+	opts = opts.withDefaults()
+	if opts.Window < 2 {
+		return nil, fmt.Errorf("trace: online window %d < 2", opts.Window)
+	}
+	if opts.Penalty < 0 {
+		return nil, fmt.Errorf("trace: negative penalty %v", opts.Penalty)
+	}
+	if opts.Spacing < 1 {
+		return nil, fmt.Errorf("trace: online spacing %d < 1", opts.Spacing)
+	}
+	o := &Online{opts: opts, last: -1}
+	o.fp.buf = make([]float64, 2*opts.Window)
+	o.dr.buf = make([]float64, 2*opts.Window)
+	return o, nil
+}
+
+// halves maintains one feature's sliding window as two h-sample halves
+// with running sums and sums of squares, updated in O(1) per push.
+type halves struct {
+	buf       []float64 // ring of the last 2h values; buf[i%2h] holds sample i
+	sumL, sqL float64   // older half [n-2h, n-h)
+	sumR, sqR float64   // newer half [n-h, n)
+}
+
+// push slides the window forward over x. n is the index x will occupy;
+// valid only once n >= 2h (the caller handles warm-up).
+func (w *halves) push(x float64, n, h int) {
+	cap2 := 2 * h
+	old := w.buf[n%cap2]     // sample n-2h, leaving the older half
+	mid := w.buf[(n-h)%cap2] // sample n-h, crossing from newer to older
+	w.sumL += mid - old
+	w.sqL += mid*mid - old*old
+	w.sumR += x - mid
+	w.sqR += x*x - mid*mid
+	w.buf[n%cap2] = x
+}
+
+// gain returns the SSE reduction of splitting the current window at its
+// center: SSE(whole) − SSE(older half) − SSE(newer half).
+func (w *halves) gain(h int) float64 {
+	hf := float64(h)
+	sseL := w.sqL - w.sumL*w.sumL/hf
+	sseR := w.sqR - w.sumR*w.sumR/hf
+	sum := w.sumL + w.sumR
+	sq := w.sqL + w.sqR
+	sseAll := sq - sum*sum/(2*hf)
+	return sseAll - sseL - sseR
+}
+
+// init recomputes the half sums from the full ring — called once, when the
+// window first fills.
+func (w *halves) init(h int) {
+	w.sumL, w.sqL, w.sumR, w.sqR = 0, 0, 0, 0
+	for i := 0; i < h; i++ {
+		x := w.buf[i]
+		w.sumL += x
+		w.sqL += x * x
+	}
+	for i := h; i < 2*h; i++ {
+		x := w.buf[i]
+		w.sumR += x
+		w.sqR += x * x
+	}
+}
+
+// Push feeds one sample's features and reports whether a phase shift is
+// flagged at this sample. Zero-alloc and O(1).
+func (o *Online) Push(fpActive, dramActive float64) bool {
+	h := o.opts.Window
+	cap2 := 2 * h
+	if o.n < cap2 {
+		// Warm-up: fill the ring; initialize the running sums exactly once
+		// when the window first completes.
+		o.fp.buf[o.n] = fpActive
+		o.dr.buf[o.n] = dramActive
+		o.n++
+		if o.n == cap2 {
+			o.fp.init(h)
+			o.dr.init(h)
+			return o.check()
+		}
+		return false
+	}
+	o.fp.push(fpActive, o.n, h)
+	o.dr.push(dramActive, o.n, h)
+	o.n++
+	return o.check()
+}
+
+// check applies the gain criterion and the spacing guard at the current
+// window position.
+func (o *Online) check() bool {
+	if o.last >= 0 && o.n-o.last < o.opts.Spacing {
+		return false
+	}
+	if o.fp.gain(o.opts.Window)+o.dr.gain(o.opts.Window) <= o.opts.Penalty {
+		return false
+	}
+	o.last = o.n
+	o.shifts++
+	o.cp = o.n - o.opts.Window
+	return true
+}
+
+// PushSample feeds one telemetry sample (its fp_active and dram_active).
+func (o *Online) PushSample(s dcgm.Sample) bool {
+	return o.Push(s.FPActive(), s.DRAMActive)
+}
+
+// Warm reports whether the window has filled — before that, nothing flags.
+func (o *Online) Warm() bool { return o.n >= 2*o.opts.Window }
+
+// Samples returns how many samples have been pushed.
+func (o *Online) Samples() int { return o.n }
+
+// Shifts returns how many phase shifts have been flagged since the last
+// Reset.
+func (o *Online) Shifts() int { return o.shifts }
+
+// LastChange returns the estimated stream index of the most recent flagged
+// shift's boundary (the window center at flag time), or -1 when nothing
+// has flagged.
+func (o *Online) LastChange() int {
+	if o.shifts == 0 {
+		return -1
+	}
+	return o.cp
+}
+
+// Reset clears all window and flag state, keeping the allocated buffers —
+// what a governor calls after re-tuning, so stale pre-tune samples cannot
+// re-flag the shift that was just acted on.
+func (o *Online) Reset() {
+	o.n = 0
+	o.last = -1
+	o.shifts = 0
+	o.cp = 0
+	o.fp = halves{buf: o.fp.buf}
+	o.dr = halves{buf: o.dr.buf}
+}

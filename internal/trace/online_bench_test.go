@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkOnlinePush measures the per-sample cost of the streaming
+// detector — the price the governor pays inside its telemetry callback —
+// and pins its zero-allocation contract.
+func BenchmarkOnlinePush(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 4096
+	fp := make([]float64, n)
+	dr := make([]float64, n)
+	for i := range fp {
+		fp[i] = 0.8 + 0.03*rng.NormFloat64()
+		dr[i] = 0.3 + 0.03*rng.NormFloat64()
+	}
+	o, err := NewOnline(OnlineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Push(fp[i%n], dr[i%n])
+	}
+	if testing.AllocsPerRun(1000, func() { o.Push(0.8, 0.3) }) != 0 {
+		b.Fatal("Online.Push allocates")
+	}
+}
+
+// BenchmarkDetectOffline is the batch counterpart, for the streaming
+// versus offline cost comparison in the bench-smoke suite.
+func BenchmarkDetectOffline(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	samples := append(synth(rng, 500, 0.9, 0.3), synth(rng, 500, 0.2, 0.8)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(samples, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpudvfs/internal/backend"
+	"gpudvfs/internal/backend/replay"
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/dcgm"
+	"gpudvfs/internal/workloads"
+)
+
+// feedOnline pushes a sample stream through a fresh detector and returns
+// the estimated boundary index of every flagged shift.
+func feedOnline(t *testing.T, samples []dcgm.Sample, opts OnlineOptions) []int {
+	t.Helper()
+	o, err := NewOnline(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags []int
+	for _, s := range samples {
+		if o.PushSample(s) {
+			flags = append(flags, o.LastChange())
+		}
+	}
+	return flags
+}
+
+// interiorBounds returns the interior boundaries of an offline detection.
+func interiorBounds(segs []Segment) []int {
+	var out []int
+	for _, s := range segs[1:] {
+		out = append(out, s.Start)
+	}
+	return out
+}
+
+// TestOnlineAgreesWithDetectTwoPhase is the core differential contract:
+// on a stream with one well-separated phase flip, the online detector
+// flags exactly once, within a window of where the offline segmentation
+// places the boundary.
+func TestOnlineAgreesWithDetectTwoPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	samples := append(synth(rng, 60, 0.9, 0.3), synth(rng, 60, 0.2, 0.8)...)
+
+	segs, err := Detect(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := interiorBounds(segs)
+	if len(offline) != 1 {
+		t.Fatalf("offline found %d boundaries, want 1", len(offline))
+	}
+
+	const window = 8
+	flags := feedOnline(t, samples, OnlineOptions{Window: window})
+	if len(flags) != 1 {
+		t.Fatalf("online flagged %d shifts, want 1 (at %v)", len(flags), flags)
+	}
+	if d := flags[0] - offline[0]; d < -window || d > window {
+		t.Fatalf("online boundary %d vs offline %d: outside ±%d", flags[0], offline[0], window)
+	}
+}
+
+// TestOnlineAgreesWithDetectMultiPhase extends the agreement to several
+// transitions: every offline boundary has an online flag within a window.
+func TestOnlineAgreesWithDetectMultiPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := append(synth(rng, 50, 0.9, 0.25), synth(rng, 50, 0.2, 0.85)...)
+	samples = append(samples, synth(rng, 50, 0.85, 0.3)...)
+
+	segs, err := Detect(samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := interiorBounds(segs)
+	if len(offline) != 2 {
+		t.Fatalf("offline found %d boundaries, want 2", len(offline))
+	}
+
+	const window = 8
+	flags := feedOnline(t, samples, OnlineOptions{Window: window})
+	if len(flags) != len(offline) {
+		t.Fatalf("online flagged %d shifts (%v), offline %d (%v)", len(flags), flags, len(offline), offline)
+	}
+	for i, b := range offline {
+		if d := flags[i] - b; d < -window || d > window {
+			t.Fatalf("flag %d at %d vs offline boundary %d", i, flags[i], b)
+		}
+	}
+}
+
+// TestOnlineQuietOnHomogeneousStream: a single-phase stream never flags —
+// the side of the agreement that keeps a streaming governor from retuning
+// on noise. The same stream is confirmed single-phase offline.
+func TestOnlineQuietOnHomogeneousStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := synth(rng, 400, 0.8, 0.35)
+	if ok, err := Homogeneous(samples, Options{}); err != nil || !ok {
+		t.Fatalf("offline disagrees that the stream is homogeneous: %v, %v", ok, err)
+	}
+	if flags := feedOnline(t, samples, OnlineOptions{}); len(flags) != 0 {
+		t.Fatalf("online flagged %v on a homogeneous stream", flags)
+	}
+}
+
+// TestOnlineOnReplayedTelemetry is the issue's replayed-stream check: two
+// recorded runs of different computational character are streamed back to
+// back through the replay backend's streaming sampler; the online detector
+// must place the shift where the offline segmentation of the concatenated
+// telemetry does.
+func TestOnlineOnReplayedTelemetry(t *testing.T) {
+	dev := sim.New(sim.GA100(), 9)
+	coll := dcgm.NewCollector(dev, dcgm.Config{Freqs: []float64{1410}, Runs: 1, Seed: 10})
+	var recorded []dcgm.Run
+	for _, k := range []sim.KernelProfile{workloads.DGEMM(), workloads.STREAM()} {
+		runs, err := coll.CollectWorkload(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recorded = append(recorded, runs...)
+	}
+
+	rdev, err := replay.New(recorded, replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strm, err := dcgm.NewCollector(rdev, dcgm.Config{}).Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o, err := NewOnline(OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []dcgm.Sample
+	var flags []int
+	yield := func(s backend.Sample) {
+		all = append(all, s)
+		if o.PushSample(s) {
+			flags = append(flags, o.LastChange())
+		}
+	}
+	for _, name := range []string{"DGEMM", "STREAM"} {
+		if _, err := strm.Run(backend.Named(name), 0, yield); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	segs, err := Detect(all, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := interiorBounds(segs)
+	if len(offline) != 1 {
+		t.Fatalf("offline segmentation of the replayed stream: %d boundaries", len(offline))
+	}
+	if len(flags) != 1 {
+		t.Fatalf("online flagged %d shifts on the replayed stream: %v", len(flags), flags)
+	}
+	if d := flags[0] - offline[0]; d < -8 || d > 8 {
+		t.Fatalf("online boundary %d vs offline %d on replayed telemetry", flags[0], offline[0])
+	}
+}
+
+// TestOnlineSpacingSuppressesRepeatFlags: without spacing past the window,
+// one step change would flag repeatedly while it marches through; the
+// default spacing collapses it to one flag (covered above), and an
+// explicit tiny spacing shows the duplicates it suppresses.
+func TestOnlineSpacingSuppressesRepeatFlags(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := append(synth(rng, 40, 0.9, 0.3), synth(rng, 40, 0.2, 0.8)...)
+	loose := feedOnline(t, samples, OnlineOptions{Window: 8, Spacing: 1})
+	if len(loose) < 2 {
+		t.Fatalf("spacing 1 should flag the marching step repeatedly, got %v", loose)
+	}
+	tight := feedOnline(t, samples, OnlineOptions{Window: 8})
+	if len(tight) != 1 {
+		t.Fatalf("default spacing should flag once, got %v", tight)
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	shifted := append(synth(rng, 30, 0.9, 0.3), synth(rng, 30, 0.2, 0.8)...)
+	o, err := NewOnline(OnlineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, s := range shifted {
+		if o.PushSample(s) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("pre-reset flags: %d", n)
+	}
+	o.Reset()
+	if o.Warm() || o.Shifts() != 0 || o.Samples() != 0 || o.LastChange() != -1 {
+		t.Fatalf("reset left state: warm=%v shifts=%d samples=%d last=%d", o.Warm(), o.Shifts(), o.Samples(), o.LastChange())
+	}
+	// Post-reset, the same homogeneous tail stays quiet even though the
+	// detector saw the other phase before the reset.
+	for _, s := range synth(rng, 60, 0.2, 0.8) {
+		if o.PushSample(s) {
+			t.Fatal("flag after reset on a homogeneous continuation")
+		}
+	}
+}
+
+func TestOnlineOptionValidation(t *testing.T) {
+	for _, tc := range []OnlineOptions{
+		{Window: 1},
+		{Penalty: -0.1},
+		{Spacing: -2},
+	} {
+		if _, err := NewOnline(tc); err == nil {
+			t.Fatalf("NewOnline(%+v) should fail", tc)
+		}
+	}
+}
+
+// TestDetectDegenerateInputs is the satellite's table of edge cases for
+// the offline detector: single sample, constant stream, and an all-drift
+// stream where every sample differs from the last.
+func TestDetectDegenerateInputs(t *testing.T) {
+	constant := make([]dcgm.Sample, 50)
+	for i := range constant {
+		constant[i] = dcgm.Sample{FP64Active: 0.6, DRAMActive: 0.4}
+	}
+	ramp := make([]dcgm.Sample, 64)
+	for i := range ramp {
+		ramp[i] = dcgm.Sample{FP64Active: float64(i) / 64, DRAMActive: 1 - float64(i)/64}
+	}
+	cases := []struct {
+		name     string
+		samples  []dcgm.Sample
+		opts     Options
+		maxSegs  int
+		wantSegs int // 0 = only check coverage and maxSegs
+	}{
+		{name: "single sample", samples: constant[:1], opts: Options{}, maxSegs: 1, wantSegs: 1},
+		{name: "two samples", samples: constant[:2], opts: Options{}, maxSegs: 1, wantSegs: 1},
+		{name: "constant stream", samples: constant, opts: Options{}, maxSegs: 1, wantSegs: 1},
+		// A drifting ramp has no step anywhere; SSE splits still help, but
+		// the recursion must respect MaxSegments and keep exact coverage.
+		{name: "all-drift stream", samples: ramp, opts: Options{MaxSegments: 4}, maxSegs: 4},
+		{name: "all-drift tiny penalty", samples: ramp, opts: Options{Penalty: 1e-9, MaxSegments: 8}, maxSegs: 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			segs, err := Detect(tc.samples, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantSegs > 0 && len(segs) != tc.wantSegs {
+				t.Fatalf("got %d segments, want %d: %+v", len(segs), tc.wantSegs, segs)
+			}
+			if len(segs) > tc.maxSegs {
+				t.Fatalf("got %d segments, cap %d", len(segs), tc.maxSegs)
+			}
+			// Exact coverage in stream order, regardless of input shape.
+			if segs[0].Start != 0 || segs[len(segs)-1].End != len(tc.samples) {
+				t.Fatalf("segments do not cover the stream: %+v", segs)
+			}
+			for i := 1; i < len(segs); i++ {
+				if segs[i].Start != segs[i-1].End {
+					t.Fatalf("segments not contiguous at %d: %+v", i, segs)
+				}
+			}
+		})
+	}
+	if _, err := Detect(nil, Options{}); err == nil {
+		t.Fatal("Detect(nil) should fail")
+	}
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"gpudvfs/internal/backend"
+	sim "gpudvfs/internal/backend/sim"
+)
+
+// Sequence is a finite, replayable workload stream over a fixed slice of
+// workloads; it satisfies governor.WorkloadStream (asserted in that
+// package's tests — importing it here would cycle). Next is
+// allocation-free, so a governed loop over a Sequence stays
+// allocation-free in steady state.
+type Sequence struct {
+	items []backend.Workload
+	pos   int
+}
+
+// NewSequence returns a stream that yields items in order, once.
+func NewSequence(items ...backend.Workload) *Sequence {
+	return &Sequence{items: items}
+}
+
+// Next yields the next workload, or ok=false at the end of the sequence.
+func (s *Sequence) Next() (backend.Workload, bool) {
+	if s.pos >= len(s.items) {
+		return nil, false
+	}
+	w := s.items[s.pos]
+	s.pos++
+	return w, true
+}
+
+// Reset rewinds the sequence so the identical stream can be replayed —
+// how the benchmark harness runs every governing policy over the same
+// workload history.
+func (s *Sequence) Reset() { s.pos = 0 }
+
+// Len returns the total number of items in the sequence.
+func (s *Sequence) Len() int { return len(s.items) }
+
+// PhaseShifting returns a workload stream that alternates computational
+// character: `period` compute-bound executions (DGEMM), then `period`
+// memory-bound ones (STREAM), repeating for `total` items. The stream
+// opens compute-bound, so a one-shot governor tunes for the compute phase
+// and then overclocks every memory phase — the scenario where mid-stream
+// re-tuning pays.
+func PhaseShifting(period, total int) *Sequence {
+	if period < 1 {
+		period = 1
+	}
+	phases := [2]sim.KernelProfile{DGEMM(), STREAM()}
+	items := make([]backend.Workload, total)
+	for i := range items {
+		items[i] = phases[(i/period)%2]
+	}
+	return &Sequence{items: items}
+}
+
+// MultiTenant returns a workload stream modeling interference from a
+// co-located tenant: every execution is the base profile with its memory
+// path perturbed by a seeded random contention level — more time in the
+// memory phase at lower effective intensity (bandwidth stolen by the
+// neighbour) and extra host-side stalls. The workload name is preserved,
+// so to the governor this looks like one application whose character
+// wobbles run to run; only perturbations beyond the drift tolerance
+// should trigger re-tuning.
+func MultiTenant(base sim.KernelProfile, total int, seed int64) *Sequence {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]backend.Workload, total)
+	for i := range items {
+		p := rng.Float64() // contention level for this execution
+		k := base
+		k.MemorySec *= 1 + 0.8*p
+		k.MemIntensity *= 1 - 0.3*p
+		k.HostSec *= 1 + 0.2*p
+		items[i] = k
+	}
+	return &Sequence{items: items}
+}
+
+// NamedStream returns a stream of name-only workloads cycling through
+// names for `total` items — the form a replay-backed governor consumes,
+// where the recorded trace, not a kernel profile, defines the behaviour.
+func NamedStream(names []string, total int) *Sequence {
+	items := make([]backend.Workload, total)
+	for i := range items {
+		items[i] = backend.Named(names[i%len(names)])
+	}
+	return &Sequence{items: items}
+}

@@ -1,0 +1,81 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestSequenceBasics(t *testing.T) {
+	s := NewSequence(DGEMM(), STREAM())
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	var names []string
+	for {
+		w, ok := s.Next()
+		if !ok {
+			break
+		}
+		names = append(names, w.WorkloadName())
+	}
+	if len(names) != 2 || names[0] != "DGEMM" || names[1] != "STREAM" {
+		t.Fatalf("sequence order: %v", names)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted sequence yielded")
+	}
+	s.Reset()
+	if w, ok := s.Next(); !ok || w.WorkloadName() != "DGEMM" {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestPhaseShiftingAlternates(t *testing.T) {
+	s := PhaseShifting(3, 12)
+	for i := 0; i < 12; i++ {
+		w, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d", i)
+		}
+		want := "DGEMM"
+		if (i/3)%2 == 1 {
+			want = "STREAM"
+		}
+		if w.WorkloadName() != want {
+			t.Fatalf("item %d is %s, want %s", i, w.WorkloadName(), want)
+		}
+	}
+}
+
+func TestMultiTenantPerturbsDeterministically(t *testing.T) {
+	a, b := MultiTenant(LAMMPS(), 8, 3), MultiTenant(LAMMPS(), 8, 3)
+	other := MultiTenant(LAMMPS(), 8, 4)
+	distinct := false
+	for i := 0; i < 8; i++ {
+		wa, _ := a.Next()
+		wb, _ := b.Next()
+		wo, _ := other.Next()
+		if wa.WorkloadName() != "LAMMPS" {
+			t.Fatalf("tenant renamed the workload: %s", wa.WorkloadName())
+		}
+		if wa != wb {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if wa != wo {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("different seeds produced identical interference")
+	}
+}
+
+func TestNamedStreamCycles(t *testing.T) {
+	s := NamedStream([]string{"A", "B"}, 5)
+	want := []string{"A", "B", "A", "B", "A"}
+	for i, name := range want {
+		w, ok := s.Next()
+		if !ok || w.WorkloadName() != name {
+			t.Fatalf("item %d: %v %v, want %s", i, w, ok, name)
+		}
+	}
+}
