@@ -3,7 +3,7 @@ GO ?= go
 # Packages with dedicated concurrent paths: they get a -race pass in check.
 RACE_PKGS = ./internal/mat ./internal/nn ./internal/dcgm ./internal/mi ./internal/neighbors ./internal/stats ./internal/sched ./internal/backend/... ./internal/governor ./internal/trace ./internal/serve ./internal/fleet ./internal/router ./internal/obs
 
-.PHONY: all build test race bench-smoke bench-router bench-governor fuzz-smoke vet fmt-check check
+.PHONY: all build test race bench-smoke bench-router bench-governor bench-phasecache fuzz-smoke vet fmt-check check
 
 all: build
 
@@ -44,7 +44,9 @@ race:
 # behind BENCH_router.json (and re-assert their 0-alloc invariants); the
 # trace/governor arms cover the online change-point push and the
 # streaming-governor step behind BENCH_governor.json (and re-assert the
-# governor loop's 0-alloc steady-state invariant).
+# governor loop's 0-alloc steady-state invariant); the PhaseRePin arm
+# covers the memoized re-pin fast path behind BENCH_phasecache.json (and
+# re-asserts its 0-alloc invariant).
 bench-smoke:
 	$(GO) test -run '^$$' -bench Figure7 -benchtime=1x .
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/nn ./internal/mat ./internal/mi
@@ -54,7 +56,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Fleet.*100k' -benchtime=1x ./internal/fleet
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./internal/router ./internal/obs
 	$(GO) test -run '^$$' -bench 'OnlinePush|DetectOffline' -benchtime=1x ./internal/trace
-	$(GO) test -run '^$$' -bench GovernorStep -benchtime=1x ./internal/governor
+	$(GO) test -run '^$$' -bench 'GovernorStep|PhaseRePin' -benchtime=1x ./internal/governor
 
 # bench-router records BENCH_router.json: the 1/2/4-replica scaling sweep
 # behind the dvfs-router front (in-process replicas on loopback sockets,
@@ -70,14 +72,23 @@ bench-router:
 bench-governor:
 	$(GO) run ./cmd/dvfs-govern -runs 24 -period 4 -out BENCH_governor.json
 
+# bench-phasecache records BENCH_phasecache.json: the 5-arm comparison
+# adding the phase-memoizing governor (streaming+memo) on the period-4
+# phase-shift stream — re-pins without re-profiling, the re-pin path's
+# allocs/op, and energy/time relative to the plain streaming arm.
+bench-phasecache:
+	$(GO) run ./cmd/dvfs-govern -runs 24 -period 4 -phase-cache 8 -out BENCH_phasecache.json
+
 # fuzz-smoke gives the differential fuzzers a short budget on every check;
 # regressions in kernel exactness, estimator exactness, or plan-cache key
-# aliasing (including the mem-axis-extended keys) surface here first.
+# aliasing (including the mem-axis-extended keys and the governor's phase
+# fingerprints) surface here first.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMulTBBlockedMatchesNaive -fuzztime=5s ./internal/mat
 	$(GO) test -run '^$$' -fuzz FuzzEstimateMatchesBrute -fuzztime=5s ./internal/mi
 	$(GO) test -run '^$$' -fuzz FuzzPlanKeyQuantizer -fuzztime=5s ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzPlanKeyGrid$$' -fuzztime=5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzReplayRoundTrip -fuzztime=5s ./internal/backend/replay
+	$(GO) test -run '^$$' -fuzz FuzzPhaseFingerprint -fuzztime=5s ./internal/governor
 
 check: fmt-check vet build test race bench-smoke fuzz-smoke

@@ -1,10 +1,12 @@
 // Command dvfs-govern runs the streaming governor over a workload stream
 // and compares governing policies on the same executions: always-max (no
 // DVFS), the paper's one-shot tune, a phased-static tune (dominant-phase
-// features, still one-shot), and the streaming governor that watches
+// features, still one-shot), the streaming governor that watches
 // per-sample telemetry through an online change-point detector and
 // re-runs the online phase mid-stream when the workload changes
-// character.
+// character, and the phase-memoizing streaming governor whose retunes
+// first consult a cache of tuned phases — a recognized phase re-pins its
+// memoized clocks with no profiling run at all.
 //
 // Every policy consumes an identical stream on an identically seeded
 // device fork, so the energy/performance comparison isolates the policy.
@@ -15,6 +17,7 @@
 // Examples:
 //
 //	dvfs-govern -scenario phase-shift -runs 24 -period 4
+//	dvfs-govern -scenario phase-cycle -runs 24 -period 2 -phase-cache 8
 //	dvfs-govern -scenario multi-tenant -runs 24 -fuse-static 0.3
 //	dvfs-govern -backend replay -trace trace.csv -scenario phase-shift -runs 16
 //	dvfs-govern -models models/ -out BENCH_governor.json
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"gpudvfs/internal/backend"
 	"gpudvfs/internal/backend/open"
@@ -54,10 +58,13 @@ type config struct {
 	period   int
 
 	fuseStatic    float64
+	fuseAdaptive  bool
 	phaseWindow   int
 	retuneCd      int
 	driftTol      float64
 	reprofAfter   int
+	phaseCache    int
+	phaseStale    int
 	out           string
 	renderMetrics bool
 }
@@ -73,10 +80,13 @@ func main() {
 		objName     = flag.String("objective", "edp", "selection objective: edp or ed2p")
 		threshold   = flag.Float64("threshold", -1, "max slowdown fraction (e.g. 0.05); negative = unconstrained")
 		memFreqs    = flag.String("mem-freqs", "", `memory P-states swept alongside core clocks: "all", or a comma-separated MHz list; empty governs the core axis only`)
-		scenario    = flag.String("scenario", "phase-shift", "workload stream: phase-shift or multi-tenant")
+		scenario    = flag.String("scenario", "phase-shift", "workload stream: phase-shift, phase-cycle, or multi-tenant")
 		runs        = flag.Int("runs", 24, "total workload executions in the stream")
-		period      = flag.Int("period", 4, "executions per phase in the phase-shift scenario")
+		period      = flag.Int("period", 4, "executions per phase in the phase-shift/phase-cycle scenarios")
 		fuseStatic  = flag.Float64("fuse-static", 0, "static-trait fusion weight in [0,1); 0 disables fusion")
+		fuseAdapt   = flag.Bool("fuse-adaptive", false, "derive the fusion weight from telemetry noise, with -fuse-static as the ceiling")
+		phaseCache  = flag.Int("phase-cache", 8, "memoized phases in the streaming+memo arm; 0 drops the arm")
+		phaseStale  = flag.Int("phase-stale", 0, "governed runs before a memoized phase goes stale (0 = never)")
 		phaseWindow = flag.Int("phase-window", 8, "online change-point detector half-window in samples")
 		retuneCd    = flag.Int("retune-cooldown", 1, "minimum governed runs between re-tunes")
 		driftTol    = flag.Float64("drift-tolerance", 0, "relative feature drift that counts toward re-tuning (0 = default 0.25)")
@@ -99,10 +109,13 @@ func main() {
 		period:   *period,
 
 		fuseStatic:    *fuseStatic,
+		fuseAdaptive:  *fuseAdapt,
 		phaseWindow:   *phaseWindow,
 		retuneCd:      *retuneCd,
 		driftTol:      *driftTol,
 		reprofAfter:   *reprofAfter,
+		phaseCache:    *phaseCache,
+		phaseStale:    *phaseStale,
 		out:           *out,
 		renderMetrics: *metrics,
 	}
@@ -120,8 +133,12 @@ type armResult struct {
 	Runs         int     `json:"runs"`
 	TunedRuns    int     `json:"tuned_runs,omitempty"`
 	Retunes      int     `json:"retunes,omitempty"`
+	RePins       int     `json:"re_pins,omitempty"`
+	DriftRetunes int     `json:"drift_retunes,omitempty"`
+	ShiftRetunes int     `json:"shift_retunes,omitempty"`
 	PhaseShifts  int     `json:"phase_shifts,omitempty"`
 	DriftedRuns  int     `json:"drifted_runs,omitempty"`
+	Phases       int     `json:"phases,omitempty"` // memoized phases at stream end
 	FinalFreqMHz float64 `json:"final_freq_mhz,omitempty"`
 }
 
@@ -137,8 +154,11 @@ type report struct {
 	Seed      int64   `json:"seed"`
 
 	FuseStatic     float64 `json:"fuse_static"`
+	FuseAdaptive   bool    `json:"fuse_adaptive,omitempty"`
 	PhaseWindow    int     `json:"phase_window"`
 	RetuneCooldown int     `json:"retune_cooldown"`
+	PhaseCache     int     `json:"phase_cache,omitempty"`
+	PhaseStale     int     `json:"phase_stale,omitempty"`
 
 	Arms []armResult `json:"arms"`
 
@@ -147,6 +167,17 @@ type report struct {
 	StreamingEnergyVsAlwaysMax float64 `json:"streaming_energy_vs_always_max"`
 	StreamingEnergyVsOneShot   float64 `json:"streaming_energy_vs_one_shot"`
 	StreamingPerfLossVsOneShot float64 `json:"streaming_perf_loss_vs_one_shot"`
+
+	// Headline numbers for the memoized arm: retunes recovered from the
+	// cache, profiling runs still paid after every phase had been seen
+	// once (0 = perfect recall), the re-pin fast path's measured
+	// allocations, and its cost against the plain streaming arm.
+	MemoRePins               int     `json:"memo_re_pins,omitempty"`
+	MemoReprofilesAfterFirst int     `json:"memo_reprofiles_after_first_visit"`
+	MemoRePinAllocsPerOp     float64 `json:"re_pin_allocs_per_op"`
+	MemoEnergyVsStreaming    float64 `json:"memo_energy_vs_streaming,omitempty"`
+	MemoTimeVsStreaming      float64 `json:"memo_time_vs_streaming,omitempty"`
+	MemoEnergyVsAlwaysMax    float64 `json:"memo_energy_vs_always_max,omitempty"`
 }
 
 // trainQuick trains small paper-shaped models in-process when no saved
@@ -198,13 +229,30 @@ func buildStream(dev backend.Device, cfg config) (*workloads.Sequence, error) {
 			return workloads.NamedStream(names, cfg.runs), nil
 		}
 		return workloads.PhaseShifting(cfg.period, cfg.runs), nil
+	case "phase-cycle":
+		if named, ok := dev.(interface{ Workloads() []string }); ok {
+			recorded := named.Workloads()
+			if len(recorded) < 2 {
+				return nil, fmt.Errorf("phase-cycle needs at least two recorded workloads, trace has %v", recorded)
+			}
+			k := len(recorded)
+			if k > 3 {
+				k = 3
+			}
+			names := make([]string, cfg.runs)
+			for i := range names {
+				names[i] = recorded[(i/cfg.period)%k]
+			}
+			return workloads.NamedStream(names, cfg.runs), nil
+		}
+		return workloads.PhaseCycle([]sim.KernelProfile{workloads.DGEMM(), workloads.STREAM(), workloads.LAMMPS()}, cfg.period, cfg.runs), nil
 	case "multi-tenant":
 		if _, ok := dev.(interface{ Workloads() []string }); ok {
 			return nil, fmt.Errorf("multi-tenant perturbs kernel profiles and needs the sim backend")
 		}
 		return workloads.MultiTenant(workloads.LAMMPS(), cfg.runs, cfg.seed), nil
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (phase-shift, multi-tenant)", cfg.scenario)
+		return nil, fmt.Errorf("unknown scenario %q (phase-shift, phase-cycle, multi-tenant)", cfg.scenario)
 	}
 }
 
@@ -240,19 +288,21 @@ func alwaysMax(dev backend.Device, cfg config) (armResult, error) {
 	return res, nil
 }
 
-// governed runs one governor policy over the shared stream.
-func governed(dev backend.Device, models *core.Models, cfg config, policy string, gcfg governor.Config) (armResult, error) {
+// governed runs one governor policy over the shared stream and returns
+// the governor alongside its ledger, so the memoized arm can be probed
+// after the stream ends.
+func governed(dev backend.Device, models *core.Models, cfg config, policy string, gcfg governor.Config) (armResult, *governor.Governor, error) {
 	g, err := governor.New(dev, models, gcfg)
 	if err != nil {
-		return armResult{}, err
+		return armResult{}, nil, err
 	}
 	stream, err := buildStream(dev, cfg)
 	if err != nil {
-		return armResult{}, err
+		return armResult{}, nil, err
 	}
 	rep, err := g.Run(context.Background(), stream)
 	if err != nil {
-		return armResult{}, err
+		return armResult{}, nil, err
 	}
 	return armResult{
 		Policy:       policy,
@@ -261,10 +311,42 @@ func governed(dev backend.Device, models *core.Models, cfg config, policy string
 		Runs:         rep.Runs,
 		TunedRuns:    rep.TunedRuns,
 		Retunes:      rep.Retunes,
+		RePins:       rep.RePins,
+		DriftRetunes: rep.DriftRetunes,
+		ShiftRetunes: rep.ShiftRetunes,
 		PhaseShifts:  rep.PhaseShifts,
 		DriftedRuns:  rep.DriftedRuns,
+		Phases:       g.PhaseCache().Phases,
 		FinalFreqMHz: g.Selection().FreqMHz,
-	}, nil
+	}, g, nil
+}
+
+// measureRePinAllocs re-pins a memoized phase repeatedly and reports the
+// observed heap allocations per operation via the runtime's allocation
+// counters — the CLI's in-process equivalent of the package benchmark's
+// 0 allocs/op pin, recorded in the report so the contract is checked on
+// every bench run, not only under `go test`.
+func measureRePinAllocs(g *governor.Governor) (float64, error) {
+	phases := g.Phases()
+	if len(phases) == 0 {
+		return 0, fmt.Errorf("no memoized phases to re-pin")
+	}
+	p := phases[0]
+	// Warm the path once so lazy state is built before counting.
+	if _, ok, err := g.TryRePin(p[0], p[1]); err != nil || !ok {
+		return 0, fmt.Errorf("re-pin warm-up missed (ok=%v err=%v)", ok, err)
+	}
+	const iters = 1000
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < iters; i++ {
+		if _, ok, err := g.TryRePin(p[0], p[1]); err != nil || !ok {
+			return 0, fmt.Errorf("re-pin missed mid-measurement (ok=%v err=%v)", ok, err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / iters, nil
 }
 
 func run(cfg config, w io.Writer) error {
@@ -273,6 +355,12 @@ func run(cfg config, w io.Writer) error {
 	}
 	if cfg.period < 1 {
 		return fmt.Errorf("-period %d: need at least 1", cfg.period)
+	}
+	if cfg.phaseCache < 0 {
+		return fmt.Errorf("-phase-cache %d: negative", cfg.phaseCache)
+	}
+	if cfg.phaseStale < 0 {
+		return fmt.Errorf("-phase-stale %d: negative", cfg.phaseStale)
 	}
 	root, err := open.Device(cfg.device)
 	if err != nil {
@@ -312,19 +400,24 @@ func run(cfg config, w io.Writer) error {
 	streaming := base
 	streaming.RetuneCooldown = cfg.retuneCd
 	streaming.FuseStatic = cfg.fuseStatic
+	streaming.FuseAdaptive = cfg.fuseAdaptive
 	reg := obs.NewRegistry()
 	streaming.Metrics = governor.NewMetrics(reg)
+	memo := streaming
+	memo.Metrics = nil
+	memo.PhaseCacheSize = cfg.phaseCache
+	memo.PhaseStaleAfter = cfg.phaseStale
 
 	// Each arm gets an identically seeded fork: the comparison isolates
 	// the governing policy, nothing else.
 	fork := func(i int64) backend.Device { return root.Fork(cfg.seed + 100*i) }
-	arms := make([]armResult, 0, 4)
+	arms := make([]armResult, 0, 5)
 	am, err := alwaysMax(fork(1), cfg)
 	if err != nil {
 		return fmt.Errorf("always-max arm: %w", err)
 	}
 	arms = append(arms, am)
-	for _, p := range []struct {
+	policies := []struct {
 		name string
 		fork int64
 		gcfg governor.Config
@@ -332,10 +425,26 @@ func run(cfg config, w io.Writer) error {
 		{"one-shot", 2, oneShot},
 		{"phased-static", 3, phased},
 		{"streaming", 4, streaming},
-	} {
-		res, err := governed(fork(p.fork), models, cfg, p.name, p.gcfg)
+	}
+	if cfg.phaseCache > 0 {
+		policies = append(policies, struct {
+			name string
+			fork int64
+			gcfg governor.Config
+		}{"streaming+memo", 5, memo})
+	}
+	var rePinAllocs float64
+	var memoPhases int
+	for _, p := range policies {
+		res, g, err := governed(fork(p.fork), models, cfg, p.name, p.gcfg)
 		if err != nil {
 			return fmt.Errorf("%s arm: %w", p.name, err)
+		}
+		if p.name == "streaming+memo" {
+			memoPhases = res.Phases
+			if rePinAllocs, err = measureRePinAllocs(g); err != nil {
+				return fmt.Errorf("streaming+memo arm: %w", err)
+			}
 		}
 		arms = append(arms, res)
 	}
@@ -351,8 +460,11 @@ func run(cfg config, w io.Writer) error {
 		Seed:      cfg.seed,
 
 		FuseStatic:     cfg.fuseStatic,
+		FuseAdaptive:   cfg.fuseAdaptive,
 		PhaseWindow:    cfg.phaseWindow,
 		RetuneCooldown: cfg.retuneCd,
+		PhaseCache:     cfg.phaseCache,
+		PhaseStale:     cfg.phaseStale,
 		Arms:           arms,
 	}
 	var maxE, oneE, oneT, strE, strT float64
@@ -364,6 +476,24 @@ func run(cfg config, w io.Writer) error {
 			oneE, oneT = a.EnergyJoules, a.TimeSeconds
 		case "streaming":
 			strE, strT = a.EnergyJoules, a.TimeSeconds
+		case "streaming+memo":
+			rep.MemoRePins = a.RePins
+			// Profiling runs past one per memoized phase are recall
+			// failures: the phase had been seen, yet was re-profiled.
+			rep.MemoReprofilesAfterFirst = a.TunedRuns - memoPhases
+			if rep.MemoReprofilesAfterFirst < 0 {
+				rep.MemoReprofilesAfterFirst = 0 // evictions can retire entries
+			}
+			rep.MemoRePinAllocsPerOp = rePinAllocs
+			if maxE > 0 {
+				rep.MemoEnergyVsAlwaysMax = a.EnergyJoules / maxE
+			}
+			if strE > 0 {
+				rep.MemoEnergyVsStreaming = a.EnergyJoules / strE
+			}
+			if strT > 0 {
+				rep.MemoTimeVsStreaming = a.TimeSeconds / strT
+			}
 		}
 	}
 	if maxE > 0 {
@@ -379,11 +509,16 @@ func run(cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "govern: %s on %s/%s, %d runs (period %d), objective %s\n",
 		cfg.scenario, rep.Backend, rep.Arch, cfg.runs, cfg.period, cfg.objective)
 	for _, a := range arms {
-		fmt.Fprintf(w, "%-14s %9.1f J %8.2f s  runs %d  tunes %d  retunes %d  shifts %d  final %v MHz\n",
-			a.Policy, a.EnergyJoules, a.TimeSeconds, a.Runs, a.TunedRuns, a.Retunes, a.PhaseShifts, a.FinalFreqMHz)
+		fmt.Fprintf(w, "%-14s %9.1f J %8.2f s  runs %d  tunes %d  retunes %d  re-pins %d  shifts %d  final %v MHz\n",
+			a.Policy, a.EnergyJoules, a.TimeSeconds, a.Runs, a.TunedRuns, a.Retunes, a.RePins, a.PhaseShifts, a.FinalFreqMHz)
 	}
 	fmt.Fprintf(w, "streaming vs always-max energy: %.3f; vs one-shot energy: %.3f, perf loss: %+.3f\n",
 		rep.StreamingEnergyVsAlwaysMax, rep.StreamingEnergyVsOneShot, rep.StreamingPerfLossVsOneShot)
+	if cfg.phaseCache > 0 {
+		fmt.Fprintf(w, "memo vs streaming energy: %.3f, time: %.3f; re-pins %d, reprofiles after first visit %d, re-pin allocs/op %.1f\n",
+			rep.MemoEnergyVsStreaming, rep.MemoTimeVsStreaming,
+			rep.MemoRePins, rep.MemoReprofilesAfterFirst, rep.MemoRePinAllocsPerOp)
+	}
 	if cfg.renderMetrics {
 		w.Write(reg.Render(nil))
 	}

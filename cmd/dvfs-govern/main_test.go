@@ -26,6 +26,7 @@ func baseConfig() config {
 		period:      4,
 		phaseWindow: 8,
 		retuneCd:    1,
+		phaseCache:  8,
 	}
 }
 
@@ -77,6 +78,86 @@ func TestGovernPhaseShift(t *testing.T) {
 	}
 	if rep.StreamingEnergyVsOneShot >= 1 || rep.StreamingEnergyVsAlwaysMax >= 1 {
 		t.Fatalf("headline ratios not a win: %+v", rep)
+	}
+
+	memo, ok := arms["streaming+memo"]
+	if !ok {
+		t.Fatalf("missing streaming+memo arm in %s", raw)
+	}
+	if memo.RePins < 1 {
+		t.Fatalf("memo arm never re-pinned: %+v", memo)
+	}
+	if memo.TunedRuns >= str.TunedRuns {
+		t.Fatalf("memo arm profiled %d runs, streaming only %d", memo.TunedRuns, str.TunedRuns)
+	}
+	if rep.MemoReprofilesAfterFirst != 0 {
+		t.Fatalf("memo arm re-profiled %d recognized phases", rep.MemoReprofilesAfterFirst)
+	}
+	if rep.MemoRePinAllocsPerOp != 0 {
+		t.Fatalf("re-pin path allocates %.1f/op", rep.MemoRePinAllocsPerOp)
+	}
+	if rep.MemoEnergyVsStreaming > 1 {
+		t.Fatalf("memo arm energy %.3fx streaming", rep.MemoEnergyVsStreaming)
+	}
+	if rep.MemoTimeVsStreaming > 1.005 {
+		t.Fatalf("memo arm time %.3fx streaming exceeds +0.5%%", rep.MemoTimeVsStreaming)
+	}
+}
+
+// TestGovernPhaseCycle drives the three-phase rotation: the memoized arm
+// must hold one cache entry per phase and re-pin on every revisit.
+func TestGovernPhaseCycle(t *testing.T) {
+	cfg := baseConfig()
+	cfg.scenario = "phase-cycle"
+	cfg.runs = 24
+	cfg.period = 2
+	cfg.out = filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	raw, err := os.ReadFile(cfg.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range rep.Arms {
+		if a.Policy == "streaming+memo" {
+			if a.RePins < 1 {
+				t.Fatalf("no re-pins on the cycle: %+v", a)
+			}
+			return
+		}
+	}
+	t.Fatalf("missing streaming+memo arm in %s", raw)
+}
+
+// TestGovernMemoDisabled pins the opt-out: -phase-cache 0 drops the
+// fifth arm entirely and leaves the memo headline fields zeroed.
+func TestGovernMemoDisabled(t *testing.T) {
+	cfg := baseConfig()
+	cfg.phaseCache = 0
+	cfg.out = filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "streaming+memo") {
+		t.Fatalf("memo arm present with cache disabled:\n%s", buf.String())
+	}
+	raw, err := os.ReadFile(cfg.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Arms) != 4 || rep.MemoRePins != 0 || rep.MemoEnergyVsStreaming != 0 {
+		t.Fatalf("disabled memo leaked into report: %+v", rep)
 	}
 }
 
@@ -132,6 +213,8 @@ func TestGovernRejectsBadFlags(t *testing.T) {
 		func(c *config) { c.scenario = "nope" },
 		func(c *config) { c.fuseStatic = 1.0 },
 		func(c *config) { c.objective = "nope" },
+		func(c *config) { c.phaseCache = -1 },
+		func(c *config) { c.phaseStale = -1 },
 	} {
 		cfg := baseConfig()
 		mutate(&cfg)

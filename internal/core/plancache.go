@@ -229,6 +229,14 @@ func quantizeFeature(v, q float64) int64 {
 	return int64(r)
 }
 
+// Quantize maps a feature value to its bucket index under quantum q — the
+// plan-key quantizer exported for fingerprint schemes that must bucket
+// exactly like plan keys (the governor's phase cache), so one quantization
+// discipline governs every memoization layer: values that differ by more
+// than q never share a bucket, a ±1 ulp perturbation moves the bucket by
+// at most one, and pathological inputs collapse to sentinel buckets.
+func Quantize(v, q float64) int64 { return quantizeFeature(v, q) }
+
 // appendKey writes the cache key for a profiling run's mean sample — the
 // shared (arch, objective, threshold) prefix plus the quantized feature
 // vector — into ws.buf and returns it. The byte form is what the hot path

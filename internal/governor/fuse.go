@@ -37,3 +37,58 @@ func FuseSample(dyn dcgm.Sample, tr backend.StaticTraits, w float64) dcgm.Sample
 	}
 	return out
 }
+
+// naturalNoiseVar is the variance scale of the features' clean-signal
+// telemetry wobble (σ ≈ 0.04 per §4.2's invariance analysis): per-sample
+// feature variance at this level halves the adaptive fusion weight, far
+// below it the dynamic signal is trusted nearly outright.
+const naturalNoiseVar = 0.04 * 0.04
+
+// AdaptiveFuseWeight derives the fusion blend weight from observed signal
+// confidence: w = ceiling · v/(v+v₀), where v is the per-sample feature
+// variance of the profiling telemetry and v₀ the natural noise floor.
+// Clean telemetry (v → 0) yields w → 0 — trust the measurement; noisy
+// telemetry (v ≫ v₀) saturates toward the ceiling — lean on the static
+// traits that noise cannot corrupt. A ceiling of 0 yields identically 0,
+// which keeps the adaptive governor bit-identical to the fusion-free one.
+func AdaptiveFuseWeight(ceiling, variance float64) float64 {
+	if ceiling <= 0 || variance <= 0 {
+		return 0
+	}
+	return ceiling * variance / (variance + naturalNoiseVar)
+}
+
+// featureVariance is the mean of the population variances of the two
+// selection features (fp_active, dram_active) across a run's samples —
+// the signal-confidence input to adaptive fusion and phase noise
+// estimates. Zero for runs with fewer than two samples.
+func featureVariance(samples []dcgm.Sample) float64 {
+	n := float64(len(samples))
+	if n < 2 {
+		return 0
+	}
+	var sumF, sqF, sumD, sqD float64
+	for _, s := range samples {
+		f, d := s.FPActive(), s.DRAMActive
+		sumF += f
+		sqF += f * f
+		sumD += d
+		sqD += d * d
+	}
+	mf, md := sumF/n, sumD/n
+	v := (sqF/n - mf*mf + sqD/n - md*md) / 2
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// fuseWeight resolves the blend weight for one tune: the fixed FuseStatic
+// by default, or the noise-adaptive weight (FuseStatic as ceiling) derived
+// from the profiling run's own sample variance when FuseAdaptive is set.
+func (g *Governor) fuseWeight(run dcgm.Run) float64 {
+	if !g.cfg.FuseAdaptive {
+		return g.cfg.FuseStatic
+	}
+	return AdaptiveFuseWeight(g.cfg.FuseStatic, featureVariance(run.Samples))
+}

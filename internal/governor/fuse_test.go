@@ -109,3 +109,104 @@ func TestGovernorFusedRun(t *testing.T) {
 		t.Fatalf("fused loop: %+v", rep)
 	}
 }
+
+// TestAdaptiveFuseWeight pins the confidence curve: zero at either a zero
+// ceiling or a clean signal, half the ceiling exactly at the natural
+// noise floor, monotone in the variance, and never reaching the ceiling.
+func TestAdaptiveFuseWeight(t *testing.T) {
+	if w := AdaptiveFuseWeight(0, 1.0); w != 0 {
+		t.Fatalf("zero ceiling yielded %v", w)
+	}
+	if w := AdaptiveFuseWeight(0.5, 0); w != 0 {
+		t.Fatalf("clean signal yielded %v", w)
+	}
+	if w := AdaptiveFuseWeight(0.5, naturalNoiseVar); !close64(w, 0.25) {
+		t.Fatalf("variance at the noise floor yielded %v, want half the ceiling", w)
+	}
+	prev := -1.0
+	for _, v := range []float64{1e-6, 1e-4, 1e-3, 1e-2, 1e-1, 1.0} {
+		w := AdaptiveFuseWeight(0.5, v)
+		if w <= prev {
+			t.Fatalf("weight not increasing in variance at v=%v: %v <= %v", v, w, prev)
+		}
+		if w >= 0.5 {
+			t.Fatalf("weight %v reached the ceiling at v=%v", w, v)
+		}
+		prev = w
+	}
+}
+
+// TestFeatureVariance: the per-run signal-confidence estimator is zero
+// for degenerate runs and matches the hand-computed population variance.
+func TestFeatureVariance(t *testing.T) {
+	if v := featureVariance(nil); v != 0 {
+		t.Fatalf("nil samples: %v", v)
+	}
+	if v := featureVariance([]dcgm.Sample{{FP32Active: 0.5}}); v != 0 {
+		t.Fatalf("single sample: %v", v)
+	}
+	// fp = {0.2, 0.4} (var 0.01), dram = {0.1, 0.1} (var 0) → mean 0.005.
+	s := []dcgm.Sample{
+		{FP32Active: 0.2, DRAMActive: 0.1},
+		{FP32Active: 0.4, DRAMActive: 0.1},
+	}
+	if v := featureVariance(s); !close64(v, 0.005) {
+		t.Fatalf("variance %v, want 0.005", v)
+	}
+}
+
+// TestAdaptiveZeroCeilingBitIdentical is the acceptance differential:
+// FuseAdaptive with a zero FuseStatic ceiling must be byte-for-byte the
+// plain streaming governor — the adaptive machinery vanishes entirely at
+// weight 0.
+func TestAdaptiveZeroCeilingBitIdentical(t *testing.T) {
+	m := quickModels(t)
+	plain, err := New(sim.New(sim.GA100(), 20), m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, err := plain.Run(context.Background(), workloads.PhaseShifting(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.FuseAdaptive = true // ceiling FuseStatic stays 0
+	adaptive, err := New(sim.New(sim.GA100(), 20), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRep, err := adaptive.Run(context.Background(), workloads.PhaseShifting(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep != wantRep {
+		t.Fatalf("zero-ceiling adaptive run diverged:\nadaptive %+v\nplain    %+v", gotRep, wantRep)
+	}
+	if adaptive.Selection() != plain.Selection() {
+		t.Fatalf("selection %+v != plain %+v", adaptive.Selection(), plain.Selection())
+	}
+}
+
+// TestAdaptiveFusedRun: a nonzero ceiling with adaptive weighting still
+// completes the shifting stream and lands on a supported clock.
+func TestAdaptiveFusedRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FuseStatic = 0.4
+	cfg.FuseAdaptive = true
+	dev := sim.New(sim.GA100(), 19)
+	g, err := New(dev, quickModels(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := g.Run(context.Background(), workloads.PhaseShifting(4, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 12 || rep.TunedRuns < 1 {
+		t.Fatalf("adaptive fused loop: %+v", rep)
+	}
+	if !sim.GA100().IsSupported(dev.Clock()) {
+		t.Fatalf("device left at unsupported clock %v", dev.Clock())
+	}
+}

@@ -64,10 +64,39 @@ type Config struct {
 	// default) disables fusion and keeps every tune bit-identical to the
 	// telemetry-only formulation. Must be in [0, 1).
 	FuseStatic float64
+	// FuseAdaptive derives the fusion blend weight from observed telemetry
+	// noise instead of applying FuseStatic as a fixed weight: FuseStatic
+	// becomes the weight's ceiling, approached as per-sample feature
+	// variance grows past the natural noise floor (noisy telemetry → lean
+	// on static traits) and released as the signal cleans up. Each tune
+	// derives its weight from its own profiling run's sample variance.
+	// With FuseStatic 0 the weight is identically 0, bit-identical to the
+	// fusion-free governor.
+	FuseAdaptive bool
 	// PhasedTuning makes every tune in the Run loop predict from the
 	// dominant phase of the profiling telemetry (the TunePhased strategy)
 	// instead of the whole-stream mean. One-shot Tune is unaffected.
 	PhasedTuning bool
+
+	// PhaseCacheSize bounds the governor's phase-memoization cache: the
+	// number of tuned phases whose selections are retained for
+	// zero-reprofile re-pins when the stream revisits them. 0 (the
+	// default) disables memoization — every retune re-profiles, exactly
+	// the pre-cache behaviour.
+	PhaseCacheSize int
+	// PhaseQuantum is the feature quantization step of the phase
+	// fingerprint: phases whose mean (fp_active, dram_active) fall in the
+	// same quantum alias to one cache entry, phases further apart than a
+	// quantum in either feature provably never do. Default 0.1 — wide
+	// enough to absorb the features' natural DVFS/input-size wobble
+	// (§4.2), narrow enough to separate changes of computational
+	// character.
+	PhaseQuantum float64
+	// PhaseStaleAfter bounds a memoized phase's confidence in governed
+	// runs: an entry last pinned more than this many runs ago is treated
+	// as stale and re-profiled instead of re-pinned (the fresh tune
+	// refreshes the entry). 0 (the default) means entries never decay.
+	PhaseStaleAfter int
 	// Metrics, when non-nil, receives the governor's observability counters
 	// and latency histograms. Nil disables instrumentation at zero cost.
 	Metrics *Metrics
@@ -110,6 +139,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FuseStatic < 0 || c.FuseStatic >= 1 {
 		return c, fmt.Errorf("governor: static fusion weight %v out of [0,1)", c.FuseStatic)
 	}
+	if c.PhaseCacheSize < 0 {
+		return c, fmt.Errorf("governor: negative phase cache size %d", c.PhaseCacheSize)
+	}
+	if c.PhaseQuantum == 0 {
+		c.PhaseQuantum = 0.1
+	}
+	if c.PhaseQuantum < 0 {
+		return c, fmt.Errorf("governor: negative phase quantum %v", c.PhaseQuantum)
+	}
+	if c.PhaseStaleAfter < 0 {
+		return c, fmt.Errorf("governor: negative phase staleness bound %d", c.PhaseStaleAfter)
+	}
 	return c, nil
 }
 
@@ -118,9 +159,16 @@ type Stats struct {
 	Tunes       int // online phases run (initial + re-tunes)
 	Runs        int // workload executions observed
 	DriftedRuns int // observations flagged as drifted
-	Retunes     int // re-tunes triggered by drift
-	PhaseShifts int // intra-run phase shifts flagged by the streaming detector
-	Clamped     int // predictions floored to the safety bounds across all tunes
+	Retunes     int // re-tunes triggered by drift (re-profiles and re-pins)
+	RePins      int // retunes satisfied from the phase cache, no re-profile
+	// DriftRetunes / ShiftRetunes attribute retunes to their trigger
+	// sources, counted independently: a retune demanded by both drift
+	// hysteresis and a detector shift in the same step increments both, so
+	// each counter matches its detector's ground truth.
+	DriftRetunes int
+	ShiftRetunes int
+	PhaseShifts  int // intra-run phase shifts flagged by the streaming detector
+	Clamped      int // predictions floored to the safety bounds across all tunes
 	// ClampedCore / ClampedMem split Clamped by design-space axis: core
 	// counts clamps at the default memory P-state (all of Clamped for a
 	// core-only governor), mem counts clamps at off-default memory clocks.
@@ -166,9 +214,26 @@ type Governor struct {
 	runShifts int     // shifts flagged during the current governed run
 	obsSumFP  float64 // per-run telemetry accumulators for drift checks
 	obsSumDR  float64
+	obsSqFP   float64 // sums of squares — per-run feature variance for
+	obsSqDR   float64 // adaptive fusion and phase noise estimates
 	obsCount  int
 	sinceTune int  // governed runs since the last tune (cooldown clock)
 	retune    bool // evidence demands a re-profile before the next run
+
+	// Phase-memoization state: the bounded cache of tuned phases, plus the
+	// pending phase identity stashed by a cache miss so the tune that
+	// follows memoizes under the fingerprint observed at trigger time.
+	phases      *phaseCache
+	pendingKey  string
+	pendingHash uint64
+	pendingFP   float64
+	pendingDR   float64
+	havePending bool
+	// pendingDrift / pendingShift record which sources demanded the
+	// pending retune, so the tune (or re-pin) that consumes it can credit
+	// every source independently.
+	pendingDrift bool
+	pendingShift bool
 }
 
 // New returns a governor over dev using the given trained models.
@@ -180,7 +245,11 @@ func New(dev backend.Device, models *core.Models, cfg Config) (*Governor, error)
 	if dev == nil || models == nil {
 		return nil, errors.New("governor: device and models are required")
 	}
-	return &Governor{dev: dev, models: models, cfg: cfg}, nil
+	g := &Governor{dev: dev, models: models, cfg: cfg}
+	if cfg.PhaseCacheSize > 0 {
+		g.phases = newPhaseCache(cfg.PhaseCacheSize, cfg.PhaseQuantum, cfg.PhaseStaleAfter)
+	}
+	return g, nil
 }
 
 // Selection returns the currently applied selection; valid after Tune.
@@ -272,7 +341,7 @@ func (g *Governor) tuneFrom(app backend.Workload, run dcgm.Run) (core.Selection,
 	}
 	mean := run.MeanSample()
 	predict := run
-	if w := g.cfg.FuseStatic; w > 0 {
+	if w := g.fuseWeight(run); w > 0 {
 		if sp, ok := app.(backend.StaticProfiler); ok {
 			if tr := sp.Static(); !tr.IsZero() {
 				g.fused[0] = FuseSample(mean, tr, w)

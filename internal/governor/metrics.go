@@ -11,9 +11,18 @@ type Metrics struct {
 	GovernedRuns *obs.Counter // workload executions at the governed clocks
 	PhaseShifts  *obs.Counter // intra-run shifts flagged by the online detector
 	DriftedRuns  *obs.Counter // runs whose mean features drifted off baseline
-	Retunes      *obs.Counter // mid-stream re-tunes (initial tune excluded)
-	RunSeconds   *obs.Histogram
-	TuneSeconds  *obs.Histogram // profiling-run duration per (re-)tune
+	Retunes      *obs.Counter // mid-stream re-tunes: re-profiles and re-pins
+	RePins       *obs.Counter // retunes satisfied from the phase cache
+	DriftRetunes *obs.Counter // retunes demanded by drift hysteresis
+	ShiftRetunes *obs.Counter // retunes demanded by the online detector
+
+	PhaseHits      *obs.Counter // phase-cache lookups that re-pinned
+	PhaseMisses    *obs.Counter // lookups that fell through to a re-profile
+	PhaseStaleHits *obs.Counter // lookups whose entry's confidence had decayed
+	PhaseEvictions *obs.Counter // entries displaced by the size bound or an alias
+
+	RunSeconds  *obs.Histogram
+	TuneSeconds *obs.Histogram // profiling-run duration per (re-)tune
 }
 
 // NewMetrics registers the governor series on reg and returns the bundle
@@ -27,7 +36,21 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		DriftedRuns: reg.Counter("gpudvfs_governor_drifted_runs_total",
 			"Governed runs whose mean features drifted off the profiling baseline.", ""),
 		Retunes: reg.Counter("gpudvfs_governor_retunes_total",
-			"Mid-stream re-profiles triggered by drift or phase shifts.", ""),
+			"Mid-stream retunes (re-profiles and cache re-pins) triggered by drift or phase shifts.", ""),
+		RePins: reg.Counter("gpudvfs_governor_re_pins_total",
+			"Retunes satisfied from the phase cache without a profiling run.", ""),
+		DriftRetunes: reg.Counter("gpudvfs_governor_drift_retunes_total",
+			"Retunes demanded by the mean-drift hysteresis (counted per trigger source).", ""),
+		ShiftRetunes: reg.Counter("gpudvfs_governor_shift_retunes_total",
+			"Retunes demanded by the online change-point detector (counted per trigger source).", ""),
+		PhaseHits: reg.Counter("gpudvfs_governor_phase_hits_total",
+			"Phase-cache lookups that re-pinned a memoized selection.", ""),
+		PhaseMisses: reg.Counter("gpudvfs_governor_phase_misses_total",
+			"Phase-cache lookups that fell through to a full re-profile.", ""),
+		PhaseStaleHits: reg.Counter("gpudvfs_governor_phase_stale_hits_total",
+			"Phase-cache lookups whose entry had decayed past the staleness bound.", ""),
+		PhaseEvictions: reg.Counter("gpudvfs_governor_phase_evictions_total",
+			"Phase-cache entries displaced by the size bound or a fingerprint alias.", ""),
 		RunSeconds: reg.Histogram("gpudvfs_governor_run_seconds",
 			"Execution time of governed workload runs.", "", nil),
 		TuneSeconds: reg.Histogram("gpudvfs_governor_tune_seconds",
@@ -75,4 +98,53 @@ func (m *Metrics) retuned() {
 		return
 	}
 	m.Retunes.Inc()
+}
+
+func (m *Metrics) rePinned() {
+	if m == nil || m.RePins == nil {
+		return
+	}
+	m.RePins.Inc()
+}
+
+func (m *Metrics) driftRetuned() {
+	if m == nil || m.DriftRetunes == nil {
+		return
+	}
+	m.DriftRetunes.Inc()
+}
+
+func (m *Metrics) shiftRetuned() {
+	if m == nil || m.ShiftRetunes == nil {
+		return
+	}
+	m.ShiftRetunes.Inc()
+}
+
+func (m *Metrics) phaseHit() {
+	if m == nil || m.PhaseHits == nil {
+		return
+	}
+	m.PhaseHits.Inc()
+}
+
+func (m *Metrics) phaseMiss() {
+	if m == nil || m.PhaseMisses == nil {
+		return
+	}
+	m.PhaseMisses.Inc()
+}
+
+func (m *Metrics) phaseStale() {
+	if m == nil || m.PhaseStaleHits == nil {
+		return
+	}
+	m.PhaseStaleHits.Inc()
+}
+
+func (m *Metrics) phaseEvicted() {
+	if m == nil || m.PhaseEvictions == nil {
+		return
+	}
+	m.PhaseEvictions.Inc()
 }

@@ -1,0 +1,414 @@
+package governor
+
+import (
+	"math"
+	"strconv"
+
+	"gpudvfs/internal/core"
+	"gpudvfs/internal/dcgm"
+)
+
+// This file is the governor's zero-reprofile fast path. The paper's whole
+// economy is that profiling is the expensive part of frequency selection;
+// a stream that returns to a phase the governor has already tuned should
+// not pay for it twice. The phase cache memoizes each tuned phase under a
+// quantized fingerprint of its mean features, so a detector- or
+// drift-triggered retune first tries a re-pin: on a hit the cached
+// selection is applied immediately — no profiling run, no sweep, no
+// allocation — and only a genuinely new (or stale) phase falls through to
+// the full online phase.
+//
+// Nothing in this file may touch a profiling symbol (profileAtMax,
+// tuneFrom, collectors, sweepers) — the import-boundary test
+// TestRePinPathNoProfilingSymbols walks this file's AST to enforce it.
+
+// phaseEntry is one memoized phase: the selection its tune produced, the
+// profiling baseline that justified it (re-installed as the drift baseline
+// on re-pin), and the entry's confidence bookkeeping.
+type phaseEntry struct {
+	key      string         // full fingerprint: proves a hash match is a true hit
+	fp, dram float64        // representative mean features the key was cut from
+	sel      core.Selection // what a re-pin applies
+	baseline dcgm.Sample    // profiling mean behind sel — drift baseline on re-pin
+	obs      int            // executions attributed to this phase (tune + re-pins)
+	noise    float64        // EWMA per-sample feature variance observed in the phase
+	lastPin  int            // governed-run clock at the last (re-)pin — staleness clock
+}
+
+// phaseVerdict classifies one cache lookup.
+type phaseVerdict int
+
+const (
+	phaseMiss  phaseVerdict = iota // no entry for the fingerprint
+	phaseHit                       // fresh entry: re-pin without re-profiling
+	phaseStale                     // entry exists but its confidence decayed: re-profile
+)
+
+// phaseCache is the bounded per-governor memo of tuned phases, keyed by
+// the core.KeyHash of the quantized fingerprint. The governor is
+// single-threaded, so the cache takes no locks; the fingerprint scratch
+// buffer is grow-only, so steady-state lookups allocate nothing.
+type phaseCache struct {
+	quantum float64
+	size    int
+	stale   int // re-pin confidence bound in governed runs; 0 = never decays
+
+	entries map[uint64]*phaseEntry
+	order   []*phaseEntry // order[0] = most recently pinned; back evicts first
+	buf     []byte        // grow-only fingerprint scratch
+
+	hits, misses, evictions, staleHits int
+}
+
+func newPhaseCache(size int, quantum float64, stale int) *phaseCache {
+	return &phaseCache{
+		quantum: quantum,
+		size:    size,
+		stale:   stale,
+		entries: make(map[uint64]*phaseEntry, size),
+		order:   make([]*phaseEntry, 0, size),
+		buf:     make([]byte, 0, 32),
+	}
+}
+
+// fingerprint renders a phase's mean-normalized feature pair into its
+// quantized signature — base-36 bucket indices under the plan-key
+// quantizer discipline (core.Quantize), so equal-within-quantum phases
+// alias and phases more than a quantum apart in either feature provably
+// don't. The returned slice is the cache's scratch buffer, valid until the
+// next fingerprint call.
+func (pc *phaseCache) fingerprint(fp, dram float64) []byte {
+	return pc.bucketKey(core.Quantize(fp, pc.quantum), core.Quantize(dram, pc.quantum))
+}
+
+// bucketKey renders a bucket-index pair into the scratch buffer.
+func (pc *phaseCache) bucketKey(bf, bd int64) []byte {
+	b := pc.buf[:0]
+	b = strconv.AppendInt(b, bf, 36)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, bd, 36)
+	pc.buf = b
+	return b
+}
+
+// addClamped is overflow-safe bucket-index addition: a sentinel bucket at
+// either int64 extreme stays where it is instead of wrapping.
+func addClamped(b, d int64) int64 {
+	if d > 0 && b > math.MaxInt64-d {
+		return b
+	}
+	if d < 0 && b < math.MinInt64-d {
+		return b
+	}
+	return b + d
+}
+
+// bucketOffsets orders the neighborhood probe center-first, so an exact
+// bucket match always wins over a boundary neighbor.
+var bucketOffsets = [3]int64{0, -1, 1}
+
+// lookup classifies the observed phase against the cache. The query's
+// bucket and its ±1 neighborhood are probed, center first: a phase whose
+// mean sits near a bucket boundary wobbles across it between visits (and a
+// profiling mean at the max clock sits a hair off the governed-telemetry
+// mean — §4.2's invariance is approximate), and an exact-bucket-only match
+// would re-profile a phase the governor demonstrably knows. Phases more
+// than two quanta apart in either feature provably never match; a phase
+// pair inside that band that aliases re-pins a selection tuned for a
+// near-identical feature point, and the drift loop re-profiles if the pin
+// proves wrong — the cache is self-correcting, never load-bearing for
+// correctness. A core.KeyHash collision between distinct fingerprints is
+// resolved by comparing the stored key bytes — a colliding entry is a
+// miss, never a false re-pin. now is the governor's run clock for the
+// staleness check. Zero-alloc on every path; the scratch buffer is left
+// holding the query's own (center) fingerprint.
+func (pc *phaseCache) lookup(fp, dram float64, now int) (*phaseEntry, phaseVerdict) {
+	bf := core.Quantize(fp, pc.quantum)
+	bd := core.Quantize(dram, pc.quantum)
+	var found *phaseEntry
+probe:
+	for _, df := range bucketOffsets {
+		for _, dd := range bucketOffsets {
+			key := pc.bucketKey(addClamped(bf, df), addClamped(bd, dd))
+			e, ok := pc.entries[core.KeyHash(key)]
+			if ok && e.key == string(key) {
+				found = e
+				break probe
+			}
+		}
+	}
+	pc.bucketKey(bf, bd) // leave the canonical query fingerprint in buf
+	if found == nil {
+		pc.misses++
+		return nil, phaseMiss
+	}
+	if pc.stale > 0 && now-found.lastPin > pc.stale {
+		pc.staleHits++
+		return found, phaseStale
+	}
+	pc.hits++
+	return found, phaseHit
+}
+
+// touch records a (re-)pin of e: bumps its observation count, resets its
+// staleness clock, and moves it to the front of the eviction order.
+func (pc *phaseCache) touch(e *phaseEntry, now int) {
+	e.obs++
+	e.lastPin = now
+	for i, o := range pc.order {
+		if o == e {
+			copy(pc.order[1:i+1], pc.order[:i])
+			pc.order[0] = e
+			break
+		}
+	}
+}
+
+// put memoizes a freshly tuned phase under key/hash. An existing entry for
+// the hash is replaced in place (a hash-colliding alias or a stale entry
+// being refreshed); otherwise the least-recently-pinned entry is evicted
+// once the cache is full.
+func (pc *phaseCache) put(key string, hash uint64, fp, dram float64, sel core.Selection, baseline dcgm.Sample, noise float64, now int) (evicted bool) {
+	if e, ok := pc.entries[hash]; ok {
+		if e.key != key {
+			evicted = true
+			pc.evictions++
+		}
+		e.key, e.fp, e.dram = key, fp, dram
+		e.sel, e.baseline, e.noise = sel, baseline, noise
+		e.obs, e.lastPin = 1, now
+		pc.touch(e, now)
+		e.obs = 1 // touch counted the insert itself
+		return evicted
+	}
+	if len(pc.order) >= pc.size {
+		back := pc.order[len(pc.order)-1]
+		pc.order = pc.order[:len(pc.order)-1]
+		delete(pc.entries, core.KeyHash([]byte(back.key)))
+		pc.evictions++
+		evicted = true
+	}
+	e := &phaseEntry{key: key, fp: fp, dram: dram, sel: sel, baseline: baseline, obs: 1, noise: noise, lastPin: now}
+	pc.entries[hash] = e
+	pc.order = append(pc.order, nil)
+	copy(pc.order[1:], pc.order)
+	pc.order[0] = e
+	return evicted
+}
+
+// updateNoise folds one run's observed feature variance into an entry's
+// noise estimate as an equal-weight EWMA.
+func updateNoise(old, observed float64) float64 {
+	if old == 0 {
+		return observed
+	}
+	return 0.5*old + 0.5*observed
+}
+
+// pinEntry applies a memoized phase: pin its selection and install its
+// profiling baseline as the drift baseline — the state a full tune would
+// have left, minus the profiling run.
+func (g *Governor) pinEntry(e *phaseEntry) error {
+	if err := g.pin(e.sel); err != nil {
+		return err
+	}
+	g.phases.touch(e, g.stats.Runs)
+	e.noise = updateNoise(e.noise, g.runVariance())
+	g.selection = e.sel
+	g.baseline = e.baseline
+	g.tuned = true
+	g.drifted = 0
+	return nil
+}
+
+// rePin is the retune fast path the streaming loop tries before scheduling
+// a re-profile: fingerprint the triggering telemetry, and on a fresh cache
+// hit re-pin the memoized selection immediately — the retune completes at
+// the end of the current run, with no profiling run consumed. A miss (or a
+// stale entry) stashes the observed phase identity so the tune that
+// follows populates the cache under it, and reports false so the caller
+// schedules the usual re-profile.
+func (g *Governor) rePin(rep *RunReport) (bool, error) {
+	if g.phases == nil {
+		return false, nil
+	}
+	fp, dram := g.triggerFeatures()
+	e, verdict := g.phases.lookup(fp, dram, g.stats.Runs)
+	if verdict != phaseHit {
+		// Only the miss path materializes the fingerprint as a string.
+		g.pendingKey = string(g.phases.buf)
+		g.pendingHash = core.KeyHash(g.phases.buf)
+		g.pendingFP, g.pendingDR = fp, dram
+		g.havePending = true
+		if verdict == phaseStale {
+			g.cfg.Metrics.phaseStale()
+		} else {
+			g.cfg.Metrics.phaseMiss()
+		}
+		return false, nil
+	}
+	if err := g.pinEntry(e); err != nil {
+		return false, err
+	}
+	if g.det != nil {
+		g.det.Reset() // stale pre-pin samples must not re-flag this shift
+	}
+	g.sinceTune = 0
+	g.retune = false
+	rep.Retunes++
+	rep.RePins++
+	g.stats.Retunes++
+	g.stats.RePins++
+	g.commitTriggers(rep)
+	g.cfg.Metrics.phaseHit()
+	g.cfg.Metrics.rePinned()
+	g.cfg.Metrics.retuned() // a re-pin IS a retune, just a free one
+	return true, nil
+}
+
+// TryRePin attempts the zero-reprofile fast path directly: if the phase
+// whose mean features are (fp, dram) is memoized and fresh, its selection
+// is pinned and installed (with the cached drift baseline) and returned.
+// Callers running their own control loop use this to re-pin a recognized
+// phase without paying for a profiling run; the streaming loop's retune
+// path goes through the same machinery. ok=false when the phase cache is
+// disabled, the phase is unknown, or its confidence has decayed.
+func (g *Governor) TryRePin(fp, dram float64) (sel core.Selection, ok bool, err error) {
+	if g.phases == nil {
+		return core.Selection{}, false, nil
+	}
+	e, verdict := g.phases.lookup(fp, dram, g.stats.Runs)
+	if verdict != phaseHit {
+		return core.Selection{}, false, nil
+	}
+	if err := g.pinEntry(e); err != nil {
+		return core.Selection{}, false, err
+	}
+	return e.sel, true, nil
+}
+
+// memoize records a completed tune in the phase cache. A tune that was
+// demanded by a trigger is stored under the phase identity observed at
+// trigger time (governed telemetry); the initial tune, which has no
+// trigger, is stored under its own profiling mean — the two coincide
+// within a quantum because the features are DVFS-invariant.
+func (g *Governor) memoize(noise float64) {
+	if g.phases == nil {
+		return
+	}
+	var (
+		key      string
+		hash     uint64
+		fp, dram float64
+	)
+	if g.havePending {
+		key, hash = g.pendingKey, g.pendingHash
+		fp, dram = g.pendingFP, g.pendingDR
+		g.pendingKey, g.havePending = "", false
+	} else {
+		fp, dram = g.baseline.FPActive(), g.baseline.DRAMActive
+		b := g.phases.fingerprint(fp, dram)
+		key, hash = string(b), core.KeyHash(b)
+	}
+	if g.phases.put(key, hash, fp, dram, g.selection, g.baseline, noise, g.stats.Runs) {
+		g.cfg.Metrics.phaseEvicted()
+	}
+}
+
+// commitTriggers folds the retune's trigger sources into the per-source
+// ledgers. Drift and a detector shift can demand the same retune in one
+// step; each source is counted independently, so the per-source counters
+// match detector and hysteresis ground truth even when one tune consumes
+// both.
+func (g *Governor) commitTriggers(rep *RunReport) {
+	if g.pendingDrift {
+		rep.DriftRetunes++
+		g.stats.DriftRetunes++
+		g.cfg.Metrics.driftRetuned()
+	}
+	if g.pendingShift {
+		rep.ShiftRetunes++
+		g.stats.ShiftRetunes++
+		g.cfg.Metrics.shiftRetuned()
+	}
+	g.pendingDrift, g.pendingShift = false, false
+}
+
+// triggerFeatures is the mean-normalized feature pair a retune trigger
+// fingerprints. A shift-triggered retune uses the detector's newer
+// half-window — pure post-shift telemetry — because the whole-run mean
+// smears the outgoing and incoming phases together; a drift-only trigger
+// (no shift, so the run is homogeneous) uses the run mean.
+func (g *Governor) triggerFeatures() (fp, dram float64) {
+	if g.pendingShift && g.det != nil {
+		if fp, dram, ok := g.det.RecentMeans(); ok {
+			return fp, dram
+		}
+	}
+	if g.obsCount == 0 {
+		return g.baseline.FPActive(), g.baseline.DRAMActive
+	}
+	n := float64(g.obsCount)
+	return g.obsSumFP / n, g.obsSumDR / n
+}
+
+// runVariance is the mean per-sample feature variance of the current
+// governed run, from the stream-state accumulators — the signal-confidence
+// input to phase noise estimates and adaptive fusion.
+func (g *Governor) runVariance() float64 {
+	if g.obsCount == 0 {
+		return 0
+	}
+	n := float64(g.obsCount)
+	mf, md := g.obsSumFP/n, g.obsSumDR/n
+	v := (g.obsSqFP/n - mf*mf + g.obsSqDR/n - md*md) / 2
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// PhaseCacheStats is a snapshot of the phase-memoization counters.
+type PhaseCacheStats struct {
+	Phases    int // memoized phases currently held
+	Hits      int // lookups that re-pinned without a re-profile
+	Misses    int // lookups that fell through to a full tune
+	StaleHits int // lookups whose entry's confidence had decayed
+	Evictions int // entries displaced by the size bound or a hash alias
+}
+
+// PhaseCache returns a snapshot of the phase cache's counters; all zeros
+// when memoization is disabled.
+func (g *Governor) PhaseCache() PhaseCacheStats {
+	if g.phases == nil {
+		return PhaseCacheStats{}
+	}
+	return PhaseCacheStats{
+		Phases:    len(g.phases.order),
+		Hits:      g.phases.hits,
+		Misses:    g.phases.misses,
+		StaleHits: g.phases.staleHits,
+		Evictions: g.phases.evictions,
+	}
+}
+
+// Phases returns the representative mean features of every memoized phase,
+// most recently pinned first — the exact points whose fingerprints the
+// cache is keyed by, so feeding one back to TryRePin is a guaranteed
+// bucket match.
+func (g *Governor) Phases() [][2]float64 {
+	if g.phases == nil {
+		return nil
+	}
+	out := make([][2]float64, len(g.phases.order))
+	for i, e := range g.phases.order {
+		out[i] = [2]float64{e.fp, e.dram}
+	}
+	return out
+}
+
+// BaselineFeatures returns the mean (fp_active, dram_active) of the
+// profiling baseline behind the current selection.
+func (g *Governor) BaselineFeatures() (fp, dram float64) {
+	return g.baseline.FPActive(), g.baseline.DRAMActive
+}

@@ -1,0 +1,47 @@
+package governor
+
+import (
+	"context"
+	"testing"
+
+	sim "gpudvfs/internal/backend/sim"
+	"gpudvfs/internal/workloads"
+)
+
+// BenchmarkPhaseRePin measures the zero-reprofile fast path — fingerprint,
+// cache lookup, pin, baseline install — alternating between two memoized
+// phases so every iteration is a genuine re-pin, and pins its
+// zero-allocation contract: re-pinning a recognized phase allocates
+// nothing.
+func BenchmarkPhaseRePin(b *testing.B) {
+	g, err := New(sim.New(sim.GA100(), 29), quickModels(b), memoConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Learn the two-phase alphabet, then re-pin from the representative
+	// features the cache itself reports — guaranteed bucket matches.
+	if _, err := g.Run(context.Background(), workloads.PhaseShifting(4, 16)); err != nil {
+		b.Fatal(err)
+	}
+	phases := g.Phases()
+	if len(phases) < 2 {
+		b.Fatalf("memoized %d phases, want at least 2", len(phases))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := phases[i%2]
+		if _, ok, err := g.TryRePin(p[0], p[1]); err != nil || !ok {
+			b.Fatalf("re-pin missed (ok=%v err=%v)", ok, err)
+		}
+	}
+	b.StopTimer()
+	if n := testing.AllocsPerRun(100, func() {
+		p := phases[0]
+		if _, ok, err := g.TryRePin(p[0], p[1]); err != nil || !ok {
+			b.Fatal("re-pin missed")
+		}
+	}); n != 0 {
+		b.Fatalf("re-pin fast path allocates %.1f times per op", n)
+	}
+}

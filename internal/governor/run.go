@@ -21,11 +21,18 @@ type WorkloadStream interface {
 // as a max-clock profiling run (a re-tune does not execute the item twice
 // — the profiling run *is* that item's execution).
 type RunReport struct {
-	Runs        int // stream items executed (governed + profiling runs)
-	TunedRuns   int // items that executed at the maximum clock as profiling runs
-	Retunes     int // mid-stream re-tunes (the initial tune is not a re-tune)
-	PhaseShifts int // intra-run shifts flagged by the online detector
-	DriftedRuns int // governed runs whose mean features drifted off baseline
+	Runs      int // stream items executed (governed + profiling runs)
+	TunedRuns int // items that executed at the maximum clock as profiling runs
+	Retunes   int // mid-stream re-tunes: re-profiles and cache re-pins
+	RePins    int // retunes satisfied from the phase cache, no profiling run
+	// DriftRetunes / ShiftRetunes attribute retunes to their trigger
+	// sources, each counted independently — a retune demanded by both
+	// signals in one step increments both, so the counters match drift
+	// hysteresis and detector ground truth.
+	DriftRetunes int
+	ShiftRetunes int
+	PhaseShifts  int // intra-run shifts flagged by the online detector
+	DriftedRuns  int // governed runs whose mean features drifted off baseline
 
 	EnergyJoules float64 // total energy across all items
 	TimeSeconds  float64 // total execution time across all items
@@ -83,8 +90,11 @@ func (g *Governor) streamState() (*dcgm.Stream, error) {
 		if g.det.PushSample(s) {
 			g.runShifts++
 		}
-		g.obsSumFP += s.FPActive()
-		g.obsSumDR += s.DRAMActive
+		fp, dr := s.FPActive(), s.DRAMActive
+		g.obsSumFP += fp
+		g.obsSumDR += dr
+		g.obsSqFP += fp * fp
+		g.obsSqDR += dr * dr
 		g.obsCount++
 	}
 	return g.strm, nil
@@ -102,7 +112,8 @@ func (g *Governor) step(app backend.Workload, rep *RunReport) error {
 		return err
 	}
 
-	g.runShifts, g.obsSumFP, g.obsSumDR, g.obsCount = 0, 0, 0, 0
+	g.runShifts, g.obsCount = 0, 0
+	g.obsSumFP, g.obsSumDR, g.obsSqFP, g.obsSqDR = 0, 0, 0, 0
 	run, err := strm.Run(app, g.stats.Runs, g.onSample)
 	if err != nil {
 		return err
@@ -133,9 +144,25 @@ func (g *Governor) step(app backend.Workload, rep *RunReport) error {
 	g.sinceTune++
 	// An intra-run shift is direct evidence of a change of character and
 	// bypasses the mean-drift hysteresis; both signals wait out the
-	// cooldown, then schedule the re-profile for the next item.
+	// cooldown. A demanded retune first tries the phase cache: if the
+	// incoming phase is memoized and fresh, its selection is re-pinned
+	// right here — the retune is complete and the next item runs governed.
+	// Otherwise the re-profile is scheduled for the next item, and the
+	// phase identity observed now seeds the cache when that tune lands.
 	if (demand || g.runShifts > 0) && g.sinceTune >= g.cfg.RetuneCooldown {
-		g.retune = true
+		if demand {
+			g.pendingDrift = true
+		}
+		if g.runShifts > 0 {
+			g.pendingShift = true
+		}
+		ok, err := g.rePin(rep)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			g.retune = true
+		}
 	}
 	return nil
 }
@@ -165,6 +192,7 @@ func (g *Governor) tuneStep(app backend.Workload, rep *RunReport) error {
 	if err != nil {
 		return err
 	}
+	g.memoize(featureVariance(run.Samples))
 	// Stale pre-tune samples must not re-flag the shift just acted on.
 	if g.det != nil {
 		g.det.Reset()
@@ -175,6 +203,7 @@ func (g *Governor) tuneStep(app backend.Workload, rep *RunReport) error {
 		rep.Retunes++
 		g.stats.Retunes++
 		g.cfg.Metrics.retuned()
+		g.commitTriggers(rep)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package integration
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"gpudvfs/internal/core"
 	"gpudvfs/internal/dcgm"
 	"gpudvfs/internal/nn"
+	"gpudvfs/internal/router"
 	"gpudvfs/internal/stats"
 	"gpudvfs/internal/workloads"
 )
@@ -287,4 +289,202 @@ func TestSnapshotWarmRestart(t *testing.T) {
 		}
 	}
 	sigterm(t, "second daemon", second)
+}
+
+// sigkill delivers SIGKILL — the crash case, no drain, no snapshot — and
+// waits for the process to be reaped so its port is actually free.
+func sigkill(t *testing.T, name string, d *daemon) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL %s: %v", name, err)
+	}
+	select {
+	case <-d.errc: // killed processes exit non-zero; any reap is fine
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s did not die within 15s of SIGKILL", name)
+	}
+	d.errc <- nil // keep Cleanup's receive from blocking
+}
+
+// routerStats fetches and decodes the router's GET /v1/stats.
+func routerStats(t *testing.T, client *http.Client, frontURL string) statsSnapshot {
+	t.Helper()
+	resp, err := client.Get(frontURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+type statsSnapshot struct {
+	Requests  uint64 `json:"requests"`
+	NoReplica uint64 `json:"no_replica"`
+	Replicas  []struct {
+		URL       string `json:"url"`
+		Up        bool   `json:"up"`
+		Forwarded uint64 `json:"forwarded"`
+		Errors    uint64 `json:"errors"`
+	} `json:"replicas"`
+}
+
+// TestReplicaKillFailoverBinaries is the crash-consistency check at the
+// binary level: SIGKILL a live replica mid-hammer and the router must (a)
+// finish the hammer clean by failing the dead replica's keys over
+// clockwise to the survivor, (b) report the replica down, and (c) — once
+// the same binary is relaunched on the same address — restore it through
+// the health prober and route its keys home again, with every answer
+// byte-identical across the whole episode.
+func TestReplicaKillFailoverBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	servedBin, routerBin := buildBinaries(t)
+	models := saveSoakModels(t)
+
+	addrArgs := func(addr string) []string {
+		return []string{"-addr", addr, "-models", models, "-seed", "11"}
+	}
+	repA := startDaemon(t, servedBin, addrArgs("127.0.0.1:0")...)
+	repB := startDaemon(t, servedBin, addrArgs("127.0.0.1:0")...)
+	urlA, urlB := "http://"+repA.addr, "http://"+repB.addr
+	front := startDaemon(t, routerBin, "-addr", "127.0.0.1:0",
+		"-replicas", urlA+","+urlB, "-health-interval", "100ms")
+	frontURL := "http://" + front.addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Rebuild the router's placement locally: same replica identities,
+	// same ring — so the test knows exactly which names replica A owns
+	// and can assert failover rather than infer it.
+	ring, err := router.NewRing([]string{urlA, urlB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ownedA, ownedB []string
+	for _, app := range workloads.Names() {
+		if ring.Pick([]byte(app), nil) == 0 {
+			ownedA = append(ownedA, app)
+		} else {
+			ownedB = append(ownedB, app)
+		}
+	}
+	if len(ownedA) == 0 || len(ownedB) == 0 {
+		t.Fatalf("degenerate ring split: A owns %v, B owns %v", ownedA, ownedB)
+	}
+	apps := workloads.Names()
+
+	// Warm every name through the front only — each replica fills its
+	// plan cache with exactly the names it owns, in registry order, which
+	// is the order the restarted replica will refill in later. (Warming
+	// replicas directly would fill them in a different order, and
+	// quantized plan keys make answers order-sensitive across collisions.)
+	want := make(map[string][]byte, len(apps))
+	for _, app := range apps {
+		want[app] = steady(t, client, frontURL, app)
+	}
+	if st := routerStats(t, client, frontURL); len(st.Replicas) != 2 ||
+		!st.Replicas[0].Up || !st.Replicas[1].Up || st.Replicas[0].Forwarded == 0 {
+		t.Fatalf("pre-kill router stats: %+v", st)
+	}
+
+	// Hammer through the front and kill A mid-flight. Every request must
+	// still answer 200 (or shed 429): the proxy retries a transport
+	// failure on the next clockwise ring node within the same request, so
+	// the crash is invisible to clients.
+	const workers, perWorker = 6, 40
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		served   atomic.Uint64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				app := apps[(w+i)%len(apps)]
+				b, code, err := soakSelect(client, frontURL, app)
+				if err == nil && code != http.StatusOK && code != http.StatusTooManyRequests {
+					err = fmt.Errorf("status %d: %s", code, b)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("worker %d, request %d (%s): %w", w, i, app, err)
+					}
+					mu.Unlock()
+					return
+				}
+				served.Add(1)
+			}
+		}(w)
+	}
+	// Kill A while the hammer is demonstrably in flight: some requests
+	// served, the bulk still to come.
+	for served.Load() < workers*perWorker/4 {
+		time.Sleep(time.Millisecond)
+	}
+	sigkill(t, "replica A", repA)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	// With A dead its keys belong to B, deterministically: routed answers
+	// for A-owned names must be byte-identical to B's direct answers, and
+	// the forwarded delta must land on B alone.
+	before := routerStats(t, client, frontURL)
+	if before.Replicas[0].Up {
+		t.Fatalf("router still reports the killed replica up: %+v", before)
+	}
+	for _, app := range ownedA {
+		routed := steady(t, client, frontURL, app)
+		if direct := steady(t, client, urlB, app); !bytes.Equal(routed, direct) {
+			t.Fatalf("failover answer for %s is not the survivor's:\nrouted: %s\ndirect: %s", app, routed, direct)
+		}
+	}
+	after := routerStats(t, client, frontURL)
+	if after.Replicas[0].Forwarded != before.Replicas[0].Forwarded {
+		t.Fatalf("dead replica kept receiving traffic: %+v -> %+v", before, after)
+	}
+	if got, min := after.Replicas[1].Forwarded-before.Replicas[1].Forwarded, uint64(2*len(ownedA)); got < min {
+		t.Fatalf("survivor forwarded %d requests, want at least %d", got, min)
+	}
+
+	// Relaunch the same binary on the same address. Only the prober
+	// transitions a replica back up; poll the router until it does.
+	repA2 := startDaemon(t, servedBin, addrArgs(repA.addr)...)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := routerStats(t, client, frontURL); st.Replicas[0].Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("prober never restored the restarted replica")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Recovered means recovered: A's keys route home again with
+	// byte-identical answers (the restarted twin re-profiles
+	// deterministically), and the forwarded delta lands on A.
+	recovered := routerStats(t, client, frontURL)
+	for _, app := range ownedA {
+		if routed := steady(t, client, frontURL, app); !bytes.Equal(routed, want[app]) {
+			t.Fatalf("post-recovery answer for %s diverged:\nrouted: %s\nwant:   %s", app, routed, want[app])
+		}
+	}
+	final := routerStats(t, client, frontURL)
+	if got, min := final.Replicas[0].Forwarded-recovered.Replicas[0].Forwarded, uint64(2*len(ownedA)); got < min {
+		t.Fatalf("restarted replica forwarded %d requests, want at least %d", got, min)
+	}
+
+	sigterm(t, "dvfs-router", front)
+	sigterm(t, "replica A (restarted)", repA2)
+	sigterm(t, "replica B", repB)
 }

@@ -192,6 +192,28 @@ func (o *Online) LastChange() int {
 	return o.cp
 }
 
+// HalfMeans returns the segment-mean summary of the detector's window: the
+// mean (fp_active, dram_active) over the older half and over the newer
+// half, or ok=false before the window has filled. Around a flagged shift
+// the two halves summarize the outgoing and incoming phases — the newer
+// half is pure post-shift telemetry, where a whole-run mean would smear
+// both phases together.
+func (o *Online) HalfMeans() (fpOld, dramOld, fpNew, dramNew float64, ok bool) {
+	if !o.Warm() {
+		return 0, 0, 0, 0, false
+	}
+	h := float64(o.opts.Window)
+	return o.fp.sumL / h, o.dr.sumL / h, o.fp.sumR / h, o.dr.sumR / h, true
+}
+
+// RecentMeans returns the newer half-window's mean features — the
+// segment-mean summary of the phase the stream is currently in, which is
+// what a phase-memoizing governor fingerprints after a flagged shift.
+func (o *Online) RecentMeans() (fp, dram float64, ok bool) {
+	_, _, fp, dram, ok = o.HalfMeans()
+	return fp, dram, ok
+}
+
 // Reset clears all window and flag state, keeping the allocated buffers —
 // what a governor calls after re-tuning, so stale pre-tune samples cannot
 // re-flag the shift that was just acted on.

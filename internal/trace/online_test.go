@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -180,6 +181,51 @@ func TestOnlineSpacingSuppressesRepeatFlags(t *testing.T) {
 	tight := feedOnline(t, samples, OnlineOptions{Window: 8})
 	if len(tight) != 1 {
 		t.Fatalf("default spacing should flag once, got %v", tight)
+	}
+}
+
+// TestOnlineHalfMeans pins the segment-mean summaries a phase-memoizing
+// governor fingerprints: before warm-up nothing is reported; after a phase
+// flip crosses the window center, the newer half's mean tracks the
+// incoming phase and the older half's the outgoing one.
+func TestOnlineHalfMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o, err := NewOnline(OnlineOptions{Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, ok := o.HalfMeans(); ok {
+		t.Fatal("cold detector reported half means")
+	}
+	if _, _, ok := o.RecentMeans(); ok {
+		t.Fatal("cold detector reported recent means")
+	}
+	// 16 outgoing-phase samples fill the window, then 8 incoming-phase
+	// samples occupy exactly the newer half.
+	for _, s := range synth(rng, 16, 0.9, 0.2) {
+		o.PushSample(s)
+	}
+	for _, s := range synth(rng, 8, 0.1, 0.8) {
+		o.PushSample(s)
+	}
+	fpOld, dramOld, fpNew, dramNew, ok := o.HalfMeans()
+	if !ok {
+		t.Fatal("warm detector reported no half means")
+	}
+	if math.Abs(fpOld-0.9) > 0.05 || math.Abs(dramOld-0.2) > 0.05 {
+		t.Fatalf("older half (%.3f, %.3f) far from outgoing phase (0.9, 0.2)", fpOld, dramOld)
+	}
+	if math.Abs(fpNew-0.1) > 0.05 || math.Abs(dramNew-0.8) > 0.05 {
+		t.Fatalf("newer half (%.3f, %.3f) far from incoming phase (0.1, 0.8)", fpNew, dramNew)
+	}
+	fp, dram, ok := o.RecentMeans()
+	if !ok || fp != fpNew || dram != dramNew {
+		t.Fatalf("RecentMeans (%v, %v, %v) disagrees with HalfMeans newer half (%v, %v)",
+			fp, dram, ok, fpNew, dramNew)
+	}
+	o.Reset()
+	if _, _, ok := o.RecentMeans(); ok {
+		t.Fatal("reset detector still reports means")
 	}
 }
 

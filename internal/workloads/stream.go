@@ -47,13 +47,43 @@ func (s *Sequence) Len() int { return len(s.items) }
 // and then overclocks every memory phase — the scenario where mid-stream
 // re-tuning pays.
 func PhaseShifting(period, total int) *Sequence {
+	return PhaseCycle([]sim.KernelProfile{DGEMM(), STREAM()}, period, total)
+}
+
+// PhaseCycle generalizes PhaseShifting to an arbitrary phase alphabet:
+// `period` executions of phases[0], then `period` of phases[1], …, cycling
+// through the alphabet for `total` items. Every phase after the first
+// round is a revisit — the recurring-phase pattern (a training loop's
+// epoch structure) where memoized per-phase selections recover their
+// profiling cost.
+func PhaseCycle(phases []sim.KernelProfile, period, total int) *Sequence {
 	if period < 1 {
 		period = 1
 	}
-	phases := [2]sim.KernelProfile{DGEMM(), STREAM()}
 	items := make([]backend.Workload, total)
 	for i := range items {
-		items[i] = phases[(i/period)%2]
+		items[i] = phases[(i/period)%len(phases)]
+	}
+	return &Sequence{items: items}
+}
+
+// RevisitAfter returns a stream that opens with `lead` executions of a,
+// runs `gap` executions of b, then returns to a for the remainder of
+// `total` — a long-period revisit. The second visit to a is the
+// staleness-policy probe: a phase cache with no decay re-pins it for free
+// however long the gap, one with a staleness bound under `gap` re-profiles
+// it instead.
+func RevisitAfter(a, b sim.KernelProfile, lead, gap, total int) *Sequence {
+	items := make([]backend.Workload, total)
+	for i := range items {
+		switch {
+		case i < lead:
+			items[i] = a
+		case i < lead+gap:
+			items[i] = b
+		default:
+			items[i] = a
+		}
 	}
 	return &Sequence{items: items}
 }

@@ -2,6 +2,8 @@ package workloads
 
 import (
 	"testing"
+
+	sim "gpudvfs/internal/backend/sim"
 )
 
 func TestSequenceBasics(t *testing.T) {
@@ -43,6 +45,50 @@ func TestPhaseShiftingAlternates(t *testing.T) {
 		if w.WorkloadName() != want {
 			t.Fatalf("item %d is %s, want %s", i, w.WorkloadName(), want)
 		}
+	}
+}
+
+func TestPhaseCycleRotatesAlphabet(t *testing.T) {
+	nw, err := ByName("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := PhaseCycle([]sim.KernelProfile{DGEMM(), STREAM(), nw}, 2, 14)
+	want := []string{"DGEMM", "DGEMM", "STREAM", "STREAM", "NW", "NW",
+		"DGEMM", "DGEMM", "STREAM", "STREAM", "NW", "NW", "DGEMM", "DGEMM"}
+	for i, name := range want {
+		w, ok := s.Next()
+		if !ok || w.WorkloadName() != name {
+			t.Fatalf("item %d: %v %v, want %s", i, w, ok, name)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("cycle ran past total")
+	}
+
+	// PhaseShifting is the 2-phase special case: the two constructions
+	// must yield identical streams.
+	a, b := PhaseShifting(3, 12), PhaseCycle([]sim.KernelProfile{DGEMM(), STREAM()}, 3, 12)
+	for i := 0; i < 12; i++ {
+		wa, _ := a.Next()
+		wb, _ := b.Next()
+		if wa != wb {
+			t.Fatalf("PhaseShifting and 2-phase PhaseCycle diverge at %d", i)
+		}
+	}
+}
+
+func TestRevisitAfterPattern(t *testing.T) {
+	s := RevisitAfter(DGEMM(), STREAM(), 2, 3, 8)
+	want := []string{"DGEMM", "DGEMM", "STREAM", "STREAM", "STREAM", "DGEMM", "DGEMM", "DGEMM"}
+	for i, name := range want {
+		w, ok := s.Next()
+		if !ok || w.WorkloadName() != name {
+			t.Fatalf("item %d: %v %v, want %s", i, w, ok, name)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("revisit stream ran past total")
 	}
 }
 
